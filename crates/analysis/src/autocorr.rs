@@ -1,0 +1,71 @@
+//! Integrated autocorrelation time of a Monte Carlo series — used to set
+//! the configuration skip of the quenched ensemble generator.
+
+/// Integrated autocorrelation time `τ_int = ½ + Σ_t ρ(t)` with the standard
+/// self-consistent window cutoff (`W ≥ c·τ_int`, `c = 6`).
+pub fn integrated_autocorrelation(series: &[f64]) -> f64 {
+    let n = series.len();
+    assert!(n >= 4, "series too short for autocorrelation");
+    let mean: f64 = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return 0.5;
+    }
+    let rho = |t: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n - t {
+            acc += (series[i] - mean) * (series[i + t] - mean);
+        }
+        acc / ((n - t) as f64 * var)
+    };
+    let mut tau = 0.5;
+    for t in 1..n / 2 {
+        tau += rho(t);
+        // Self-consistent window: stop once the window exceeds 6 τ.
+        if (t as f64) >= 6.0 * tau {
+            break;
+        }
+    }
+    tau.max(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn iid_series_has_tau_half() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let series: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let tau = integrated_autocorrelation(&series);
+        assert!((tau - 0.5).abs() < 0.15, "iid tau {tau}");
+    }
+
+    #[test]
+    fn ar1_series_has_known_tau() {
+        // AR(1) with coefficient a: τ_int = ½ (1+a)/(1−a).
+        let a = 0.8f64;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..200_000)
+            .map(|_| {
+                x = a * x + (rng.gen::<f64>() - 0.5);
+                x
+            })
+            .collect();
+        let tau = integrated_autocorrelation(&series);
+        let expect = 0.5 * (1.0 + a) / (1.0 - a); // = 4.5
+        assert!(
+            (tau - expect).abs() < 0.8,
+            "AR(1) tau {tau}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn constant_series_is_defined() {
+        let series = vec![1.0; 100];
+        assert_eq!(integrated_autocorrelation(&series), 0.5);
+    }
+}

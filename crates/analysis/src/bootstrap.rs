@@ -1,0 +1,63 @@
+//! Bootstrap resampling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bootstrap a scalar statistic: `n_boot` resamples with replacement,
+/// returning (mean over resamples, bootstrap standard error).
+pub fn bootstrap<T, F>(samples: &[T], statistic: F, n_boot: usize, seed: u64) -> (f64, f64)
+where
+    T: Clone,
+    F: Fn(&[T]) -> f64,
+{
+    let n = samples.len();
+    assert!(n >= 2, "bootstrap needs at least 2 samples");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n_boot);
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    for _ in 0..n_boot {
+        buf.clear();
+        for _ in 0..n {
+            buf.push(samples[rng.gen_range(0..n)].clone());
+        }
+        values.push(statistic(&buf));
+    }
+    let mean: f64 = values.iter().sum::<f64>() / n_boot as f64;
+    let var: f64 = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / (n_boot as f64 - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_error_of_mean_is_reasonable() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let (mean, err) = bootstrap(
+            &samples,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            500,
+            11,
+        );
+        // Uniform(0,1): mean 0.5, sem = sqrt(1/12/500) ≈ 0.0129.
+        assert!((mean - 0.5).abs() < 0.05);
+        assert!((err - 0.0129).abs() < 0.004, "bootstrap error {err}");
+    }
+
+    #[test]
+    fn bootstrap_is_reproducible_by_seed() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let stat = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let a = bootstrap(&samples, stat, 200, 42);
+        let b = bootstrap(&samples, stat, 200, 42);
+        let c = bootstrap(&samples, stat, 200, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

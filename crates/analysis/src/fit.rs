@@ -1,0 +1,395 @@
+//! Nonlinear least squares by Levenberg–Marquardt with a numerical
+//! Jacobian, supporting correlated data through an inverse covariance.
+//!
+//! This is the fitter behind the Fig. 1 analysis: the grey FH points are fit
+//! to `g_eff(t) = gA + b·e^{−ΔE·t}`, and the excited-state term is
+//! subtracted to produce the black points and the blue band.
+
+use crate::linalg;
+
+/// Fit configuration.
+#[derive(Clone, Debug)]
+pub struct FitSettings {
+    /// Maximum LM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the relative χ² change.
+    pub tol: f64,
+    /// Initial LM damping.
+    pub lambda0: f64,
+}
+
+impl Default for FitSettings {
+    fn default() -> Self {
+        Self {
+            max_iter: 200,
+            tol: 1e-12,
+            lambda0: 1e-3,
+        }
+    }
+}
+
+/// Fit outcome.
+#[derive(Clone, Debug)]
+pub struct FitResult {
+    /// Best-fit parameters.
+    pub params: Vec<f64>,
+    /// Parameter standard errors from the inverse curvature.
+    pub errors: Vec<f64>,
+    /// χ² at the minimum.
+    pub chi2: f64,
+    /// Degrees of freedom (points − parameters).
+    pub dof: usize,
+    /// Whether LM converged within the iteration budget.
+    pub converged: bool,
+}
+
+impl FitResult {
+    /// Reduced χ².
+    pub fn chi2_per_dof(&self) -> f64 {
+        if self.dof > 0 {
+            self.chi2 / self.dof as f64
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Weighting of the residuals.
+enum Weights<'a> {
+    /// Independent errors σ_i.
+    Diagonal(&'a [f64]),
+    /// Full inverse covariance matrix.
+    InverseCovariance(&'a [Vec<f64>]),
+}
+
+fn chi2_of(res: &[f64], w: &Weights) -> f64 {
+    match w {
+        Weights::Diagonal(sig) => res
+            .iter()
+            .zip(sig.iter())
+            .map(|(r, s)| (r / s) * (r / s))
+            .sum(),
+        Weights::InverseCovariance(cinv) => {
+            let mut acc = 0.0;
+            for (i, ri) in res.iter().enumerate() {
+                for (j, rj) in res.iter().enumerate() {
+                    acc += ri * cinv[i][j] * rj;
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Core LM driver shared by the public entry points.
+fn lm_fit<F>(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Weights,
+    model: F,
+    p0: &[f64],
+    settings: &FitSettings,
+) -> FitResult
+where
+    F: Fn(f64, &[f64]) -> f64,
+{
+    let n = xs.len();
+    let np = p0.len();
+    assert_eq!(ys.len(), n);
+    assert!(n >= np, "need at least as many points as parameters");
+
+    let residuals = |p: &[f64]| -> Vec<f64> {
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| y - model(x, p))
+            .collect()
+    };
+
+    let mut p = p0.to_vec();
+    let mut res = residuals(&p);
+    let mut chi2 = chi2_of(&res, &weights);
+    let mut lambda = settings.lambda0;
+    let mut converged = false;
+
+    for _ in 0..settings.max_iter {
+        // Numerical Jacobian J[i][k] = ∂model(x_i)/∂p_k.
+        let mut jac = vec![vec![0.0; np]; n];
+        for k in 0..np {
+            let h = 1e-7 * p[k].abs().max(1e-7);
+            let mut pp = p.clone();
+            pp[k] += h;
+            for (i, &x) in xs.iter().enumerate() {
+                jac[i][k] = (model(x, &pp) - model(x, &p)) / h;
+            }
+        }
+
+        // Normal equations with weighting: A = Jᵀ W J, g = Jᵀ W r.
+        let wj: Vec<Vec<f64>> = match &weights {
+            Weights::Diagonal(sig) => jac
+                .iter()
+                .zip(sig.iter())
+                .map(|(row, s)| row.iter().map(|v| v / (s * s)).collect())
+                .collect(),
+            Weights::InverseCovariance(cinv) => (0..n)
+                .map(|i| {
+                    (0..np)
+                        .map(|k| (0..n).map(|j| cinv[i][j] * jac[j][k]).sum())
+                        .collect()
+                })
+                .collect(),
+        };
+        let mut a = vec![vec![0.0; np]; np];
+        let mut g = vec![0.0; np];
+        for i in 0..n {
+            for k in 0..np {
+                g[k] += wj[i][k] * res[i];
+                for l in 0..np {
+                    a[k][l] += jac[i][k] * wj[i][l];
+                }
+            }
+        }
+
+        // Damped step: (A + λ diag(A)) δ = g.
+        let mut damped = a.clone();
+        for (k, row) in damped.iter_mut().enumerate() {
+            row[k] += lambda * a[k][k].max(1e-30);
+        }
+        let Some(delta) = linalg::solve(&damped, &g) else {
+            lambda *= 10.0;
+            continue;
+        };
+
+        let p_try: Vec<f64> = p.iter().zip(&delta).map(|(a, d)| a + d).collect();
+        let res_try = residuals(&p_try);
+        let chi2_try = chi2_of(&res_try, &weights);
+
+        if chi2_try < chi2 {
+            let rel = (chi2 - chi2_try) / chi2.max(1e-300);
+            p = p_try;
+            res = res_try;
+            chi2 = chi2_try;
+            lambda = (lambda * 0.3).max(1e-12);
+            if rel < settings.tol {
+                converged = true;
+                break;
+            }
+        } else {
+            lambda *= 10.0;
+            if lambda > 1e12 {
+                converged = true; // stuck at a (local) minimum
+                break;
+            }
+        }
+    }
+
+    // Parameter errors from the unit-λ curvature.
+    let mut a = vec![vec![0.0; np]; np];
+    {
+        let mut jac = vec![vec![0.0; np]; n];
+        for k in 0..np {
+            let h = 1e-7 * p[k].abs().max(1e-7);
+            let mut pp = p.clone();
+            pp[k] += h;
+            for (i, &x) in xs.iter().enumerate() {
+                jac[i][k] = (model(x, &pp) - model(x, &p)) / h;
+            }
+        }
+        let wj: Vec<Vec<f64>> = match &weights {
+            Weights::Diagonal(sig) => jac
+                .iter()
+                .zip(sig.iter())
+                .map(|(row, s)| row.iter().map(|v| v / (s * s)).collect())
+                .collect(),
+            Weights::InverseCovariance(cinv) => (0..n)
+                .map(|i| {
+                    (0..np)
+                        .map(|k| (0..n).map(|j| cinv[i][j] * jac[j][k]).sum())
+                        .collect()
+                })
+                .collect(),
+        };
+        for i in 0..n {
+            for k in 0..np {
+                for l in 0..np {
+                    a[k][l] += jac[i][k] * wj[i][l];
+                }
+            }
+        }
+    }
+    let errors = match linalg::invert(&a) {
+        Some(cov) => (0..np).map(|k| cov[k][k].max(0.0).sqrt()).collect(),
+        None => vec![f64::NAN; np],
+    };
+
+    FitResult {
+        params: p,
+        errors,
+        chi2,
+        dof: n.saturating_sub(np),
+        converged,
+    }
+}
+
+/// Fit `model(x, params)` to `(xs, ys)` with independent errors `sigmas`.
+pub fn curve_fit<F>(
+    xs: &[f64],
+    ys: &[f64],
+    sigmas: &[f64],
+    model: F,
+    p0: &[f64],
+    settings: &FitSettings,
+) -> FitResult
+where
+    F: Fn(f64, &[f64]) -> f64,
+{
+    assert_eq!(sigmas.len(), xs.len());
+    lm_fit(xs, ys, Weights::Diagonal(sigmas), model, p0, settings)
+}
+
+/// Fit with a full inverse data covariance (correlated χ²).
+pub fn curve_fit_correlated<F>(
+    xs: &[f64],
+    ys: &[f64],
+    inv_cov: &[Vec<f64>],
+    model: F,
+    p0: &[f64],
+    settings: &FitSettings,
+) -> FitResult
+where
+    F: Fn(f64, &[f64]) -> f64,
+{
+    assert_eq!(inv_cov.len(), xs.len());
+    lm_fit(
+        xs,
+        ys,
+        Weights::InverseCovariance(inv_cov),
+        model,
+        p0,
+        settings,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gauss(rng: &mut SmallRng) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn recovers_exponential_parameters() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let sigma = 0.01;
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 3.0 * (-0.35 * x).exp() + sigma * gauss(&mut rng))
+            .collect();
+        let sigmas = vec![sigma; 20];
+        let fit = curve_fit(
+            &xs,
+            &ys,
+            &sigmas,
+            |x, p| p[0] * (-p[1] * x).exp(),
+            &[1.0, 0.1],
+            &FitSettings::default(),
+        );
+        assert!(fit.converged);
+        assert!((fit.params[0] - 3.0).abs() < 5.0 * fit.errors[0] + 0.05);
+        assert!((fit.params[1] - 0.35).abs() < 5.0 * fit.errors[1] + 0.01);
+        assert!(fit.chi2_per_dof() < 3.0, "chi2/dof {}", fit.chi2_per_dof());
+    }
+
+    #[test]
+    fn recovers_plateau_plus_excited_state() {
+        // The Fig. 1 functional form.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs: Vec<f64> = (1..15).map(|i| i as f64).collect();
+        let (ga, b, de) = (1.271, -0.45, 0.35);
+        let sigmas: Vec<f64> = xs.iter().map(|&x| 0.002 * (0.28 * x).exp()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(&sigmas)
+            .map(|(&x, &s)| ga + b * (-de * x).exp() + s * gauss(&mut rng))
+            .collect();
+        let fit = curve_fit(
+            &xs,
+            &ys,
+            &sigmas,
+            |x, p| p[0] + p[1] * (-p[2] * x).exp(),
+            &[1.0, -0.2, 0.5],
+            &FitSettings::default(),
+        );
+        assert!(fit.converged);
+        assert!(
+            (fit.params[0] - ga).abs() < 4.0 * fit.errors[0].max(0.003),
+            "gA {} ± {} vs {}",
+            fit.params[0],
+            fit.errors[0],
+            ga
+        );
+    }
+
+    #[test]
+    fn linear_fit_matches_closed_form() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 0.5 * x).collect();
+        let sigmas = vec![1.0; 10];
+        let fit = curve_fit(
+            &xs,
+            &ys,
+            &sigmas,
+            |x, p| p[0] + p[1] * x,
+            &[0.0, 0.0],
+            &FitSettings::default(),
+        );
+        assert!((fit.params[0] - 2.0).abs() < 1e-8);
+        assert!((fit.params[1] - 0.5).abs() < 1e-8);
+        assert!(fit.chi2 < 1e-12);
+    }
+
+    #[test]
+    fn correlated_fit_handles_covariance() {
+        // Strongly correlated residuals: the correlated χ² of the true model
+        // should stay O(n).
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 12;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Build covariance C = D (0.7^{|i-j|}) D with D = 0.01.
+        let mut cov = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                cov[i][j] = 1e-4 * 0.7f64.powi((i as i32 - j as i32).abs());
+            }
+        }
+        let inv = crate::linalg::invert(&cov).expect("pd");
+        // Correlated noise via AR(1).
+        let mut eta = vec![0.0; n];
+        let mut z = gauss(&mut rng);
+        for e in eta.iter_mut() {
+            z = 0.7 * z + (1.0f64 - 0.49).sqrt() * gauss(&mut rng);
+            *e = 0.01 * z;
+        }
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(&eta)
+            .map(|(&x, &e)| 1.5 - 0.1 * x + e)
+            .collect();
+        let fit = curve_fit_correlated(
+            &xs,
+            &ys,
+            &inv,
+            |x, p| p[0] + p[1] * x,
+            &[0.0, 0.0],
+            &FitSettings::default(),
+        );
+        assert!(fit.converged);
+        assert!((fit.params[0] - 1.5).abs() < 0.05);
+        assert!((fit.params[1] + 0.1).abs() < 0.01);
+    }
+}

@@ -1,0 +1,150 @@
+//! Delete-one jackknife resampling.
+
+/// A jackknife mean ± error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JackknifeEstimate {
+    /// Estimate of the statistic on the full sample.
+    pub mean: f64,
+    /// Jackknife standard error.
+    pub error: f64,
+}
+
+/// Jackknife a scalar statistic over per-configuration samples.
+///
+/// `statistic` maps a set of samples to a number (e.g. "fit gA to the mean
+/// correlator"); it is evaluated on the full set and on each delete-one
+/// subset.
+///
+/// ```
+/// let samples = vec![1.0, 2.0, 3.0, 4.0];
+/// let est = lqcd_analysis::jackknife(&samples, |s| {
+///     s.iter().sum::<f64>() / s.len() as f64
+/// });
+/// assert_eq!(est.mean, 2.5);
+/// assert!(est.error > 0.0);
+/// ```
+pub fn jackknife<T, F>(samples: &[T], statistic: F) -> JackknifeEstimate
+where
+    T: Clone,
+    F: Fn(&[T]) -> f64,
+{
+    let n = samples.len();
+    assert!(n >= 2, "jackknife needs at least 2 samples");
+    let full = statistic(samples);
+    let mut deleted = Vec::with_capacity(n);
+    let mut buf: Vec<T> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        buf.clear();
+        buf.extend_from_slice(&samples[..i]);
+        buf.extend_from_slice(&samples[i + 1..]);
+        deleted.push(statistic(&buf));
+    }
+    let mean_del: f64 = deleted.iter().sum::<f64>() / n as f64;
+    let var: f64 = deleted
+        .iter()
+        .map(|d| (d - mean_del) * (d - mean_del))
+        .sum::<f64>()
+        * (n as f64 - 1.0)
+        / n as f64;
+    JackknifeEstimate {
+        mean: full,
+        error: var.sqrt(),
+    }
+}
+
+/// Jackknife a vector statistic (e.g. an effective-coupling curve),
+/// returning per-component mean ± error.
+pub fn jackknife_vector<T, F>(samples: &[T], statistic: F) -> Vec<JackknifeEstimate>
+where
+    T: Clone,
+    F: Fn(&[T]) -> Vec<f64>,
+{
+    let n = samples.len();
+    assert!(n >= 2);
+    let full = statistic(samples);
+    let m = full.len();
+    let mut deleted = vec![Vec::with_capacity(n); m];
+    let mut buf: Vec<T> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        buf.clear();
+        buf.extend_from_slice(&samples[..i]);
+        buf.extend_from_slice(&samples[i + 1..]);
+        let d = statistic(&buf);
+        assert_eq!(d.len(), m, "statistic must have fixed length");
+        for (k, v) in d.into_iter().enumerate() {
+            deleted[k].push(v);
+        }
+    }
+    (0..m)
+        .map(|k| {
+            let mean_del: f64 = deleted[k].iter().sum::<f64>() / n as f64;
+            let var: f64 = deleted[k]
+                .iter()
+                .map(|d| (d - mean_del) * (d - mean_del))
+                .sum::<f64>()
+                * (n as f64 - 1.0)
+                / n as f64;
+            JackknifeEstimate {
+                mean: full[k],
+                error: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn jackknife_of_mean_matches_standard_error() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+        let est = jackknife(&samples, |s| s.iter().sum::<f64>() / s.len() as f64);
+        let mean: f64 = samples.iter().sum::<f64>() / 400.0;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (400.0 - 1.0);
+        let sem = (var / 400.0).sqrt();
+        assert!((est.mean - mean).abs() < 1e-14);
+        assert!((est.error - sem).abs() < 1e-3 * sem, "{} vs {}", est.error, sem);
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_size() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let big: Vec<f64> = (0..1600).map(|_| rng.gen::<f64>()).collect();
+        let small = &big[..100];
+        let stat = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let e_small = jackknife(small, stat).error;
+        let e_big = jackknife(&big, stat).error;
+        // √16 = 4× reduction, modulo sampling noise.
+        assert!(e_big < e_small / 2.5, "{e_big} vs {e_small}");
+    }
+
+    #[test]
+    fn vector_jackknife_matches_scalar_per_component() {
+        let samples: Vec<[f64; 2]> = (0..50)
+            .map(|i| [i as f64, (i * i) as f64])
+            .collect();
+        let v = jackknife_vector(&samples, |s| {
+            let n = s.len() as f64;
+            vec![
+                s.iter().map(|x| x[0]).sum::<f64>() / n,
+                s.iter().map(|x| x[1]).sum::<f64>() / n,
+            ]
+        });
+        let s0 = jackknife(&samples, |s| {
+            s.iter().map(|x| x[0]).sum::<f64>() / s.len() as f64
+        });
+        assert!((v[0].mean - s0.mean).abs() < 1e-14);
+        assert!((v[0].error - s0.error).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_sample_panics() {
+        jackknife(&[1.0], |s| s[0]);
+    }
+}

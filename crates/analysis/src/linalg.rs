@@ -1,0 +1,114 @@
+//! Small dense real linear algebra used by the fitter: solves and inverses
+//! via Gauss–Jordan with partial pivoting. Matrices are row-major
+//! `Vec<Vec<f64>>` — fit dimensions are tiny (a handful of parameters,
+//! tens of data points), so clarity wins over blocking.
+
+/// Solve `A x = b`. Returns `None` for (numerically) singular systems.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let scale = a
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-300);
+    let mut aug: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            assert_eq!(row.len(), n);
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            aug[i][col]
+                .abs()
+                .partial_cmp(&aug[j][col].abs())
+                .expect("no NaN in linear solve")
+        })?;
+        // Relative near-singularity check: a pivot this far below the
+        // matrix scale means rank deficiency, not just small numbers.
+        if aug[pivot][col].abs() < 1e-12 * scale {
+            return None;
+        }
+        aug.swap(col, pivot);
+        let inv = 1.0 / aug[col][col];
+        for v in aug[col].iter_mut() {
+            *v *= inv;
+        }
+        for row in 0..n {
+            if row != col && aug[row][col] != 0.0 {
+                let f = aug[row][col];
+                for k in col..=n {
+                    let sub = f * aug[col][k];
+                    aug[row][k] -= sub;
+                }
+            }
+        }
+    }
+    Some(aug.into_iter().map(|r| r[n]).collect())
+}
+
+/// Invert a square matrix. Returns `None` when singular.
+pub fn invert(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    // Column-by-column solve against unit vectors.
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = solve(a, &e)?;
+        for i in 0..n {
+            out[i][j] = col[i];
+        }
+    }
+    Some(out)
+}
+
+/// `A · x` for a square matrix.
+pub fn matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    a.iter()
+        .map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b).expect("nonsingular");
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -1.0],
+            vec![0.5, -1.0, 2.0],
+        ];
+        let inv = invert(&a).expect("spd");
+        for i in 0..3 {
+            let e = matvec(&a, &inv.iter().map(|r| r[i]).collect::<Vec<_>>());
+            for (j, v) in e.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+        assert!(invert(&a).is_none());
+    }
+}

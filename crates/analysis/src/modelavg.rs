@@ -1,0 +1,217 @@
+//! Model averaging over fit windows with Akaike weights.
+//!
+//! The paper's Nature-level analysis does not pick one fit window by hand:
+//! it averages over candidate fits weighted by information criteria, so the
+//! window choice becomes part of the quoted uncertainty. This module
+//! implements that procedure for the `g_eff` plateau fits.
+
+use crate::fit::{curve_fit, FitResult, FitSettings};
+use serde::{Deserialize, Serialize};
+
+/// One candidate fit with its Akaike weight.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeightedFit {
+    /// Fit window `[t_min, t_max]` (inclusive).
+    pub window: (usize, usize),
+    /// Best-fit primary parameter (e.g. gA).
+    pub value: f64,
+    /// Its error from the fit.
+    pub error: f64,
+    /// χ² of the fit.
+    pub chi2: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// Normalized Akaike weight.
+    pub weight: f64,
+}
+
+/// Model-averaged result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelAverage {
+    /// Weighted mean of the primary parameter.
+    pub value: f64,
+    /// Total error: fit error ⊕ window-spread (model) error.
+    pub error: f64,
+    /// Statistical component.
+    pub stat_error: f64,
+    /// Model-spread component.
+    pub model_error: f64,
+    /// The individual fits.
+    pub fits: Vec<WeightedFit>,
+}
+
+/// Fit `model` to `(xs, ys, sigmas)` on every window `[t_min, t_max]` with
+/// `t_min` in `t_min_range`, a fixed `t_max`, and at least `min_points`
+/// points; average the `param_index`-th parameter with AIC weights
+/// `w ∝ exp(−(χ² + 2k)/2)`.
+#[allow(clippy::too_many_arguments)]
+pub fn model_average<F>(
+    xs: &[f64],
+    ys: &[f64],
+    sigmas: &[f64],
+    model: F,
+    p0: &[f64],
+    t_min_range: std::ops::Range<usize>,
+    min_points: usize,
+    param_index: usize,
+) -> ModelAverage
+where
+    F: Fn(f64, &[f64]) -> f64 + Copy,
+{
+    let n = xs.len();
+    let mut fits: Vec<(WeightedFit, FitResult)> = Vec::new();
+    for t_min in t_min_range {
+        if n.saturating_sub(t_min) < min_points {
+            continue;
+        }
+        let fit = curve_fit(
+            &xs[t_min..],
+            &ys[t_min..],
+            &sigmas[t_min..],
+            model,
+            p0,
+            &FitSettings::default(),
+        );
+        if !fit.converged || !fit.params[param_index].is_finite() {
+            continue;
+        }
+        // AIC with k = #params, up to a window-independent constant.
+        let aic = fit.chi2 + 2.0 * p0.len() as f64;
+        fits.push((
+            WeightedFit {
+                window: (t_min, n - 1),
+                value: fit.params[param_index],
+                error: fit.errors[param_index],
+                chi2: fit.chi2,
+                dof: fit.dof,
+                weight: (-0.5 * aic).exp(),
+            },
+            fit,
+        ));
+    }
+    assert!(!fits.is_empty(), "no fit window converged");
+
+    // Normalize weights against overflow by subtracting the max AIC.
+    let max_w = fits
+        .iter()
+        .map(|(w, _)| w.weight)
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let mut total = 0.0;
+    for (w, _) in fits.iter_mut() {
+        w.weight /= max_w;
+        total += w.weight;
+    }
+    for (w, _) in fits.iter_mut() {
+        w.weight /= total;
+    }
+
+    let value: f64 = fits.iter().map(|(w, _)| w.weight * w.value).sum();
+    let stat2: f64 = fits
+        .iter()
+        .map(|(w, _)| w.weight * w.error * w.error)
+        .sum();
+    let model2: f64 = fits
+        .iter()
+        .map(|(w, _)| w.weight * (w.value - value) * (w.value - value))
+        .sum();
+
+    ModelAverage {
+        value,
+        error: (stat2 + model2).sqrt(),
+        stat_error: stat2.sqrt(),
+        model_error: model2.sqrt(),
+        fits: fits.into_iter().map(|(w, _)| w).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gauss(rng: &mut SmallRng) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn synthetic_geff(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (1..14).map(|t| t as f64).collect();
+        let sigmas: Vec<f64> = xs.iter().map(|&x| 0.003 * (0.3 * x).exp()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(&sigmas)
+            .map(|(&x, &s)| 1.271 - 0.27 * (-0.3 * x).exp() + s * gauss(&mut rng))
+            .collect();
+        (xs, ys, sigmas)
+    }
+
+    #[test]
+    fn average_recovers_truth_within_errors() {
+        let (xs, ys, sigmas) = synthetic_geff(3);
+        let avg = model_average(
+            &xs,
+            &ys,
+            &sigmas,
+            |x, p| p[0] + p[1] * (-0.3 * x).exp(),
+            &[1.2, -0.3],
+            0..6,
+            5,
+            0,
+        );
+        assert!(
+            (avg.value - 1.271).abs() < 4.0 * avg.error + 0.01,
+            "{} ± {}",
+            avg.value,
+            avg.error
+        );
+        assert!(avg.error >= avg.stat_error, "total includes model spread");
+        let wsum: f64 = avg.fits.iter().map(|f| f.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-12, "weights normalized");
+    }
+
+    #[test]
+    fn bad_windows_are_downweighted() {
+        // A constant-only model is wrong at early times; windows that start
+        // early must get lower weight than windows past the contamination.
+        let (xs, ys, sigmas) = synthetic_geff(7);
+        let avg = model_average(
+            &xs,
+            &ys,
+            &sigmas,
+            |_x, p| p[0],
+            &[1.2],
+            0..8,
+            4,
+            0,
+        );
+        let early = avg.fits.iter().find(|f| f.window.0 == 0).expect("fit");
+        let late_best = avg
+            .fits
+            .iter()
+            .filter(|f| f.window.0 >= 5)
+            .map(|f| f.weight)
+            .fold(0.0f64, f64::max);
+        assert!(
+            late_best > early.weight,
+            "contaminated window should lose: {} vs {}",
+            early.weight,
+            late_best
+        );
+    }
+
+    #[test]
+    fn model_error_vanishes_for_consistent_windows() {
+        // Pure-plateau data: every window gives the same answer, so the
+        // model spread is tiny.
+        let xs: Vec<f64> = (1..12).map(|t| t as f64).collect();
+        let ys = vec![1.271; xs.len()];
+        let sigmas = vec![0.01; xs.len()];
+        let avg = model_average(&xs, &ys, &sigmas, |_x, p| p[0], &[1.0], 0..5, 4, 0);
+        assert!(avg.model_error < 1e-10);
+        assert!((avg.value - 1.271).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,40 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier for a tunable computation.
+///
+/// Mirrors QUDA's `TuneKey`: a kernel name, a volume string describing the
+/// local problem, and an auxiliary string carrying anything else that changes
+/// the optimum (precision, parity, communication topology, machine name).
+/// Two computations with equal keys share a cached optimum; anything that
+/// could shift the optimum must be folded into one of the three fields.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Debug)]
+pub struct TuneKey {
+    /// Kernel or algorithm name, e.g. `"dslash_wilson"` or `"halo_exchange"`.
+    pub name: String,
+    /// Problem-geometry component, e.g. `"48x48x48x64x12"`.
+    pub volume: String,
+    /// Auxiliary discriminator, e.g. `"prec=half,parity=odd,nodes=4"`.
+    pub aux: String,
+}
+
+impl TuneKey {
+    /// Build a key from its three components.
+    pub fn new(
+        name: impl Into<String>,
+        volume: impl Into<String>,
+        aux: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            volume: volume.into(),
+            aux: aux.into(),
+        }
+    }
+}
+
+impl fmt::Display for TuneKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}::{}", self.name, self.volume, self.aux)
+    }
+}

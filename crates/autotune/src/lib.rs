@@ -1,0 +1,35 @@
+//! QUDA-style run-time autotuner.
+//!
+//! The paper's solver library (QUDA) maximizes performance with a run-time
+//! autotuner: the first time an un-tuned kernel is encountered, a brute-force
+//! search through its launch-parameter space is performed; the optimum is then
+//! stored in a map keyed by a unique identifier and looked up on demand ever
+//! after. The same machinery was extended in the paper to *communication
+//! policy* tuning — choosing how halo exchanges are staged for a given problem
+//! size, node count, and machine.
+//!
+//! This crate reproduces that architecture:
+//!
+//! - [`TuneKey`] — unique identifier of a (kernel, problem, configuration).
+//! - [`Tunable`] — implemented by anything that can enumerate candidate
+//!   parameters and time itself under one candidate.
+//! - [`Tuner`] — the cache. On a miss it sweeps all candidates (several
+//!   repetitions each, best-of policy), stores the winner plus performance
+//!   metadata, and can persist/restore the cache as JSON, mirroring QUDA's
+//!   `tunecache.tsv`.
+//!
+//! The tuner is thread-safe ([`parking_lot::RwLock`] around the map) so that
+//! parallel solver instances share one cache, as QUDA does per process.
+
+mod key;
+mod param;
+mod tunable;
+mod tuner;
+
+pub use key::TuneKey;
+pub use param::{ParamSpace, TuneParam};
+pub use tunable::{TimingHarness, Tunable};
+pub use tuner::{TuneEntry, Tuner, TunerStats};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,226 @@
+use crate::*;
+
+/// A deterministic tunable whose modeled cost has a unique minimum, so tests
+/// can assert the sweep finds it.
+struct QuadraticCost {
+    name: String,
+    optimum: usize,
+    n_policies: usize,
+    runs: Vec<TuneParam>,
+    backed_up: u32,
+    restored: u32,
+}
+
+impl QuadraticCost {
+    fn new(name: &str, optimum: usize, n_policies: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            optimum,
+            n_policies,
+            runs: Vec::new(),
+            backed_up: 0,
+            restored: 0,
+        }
+    }
+}
+
+impl Tunable for QuadraticCost {
+    fn key(&self) -> TuneKey {
+        TuneKey::new(self.name.clone(), "v", "")
+    }
+    fn param_space(&self) -> ParamSpace {
+        ParamSpace::policies(self.n_policies)
+    }
+    fn run(&mut self, param: TuneParam) {
+        self.runs.push(param);
+    }
+    fn modeled_cost(&self, param: TuneParam) -> f64 {
+        let d = param.policy as f64 - self.optimum as f64;
+        1.0 + d * d
+    }
+    fn harness(&self) -> TimingHarness {
+        TimingHarness::Modeled
+    }
+    fn backup(&mut self) {
+        self.backed_up += 1;
+    }
+    fn restore(&mut self) {
+        self.restored += 1;
+    }
+    fn flops(&self) -> f64 {
+        2.0e9
+    }
+}
+
+#[test]
+fn sweep_finds_modeled_minimum() {
+    let tuner = Tuner::new();
+    let mut t = QuadraticCost::new("quad", 5, 9);
+    let p = tuner.tune(&mut t);
+    assert_eq!(p.policy, 5);
+}
+
+#[test]
+fn second_call_is_cache_hit_and_skips_sweep() {
+    let tuner = Tuner::new();
+    let mut t = QuadraticCost::new("quad", 2, 6);
+    tuner.tune(&mut t);
+    let runs_after_first = t.runs.len();
+    let p = tuner.tune(&mut t);
+    assert_eq!(p.policy, 2);
+    assert_eq!(t.runs.len(), runs_after_first, "cache hit must not re-run");
+    assert_eq!(tuner.stats().misses, 1);
+    assert_eq!(tuner.stats().hits, 1);
+}
+
+#[test]
+fn backup_restore_bracket_the_sweep_exactly_once() {
+    let tuner = Tuner::new();
+    let mut t = QuadraticCost::new("quad", 0, 4);
+    tuner.tune(&mut t);
+    tuner.tune(&mut t);
+    assert_eq!(t.backed_up, 1);
+    assert_eq!(t.restored, 1);
+}
+
+#[test]
+fn distinct_keys_get_distinct_entries() {
+    let tuner = Tuner::new();
+    let mut a = QuadraticCost::new("a", 1, 4);
+    let mut b = QuadraticCost::new("b", 3, 4);
+    assert_eq!(tuner.tune(&mut a).policy, 1);
+    assert_eq!(tuner.tune(&mut b).policy, 3);
+    assert_eq!(tuner.len(), 2);
+}
+
+#[test]
+fn entry_records_metadata() {
+    let tuner = Tuner::new();
+    let mut t = QuadraticCost::new("meta", 2, 7);
+    tuner.tune(&mut t);
+    let e = tuner.lookup(&t.key()).expect("entry cached");
+    assert_eq!(e.candidates_swept, 7);
+    assert!((e.seconds - 1.0).abs() < 1e-12, "optimum cost is 1.0");
+    assert!((e.gflops - 2.0).abs() < 1e-9, "2e9 flops in 1 s = 2 GFLOP/s");
+}
+
+#[test]
+fn json_round_trip_preserves_cache() {
+    let tuner = Tuner::new();
+    let mut a = QuadraticCost::new("a", 1, 4);
+    let mut b = QuadraticCost::new("b", 3, 6);
+    tuner.tune(&mut a);
+    tuner.tune(&mut b);
+    let json = tuner.to_json();
+
+    let restored = Tuner::new();
+    let n = restored.merge_json(&json).expect("valid json");
+    assert_eq!(n, 2);
+    assert_eq!(restored.lookup(&a.key()), tuner.lookup(&a.key()));
+    assert_eq!(restored.lookup(&b.key()), tuner.lookup(&b.key()));
+
+    // A restored entry must satisfy lookups without re-sweeping.
+    let mut a2 = QuadraticCost::new("a", 1, 4);
+    restored.tune(&mut a2);
+    assert!(a2.runs.is_empty());
+}
+
+#[test]
+fn save_load_file_round_trip() {
+    let dir = std::env::temp_dir().join("autotune_test_cache");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tunecache.json");
+
+    let tuner = Tuner::new();
+    let mut t = QuadraticCost::new("file", 4, 8);
+    tuner.tune(&mut t);
+    tuner.save(&path).unwrap();
+
+    let loaded = Tuner::new();
+    assert_eq!(loaded.load(&path).unwrap(), 1);
+    assert_eq!(loaded.lookup(&t.key()), tuner.lookup(&t.key()));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn merge_json_rejects_garbage() {
+    let tuner = Tuner::new();
+    assert!(tuner.merge_json("not json at all").is_err());
+}
+
+#[test]
+fn wall_clock_harness_runs_each_candidate() {
+    struct Sleepy {
+        runs: usize,
+    }
+    impl Tunable for Sleepy {
+        fn key(&self) -> TuneKey {
+            TuneKey::new("sleepy", "v", "")
+        }
+        fn param_space(&self) -> ParamSpace {
+            ParamSpace::policies(3)
+        }
+        fn run(&mut self, _p: TuneParam) {
+            self.runs += 1;
+        }
+        fn harness(&self) -> TimingHarness {
+            TimingHarness::WallClock { reps: 2 }
+        }
+    }
+    let tuner = Tuner::new();
+    let mut s = Sleepy { runs: 0 };
+    tuner.tune(&mut s);
+    assert_eq!(s.runs, 3 * 2, "3 candidates x 2 reps");
+}
+
+#[test]
+fn grain_ladder_space_is_bounded_and_nonempty() {
+    let space = ParamSpace::grain_ladder(100_000);
+    assert!(!space.is_empty());
+    for c in space.candidates() {
+        assert!(c.block <= c.grain);
+    }
+    // Tiny problems still get at least one candidate.
+    let tiny = ParamSpace::grain_ladder(8);
+    assert!(!tiny.is_empty());
+}
+
+#[test]
+fn from_candidates_rejects_empty() {
+    assert!(ParamSpace::from_candidates(vec![]).is_none());
+    assert!(ParamSpace::from_candidates(vec![TuneParam::default()]).is_some());
+}
+
+#[test]
+fn summary_lists_every_entry_sorted() {
+    let tuner = Tuner::new();
+    let mut b = QuadraticCost::new("zeta", 1, 3);
+    let mut a = QuadraticCost::new("alpha", 2, 4);
+    tuner.tune(&mut b);
+    tuner.tune(&mut a);
+    let s = tuner.summary();
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("alpha"), "sorted by key: {s}");
+    assert!(lines[1].starts_with("zeta"));
+    assert!(lines[0].contains("policy=2"));
+}
+
+#[test]
+fn tuner_is_shareable_across_threads() {
+    use std::sync::Arc;
+    let tuner = Arc::new(Tuner::new());
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let tuner = Arc::clone(&tuner);
+            std::thread::spawn(move || {
+                let mut t = QuadraticCost::new(if i % 2 == 0 { "even" } else { "odd" }, 1, 3);
+                tuner.tune(&mut t).policy
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 1);
+    }
+    assert_eq!(tuner.len(), 2);
+}

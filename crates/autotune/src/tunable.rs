@@ -1,0 +1,82 @@
+use crate::{ParamSpace, TuneKey, TuneParam};
+use std::time::Instant;
+
+/// How a candidate is timed during the sweep.
+///
+/// Real kernels are wall-clock timed ([`TimingHarness::WallClock`]); model-based
+/// tunables (the communication-policy model, unit tests) report a
+/// deterministic cost instead, so sweeps are reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingHarness {
+    /// Time `Tunable::run` with `Instant` around `reps` repetitions.
+    WallClock {
+        /// Repetitions per candidate; best (minimum) time is kept, matching
+        /// QUDA's policy of ignoring warm-up noise.
+        reps: u32,
+    },
+    /// Trust the value returned by `Tunable::modeled_cost`.
+    Modeled,
+}
+
+/// A computation whose launch parameters can be autotuned.
+///
+/// Mirrors QUDA's `Tunable` class: the object names itself via a [`TuneKey`],
+/// enumerates its candidate parameter space, and can execute (or cost-model)
+/// itself under a specific candidate. Data-destructive kernels must implement
+/// `backup`/`restore` so the sweep leaves state untouched — QUDA manages this
+/// with the same pair of hooks.
+pub trait Tunable {
+    /// Unique identity of this computation instance.
+    fn key(&self) -> TuneKey;
+
+    /// Candidate launch parameters to sweep.
+    fn param_space(&self) -> ParamSpace;
+
+    /// Execute once under `param`. Used both during the sweep (wall-clock
+    /// harness) and for the real launch afterwards.
+    fn run(&mut self, param: TuneParam);
+
+    /// Deterministic cost in seconds under `param`, for `TimingHarness::Modeled`.
+    ///
+    /// The default panics: wall-clock tunables never call it.
+    fn modeled_cost(&self, _param: TuneParam) -> f64 {
+        unimplemented!("modeled_cost not provided for this tunable")
+    }
+
+    /// Which harness to time candidates with.
+    fn harness(&self) -> TimingHarness {
+        TimingHarness::WallClock { reps: 3 }
+    }
+
+    /// Snapshot state before a data-destructive sweep.
+    fn backup(&mut self) {}
+
+    /// Restore the snapshot taken by `backup`.
+    fn restore(&mut self) {}
+
+    /// Useful work per invocation, in floating-point operations, used to
+    /// record a GFLOP/s figure in the cache metadata. Zero if not meaningful.
+    fn flops(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Time one candidate under the given harness, returning seconds.
+pub(crate) fn time_candidate<T: Tunable + ?Sized>(tunable: &mut T, param: TuneParam) -> f64 {
+    match tunable.harness() {
+        TimingHarness::WallClock { reps } => {
+            let reps = reps.max(1);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                tunable.run(param);
+                let dt = t0.elapsed().as_secs_f64();
+                if dt < best {
+                    best = dt;
+                }
+            }
+            best
+        }
+        TimingHarness::Modeled => tunable.modeled_cost(param),
+    }
+}

@@ -1,0 +1,193 @@
+use crate::tunable::time_candidate;
+use crate::{TuneKey, TuneParam, Tunable};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// Cached optimum for one [`TuneKey`], with performance metadata.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TuneEntry {
+    /// Winning launch parameters.
+    pub param: TuneParam,
+    /// Best observed (or modeled) time for one invocation, seconds.
+    pub seconds: f64,
+    /// GFLOP/s at the optimum, when the tunable reports a flop count.
+    pub gflops: f64,
+    /// Number of candidates that were swept.
+    pub candidates_swept: usize,
+}
+
+/// Aggregate statistics about tuner behaviour, for reporting and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TunerStats {
+    /// Cache lookups that found an existing entry.
+    pub hits: u64,
+    /// Cache lookups that triggered a brute-force sweep.
+    pub misses: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    cache: HashMap<TuneKey, TuneEntry>,
+    stats: TunerStats,
+}
+
+/// The autotuner cache.
+///
+/// `tune` performs QUDA's protocol: look the key up; on a miss, `backup` the
+/// tunable, sweep every candidate in its parameter space, keep the fastest,
+/// `restore`, store the entry, and return the winning parameters. Subsequent
+/// calls with the same key are pure lookups.
+///
+/// ```
+/// use autotune::{ParamSpace, TimingHarness, TuneKey, TuneParam, Tunable, Tuner};
+///
+/// struct Kernel;
+/// impl Tunable for Kernel {
+///     fn key(&self) -> TuneKey { TuneKey::new("halo", "8x8x8x16", "prec=f32") }
+///     fn param_space(&self) -> ParamSpace { ParamSpace::policies(4) }
+///     fn run(&mut self, _p: TuneParam) {}
+///     fn modeled_cost(&self, p: TuneParam) -> f64 { (p.policy as f64 - 2.0).abs() + 1.0 }
+///     fn harness(&self) -> TimingHarness { TimingHarness::Modeled }
+/// }
+///
+/// let tuner = Tuner::new();
+/// let best = tuner.tune(&mut Kernel);
+/// assert_eq!(best.policy, 2);          // swept on first encounter
+/// assert_eq!(tuner.tune(&mut Kernel).policy, 2); // cache hit thereafter
+/// assert_eq!(tuner.stats().hits, 1);
+/// ```
+#[derive(Default)]
+pub struct Tuner {
+    inner: RwLock<Inner>,
+}
+
+impl Tuner {
+    /// Empty tuner with no cached entries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the optimum launch parameters for `tunable`, sweeping its
+    /// parameter space first if this key has never been seen.
+    pub fn tune<T: Tunable + ?Sized>(&self, tunable: &mut T) -> TuneParam {
+        let key = tunable.key();
+        if let Some(entry) = self.lookup(&key) {
+            self.inner.write().stats.hits += 1;
+            return entry.param;
+        }
+        self.inner.write().stats.misses += 1;
+
+        let space = tunable.param_space();
+        tunable.backup();
+        let mut best_param = space.candidates()[0];
+        let mut best_time = f64::INFINITY;
+        for &candidate in space.candidates() {
+            let seconds = time_candidate(tunable, candidate);
+            if seconds < best_time {
+                best_time = seconds;
+                best_param = candidate;
+            }
+        }
+        tunable.restore();
+
+        let gflops = if best_time > 0.0 {
+            tunable.flops() / best_time / 1e9
+        } else {
+            0.0
+        };
+        let entry = TuneEntry {
+            param: best_param,
+            seconds: best_time,
+            gflops,
+            candidates_swept: space.len(),
+        };
+        self.inner.write().cache.insert(key, entry);
+        best_param
+    }
+
+    /// Tune and immediately execute under the optimum.
+    pub fn launch<T: Tunable + ?Sized>(&self, tunable: &mut T) {
+        let param = self.tune(tunable);
+        tunable.run(param);
+    }
+
+    /// Cached entry for `key`, if any.
+    pub fn lookup(&self, key: &TuneKey) -> Option<TuneEntry> {
+        self.inner.read().cache.get(key).cloned()
+    }
+
+    /// Insert or overwrite an entry directly (used when restoring from disk
+    /// or seeding tests).
+    pub fn insert(&self, key: TuneKey, entry: TuneEntry) {
+        self.inner.write().cache.insert(key, entry);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> TunerStats {
+        self.inner.read().stats
+    }
+
+    /// Serialize the cache to JSON (QUDA persists to `tunecache.tsv`; we use
+    /// JSON via serde for the same purpose).
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.read();
+        let entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
+        serde_json::to_string_pretty(&entries).expect("tune cache serializes")
+    }
+
+    /// Restore a cache previously produced by `to_json`, merging into the
+    /// current cache (disk entries win on key collision).
+    pub fn merge_json(&self, json: &str) -> Result<usize, serde_json::Error> {
+        let entries: Vec<(TuneKey, TuneEntry)> = serde_json::from_str(json)?;
+        let n = entries.len();
+        let mut inner = self.inner.write();
+        for (k, v) in entries {
+            inner.cache.insert(k, v);
+        }
+        Ok(n)
+    }
+
+    /// Human-readable summary of the cache, one line per entry, sorted by
+    /// key — the `tunecache` dump operators use to inspect what was chosen.
+    pub fn summary(&self) -> String {
+        let inner = self.inner.read();
+        let mut entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
+        entries.sort_by(|a, b| {
+            (&a.0.name, &a.0.volume, &a.0.aux).cmp(&(&b.0.name, &b.0.volume, &b.0.aux))
+        });
+        let mut out = String::new();
+        for (k, e) in entries {
+            out.push_str(&format!(
+                "{k}  grain={} block={} policy={}  {:.3e}s  {:.1} GFLOP/s  ({} swept)\n",
+                e.param.grain, e.param.block, e.param.policy, e.seconds, e.gflops,
+                e.candidates_swept
+            ));
+        }
+        out
+    }
+
+    /// Persist the cache to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a cache file saved by `save`, merging its entries.
+    pub fn load(&self, path: &Path) -> io::Result<usize> {
+        let json = std::fs::read_to_string(path)?;
+        self.merge_json(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

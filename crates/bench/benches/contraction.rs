@@ -1,0 +1,39 @@
+//! Tensor contractions — the CPU-only stage the paper co-schedules (3% of
+//! execution time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lqcd_core::gamma::{gamma5_dense, parity_projector};
+use lqcd_core::prelude::*;
+
+fn make_prop(lat: &Lattice, gauge: &GaugeField<f64>) -> Propagator {
+    let solver = PropagatorSolver::new(lat, gauge, SolverKind::WilsonBicgstab { mass: 0.5 });
+    solver.point_propagator(0).0
+}
+
+fn bench_contractions(c: &mut Criterion) {
+    let lat = Lattice::new([4, 4, 4, 8]);
+    let gauge = GaugeField::<f64>::hot(&lat, 17);
+    let prop = make_prop(&lat, &gauge);
+
+    let mut group = c.benchmark_group("contraction");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(lat.volume() as u64));
+
+    group.bench_function("pion_shortcut", |b| {
+        b.iter(|| pion_correlator(&lat, &prop))
+    });
+
+    let g5 = gamma5_dense();
+    group.bench_function("meson_generic", |b| {
+        b.iter(|| meson_correlator(&lat, &prop, &prop, &g5, &g5))
+    });
+
+    let proj = parity_projector();
+    group.bench_function("proton_2pt", |b| {
+        b.iter(|| proton_correlator(&lat, &prop, &prop, &proj))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contractions);
+criterion_main!(benches);

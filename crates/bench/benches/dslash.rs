@@ -1,0 +1,92 @@
+//! The hot kernel: Wilson and Möbius stencil applications across storage
+//! precisions (f64 / f32 / 16-bit fixed point) and with/without autotuned
+//! grain — the microbenchmark behind the paper's bandwidth discussion.
+
+use autotune::Tuner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lqcd_core::prelude::*;
+use lqcd_core::tune::tune_operator;
+
+fn bench_wilson_precisions(c: &mut Criterion) {
+    let lat = Lattice::new([8, 8, 8, 16]);
+    let gauge64 = GaugeField::<f64>::hot(&lat, 3);
+    let gauge32 = gauge64.cast::<f32>();
+    let half = HalfGaugeField::from_gauge(&gauge64);
+
+    let x64 = FermionField::<f64>::gaussian(lat.volume(), 1).data;
+    let x32: Vec<Spinor<f32>> = x64.iter().map(|s| s.cast()).collect();
+
+    let mut group = c.benchmark_group("dslash_wilson");
+    group.throughput(Throughput::Elements(lat.volume() as u64));
+    group.sample_size(20);
+
+    let d64 = WilsonDirac::new(&lat, &gauge64, 0.1, true);
+    let mut out64 = vec![Spinor::zero(); lat.volume()];
+    group.bench_function(BenchmarkId::new("prec", "f64"), |b| {
+        b.iter(|| d64.apply(&mut out64, &x64))
+    });
+
+    let d32 = WilsonDirac::new(&lat, &gauge32, 0.1, true);
+    let mut out32 = vec![Spinor::zero(); lat.volume()];
+    group.bench_function(BenchmarkId::new("prec", "f32"), |b| {
+        b.iter(|| d32.apply(&mut out32, &x32))
+    });
+
+    let dh = WilsonDirac::new(&lat, &half, 0.1, true);
+    group.bench_function(BenchmarkId::new("prec", "half-gauge"), |b| {
+        b.iter(|| dh.apply(&mut out32, &x32))
+    });
+    group.finish();
+}
+
+fn bench_mobius(c: &mut Criterion) {
+    let lat = Lattice::new([8, 8, 8, 8]);
+    let gauge = GaugeField::<f64>::hot(&lat, 5);
+    let params = MobiusParams::standard(8, 0.1);
+
+    let mut group = c.benchmark_group("dslash_mobius");
+    group.sample_size(15);
+
+    let full = MobiusDirac::new(&lat, &gauge, params);
+    let x = FermionField::<f64>::gaussian(full.vec_len(), 2).data;
+    let mut out = vec![Spinor::zero(); full.vec_len()];
+    group.throughput(Throughput::Elements(full.vec_len() as u64));
+    group.bench_function("full", |b| b.iter(|| full.apply(&mut out, &x)));
+
+    let prec = PrecMobius::new(&lat, &gauge, params);
+    let xo = FermionField::<f64>::gaussian(prec.vec_len(), 3).data;
+    let mut out_o = vec![Spinor::zero(); prec.vec_len()];
+    group.bench_function("red-black", |b| b.iter(|| prec.apply(&mut out_o, &xo)));
+    group.finish();
+}
+
+fn bench_autotuned_grain(c: &mut Criterion) {
+    let lat = Lattice::new([8, 8, 8, 16]);
+    let gauge = GaugeField::<f64>::hot(&lat, 7);
+    let x = FermionField::<f64>::gaussian(lat.volume(), 4).data;
+    let mut out = vec![Spinor::zero(); lat.volume()];
+
+    let mut group = c.benchmark_group("dslash_autotune");
+    group.sample_size(20);
+
+    // Deliberately bad grain: serialize the whole volume in one task.
+    let mut untuned = WilsonDirac::new(&lat, &gauge, 0.1, true);
+    untuned.grain = lat.volume();
+    group.bench_function("grain=volume (serial)", |b| {
+        b.iter(|| untuned.apply(&mut out, &x))
+    });
+
+    let tuner = Tuner::new();
+    let mut tuned = WilsonDirac::new(&lat, &gauge, 0.1, true);
+    tune_operator(&tuner, &mut tuned);
+    group.bench_function("grain=tuned", |b| b.iter(|| tuned.apply(&mut out, &x)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wilson_precisions,
+    bench_mobius,
+    bench_autotuned_grain
+);
+criterion_main!(benches);

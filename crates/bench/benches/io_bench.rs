@@ -1,0 +1,40 @@
+//! Field I/O throughput — the 0.5%-of-runtime stage the workflow hides.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lqcd_core::prelude::*;
+use std::collections::BTreeMap;
+
+fn bench_gauge_io(c: &mut Criterion) {
+    let lat = Lattice::new([8, 8, 8, 16]);
+    let gauge = GaugeField::<f64>::hot(&lat, 3);
+    let bytes = (lat.volume() * 4 * 18 * 8) as u64;
+    let dir = std::env::temp_dir().join("lqcd_io_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gauge.lqio");
+
+    let mut group = c.benchmark_group("gauge_io");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("write", |b| {
+        b.iter(|| lattice_io::write_gauge(&path, &lat, &gauge, BTreeMap::new()).unwrap())
+    });
+    lattice_io::write_gauge(&path, &lat, &gauge, BTreeMap::new()).unwrap();
+    group.bench_function("read+verify", |b| {
+        b.iter(|| lattice_io::read_gauge(&path, &lat).unwrap())
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1 << 20];
+    let mut group = c.benchmark_group("crc32c");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB", |b| {
+        b.iter(|| lattice_io::crc32c::crc32c(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gauge_io, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Scheduler engine throughput: events per second through naive bundling,
+//! METAQ backfilling, and `mpi_jm` — plus the communication-policy tuner.
+
+use autotune::Tuner;
+use coral_machine::{sierra, SolverPerfModel};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpi_jm::{
+    Cluster, ClusterConfig, MetaqScheduler, MpiJmConfig, MpiJmScheduler, NaiveBundler, Workload,
+};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let workload = Workload::heterogeneous_solves(512, 4, 1000.0, 0.3, 1e15, 7);
+    let config = ClusterConfig {
+        nodes: 256,
+        jitter_sigma: 0.05,
+        failure_prob: 0.0,
+        seed: 3,
+    };
+
+    let mut group = c.benchmark_group("schedulers_512tasks_256nodes");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(512));
+
+    group.bench_function("naive", |b| {
+        b.iter(|| NaiveBundler::run(&mut Cluster::new(sierra(), &config), &workload))
+    });
+    group.bench_function("metaq", |b| {
+        b.iter(|| MetaqScheduler::run(&mut Cluster::new(sierra(), &config), &workload))
+    });
+    group.bench_function("mpi_jm", |b| {
+        let sched = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 32,
+            block_nodes: 4,
+            ..MpiJmConfig::default()
+        });
+        b.iter(|| sched.run(&mut Cluster::new(sierra(), &config), &workload))
+    });
+    group.finish();
+}
+
+fn bench_policy_tuning(c: &mut Criterion) {
+    let model = SolverPerfModel::new(sierra(), [48, 48, 48, 64], 12);
+
+    let mut group = c.benchmark_group("comm_policy_tuning");
+    group.bench_function("cold (sweep)", |b| {
+        b.iter(|| {
+            let tuner = Tuner::new();
+            model.tuned_policy(&tuner, 64)
+        })
+    });
+    group.bench_function("warm (cache hit)", |b| {
+        let tuner = Tuner::new();
+        model.tuned_policy(&tuner, 64);
+        b.iter(|| model.tuned_policy(&tuner, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_policy_tuning);
+criterion_main!(benches);

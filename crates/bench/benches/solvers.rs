@@ -1,0 +1,130 @@
+//! Solver comparison: pure-double CGNE vs double/single and double/half
+//! mixed-precision with reliable updates — the ablation behind the paper's
+//! "double-half CG is the optimum approach" statement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lqcd_core::dirac::NormalOp;
+use lqcd_core::prelude::*;
+
+fn bench_precision_strategies(c: &mut Criterion) {
+    let lat = Lattice::new([4, 4, 4, 8]);
+    let gauge64 = GaugeField::<f64>::hot(&lat, 11);
+    let gauge32 = gauge64.cast::<f32>();
+    let half = HalfGaugeField::from_gauge(&gauge64);
+    let b = FermionField::<f64>::gaussian(lat.volume(), 1).data;
+    let params = CgParams {
+        tol: 1e-10,
+        max_iter: 20_000,
+    };
+
+    let mut group = c.benchmark_group("wilson_solve");
+    group.sample_size(10);
+
+    group.bench_function("cgne_double", |bch| {
+        let d = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        bch.iter(|| {
+            let mut x = vec![Spinor::zero(); lat.volume()];
+            let s = cgne(&d, &mut x, &b, params);
+            assert!(s.converged);
+            s.iterations
+        })
+    });
+
+    group.bench_function("bicgstab_double", |bch| {
+        let d = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        bch.iter(|| {
+            let mut x = vec![Spinor::zero(); lat.volume()];
+            let s = bicgstab(&d, &mut x, &b, params);
+            assert!(s.converged);
+            s.iterations
+        })
+    });
+
+    group.bench_function("mixed_double_single", |bch| {
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        let d32 = WilsonDirac::new(&lat, &gauge32, 0.3, true);
+        let n64 = NormalOp::new(&d64);
+        let n32 = NormalOp::new(&d32);
+        bch.iter(|| {
+            let mut x = vec![Spinor::zero(); lat.volume()];
+            let s = mixed_cg(
+                &n64,
+                &n32,
+                &mut x,
+                &b,
+                MixedParams {
+                    outer: params,
+                    ..MixedParams::default()
+                },
+            );
+            assert!(s.converged);
+            s.iterations
+        })
+    });
+
+    group.bench_function("mixed_double_half", |bch| {
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        let dh = WilsonDirac::new(&lat, &half, 0.3, true);
+        let n64 = NormalOp::new(&d64);
+        let nh = NormalOp::new(&dh);
+        bch.iter(|| {
+            let mut x = vec![Spinor::zero(); lat.volume()];
+            let s = mixed_cg(
+                &n64,
+                &nh,
+                &mut x,
+                &b,
+                MixedParams {
+                    outer: params,
+                    ..MixedParams::default()
+                },
+            );
+            assert!(s.converged);
+            s.iterations
+        })
+    });
+    group.finish();
+}
+
+fn bench_mobius_prec_vs_full(c: &mut Criterion) {
+    let lat = Lattice::new([4, 4, 4, 8]);
+    let gauge = GaugeField::<f64>::hot(&lat, 13);
+    let params = MobiusParams::standard(4, 0.2);
+    let cgp = CgParams {
+        tol: 1e-9,
+        max_iter: 20_000,
+    };
+
+    let mut group = c.benchmark_group("mobius_solve");
+    group.sample_size(10);
+
+    group.bench_function("full_cgne", |bch| {
+        let d = MobiusDirac::new(&lat, &gauge, params);
+        let b = FermionField::<f64>::gaussian(d.vec_len(), 2).data;
+        bch.iter(|| {
+            let mut x = vec![Spinor::zero(); d.vec_len()];
+            let s = cgne(&d, &mut x, &b, cgp);
+            assert!(s.converged);
+            s.iterations
+        })
+    });
+
+    group.bench_function("red_black_cgne", |bch| {
+        let full = MobiusDirac::new(&lat, &gauge, params);
+        let prec = PrecMobius::new(&lat, &gauge, params);
+        let b = FermionField::<f64>::gaussian(full.vec_len(), 2).data;
+        bch.iter(|| {
+            let (b_e, b_o) = prec.split(&b);
+            let rhs = prec.prepare_source(&b_e, &b_o);
+            let mut x_o = vec![Spinor::zero(); prec.vec_len()];
+            let s = cgne(&prec, &mut x_o, &rhs, cgp);
+            assert!(s.converged);
+            let _x_e = prec.reconstruct_even(&b_e, &x_o);
+            s.iterations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision_strategies, bench_mobius_prec_vs_full);
+criterion_main!(benches);

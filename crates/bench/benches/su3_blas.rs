@@ -1,0 +1,60 @@
+//! Micro-kernels: SU(3) algebra and the bandwidth-bound BLAS-1 operations
+//! of the CG solver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lqcd_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_su3(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = Su3::<f64>::random(&mut rng);
+    let b = Su3::<f64>::random(&mut rng);
+    let v = ColorVec {
+        c: [
+            Complex::from_f64(0.3, -1.0),
+            Complex::from_f64(2.0, 0.7),
+            Complex::from_f64(-0.5, 0.1),
+        ],
+    };
+
+    let mut group = c.benchmark_group("su3");
+    group.bench_function("mat_mul", |bch| bch.iter(|| std::hint::black_box(a) * b));
+    group.bench_function("mat_vec", |bch| bch.iter(|| a.mul_vec(std::hint::black_box(&v))));
+    group.bench_function("dagger_vec", |bch| {
+        bch.iter(|| a.dagger_mul_vec(std::hint::black_box(&v)))
+    });
+    group.bench_function("reunitarize", |bch| {
+        bch.iter(|| std::hint::black_box(a).reunitarize())
+    });
+    group.finish();
+}
+
+fn bench_blas(c: &mut Criterion) {
+    let n = 1 << 16;
+    let x = FermionField::<f64>::gaussian(n, 1).data;
+    let mut y = FermionField::<f64>::gaussian(n, 2).data;
+
+    let mut group = c.benchmark_group("blas1");
+    group.throughput(Throughput::Bytes((n * 24 * 8) as u64));
+    group.bench_function("axpy", |bch| bch.iter(|| blas::axpy(0.5, &x, &mut y)));
+    group.bench_function("dot", |bch| bch.iter(|| blas::dot(&x, &y)));
+    group.bench_function("norm_sqr", |bch| bch.iter(|| blas::norm_sqr(&x)));
+    group.bench_function("xpby", |bch| bch.iter(|| blas::xpby(&x, 0.3, &mut y)));
+    group.finish();
+}
+
+fn bench_halfprec_codec(c: &mut Criterion) {
+    let n = 1 << 14;
+    let v: Vec<Spinor<f32>> = FermionField::<f64>::gaussian(n, 5).cast::<f32>().data;
+    let encoded = HalfFermionField::encode(&v);
+
+    let mut group = c.benchmark_group("halfprec");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("encode", |bch| bch.iter(|| HalfFermionField::encode(&v)));
+    group.bench_function("decode", |bch| bch.iter(|| encoded.decode()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_su3, bench_blas, bench_halfprec_codec);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--results DIR]
+//!
+//! experiments:
+//!   table1    performance attributes (Table I)
+//!   table2    machine specifications (Table II)
+//!   fig1      FH vs traditional effective gA (a09m310 model)
+//!   fig3      strong scaling, 48^3x64, Titan/Ray/Sierra
+//!   fig4      strong scaling, 96^3x144, Summit
+//!   fig5      Sierra weak scaling under three MPI deployments
+//!   fig6      Summit weak scaling under METAQ
+//!   fig7      per-solve performance histogram at 13488 GPUs
+//!   backfill  naive vs METAQ vs mpi_jm utilization
+//!   startup   mpi_jm partitioned startup model
+//!   budget    application time budget (Fig. 2 fractions)
+//!   speedup   machine-to-machine speedup over Titan
+//!   memory    solver memory footprints and minimum-GPU floors
+//!   ablation  design-choice ablations (policy tuning, delta, precision, placement)
+//!   pipeline  real end-to-end physics run on a small lattice
+//!   all       everything above
+//! ```
+
+use bench::experiments::{ablation, fig1, fig3, fig5, jobs, pipeline, tables};
+use bench::output::ExperimentOutput;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut results_dir = "results".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--results" => {
+                i += 1;
+                results_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--results needs a directory");
+                    std::process::exit(2);
+                });
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(experiment) = experiment else {
+        eprintln!(
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|startup|budget|speedup|memory|ablation|pipeline|all> [--results DIR]"
+        );
+        std::process::exit(2);
+    };
+
+    let out = ExperimentOutput::new(&results_dir).expect("create results dir");
+
+    let run_one = |name: &str, out: &ExperimentOutput| match name {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "fig1" => {
+            fig1::run(out, 800, 8000, 20180101);
+        }
+        "fig3" => {
+            fig3::run_fig3(out);
+        }
+        "fig4" => {
+            fig3::run_fig4(out);
+        }
+        "fig5" => {
+            fig5::run_fig5(out);
+        }
+        "fig6" => {
+            fig5::run_fig6(out);
+        }
+        "fig7" => {
+            fig5::run_fig7(out);
+        }
+        "backfill" => {
+            jobs::run_backfill(out);
+        }
+        "startup" => jobs::run_startup(out),
+        "budget" => {
+            jobs::run_budget(out);
+        }
+        "speedup" => jobs::run_speedup(out),
+        "memory" => jobs::run_memory(out),
+        "pipeline" => {
+            pipeline::run(out, [4, 4, 4, 8], 3, 2018);
+        }
+        "ablation" => {
+            ablation::run_policy_ablation(out);
+            ablation::run_solver_ablation(out);
+            ablation::run_placement(out);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    if experiment == "all" {
+        for name in [
+            "table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "backfill",
+            "startup", "budget", "speedup", "memory", "ablation", "pipeline",
+        ] {
+            run_one(name, &out);
+        }
+    } else {
+        run_one(&experiment, &out);
+    }
+    println!("\nresults written to {results_dir}/");
+}

@@ -1,0 +1,134 @@
+//! Figs. 3 and 4: strong scaling of the CG solver.
+//!
+//! Fig. 3 — 48³×64 lattice on Titan, Ray, and Sierra: (a) TFLOPS,
+//! (b) percent of peak, (c) effective bandwidth per GPU.
+//! Fig. 4 — 96³×144 proof-of-concept on Summit up to ~10k GPUs, showing the
+//! efficiency knee past ~2000 GPUs.
+
+use crate::output::{print_table, ExperimentOutput};
+use autotune::Tuner;
+use coral_machine::{ray, sierra, summit, titan, PerfPoint, SolverPerfModel};
+
+/// Strong-scaling curves for the three Fig. 3 machines.
+pub fn run_fig3(out: &ExperimentOutput) -> Vec<(String, Vec<PerfPoint>)> {
+    let tuner = Tuner::new();
+    let counts: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 144, 160];
+    let mut curves = Vec::new();
+    for machine in [titan(), ray(), sierra()] {
+        let model = SolverPerfModel::new(machine.clone(), [48, 48, 48, 64], 12);
+        let curve = model.strong_scaling(&tuner, &counts);
+        curves.push((machine.name.clone(), curve));
+    }
+
+    for (name, curve) in &curves {
+        let rows: Vec<Vec<String>> = curve
+            .iter()
+            .map(|p| {
+                vec![
+                    p.n_gpus.to_string(),
+                    format!("{:.1}", p.tflops),
+                    format!("{:.1}", p.pct_peak),
+                    format!("{:.0}", p.bw_per_gpu_gbs),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 3 — {name}, 48^3 x 64 strong scaling"),
+            &["GPUs", "TFLOPS", "% peak", "GB/s per GPU"],
+            &rows,
+        );
+        let csv: Vec<Vec<f64>> = curve
+            .iter()
+            .map(|p| {
+                vec![
+                    p.n_gpus as f64,
+                    p.tflops,
+                    p.pct_peak,
+                    p.bw_per_gpu_gbs,
+                    p.time_per_iter,
+                ]
+            })
+            .collect();
+        out.csv(
+            &format!("fig3_{}.csv", name.to_lowercase()),
+            "gpus,tflops,pct_peak,bw_per_gpu_gbs,time_per_iter_s",
+            &csv,
+        )
+        .expect("csv");
+    }
+    println!(
+        "\npaper anchors at peak efficiency: 139 / 516 / 975 GB/s per GPU \
+         (Titan / Ray / Sierra); Sierra ~20% of peak at low node count"
+    );
+    curves
+}
+
+/// Summit strong scaling on the 96³×144 lattice (Fig. 4).
+pub fn run_fig4(out: &ExperimentOutput) -> Vec<PerfPoint> {
+    let tuner = Tuner::new();
+    let model = SolverPerfModel::new(summit(), [96, 96, 96, 144], 20);
+    let counts: Vec<usize> = vec![
+        24, 48, 96, 192, 384, 768, 1536, 2048, 3072, 4608, 6144, 9216,
+    ];
+    let curve = model.strong_scaling(&tuner, &counts);
+
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                p.n_gpus.to_string(),
+                format!("{:.0}", p.tflops),
+                format!("{:.1}", p.pct_peak),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 4 — Summit, 96^3 x 144 strong scaling",
+        &["GPUs", "TFLOPS", "% peak"],
+        &rows,
+    );
+    println!(
+        "\npaper: approaches 1.5 PFLOPS with a large efficiency drop past ~2000 GPUs"
+    );
+
+    let csv: Vec<Vec<f64>> = curve
+        .iter()
+        .map(|p| vec![p.n_gpus as f64, p.tflops, p.pct_peak])
+        .collect();
+    out.csv("fig4_summit.csv", "gpus,tflops,pct_peak", &csv)
+        .expect("csv");
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shapes_hold() {
+        let out = ExperimentOutput::new(std::env::temp_dir().join("fig3_test")).unwrap();
+        let curves = run_fig3(&out);
+        assert_eq!(curves.len(), 3);
+        // Sierra dominates Titan at every shared GPU count.
+        let titan = &curves[0].1;
+        let sierra = &curves[2].1;
+        for (t, s) in titan.iter().zip(sierra) {
+            assert_eq!(t.n_gpus, s.n_gpus);
+            assert!(s.tflops > t.tflops);
+        }
+        // Efficiency decreases monotonically along each curve.
+        for (_, curve) in &curves {
+            assert!(curve.windows(2).all(|w| w[1].pct_peak <= w[0].pct_peak + 1e-9));
+        }
+    }
+
+    #[test]
+    fn fig4_knee_exists() {
+        let out = ExperimentOutput::new(std::env::temp_dir().join("fig4_test")).unwrap();
+        let curve = run_fig4(&out);
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert!(last.tflops > 500.0, "saturation should be O(1) PFLOPS");
+        assert!(last.pct_peak < 0.4 * first.pct_peak, "efficiency knee");
+    }
+}

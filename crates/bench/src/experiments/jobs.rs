@@ -1,0 +1,330 @@
+//! §V/§VI text claims: backfilling recovery, startup time, application time
+//! budget, machine-to-machine speedup.
+
+use crate::output::{print_table, ExperimentOutput};
+use autotune::Tuner;
+use coral_machine::{sierra, summit, titan, SolverPerfModel};
+use mpi_jm::startup::startup_model;
+use mpi_jm::timeline::{sparkline, utilization_timeline};
+use mpi_jm::{
+    Cluster, ClusterConfig, MetaqScheduler, MpiJmConfig, MpiJmScheduler, NaiveBundler, TaskKind,
+    Workload,
+};
+
+/// Backfilling comparison: naive bundling vs METAQ vs mpi_jm on the same
+/// heterogeneous workload.
+pub fn run_backfill(out: &ExperimentOutput) -> (f64, f64, f64) {
+    let workload = Workload::heterogeneous_solves(16 * 8, 4, 1000.0, 0.35, 1e15, 7);
+    let config = ClusterConfig {
+        nodes: 64,
+        jitter_sigma: 0.06,
+        failure_prob: 0.0,
+        seed: 3,
+    };
+
+    let naive = NaiveBundler::run(&mut Cluster::new(sierra(), &config), &workload);
+    let metaq = MetaqScheduler::run(&mut Cluster::new(sierra(), &config), &workload);
+    let mpijm = MpiJmScheduler::new(MpiJmConfig {
+        lump_nodes: 32,
+        block_nodes: 4,
+        ..MpiJmConfig::default()
+    })
+    .run(&mut Cluster::new(sierra(), &config), &workload);
+
+    let rows = vec![
+        vec![
+            "naive bundling".to_string(),
+            format!("{:.0}", naive.makespan),
+            format!("{:.1}%", 100.0 * naive.utilization()),
+            "1.00".to_string(),
+        ],
+        vec![
+            "METAQ backfill".to_string(),
+            format!("{:.0}", metaq.makespan),
+            format!("{:.1}%", 100.0 * metaq.utilization()),
+            format!("{:.2}", naive.makespan / metaq.makespan),
+        ],
+        vec![
+            "mpi_jm".to_string(),
+            format!("{:.0}", mpijm.makespan),
+            format!("{:.1}%", 100.0 * mpijm.utilization()),
+            format!("{:.2}", naive.makespan / mpijm.makespan),
+        ],
+    ];
+    print_table(
+        "Backfilling — 128 heterogeneous 4-node solves on 64 Sierra nodes",
+        &["scheduler", "makespan (s)", "utilization", "speedup vs naive"],
+        &rows,
+    );
+    println!("\nbusy-nodes timeline (one char ≈ 1/72 of the makespan):");
+    for (name, r) in [("naive ", &naive), ("METAQ ", &metaq), ("mpi_jm", &mpijm)] {
+        let tl = utilization_timeline(r, 64, 72);
+        println!("  {name} {}", sparkline(&tl, 64));
+    }
+    println!(
+        "\npaper: naive bundling idles 20-25%; METAQ recovers it \
+         (~25% across-the-board speed-up)"
+    );
+
+    out.csv(
+        "backfill.csv",
+        "scheduler,makespan_s,utilization,speedup",
+        &[
+            vec![0.0, naive.makespan, naive.utilization(), 1.0],
+            vec![
+                1.0,
+                metaq.makespan,
+                metaq.utilization(),
+                naive.makespan / metaq.makespan,
+            ],
+            vec![
+                2.0,
+                mpijm.makespan,
+                mpijm.utilization(),
+                naive.makespan / mpijm.makespan,
+            ],
+        ],
+    )
+    .expect("csv");
+    (
+        naive.utilization(),
+        metaq.utilization(),
+        naive.makespan / metaq.makespan,
+    )
+}
+
+/// Startup model at several job sizes, including the paper's 4224-node run.
+pub fn run_startup(out: &ExperimentOutput) {
+    let sizes = [128usize, 512, 1024, 2048, 3388, 4224];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &n in &sizes {
+        let r = startup_model(n, 128, 4);
+        rows.push(vec![
+            n.to_string(),
+            r.n_lumps.to_string(),
+            format!("{:.0}", r.connected_seconds()),
+            format!("{:.0}", r.total_seconds()),
+            format!("{:.0}", r.monolithic_seconds),
+        ]);
+        csv.push(vec![
+            n as f64,
+            r.n_lumps as f64,
+            r.connected_seconds(),
+            r.total_seconds(),
+            r.monolithic_seconds,
+        ]);
+    }
+    print_table(
+        "mpi_jm partitioned startup (lumps of 128 nodes)",
+        &[
+            "nodes",
+            "lumps",
+            "connected (s)",
+            "working (s)",
+            "monolithic mpirun (s)",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper: 4224-node job up in 3-5 minutes; all lumps connected in \
+         under one minute"
+    );
+    out.csv(
+        "startup.csv",
+        "nodes,lumps,connected_s,working_s,monolithic_s",
+        &csv,
+    )
+    .expect("csv");
+}
+
+/// The §VI application time budget and the effect of co-scheduling.
+pub fn run_budget(out: &ExperimentOutput) -> (f64, f64, f64) {
+    let workload = Workload::figure2_workflow(4, 16, 4, 965.0, 1e15);
+    let mut solve = 0.0;
+    let mut contract = 0.0;
+    let mut io = 0.0;
+    for t in &workload.tasks {
+        match t.kind {
+            TaskKind::PropagatorSolve { .. } => solve += t.base_seconds,
+            TaskKind::Contraction => contract += t.base_seconds,
+            TaskKind::Io => io += t.base_seconds,
+        }
+    }
+    let total = solve + contract + io;
+
+    // With co-scheduling, contractions and I/O hide behind solves.
+    let config = ClusterConfig {
+        nodes: 32,
+        jitter_sigma: 0.0,
+        failure_prob: 0.0,
+        seed: 5,
+    };
+    let co = MpiJmScheduler::new(MpiJmConfig {
+        lump_nodes: 32,
+        block_nodes: 4,
+        co_schedule: true,
+        ..MpiJmConfig::default()
+    })
+    .run(&mut Cluster::new(sierra(), &config), &workload);
+    let solves_only = Workload::uniform_solves(64, 4, 965.0, 1e15);
+    let solves_ref = MpiJmScheduler::new(MpiJmConfig {
+        lump_nodes: 32,
+        block_nodes: 4,
+        co_schedule: true,
+        ..MpiJmConfig::default()
+    })
+    .run(&mut Cluster::new(sierra(), &config), &solves_only);
+
+    let rows = vec![
+        vec![
+            "propagators".to_string(),
+            format!("{:.1}%", 100.0 * solve / total),
+            "96.5%".to_string(),
+        ],
+        vec![
+            "contractions".to_string(),
+            format!("{:.1}%", 100.0 * contract / total),
+            "3%".to_string(),
+        ],
+        vec![
+            "I/O".to_string(),
+            format!("{:.1}%", 100.0 * io / total),
+            "0.5%".to_string(),
+        ],
+    ];
+    print_table(
+        "Application time budget (Fig. 2 workflow)",
+        &["stage", "measured share", "paper"],
+        &rows,
+    );
+    println!(
+        "\nco-scheduled full workflow: {:.0} s vs solves-only {:.0} s \
+         (overhead {:.1}% — contractions amortized to ~zero)",
+        co.makespan,
+        solves_ref.makespan,
+        100.0 * (co.makespan / solves_ref.makespan - 1.0)
+    );
+
+    out.csv(
+        "budget.csv",
+        "solve_frac,contract_frac,io_frac,co_makespan,solves_only_makespan",
+        &[vec![
+            solve / total,
+            contract / total,
+            io / total,
+            co.makespan,
+            solves_ref.makespan,
+        ]],
+    )
+    .expect("csv");
+    (solve / total, contract / total, io / total)
+}
+
+/// GPU memory footprints and the minimum-GPU floors of the production
+/// lattices — the "memory overheads" constraint behind the group sizes.
+pub fn run_memory(out: &ExperimentOutput) {
+    use coral_machine::{min_gpus_for_memory, solve_footprint};
+    let cases = [
+        ("48^3x64x12 (Fig. 3/5)", [48usize, 48, 48, 64], 12usize, 4usize),
+        ("64^3x96x12 (Fig. 6)", [64, 64, 64, 96], 12, 6),
+        ("96^3x144x20 (Fig. 4)", [96, 96, 96, 144], 20, 6),
+    ];
+    let ladder: Vec<usize> = (0..13).map(|k| 1usize << k).collect();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (name, dims, l5, gpn) in cases {
+        let single = solve_footprint(dims, l5, 1, gpn).expect("1 GPU decomposes");
+        let min = min_gpus_for_memory(dims, l5, gpn, 16.0, &ladder);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", single.total_gib()),
+            min.map_or("-".into(), |m| m.to_string()),
+        ]);
+        csv.push(vec![
+            single.total_gib(),
+            min.unwrap_or(0) as f64,
+        ]);
+    }
+    print_table(
+        "Solver memory footprint (16 GiB V100 HBM, double-half working set)",
+        &["lattice", "1-GPU GiB", "min GPUs"],
+        &rows,
+    );
+    println!(
+        "\npaper: \"we will in general need a minimum number of GPUs for a \
+         given calculation due to memory overheads\""
+    );
+    out.csv("memory.csv", "single_gib,min_gpus", &csv).expect("csv");
+}
+
+/// Machine-to-machine application speedup over Titan.
+pub fn run_speedup(out: &ExperimentOutput) {
+    let tuner = Tuner::new();
+    // Per-node sustained solver throughput at each machine's production job
+    // geometry (4-node jobs on Sierra/Summit; 16-node on 1-GPU Titan).
+    let rate_per_node = |machine: coral_machine::MachineSpec, gpus: usize| -> f64 {
+        let nodes = gpus / machine.gpus_per_node;
+        let model = SolverPerfModel::new(machine, [48, 48, 48, 64], 12);
+        let p = model.performance(&tuner, gpus).expect("fits");
+        p.tflops / nodes as f64
+    };
+    let t = rate_per_node(titan(), 16);
+    let s = rate_per_node(sierra(), 16);
+    let m = rate_per_node(summit(), 24);
+
+    let rows = vec![
+        vec!["Titan".to_string(), format!("{t:.2}"), "1.0".to_string(), "1".to_string()],
+        vec![
+            "Sierra".to_string(),
+            format!("{s:.2}"),
+            format!("{:.1}", s / t),
+            "12".to_string(),
+        ],
+        vec![
+            "Summit".to_string(),
+            format!("{m:.2}"),
+            format!("{:.1}", m / t),
+            "15".to_string(),
+        ],
+    ];
+    print_table(
+        "Machine-to-machine speedup (sustained TFLOPS per node, 4-node-class jobs)",
+        &["machine", "TFLOPS/node", "model speedup", "paper"],
+        &rows,
+    );
+    println!(
+        "\nNote: the model's per-node ratio exceeds the paper's quoted 12x/15x; \
+         see EXPERIMENTS.md for the discussion (ordering and Summit/Sierra \
+         ratio are preserved)."
+    );
+    out.csv(
+        "speedup.csv",
+        "titan_tflops_node,sierra_tflops_node,summit_tflops_node",
+        &[vec![t, s, m]],
+    )
+    .expect("csv");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backfill_recovers_waste() {
+        let out = ExperimentOutput::new(std::env::temp_dir().join("jobs_test")).unwrap();
+        let (naive_util, metaq_util, speedup) = run_backfill(&out);
+        assert!(naive_util < 0.88, "naive must idle: {naive_util}");
+        assert!(metaq_util > naive_util);
+        assert!((1.10..1.45).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn budget_matches_paper_fractions() {
+        let out = ExperimentOutput::new(std::env::temp_dir().join("jobs_test2")).unwrap();
+        let (s, c, i) = run_budget(&out);
+        assert!((s - 0.965).abs() < 0.01);
+        assert!((c - 0.03).abs() < 0.01);
+        assert!(i < 0.01);
+    }
+}

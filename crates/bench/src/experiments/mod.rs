@@ -1,0 +1,9 @@
+//! One module per reproduced experiment.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig3;
+pub mod fig5;
+pub mod jobs;
+pub mod pipeline;
+pub mod tables;

@@ -1,0 +1,259 @@
+//! The real-physics end-to-end pipeline (Fig. 2) on a small lattice:
+//! quenched gauge generation → I/O round trip → red–black mixed-precision
+//! Möbius propagators with autotuned kernels → baryon contractions →
+//! Feynman–Hellmann correlators → jackknifed effective coupling.
+//!
+//! Everything in this run is the real computation — only the lattice is
+//! small. It demonstrates that every stage of the paper's workflow exists
+//! and composes.
+
+use crate::output::{print_table, ExperimentOutput};
+use lqcd_analysis::jackknife::jackknife_vector;
+use lqcd_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// Result summary of the pipeline run.
+pub struct PipelineResult {
+    /// Plaquette per configuration.
+    pub plaquettes: Vec<f64>,
+    /// Jackknifed pion effective mass at t=1.
+    pub pion_mass: (f64, f64),
+    /// Jackknifed proton effective mass at t=1.
+    pub proton_mass: (f64, f64),
+    /// FH effective coupling series (mean, error) from t=0.
+    pub geff: Vec<(f64, f64)>,
+    /// Total solver iterations spent.
+    pub total_iterations: usize,
+    /// Total solver flops.
+    pub total_flops: f64,
+}
+
+/// Run the pipeline: `n_configs` quenched configurations of a `dims`
+/// lattice, Möbius mixed-precision propagators, proton + FH contractions.
+pub fn run(out: &ExperimentOutput, dims: [usize; 4], n_configs: usize, seed: u64) -> PipelineResult {
+    let lat = Lattice::new(dims);
+    let params = MobiusParams::standard(4, 0.3);
+
+    // Stage 1: gauge generation (Monte Carlo ensemble).
+    let mut ens = QuenchedEnsemble::cold_start(
+        &lat,
+        HeatbathParams {
+            beta: 6.0,
+            n_or: 2,
+        },
+        seed,
+    );
+    let configs = ens.generate(10, n_configs, 5);
+    let plaquettes: Vec<f64> = configs
+        .iter()
+        .map(|g| average_plaquette(&lat, g))
+        .collect();
+
+    // Per-configuration correlators.
+    let mut pion_all = Vec::new();
+    let mut proton_all = Vec::new();
+    let mut c2_all = Vec::new();
+    let mut cfh_all = Vec::new();
+    let mut trad_t2: Vec<f64> = Vec::new();
+    let mut trad_t4: Vec<f64> = Vec::new();
+    let mut total_iterations = 0usize;
+    let mut total_flops = 0.0f64;
+
+    let tmpdir = out.path("pipeline_fields");
+    std::fs::create_dir_all(&tmpdir).expect("mkdir");
+
+    for (i, gauge) in configs.iter().enumerate() {
+        // Stage 2: I/O — write the configuration and read it back (the
+        // workflow always round-trips fields through storage).
+        let gpath = tmpdir.join(format!("cfg_{i}.lqio"));
+        let mut md = BTreeMap::new();
+        md.insert("beta".into(), "6.0".into());
+        md.insert("config".into(), i.to_string());
+        lattice_io::write_gauge(&gpath, &lat, gauge, md).expect("write gauge");
+        let gauge = lattice_io::read_gauge(&gpath, &lat).expect("read gauge");
+
+        // Stage 3: propagators through the mixed-precision red-black path.
+        let solver = PropagatorSolver::new(&lat, &gauge, SolverKind::MobiusMixed { params });
+        let (prop, stats) = solver.point_propagator(0);
+        for s in &stats {
+            total_iterations += s.iterations;
+            total_flops += s.flops;
+        }
+
+        // Stage 4: Feynman-Hellmann sequential solves, plus the traditional
+        // method's fixed-time insertions for comparison (one inversion set
+        // per insertion time -- the cost FH avoids).
+        let fh = FeynmanHellmann::axial(&solver);
+        let (fh_prop, fh_stats) = fh.fh_propagator(&prop);
+        for s in &fh_stats {
+            total_iterations += s.iterations;
+            total_flops += s.flops;
+        }
+        let (seq_t1, _) = fh.fixed_time_propagator(&prop, 1);
+        let (seq_t2, _) = fh.fixed_time_propagator(&prop, 2);
+
+        // Stage 5: contractions (the CPU-only stage).
+        let pion = pion_correlator(&lat, &prop);
+        let proj = polarized();
+        let proton: Vec<f64> = proton_correlator(&lat, &prop, &prop, &proj)
+            .iter()
+            .map(|c| c.re)
+            .collect();
+        let cfh: Vec<f64> =
+            fh_nucleon_correlator(&lat, &prop, &prop, &fh_prop, &fh_prop, &proj)
+                .iter()
+                .map(|c| c.re)
+                .collect();
+        // Traditional 3pt at t_sep = 2 and 4 (current at t_sep/2).
+        let c3_t2: Vec<f64> = fh_nucleon_correlator(&lat, &prop, &prop, &seq_t1, &seq_t1, &proj)
+            .iter()
+            .map(|c| c.re)
+            .collect();
+        let c3_t4: Vec<f64> = fh_nucleon_correlator(&lat, &prop, &prop, &seq_t2, &seq_t2, &proj)
+            .iter()
+            .map(|c| c.re)
+            .collect();
+        trad_t2.push(c3_t2[2] / proton[2]);
+        trad_t4.push(c3_t4[4] / proton[4]);
+
+        // Stage 6: write results.
+        let ppath = tmpdir.join(format!("proton_{i}.lqio"));
+        let pc64: Vec<C64> = proton.iter().map(|&r| C64::new(r, 0.0)).collect();
+        lattice_io::write_correlator(&ppath, &pc64, BTreeMap::new()).expect("write corr");
+
+        pion_all.push(pion);
+        c2_all.push(proton.clone());
+        proton_all.push(proton);
+        cfh_all.push(cfh);
+    }
+
+    // Stage 7: analysis with jackknife over configurations.
+    let idx: Vec<usize> = (0..n_configs).collect();
+    let nt = lat.nt();
+    let mean_ratio_log = |rows: &[Vec<f64>], t: usize| -> f64 {
+        let n = rows.len() as f64;
+        let a: f64 = rows.iter().map(|r| r[t]).sum::<f64>() / n;
+        let b: f64 = rows.iter().map(|r| r[t + 1]).sum::<f64>() / n;
+        (a.abs() / b.abs()).ln()
+    };
+    let pion_est = jackknife_vector(&idx, |ii| {
+        let rows: Vec<Vec<f64>> = ii.iter().map(|&i| pion_all[i].clone()).collect();
+        (0..nt - 1).map(|t| mean_ratio_log(&rows, t)).collect()
+    });
+    let proton_est = jackknife_vector(&idx, |ii| {
+        let rows: Vec<Vec<f64>> = ii.iter().map(|&i| proton_all[i].clone()).collect();
+        (0..nt - 1).map(|t| mean_ratio_log(&rows, t)).collect()
+    });
+    let geff_est = jackknife_vector(&idx, |ii| {
+        let c2: Vec<Vec<f64>> = ii.iter().map(|&i| c2_all[i].clone()).collect();
+        let cf: Vec<Vec<f64>> = ii.iter().map(|&i| cfh_all[i].clone()).collect();
+        let n = c2.len() as f64;
+        let r: Vec<f64> = (0..nt)
+            .map(|t| {
+                let num: f64 = cf.iter().map(|row| row[t]).sum::<f64>() / n;
+                let den: f64 = c2.iter().map(|row| row[t]).sum::<f64>() / n;
+                num / den
+            })
+            .collect();
+        (0..nt - 1).map(|t| r[t + 1] - r[t]).collect()
+    });
+
+    // Console report.
+    let rows: Vec<Vec<String>> = (0..nt - 1)
+        .map(|t| {
+            vec![
+                t.to_string(),
+                format!("{:.3} ± {:.3}", pion_est[t].mean, pion_est[t].error),
+                format!("{:.3} ± {:.3}", proton_est[t].mean, proton_est[t].error),
+                format!("{:.3} ± {:.3}", geff_est[t].mean, geff_est[t].error),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Real pipeline — {}^3 x {} quenched, Mobius mixed-precision, {} configs",
+            dims[0], dims[3], n_configs
+        ),
+        &["t", "m_eff(pion)", "m_eff(proton)", "g_eff(FH)"],
+        &rows,
+    );
+    {
+        use lqcd_analysis::jackknife::jackknife;
+        let r2 = jackknife(&trad_t2, |s| s.iter().sum::<f64>() / s.len() as f64);
+        let r4 = jackknife(&trad_t4, |s| s.iter().sum::<f64>() / s.len() as f64);
+        println!(
+            "\ntraditional 3pt ratios (real pipeline, 12 extra solves per t_ins each):\n  \
+             R(t_sep=2) = {:.4} ± {:.4}   R(t_sep=4) = {:.4} ± {:.4}",
+            r2.mean, r2.error, r4.mean, r4.error
+        );
+        println!("(the FH column above gets every separation from ONE sequential solve set)");
+    }
+    println!(
+        "\nplaquettes: {:?}\nsolver iterations: {}  flops: {:.3e}",
+        plaquettes
+            .iter()
+            .map(|p| format!("{p:.4}"))
+            .collect::<Vec<_>>(),
+        total_iterations,
+        total_flops
+    );
+
+    let csv: Vec<Vec<f64>> = (0..nt - 1)
+        .map(|t| {
+            vec![
+                t as f64,
+                pion_est[t].mean,
+                pion_est[t].error,
+                proton_est[t].mean,
+                proton_est[t].error,
+                geff_est[t].mean,
+                geff_est[t].error,
+            ]
+        })
+        .collect();
+    out.csv(
+        "pipeline.csv",
+        "t,mpi,mpi_err,mp,mp_err,geff,geff_err",
+        &csv,
+    )
+    .expect("csv");
+
+    std::fs::remove_dir_all(&tmpdir).ok();
+
+    PipelineResult {
+        plaquettes,
+        pion_mass: (pion_est[1].mean, pion_est[1].error),
+        proton_mass: (proton_est[1].mean, proton_est[1].error),
+        geff: geff_est.iter().map(|e| (e.mean, e.error)).collect(),
+        total_iterations,
+        total_flops,
+    }
+}
+
+/// The polarized sink projector used for the axial matrix element.
+pub fn polarized() -> SpinMatrix<f64> {
+    lqcd_core::gamma::polarized_projector()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let out = ExperimentOutput::new(std::env::temp_dir().join("pipeline_test")).unwrap();
+        let r = run(&out, [4, 4, 4, 8], 2, 31);
+        assert_eq!(r.plaquettes.len(), 2);
+        for p in &r.plaquettes {
+            assert!((0.45..0.75).contains(p), "β=6.0 plaquette {p}");
+        }
+        // Hadron masses are positive and the proton is heavier.
+        assert!(r.pion_mass.0 > 0.0);
+        assert!(r.proton_mass.0 > r.pion_mass.0);
+        // g_eff finite in the early window.
+        for (g, _) in &r.geff[..3] {
+            assert!(g.is_finite());
+        }
+        assert!(r.total_iterations > 0);
+    }
+}

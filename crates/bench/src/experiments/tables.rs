@@ -1,0 +1,73 @@
+//! Tables I and II of the paper.
+
+use crate::output::print_table;
+use coral_machine::all_machines;
+
+/// Table I: performance attributes of the measurement methodology.
+pub fn table1() {
+    print_table(
+        "Table I — performance attributes",
+        &["Attribute", "Value"],
+        &[
+            vec!["Category of achievement".into(), "time to solution".into()],
+            vec!["method".into(), "explicit".into()],
+            vec![
+                "reporting".into(),
+                "whole application including I/O".into(),
+            ],
+            vec!["precision".into(), "mixed-precision".into()],
+            vec!["system scale".into(), "full-scale system".into()],
+            vec!["measurement method".into(), "FLOP count".into()],
+        ],
+    );
+    println!(
+        "\nFlop accounting: {} flops per 5D site per preconditioned apply,\n\
+         arithmetic intensity {}, percent-of-peak scale {}x against FP32 peak.",
+        lqcd_core::flops::DWF_PREC_FLOPS_PER_SITE,
+        lqcd_core::flops::CG_ARITHMETIC_INTENSITY,
+        lqcd_core::flops::PEAK_ACCOUNTING_SCALE,
+    );
+}
+
+/// Table II: the systems used in the study.
+pub fn table2() {
+    let machines = all_machines();
+    let mut rows = Vec::new();
+    let push = |rows: &mut Vec<Vec<String>>, label: &str, f: &dyn Fn(usize) -> String| {
+        let mut row = vec![label.to_string()];
+        for i in 0..machines.len() {
+            row.push(f(i));
+        }
+        rows.push(row);
+    };
+    push(&mut rows, "nodes", &|i| machines[i].nodes.to_string());
+    push(&mut rows, "GPUs / node", &|i| {
+        machines[i].gpus_per_node.to_string()
+    });
+    push(&mut rows, "CPU", &|i| machines[i].cpu.clone());
+    push(&mut rows, "GPU", &|i| machines[i].gpu.clone());
+    push(&mut rows, "FP32 TFLOPS / node", &|i| {
+        format!("{}", machines[i].fp32_tflops_per_node)
+    });
+    push(&mut rows, "GPU bw / node GB/s", &|i| {
+        format!("{}", machines[i].gpu_bw_per_node_gbs)
+    });
+    push(&mut rows, "CPU-GPU bw GB/s", &|i| {
+        format!("{}", machines[i].cpu_gpu_bw_gbs)
+    });
+    push(&mut rows, "Interconnect", &|i| {
+        machines[i].interconnect.clone()
+    });
+    push(&mut rows, "GCC", &|i| machines[i].gcc.clone());
+    push(&mut rows, "MPI", &|i| machines[i].mpi.clone());
+    push(&mut rows, "CUDA toolkit", &|i| machines[i].cuda.clone());
+    push(&mut rows, "eff. GB/s per GPU (model)", &|i| {
+        format!("{:.0}", machines[i].effective_gpu_bw_gbs())
+    });
+
+    print_table(
+        "Table II — systems used in this study",
+        &["Attribute", "Titan", "Ray", "Sierra", "Summit"],
+        &rows,
+    );
+}

@@ -1,0 +1,13 @@
+//! Experiment harness: one module per paper table/figure, shared output
+//! helpers, and the `repro` binary that drives them.
+//!
+//! Each experiment prints a human-readable table (paper value vs measured
+//! where applicable) and writes a CSV under `results/` so the series can be
+//! plotted. `EXPERIMENTS.md` records a snapshot of these outputs.
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod experiments;
+pub mod output;
+
+pub use output::{write_csv, ExperimentOutput};

@@ -1,0 +1,93 @@
+//! CSV + console output helpers for the experiment harness.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where an experiment's artifacts land.
+pub struct ExperimentOutput {
+    dir: PathBuf,
+}
+
+impl ExperimentOutput {
+    /// Create (and ensure) the results directory.
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Default location: `results/` under the current directory.
+    pub fn default_dir() -> std::io::Result<Self> {
+        Self::new("results")
+    }
+
+    /// Path for a named artifact.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Write rows as CSV with a header line.
+    pub fn csv(&self, name: &str, header: &str, rows: &[Vec<f64>]) -> std::io::Result<PathBuf> {
+        let path = self.path(name);
+        write_csv(&path, header, rows)?;
+        Ok(path)
+    }
+}
+
+/// Write a CSV file with a header and numeric rows.
+pub fn write_csv(path: &Path, header: &str, rows: &[Vec<f64>]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{header}")?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Render a fixed-width console table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title}");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("bench_output_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.csv");
+        write_csv(&path, "a,b", &[vec![1.0, 2.0], vec![3.5, -4.0]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3.5,-4\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,200 @@
+//! BLAS-1 operations on spinor vectors.
+//!
+//! These are the auxiliary operations of the CG solver (50–100 flops per
+//! lattice site in the paper's accounting — "extremely bandwidth bound").
+//! All reductions accumulate in `f64` regardless of storage precision,
+//! matching the paper's reporting convention that "all reductions are done in
+//! double precision"; rayon provides the parallel tree reduction.
+
+use crate::complex::{Complex, C64};
+use crate::real::Real;
+use crate::spinor::Spinor;
+use rayon::prelude::*;
+
+/// Minimum chunk length before a BLAS-1 loop is split across threads; tiny
+/// vectors stay sequential to avoid fork-join overhead.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// `y += a * x` with real `a`.
+pub fn axpy<R: Real>(a: f64, x: &[Spinor<R>], y: &mut [Spinor<R>]) {
+    assert_eq!(x.len(), y.len());
+    let a = R::from_f64(a);
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += xi.scale(a);
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
+            *yi += xi.scale(a);
+        });
+    }
+}
+
+/// `y += a * x` with complex `a`.
+pub fn caxpy<R: Real>(a: C64, x: &[Spinor<R>], y: &mut [Spinor<R>]) {
+    assert_eq!(x.len(), y.len());
+    let a: Complex<R> = a.cast();
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += xi.scale_c(a);
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
+            *yi += xi.scale_c(a);
+        });
+    }
+}
+
+/// `y = x + b * y` (the CG search-direction update).
+pub fn xpby<R: Real>(x: &[Spinor<R>], b: f64, y: &mut [Spinor<R>]) {
+    assert_eq!(x.len(), y.len());
+    let b = R::from_f64(b);
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = *xi + yi.scale(b);
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
+            *yi = *xi + yi.scale(b);
+        });
+    }
+}
+
+/// `y = x` (copy).
+pub fn copy<R: Real>(x: &[Spinor<R>], y: &mut [Spinor<R>]) {
+    assert_eq!(x.len(), y.len());
+    y.copy_from_slice(x);
+}
+
+/// `y *= a`.
+pub fn scal<R: Real>(a: f64, y: &mut [Spinor<R>]) {
+    let a = R::from_f64(a);
+    if y.len() < PAR_THRESHOLD {
+        for yi in y.iter_mut() {
+            *yi = yi.scale(a);
+        }
+    } else {
+        y.par_iter_mut().for_each(|yi| *yi = yi.scale(a));
+    }
+}
+
+/// Set every component to zero.
+pub fn zero<R: Real>(y: &mut [Spinor<R>]) {
+    y.iter_mut().for_each(|yi| *yi = Spinor::zero());
+}
+
+/// `‖x‖²` accumulated in `f64`.
+pub fn norm_sqr<R: Real>(x: &[Spinor<R>]) -> f64 {
+    if x.len() < PAR_THRESHOLD {
+        x.iter().map(|s| s.norm_sqr().to_f64()).sum()
+    } else {
+        x.par_iter().map(|s| s.norm_sqr().to_f64()).sum()
+    }
+}
+
+/// `⟨x, y⟩` accumulated in `f64`.
+pub fn dot<R: Real>(x: &[Spinor<R>], y: &[Spinor<R>]) -> C64 {
+    assert_eq!(x.len(), y.len());
+    let fold = |(re, im): (f64, f64), (xi, yi): (&Spinor<R>, &Spinor<R>)| {
+        let d = xi.dot(yi).to_c64();
+        (re + d.re, im + d.im)
+    };
+    let (re, im) = if x.len() < PAR_THRESHOLD {
+        x.iter().zip(y.iter()).fold((0.0, 0.0), fold)
+    } else {
+        x.par_iter()
+            .zip(y.par_iter())
+            .fold(|| (0.0, 0.0), fold)
+            .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1))
+    };
+    C64::new(re, im)
+}
+
+/// `z = x − y` into a fresh vector.
+pub fn sub<R: Real>(x: &[Spinor<R>], y: &[Spinor<R>]) -> Vec<Spinor<R>> {
+    assert_eq!(x.len(), y.len());
+    x.par_iter().zip(y.par_iter()).map(|(a, b)| *a - *b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FermionField;
+
+    fn v(seed: u64, n: usize) -> Vec<Spinor<f64>> {
+        FermionField::<f64>::gaussian(n, seed).data
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let x = v(1, 100);
+        let mut y = v(2, 100);
+        let y0 = y.clone();
+        axpy(2.5, &x, &mut y);
+        for i in 0..100 {
+            let expect = y0[i] + x[i].scale(2.5);
+            assert!((y[i] - expect).norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn dot_is_conjugate_symmetric() {
+        let x = v(3, 257);
+        let y = v(4, 257);
+        let xy = dot(&x, &y);
+        let yx = dot(&y, &x);
+        assert!((xy - yx.conj()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_matches_self_dot() {
+        let x = v(5, 300);
+        let n = norm_sqr(&x);
+        let d = dot(&x, &x);
+        assert!((n - d.re).abs() < 1e-9 * n);
+        assert!(d.im.abs() < 1e-9 * n);
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree() {
+        // A vector above the threshold exercises the rayon path; compare the
+        // reduction with a plain serial sum.
+        let x = v(6, PAR_THRESHOLD + 17);
+        let serial: f64 = x.iter().map(|s| s.norm_sqr()).sum();
+        assert!((norm_sqr(&x) - serial).abs() < 1e-8 * serial);
+    }
+
+    #[test]
+    fn xpby_matches_reference() {
+        let x = v(7, 64);
+        let mut y = v(8, 64);
+        let y0 = y.clone();
+        xpby(&x, -0.75, &mut y);
+        for i in 0..64 {
+            let expect = x[i] + y0[i].scale(-0.75);
+            assert!((y[i] - expect).norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn caxpy_with_real_coefficient_matches_axpy() {
+        let x = v(9, 128);
+        let mut y1 = v(10, 128);
+        let mut y2 = y1.clone();
+        axpy(1.25, &x, &mut y1);
+        caxpy(C64::new(1.25, 0.0), &x, &mut y2);
+        for i in 0..128 {
+            assert!((y1[i] - y2[i]).norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn scal_and_zero() {
+        let mut x = v(11, 32);
+        scal(0.5, &mut x);
+        let n = norm_sqr(&x);
+        zero(&mut x);
+        assert_eq!(norm_sqr(&x), 0.0);
+        assert!(n > 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Complex arithmetic over a generic [`Real`] scalar.
+//!
+//! The Dirac operator's sub-matrices are dense complex 12×12 blocks; every
+//! kernel in this crate bottoms out in this type. It is `repr(C)` so fields
+//! can be viewed as flat real slices for BLAS-1 routines and I/O.
+
+use crate::real::Real;
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Complex<R> {
+    /// Real part.
+    pub re: R,
+    /// Imaginary part.
+    pub im: R,
+}
+
+/// `Complex<f64>`, the reference precision.
+pub type C64 = Complex<f64>;
+/// `Complex<f32>`, the bulk compute precision.
+pub type C32 = Complex<f32>;
+
+impl<R: Real> Complex<R> {
+    /// Additive identity.
+    pub const fn zero() -> Self
+    where
+        R: Real,
+    {
+        Self {
+            re: R::ZERO,
+            im: R::ZERO,
+        }
+    }
+
+    /// Multiplicative identity.
+    pub fn one() -> Self {
+        Self {
+            re: R::ONE,
+            im: R::ZERO,
+        }
+    }
+
+    /// The imaginary unit.
+    pub fn i() -> Self {
+        Self {
+            re: R::ZERO,
+            im: R::ONE,
+        }
+    }
+
+    /// Construct from parts.
+    #[inline(always)]
+    pub fn new(re: R, im: R) -> Self {
+        Self { re, im }
+    }
+
+    /// Construct from `f64` parts, rounding to `R`.
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Self {
+            re: R::from_f64(re),
+            im: R::from_f64(im),
+        }
+    }
+
+    /// Widen to `Complex<f64>`.
+    pub fn to_c64(self) -> C64 {
+        C64 {
+            re: self.re.to_f64(),
+            im: self.im.to_f64(),
+        }
+    }
+
+    /// Narrow/convert between precisions.
+    pub fn cast<S: Real>(self) -> Complex<S> {
+        Complex {
+            re: S::from_f64(self.re.to_f64()),
+            im: S::from_f64(self.im.to_f64()),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> R {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus.
+    pub fn abs(self) -> R {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: R) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiply by the imaginary unit (`i·self`), avoiding a full complex mul.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// `self * conj(rhs)`.
+    #[inline(always)]
+    pub fn mul_conj(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re + self.im * rhs.im,
+            im: self.im * rhs.re - self.re * rhs.im,
+        }
+    }
+
+    /// Fused `self + a * b`.
+    #[inline(always)]
+    pub fn add_mul(self, a: Self, b: Self) -> Self {
+        Self {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// Multiplicative inverse. Caller must ensure `self != 0`.
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        Self {
+            re: self.re / n,
+            im: -self.im / n,
+        }
+    }
+}
+
+impl<R: Real> Add for Complex<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl<R: Real> Sub for Complex<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl<R: Real> Mul for Complex<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<R: Real> Div for Complex<R> {
+    type Output = Self;
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹ is the definition
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl<R: Real> Neg for Complex<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl<R: Real> AddAssign for Complex<R> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<R: Real> SubAssign for Complex<R> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<R: Real> MulAssign for Complex<R> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<R: Real> Mul<R> for Complex<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: R) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<R: Real> Sum for Complex<R> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> C64 {
+        C64::new(re, im)
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -4.0);
+        let p = a * b;
+        assert_eq!(p, c(1.0 * 3.0 - 2.0 * (-4.0), 1.0 * (-4.0) + 2.0 * 3.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::i() * C64::i(), -C64::one());
+    }
+
+    #[test]
+    fn mul_i_matches_full_multiply() {
+        let a = c(1.5, -2.5);
+        assert_eq!(a.mul_i(), a * C64::i());
+    }
+
+    #[test]
+    fn conj_norm_identity() {
+        let a = c(3.0, 4.0);
+        let n = (a * a.conj()).re;
+        assert!((n - a.norm_sqr()).abs() < 1e-15);
+        assert!((a.abs() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c(2.0, -1.0);
+        let b = c(0.5, 3.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mul_conj_matches_explicit() {
+        let a = c(1.0, 2.0);
+        let b = c(-3.0, 0.5);
+        let d = a.mul_conj(b) - a * b.conj();
+        assert!(d.abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_mul_is_fused_axpy() {
+        let acc = c(1.0, 1.0);
+        let a = c(2.0, -1.0);
+        let b = c(0.0, 3.0);
+        assert_eq!(acc.add_mul(a, b), acc + a * b);
+    }
+
+    #[test]
+    fn cast_f64_to_f32_rounds() {
+        let a = c(1.0 + 1e-12, -2.0);
+        let b: C32 = a.cast();
+        assert_eq!(b.re, 1.0f32);
+        assert_eq!(b.im, -2.0f32);
+    }
+}

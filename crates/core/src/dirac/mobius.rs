@@ -1,0 +1,796 @@
+//! The Möbius domain-wall Dirac operator — the discretization used by the
+//! paper — and its 4D-red–black preconditioned Schur complement.
+//!
+//! With `D_W` the 4D Wilson operator at negative mass `−M5` (diagonal part
+//! `d = 4 − M5`), the Möbius operator on an `L5`-slice fifth dimension is
+//!
+//! `D(m) ψ_s = (b5 D_W + 1) ψ_s + (c5 D_W − 1)·shift(ψ)_s`
+//!
+//! where `shift(ψ)_s = P₋ ψ_{s+1} + P₊ ψ_{s−1}` and the wraps at `s = 0` and
+//! `s = L5−1` carry the factor `−m` (the physical quark mass coupling the
+//! walls). Setting `b5 = 1, c5 = 0` recovers the Shamir operator.
+//!
+//! Grouping terms, `D = A − ½ H ∘ ρ` where `A = α + β·shift`
+//! (`α = b5·d + 1`, `β = c5·d − 1`) and `ρ = b5 + c5·shift` act only in the
+//! fifth dimension and spin. `A` (the site-diagonal block of the 4D
+//! checkerboarding) is inverted in closed form by two precomputed real
+//! `L5×L5` matrices, one per chirality — that inverse is what makes the
+//! paper's "red–black preconditioned domain-wall CG" possible.
+//!
+//! Note that for `c5 ≠ 0` the operator is *not* Γ5R5-hermitian: the hopping
+//! `H` carries `(1∓γμ)` factors that anticommute with the γ5 inside the
+//! `P±` of `shift`, so `H∘ρ ≠ ρ∘H`. The adjoint is therefore implemented
+//! explicitly (`D† = A† − ½ ρ† γ5 H γ5`), exactly as QUDA's `Mdag` does.
+//!
+//! Vectors are `s`-major: the spinor at `(s, x)` lives at `s·V + x`, so each
+//! `s`-slice is a contiguous 4D field and the 4D hopping kernel runs on it
+//! unchanged.
+
+use super::hopping::{HoppingKernel, HOPPING_FLOPS_PER_SITE};
+use super::{DiracOp, LinearOp};
+use crate::field::GaugeLinks;
+use crate::lattice::{Lattice, Parity};
+use crate::real::Real;
+use crate::spinor::Spinor;
+use rayon::prelude::*;
+
+/// Physical and algorithmic parameters of the Möbius operator.
+#[derive(Clone, Copy, Debug)]
+pub struct MobiusParams {
+    /// Fifth-dimension extent.
+    pub l5: usize,
+    /// Domain-wall height `M5` (typically 1.8).
+    pub m5: f64,
+    /// Möbius kernel parameter `b5`.
+    pub b5: f64,
+    /// Möbius kernel parameter `c5` (0 recovers Shamir).
+    pub c5: f64,
+    /// Bare quark mass `m` coupling the walls.
+    pub mass: f64,
+}
+
+impl MobiusParams {
+    /// A standard Möbius setup (`b5 = 1.5, c5 = 0.5`, scale `b5+c5 = 2`).
+    pub fn standard(l5: usize, mass: f64) -> Self {
+        Self {
+            l5,
+            m5: 1.8,
+            b5: 1.5,
+            c5: 0.5,
+            mass,
+        }
+    }
+
+    /// The Shamir limit.
+    pub fn shamir(l5: usize, mass: f64) -> Self {
+        Self {
+            l5,
+            m5: 1.8,
+            b5: 1.0,
+            c5: 0.0,
+            mass,
+        }
+    }
+
+    /// Diagonal of `D_W(−M5)`.
+    pub fn d_diag(&self) -> f64 {
+        4.0 - self.m5
+    }
+
+    /// `α = b5·d + 1`.
+    pub fn alpha(&self) -> f64 {
+        self.b5 * self.d_diag() + 1.0
+    }
+
+    /// `β = c5·d − 1`.
+    pub fn beta(&self) -> f64 {
+        self.c5 * self.d_diag() - 1.0
+    }
+}
+
+/// Invert a dense real matrix by Gauss–Jordan elimination with partial
+/// pivoting. Panics on a singular matrix; the `A±` blocks are provably
+/// nonsingular for `|β/α| < 1`, which all sensible parameters satisfy.
+fn invert_real_matrix(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut aug: Vec<Vec<f64>> = a
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            assert_eq!(row.len(), n, "matrix must be square");
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                aug[i][col]
+                    .abs()
+                    .partial_cmp(&aug[j][col].abs())
+                    .expect("no NaN")
+            })
+            .expect("nonempty");
+        assert!(aug[pivot][col].abs() > 1e-300, "singular A-block");
+        aug.swap(col, pivot);
+        let inv = 1.0 / aug[col][col];
+        for v in aug[col].iter_mut() {
+            *v *= inv;
+        }
+        for row in 0..n {
+            if row != col {
+                let f = aug[row][col];
+                if f != 0.0 {
+                    for k in 0..2 * n {
+                        let sub = f * aug[col][k];
+                        aug[row][k] -= sub;
+                    }
+                }
+            }
+        }
+    }
+    aug.into_iter().map(|r| r[n..].to_vec()).collect()
+}
+
+/// Builds `A±` and their inverses for the given parameters.
+///
+/// `A⁺` couples chirality-plus spin components to `s−1` (wrap `−m`);
+/// `A⁻` couples chirality-minus components to `s+1` (wrap `−m`).
+fn build_a_inverses(p: &MobiusParams) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let l5 = p.l5;
+    let (alpha, beta, m) = (p.alpha(), p.beta(), p.mass);
+    let mut a_plus = vec![vec![0.0; l5]; l5];
+    let mut a_minus = vec![vec![0.0; l5]; l5];
+    for s in 0..l5 {
+        a_plus[s][s] = alpha;
+        a_minus[s][s] = alpha;
+        if s > 0 {
+            a_plus[s][s - 1] = beta;
+        } else {
+            a_plus[0][l5 - 1] = -m * beta;
+        }
+        if s + 1 < l5 {
+            a_minus[s][s + 1] = beta;
+        } else {
+            a_minus[l5 - 1][0] = -m * beta;
+        }
+    }
+    (invert_real_matrix(&a_plus), invert_real_matrix(&a_minus))
+}
+
+/// Shared fifth-dimension machinery for the full and preconditioned forms.
+struct FifthDim<R> {
+    params: MobiusParams,
+    /// Inverse of the chirality-plus block, row-major.
+    ainv_plus: Vec<R>,
+    /// Inverse of the chirality-minus block, row-major.
+    ainv_minus: Vec<R>,
+}
+
+impl<R: Real> FifthDim<R> {
+    fn new(params: MobiusParams) -> Self {
+        assert!(params.l5 >= 2, "L5 must be at least 2");
+        let (p, m) = build_a_inverses(&params);
+        let flat = |m: Vec<Vec<f64>>| -> Vec<R> {
+            m.into_iter()
+                .flatten()
+                .map(R::from_f64)
+                .collect()
+        };
+        Self {
+            params,
+            ainv_plus: flat(p),
+            ainv_minus: flat(m),
+        }
+    }
+
+    /// `out_s = P₋ in_{s+1} + P₊ in_{s−1}` with `−m` wraps (`dagger = false`),
+    /// or its adjoint `out_s = P₋ in_{s−1} + P₊ in_{s+1}` with the wraps
+    /// mirrored (`dagger = true`). `slice_len` is the 4D vector length
+    /// (volume or half-volume).
+    fn shift(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], slice_len: usize, dagger: bool) {
+        let l5 = self.params.l5;
+        let mm = R::from_f64(-self.params.mass);
+        out.par_chunks_mut(slice_len)
+            .enumerate()
+            .for_each(|(s, out_slice)| {
+                let up = if s + 1 < l5 { s + 1 } else { 0 };
+                let dn = if s > 0 { s - 1 } else { l5 - 1 };
+                let up_scale = if s + 1 < l5 { R::ONE } else { mm };
+                let dn_scale = if s > 0 { R::ONE } else { mm };
+                let up_slice = &inp[up * slice_len..(up + 1) * slice_len];
+                let dn_slice = &inp[dn * slice_len..(dn + 1) * slice_len];
+                for (i, o) in out_slice.iter_mut().enumerate() {
+                    *o = if dagger {
+                        // shift† = P₋ S₋ + P₊ S₊.
+                        dn_slice[i].chiral_project(false).scale(dn_scale)
+                            + up_slice[i].chiral_project(true).scale(up_scale)
+                    } else {
+                        // shift = P₋ S₊ + P₊ S₋.
+                        up_slice[i].chiral_project(false).scale(up_scale)
+                            + dn_slice[i].chiral_project(true).scale(dn_scale)
+                    };
+                }
+            });
+    }
+
+    /// `out = a·in + b·shift^(†)(in)`, the shared form of `A` (`a=α, b=β`)
+    /// and `ρ` (`a=b5, b=c5`) and their adjoints.
+    fn affine_shift(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        a: f64,
+        b: f64,
+        dagger: bool,
+    ) {
+        self.shift(out, inp, slice_len, dagger);
+        let a = R::from_f64(a);
+        let b = R::from_f64(b);
+        out.par_iter_mut().zip(inp.par_iter()).for_each(|(o, i)| {
+            *o = i.scale(a) + o.scale(b);
+        });
+    }
+
+    /// `out = A⁻¹ in` (or `(A†)⁻¹ in`), applied per 4D site as two real
+    /// `L5×L5` mat-vecs, one per chirality sector. Because the `A±` blocks
+    /// are mutual transposes, the adjoint just swaps which inverse serves
+    /// which chirality.
+    fn apply_a_inverse(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        dagger: bool,
+    ) {
+        let l5 = self.params.l5;
+        let (inv_up, inv_dn) = if dagger {
+            (&self.ainv_minus, &self.ainv_plus)
+        } else {
+            (&self.ainv_plus, &self.ainv_minus)
+        };
+        // Parallelize over 5D sites; gather strided s-components.
+        out.par_iter_mut().enumerate().for_each(|(idx, o)| {
+            let site = idx % slice_len;
+            let s_out = idx / slice_len;
+            let mut acc = Spinor::zero();
+            for s_in in 0..l5 {
+                let wp = inv_up[s_out * l5 + s_in];
+                let wm = inv_dn[s_out * l5 + s_in];
+                let src = &inp[s_in * slice_len + site];
+                // Chirality-plus spins are 0,1; minus are 2,3 (γ5 diagonal).
+                acc.s[0] += src.s[0].scale(wp);
+                acc.s[1] += src.s[1].scale(wp);
+                acc.s[2] += src.s[2].scale(wm);
+                acc.s[3] += src.s[3].scale(wm);
+            }
+            *o = acc;
+        });
+    }
+}
+
+/// The full-lattice Möbius domain-wall operator on `L5 × V` vectors.
+pub struct MobiusDirac<'a, R: Real, G: GaugeLinks<R>> {
+    hopping: HoppingKernel<'a, R, G>,
+    lattice: &'a Lattice,
+    fifth: FifthDim<R>,
+    /// Parallel chunk size for the 4D stencil, set by the autotuner.
+    pub grain: usize,
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
+    /// Bind the operator (antiperiodic temporal BCs are always used — the
+    /// physical choice for the valence sector).
+    pub fn new(lattice: &'a Lattice, gauge: &'a G, params: MobiusParams) -> Self {
+        Self {
+            hopping: HoppingKernel::new(lattice, gauge, true),
+            lattice,
+            fifth: FifthDim::new(params),
+            grain: 1024,
+        }
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> &MobiusParams {
+        &self.fifth.params
+    }
+
+    /// The lattice.
+    pub fn lattice(&self) -> &Lattice {
+        self.lattice
+    }
+
+    fn l5(&self) -> usize {
+        self.fifth.params.l5
+    }
+
+    /// Apply the 4D hopping slice-by-slice on full-volume 5D vectors.
+    fn hop_5d(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let v = self.lattice.volume();
+        for s in 0..self.l5() {
+            let (o, i) = (&mut out[s * v..(s + 1) * v], &inp[s * v..(s + 1) * v]);
+            self.hopping.apply_full(o, i, self.grain);
+        }
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
+    fn vec_len(&self) -> usize {
+        self.l5() * self.lattice.volume()
+    }
+
+    fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let v = self.lattice.volume();
+        let p = &self.fifth.params;
+        let n = self.vec_len();
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+
+        // ρ(ψ) then H ρ(ψ).
+        let mut rho = vec![Spinor::zero(); n];
+        self.fifth.affine_shift(&mut rho, inp, v, p.b5, p.c5, false);
+        let mut hrho = vec![Spinor::zero(); n];
+        self.hop_5d(&mut hrho, &rho);
+
+        // A(ψ) − ½ H ρ(ψ).
+        self.fifth.affine_shift(out, inp, v, p.alpha(), p.beta(), false);
+        let half = R::from_f64(0.5);
+        out.par_iter_mut().zip(hrho.par_iter()).for_each(|(o, h)| {
+            *o = *o - h.scale(half);
+        });
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        let sites = self.vec_len() as f64;
+        // Hopping dominates; shift/affine contribute ~250 flops per 5D site.
+        sites * (HOPPING_FLOPS_PER_SITE + 250.0)
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for MobiusDirac<'a, R, G> {
+    fn apply_dagger(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        // The Möbius operator with c5 ≠ 0 is NOT Γ5R5-hermitian (the 4D
+        // hopping does not commute with the chirality-projected s-shift), so
+        // — like QUDA's Mdag — the adjoint is applied explicitly:
+        // D† = A† − ½ ρ† H† with H† = γ5 H γ5.
+        let v = self.lattice.volume();
+        let p = &self.fifth.params;
+        let n = self.vec_len();
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+
+        // h = γ5 H γ5 ψ.
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        let mut h = vec![Spinor::zero(); n];
+        self.hop_5d(&mut h, &g5in);
+        h.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+
+        // ρ† h.
+        let mut rho_h = vec![Spinor::zero(); n];
+        self.fifth.affine_shift(&mut rho_h, &h, v, p.b5, p.c5, true);
+
+        // A† ψ − ½ ρ† h.
+        self.fifth
+            .affine_shift(out, inp, v, p.alpha(), p.beta(), true);
+        let half = R::from_f64(0.5);
+        out.par_iter_mut()
+            .zip(rho_h.par_iter())
+            .for_each(|(o, r)| {
+                *o = *o - r.scale(half);
+            });
+    }
+}
+
+/// Red–black preconditioned Möbius operator on the odd checkerboard:
+/// `M̂ = A − ¼ · H_oe ρ A⁻¹ H_eo ρ`, acting on `L5 × V/2` vectors.
+pub struct PrecMobius<'a, R: Real, G: GaugeLinks<R>> {
+    hopping: HoppingKernel<'a, R, G>,
+    lattice: &'a Lattice,
+    fifth: FifthDim<R>,
+    /// Parallel chunk size for the 4D stencil, set by the autotuner.
+    pub grain: usize,
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> PrecMobius<'a, R, G> {
+    /// Bind the preconditioned operator.
+    pub fn new(lattice: &'a Lattice, gauge: &'a G, params: MobiusParams) -> Self {
+        Self {
+            hopping: HoppingKernel::new(lattice, gauge, true),
+            lattice,
+            fifth: FifthDim::new(params),
+            grain: 1024,
+        }
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> &MobiusParams {
+        &self.fifth.params
+    }
+
+    /// The lattice.
+    pub fn lattice(&self) -> &Lattice {
+        self.lattice
+    }
+
+    fn l5(&self) -> usize {
+        self.fifth.params.l5
+    }
+
+    fn hv(&self) -> usize {
+        self.lattice.half_volume()
+    }
+
+    /// Slice-wise checkerboarded hopping on 5D half-volume vectors.
+    fn hop_5d_parity(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], out_parity: Parity) {
+        let hv = self.hv();
+        for s in 0..self.l5() {
+            let (o, i) = (&mut out[s * hv..(s + 1) * hv], &inp[s * hv..(s + 1) * hv]);
+            self.hopping.apply_parity(o, i, out_parity, self.grain);
+        }
+    }
+
+    /// Split a full 5D vector into (even, odd) 5D checkerboard vectors.
+    pub fn split(&self, full: &[Spinor<R>]) -> (Vec<Spinor<R>>, Vec<Spinor<R>>) {
+        let v = self.lattice.volume();
+        let hv = self.hv();
+        let l5 = self.l5();
+        assert_eq!(full.len(), l5 * v);
+        let mut even = vec![Spinor::zero(); l5 * hv];
+        let mut odd = vec![Spinor::zero(); l5 * hv];
+        for s in 0..l5 {
+            for x in 0..v {
+                let cb = self.lattice.cb_index(x);
+                match self.lattice.parity(x) {
+                    Parity::Even => even[s * hv + cb] = full[s * v + x],
+                    Parity::Odd => odd[s * hv + cb] = full[s * v + x],
+                }
+            }
+        }
+        (even, odd)
+    }
+
+    /// Merge checkerboards back into a full 5D vector.
+    pub fn merge(&self, even: &[Spinor<R>], odd: &[Spinor<R>]) -> Vec<Spinor<R>> {
+        let v = self.lattice.volume();
+        let hv = self.hv();
+        let l5 = self.l5();
+        let mut full = vec![Spinor::zero(); l5 * v];
+        for s in 0..l5 {
+            for x in 0..v {
+                let cb = self.lattice.cb_index(x);
+                full[s * v + x] = match self.lattice.parity(x) {
+                    Parity::Even => even[s * hv + cb],
+                    Parity::Odd => odd[s * hv + cb],
+                };
+            }
+        }
+        full
+    }
+
+    /// `M_eo`-style off-diagonal application onto `out_parity`:
+    /// `out = −½ H ρ(in)`.
+    fn offdiag(&self, inp: &[Spinor<R>], out_parity: Parity) -> Vec<Spinor<R>> {
+        let hv = self.hv();
+        let p = &self.fifth.params;
+        let mut rho = vec![Spinor::zero(); inp.len()];
+        self.fifth
+            .affine_shift(&mut rho, inp, hv, p.b5, p.c5, false);
+        let mut hop = vec![Spinor::zero(); inp.len()];
+        self.hop_5d_parity(&mut hop, &rho, out_parity);
+        hop.par_iter_mut()
+            .for_each(|s| *s = s.scale(R::from_f64(-0.5)));
+        hop
+    }
+
+    /// Adjoint off-diagonal application onto `out_parity`:
+    /// `out = −½ ρ† γ5 H γ5 (in)`.
+    fn offdiag_dagger(&self, inp: &[Spinor<R>], out_parity: Parity) -> Vec<Spinor<R>> {
+        let hv = self.hv();
+        let p = &self.fifth.params;
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        let mut hop = vec![Spinor::zero(); inp.len()];
+        self.hop_5d_parity(&mut hop, &g5in, out_parity);
+        hop.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+        let mut out = vec![Spinor::zero(); inp.len()];
+        self.fifth
+            .affine_shift(&mut out, &hop, hv, p.b5, p.c5, true);
+        out.par_iter_mut()
+            .for_each(|s| *s = s.scale(R::from_f64(-0.5)));
+        out
+    }
+
+    /// Preconditioned source `b'_o = b_o − M_oe A⁻¹ b_e`.
+    pub fn prepare_source(&self, b_even: &[Spinor<R>], b_odd: &[Spinor<R>]) -> Vec<Spinor<R>> {
+        let hv = self.hv();
+        let mut ainv_be = vec![Spinor::zero(); b_even.len()];
+        self.fifth.apply_a_inverse(&mut ainv_be, b_even, hv, false);
+        let moe = self.offdiag(&ainv_be, Parity::Odd);
+        let mut out = b_odd.to_vec();
+        out.par_iter_mut().zip(moe.par_iter()).for_each(|(o, m)| {
+            *o = *o - *m;
+        });
+        out
+    }
+
+    /// Even-site reconstruction `x_e = A⁻¹ (b_e − M_eo x_o)`.
+    pub fn reconstruct_even(&self, b_even: &[Spinor<R>], x_odd: &[Spinor<R>]) -> Vec<Spinor<R>> {
+        let hv = self.hv();
+        let meo = self.offdiag(x_odd, Parity::Even);
+        let mut rhs = b_even.to_vec();
+        rhs.par_iter_mut().zip(meo.par_iter()).for_each(|(r, m)| {
+            *r = *r - *m;
+        });
+        let mut out = vec![Spinor::zero(); rhs.len()];
+        self.fifth.apply_a_inverse(&mut out, &rhs, hv, false);
+        out
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for PrecMobius<'a, R, G> {
+    fn vec_len(&self) -> usize {
+        self.l5() * self.hv()
+    }
+
+    fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let hv = self.hv();
+        let p = &self.fifth.params;
+        assert_eq!(out.len(), self.vec_len());
+        assert_eq!(inp.len(), self.vec_len());
+
+        let meo = self.offdiag(inp, Parity::Even);
+        let mut ainv = vec![Spinor::zero(); meo.len()];
+        self.fifth.apply_a_inverse(&mut ainv, &meo, hv, false);
+        let moe = self.offdiag(&ainv, Parity::Odd);
+
+        // out = A(inp) − M_oe A⁻¹ M_eo inp.
+        self.fifth
+            .affine_shift(out, inp, hv, p.alpha(), p.beta(), false);
+        out.par_iter_mut().zip(moe.par_iter()).for_each(|(o, m)| {
+            *o = *o - *m;
+        });
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        let sites = self.vec_len() as f64;
+        // Two half-volume hops per 5D site pair + fifth-dimension algebra.
+        sites * (HOPPING_FLOPS_PER_SITE + 250.0 + 48.0 * self.l5() as f64)
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for PrecMobius<'a, R, G> {
+    fn apply_dagger(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        // M̂† = A† − M_eo† (A†)⁻¹ M_oe†, each adjoint applied explicitly.
+        let hv = self.hv();
+        let p = &self.fifth.params;
+
+        let moe_dag = self.offdiag_dagger(inp, Parity::Even);
+        let mut ainv = vec![Spinor::zero(); moe_dag.len()];
+        self.fifth.apply_a_inverse(&mut ainv, &moe_dag, hv, true);
+        let meo_dag = self.offdiag_dagger(&ainv, Parity::Odd);
+
+        self.fifth
+            .affine_shift(out, inp, hv, p.alpha(), p.beta(), true);
+        out.par_iter_mut()
+            .zip(meo_dag.par_iter())
+            .for_each(|(o, m)| {
+                *o = *o - *m;
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas;
+    use crate::field::{FermionField, GaugeField};
+
+    #[test]
+    fn invert_real_matrix_known_case() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let inv = invert_real_matrix(&a);
+        // A·A⁻¹ = 1.
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = 0.0;
+                for k in 0..2 {
+                    acc += a[i][k] * inv[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn a_inverse_inverts_a_blockwise() {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge = GaugeField::<f64>::cold(&lat);
+        let params = MobiusParams::standard(8, 0.1);
+        let op = MobiusDirac::new(&lat, &gauge, params);
+        let v = lat.volume();
+        let n = params.l5 * v;
+        let x = FermionField::<f64>::gaussian(n, 2).data;
+
+        // Apply A then A⁻¹.
+        let mut ax = vec![Spinor::zero(); n];
+        op.fifth
+            .affine_shift(&mut ax, &x, v, params.alpha(), params.beta(), false);
+        let mut back = vec![Spinor::zero(); n];
+        op.fifth.apply_a_inverse(&mut back, &ax, v, false);
+        let diff = blas::sub(&back, &x);
+        assert!(blas::norm_sqr(&diff) / blas::norm_sqr(&x) < 1e-22);
+    }
+
+    #[test]
+    fn dagger_is_true_adjoint_full() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 37);
+        let params = MobiusParams::standard(6, 0.08);
+        let op = MobiusDirac::new(&lat, &gauge, params);
+        let n = op.vec_len();
+        let x = FermionField::<f64>::gaussian(n, 3).data;
+        let y = FermionField::<f64>::gaussian(n, 4).data;
+        let mut dy = vec![Spinor::zero(); n];
+        op.apply(&mut dy, &y);
+        let mut ddag_x = vec![Spinor::zero(); n];
+        op.apply_dagger(&mut ddag_x, &x);
+        let lhs = blas::dot(&x, &dy);
+        let rhs = blas::dot(&ddag_x, &y);
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "⟨x,Dy⟩ = ⟨D†x,y⟩: {lhs:?} vs {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn dagger_is_true_adjoint_prec() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 41);
+        let params = MobiusParams::standard(4, 0.1);
+        let op = PrecMobius::new(&lat, &gauge, params);
+        let n = op.vec_len();
+        let x = FermionField::<f64>::gaussian(n, 5).data;
+        let y = FermionField::<f64>::gaussian(n, 6).data;
+        let mut my = vec![Spinor::zero(); n];
+        op.apply(&mut my, &y);
+        let mut mdag_x = vec![Spinor::zero(); n];
+        op.apply_dagger(&mut mdag_x, &x);
+        let lhs = blas::dot(&x, &my);
+        let rhs = blas::dot(&mdag_x, &y);
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn schur_identity_for_mobius() {
+        // If D ψ = b then M̂ ψ_o = b_o − M_oe A⁻¹ b_e.
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 43);
+        let params = MobiusParams::standard(4, 0.05);
+        let full = MobiusDirac::new(&lat, &gauge, params);
+        let prec = PrecMobius::new(&lat, &gauge, params);
+
+        let n = full.vec_len();
+        let psi = FermionField::<f64>::gaussian(n, 7).data;
+        let mut b = vec![Spinor::zero(); n];
+        full.apply(&mut b, &psi);
+
+        let (_, psi_o) = prec.split(&psi);
+        let (b_e, b_o) = prec.split(&b);
+
+        let rhs = prec.prepare_source(&b_e, &b_o);
+        let mut lhs = vec![Spinor::zero(); prec.vec_len()];
+        prec.apply(&mut lhs, &psi_o);
+
+        let diff = blas::sub(&lhs, &rhs);
+        let rel = blas::norm_sqr(&diff) / blas::norm_sqr(&rhs);
+        assert!(rel < 1e-20, "Schur identity violated: rel = {rel}");
+    }
+
+    #[test]
+    fn reconstruct_even_recovers_solution() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 47);
+        let params = MobiusParams::shamir(4, 0.1);
+        let full = MobiusDirac::new(&lat, &gauge, params);
+        let prec = PrecMobius::new(&lat, &gauge, params);
+
+        let n = full.vec_len();
+        let psi = FermionField::<f64>::gaussian(n, 8).data;
+        let mut b = vec![Spinor::zero(); n];
+        full.apply(&mut b, &psi);
+
+        let (psi_e, psi_o) = prec.split(&psi);
+        let (b_e, _) = prec.split(&b);
+        let x_e = prec.reconstruct_even(&b_e, &psi_o);
+        let diff = blas::sub(&x_e, &psi_e);
+        assert!(blas::norm_sqr(&diff) / blas::norm_sqr(&psi_e) < 1e-20);
+    }
+
+    #[test]
+    fn dense_matrix_adjoint_is_exact() {
+        // Build the full dense matrix of D and of D† on a 2^4 lattice and
+        // verify D†[r][c] == conj(D[c][r]) element-wise — the strongest
+        // possible check of the explicit Mdag implementation.
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge = crate::field::GaugeField::<f64>::hot(&lat, 37);
+        let params = MobiusParams::standard(2, 0.08);
+        let op = MobiusDirac::new(&lat, &gauge, params);
+        let n = op.vec_len();
+        let dim = n * 12;
+
+        let dense = |dagger: bool| -> Vec<Vec<crate::complex::C64>> {
+            let mut m = vec![vec![crate::complex::C64::zero(); dim]; dim];
+            for col in 0..dim {
+                let (i, rest) = (col / 12, col % 12);
+                let (sp, c) = (rest / 3, rest % 3);
+                let mut e = vec![Spinor::zero(); n];
+                e[i].s[sp].c[c] = crate::complex::C64::new(1.0, 0.0);
+                let mut out = vec![Spinor::zero(); n];
+                if dagger {
+                    op.apply_dagger(&mut out, &e);
+                } else {
+                    op.apply(&mut out, &e);
+                }
+                for (row, entry) in m.iter_mut().enumerate() {
+                    let (j, rest2) = (row / 12, row % 12);
+                    let (sp2, c2) = (rest2 / 3, rest2 % 3);
+                    entry[col] = out[j].s[sp2].c[c2];
+                }
+            }
+            m
+        };
+        let d = dense(false);
+        let ddag = dense(true);
+        let mut max = 0.0f64;
+        for r in 0..dim {
+            for c in 0..dim {
+                max = max.max((ddag[r][c] - d[c][r].conj()).abs());
+            }
+        }
+        assert!(max < 1e-13, "max adjoint violation {max}");
+    }
+
+    #[test]
+    fn split_merge_round_trip_5d() {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge = GaugeField::<f64>::cold(&lat);
+        let params = MobiusParams::standard(4, 0.1);
+        let prec = PrecMobius::new(&lat, &gauge, params);
+        let v = FermionField::<f64>::gaussian(params.l5 * lat.volume(), 9).data;
+        let (e, o) = prec.split(&v);
+        assert_eq!(prec.merge(&e, &o), v);
+    }
+
+    #[test]
+    fn shamir_limit_matches_handwritten_form() {
+        // For c5 = 0: D ψ_s = (D_W + 1) ψ_s − shift(ψ)_s. On a cold gauge
+        // with a 4D-constant input, periodic spatial BCs, and a t-independent
+        // spinor, apbc makes H act nontrivially only via t-wraps... avoid BC
+        // subtleties by comparing against the generic apply with b5=1,c5=0
+        // computed via an independent composition: A(ψ) − ½H(ψ).
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 53);
+        let params = MobiusParams::shamir(4, 0.2);
+        let op = MobiusDirac::new(&lat, &gauge, params);
+        let n = op.vec_len();
+        let psi = FermionField::<f64>::gaussian(n, 10).data;
+
+        let mut got = vec![Spinor::zero(); n];
+        op.apply(&mut got, &psi);
+
+        // Independent path: out = αψ + β·shift(ψ) − ½ H ψ (since ρ = ψ).
+        let v = lat.volume();
+        let mut expect = vec![Spinor::zero(); n];
+        op.fifth
+            .affine_shift(&mut expect, &psi, v, params.alpha(), params.beta(), false);
+        let mut hpsi = vec![Spinor::zero(); n];
+        op.hop_5d(&mut hpsi, &psi);
+        for i in 0..n {
+            expect[i] = expect[i] - hpsi[i].scale(0.5);
+        }
+        let diff = blas::sub(&got, &expect);
+        assert!(blas::norm_sqr(&diff) / blas::norm_sqr(&expect) < 1e-24);
+    }
+}

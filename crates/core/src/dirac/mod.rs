@@ -1,0 +1,70 @@
+//! Dirac operators and the linear-operator interface used by the solvers.
+
+mod hopping;
+mod mobius;
+mod wilson;
+
+pub use hopping::HoppingKernel;
+pub use mobius::{MobiusDirac, MobiusParams, PrecMobius};
+pub use wilson::{PrecWilson, WilsonDirac};
+
+use crate::real::Real;
+use crate::spinor::Spinor;
+
+/// A general linear operator on a fermion vector, as seen by Krylov solvers.
+pub trait LinearOp<R: Real>: Sync {
+    /// Length (in spinors) of vectors this operator acts on.
+    fn vec_len(&self) -> usize;
+    /// `out = A · inp`.
+    fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]);
+    /// Floating-point operations per `apply`, for performance reporting.
+    fn flops_per_apply(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A Dirac-type operator: knows its adjoint (via γ5-hermiticity), so the
+/// normal equations `D†D x = D†b` can be formed.
+pub trait DiracOp<R: Real>: LinearOp<R> {
+    /// `out = D† · inp`.
+    fn apply_dagger(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]);
+}
+
+/// `D† D`, the Hermitian positive-definite operator CG actually inverts —
+/// "conjugate gradient on the normal equations", the paper's solver for the
+/// Möbius domain-wall discretization.
+pub struct NormalOp<'a, R: Real, D: DiracOp<R>> {
+    op: &'a D,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<'a, R: Real, D: DiracOp<R>> NormalOp<'a, R, D> {
+    /// Wrap a Dirac operator.
+    pub fn new(op: &'a D) -> Self {
+        Self {
+            op,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The underlying Dirac operator.
+    pub fn inner(&self) -> &D {
+        self.op
+    }
+}
+
+impl<'a, R: Real, D: DiracOp<R>> LinearOp<R> for NormalOp<'a, R, D> {
+    fn vec_len(&self) -> usize {
+        self.op.vec_len()
+    }
+
+    fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let mut tmp = vec![Spinor::zero(); self.op.vec_len()];
+        self.op.apply(&mut tmp, inp);
+        self.op.apply_dagger(out, &tmp);
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        2.0 * self.op.flops_per_apply()
+    }
+}

@@ -1,0 +1,347 @@
+//! Dirac γ-matrix algebra in the DeGrand–Rossi (chiral) basis.
+//!
+//! Every Euclidean γ-matrix in this basis has exactly one non-zero entry per
+//! row, with value ±1 or ±i. We exploit that twice:
+//!
+//! - [`GammaSparse`] stores a γ as a spin permutation plus per-row phase, so
+//!   the Wilson-term spin projectors `(1 ∓ γμ)` reduce to two color-vector
+//!   combinations — the standard half-spinor trick that halves the SU(3)
+//!   multiplies in the stencil.
+//! - [`SpinMatrix`] is the dense 4×4 form used by contraction code, where
+//!   products like `C γ5` and polarization projectors are built once.
+//!
+//! In this basis `γ5 = γ1 γ2 γ3 γ4 = diag(+1, +1, −1, −1)`, so chirality
+//! projection (needed by the domain-wall operator) is component selection.
+
+use crate::complex::{Complex, C64};
+use crate::real::Real;
+
+/// Number of spin components.
+pub const NS: usize = 4;
+
+/// A γ-matrix with one non-zero entry per row: `γ[s][perm[s]] = phase[s]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GammaSparse {
+    /// Column of the non-zero entry in each row.
+    pub perm: [usize; NS],
+    /// Value of that entry (always a fourth root of unity here).
+    pub phase: [C64; NS],
+}
+
+const I: C64 = C64 { re: 0.0, im: 1.0 };
+const MI: C64 = C64 { re: 0.0, im: -1.0 };
+const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+const MONE: C64 = C64 { re: -1.0, im: 0.0 };
+
+/// The four Euclidean γ-matrices, DeGrand–Rossi basis, indexed by direction
+/// `mu = 0..4` (x, y, z, t).
+pub const GAMMAS: [GammaSparse; 4] = [
+    // γ_x
+    GammaSparse {
+        perm: [3, 2, 1, 0],
+        phase: [I, I, MI, MI],
+    },
+    // γ_y
+    GammaSparse {
+        perm: [3, 2, 1, 0],
+        phase: [MONE, ONE, ONE, MONE],
+    },
+    // γ_z
+    GammaSparse {
+        perm: [2, 3, 0, 1],
+        phase: [I, MI, MI, I],
+    },
+    // γ_t
+    GammaSparse {
+        perm: [2, 3, 0, 1],
+        phase: [ONE, ONE, ONE, ONE],
+    },
+];
+
+/// Diagonal of γ5 in this basis: `diag(+1, +1, −1, −1)`.
+pub const GAMMA5_DIAG: [f64; NS] = [1.0, 1.0, -1.0, -1.0];
+
+impl GammaSparse {
+    /// Dense 4×4 form.
+    pub fn dense(&self) -> SpinMatrix<f64> {
+        let mut m = SpinMatrix::zero();
+        for s in 0..NS {
+            m.m[s][self.perm[s]] = self.phase[s];
+        }
+        m
+    }
+}
+
+/// Dense 4×4 complex spin matrix, row-major.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpinMatrix<R> {
+    /// Entries `m[row][col]`.
+    pub m: [[Complex<R>; NS]; NS],
+}
+
+impl<R: Real> SpinMatrix<R> {
+    /// Zero matrix.
+    pub fn zero() -> Self {
+        Self {
+            m: [[Complex::zero(); NS]; NS],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity() -> Self {
+        let mut m = Self::zero();
+        for s in 0..NS {
+            m.m[s][s] = Complex::one();
+        }
+        m
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..NS {
+            for k in 0..NS {
+                let a = self.m[i][k];
+                if a.norm_sqr() == R::ZERO {
+                    continue;
+                }
+                for j in 0..NS {
+                    out.m[i][j] = out.m[i][j].add_mul(a, rhs.m[k][j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of two matrices.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut out = *self;
+        for i in 0..NS {
+            for j in 0..NS {
+                out.m[i][j] += rhs.m[i][j];
+            }
+        }
+        out
+    }
+
+    /// Every entry scaled by a complex factor.
+    pub fn scale_c(&self, s: Complex<R>) -> Self {
+        let mut out = *self;
+        for row in out.m.iter_mut() {
+            for e in row.iter_mut() {
+                *e *= s;
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..NS {
+            for j in 0..NS {
+                out.m[i][j] = self.m[j][i];
+            }
+        }
+        out
+    }
+
+    /// Hermitian conjugate.
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..NS {
+            for j in 0..NS {
+                out.m[i][j] = self.m[j][i].conj();
+            }
+        }
+        out
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> Complex<R> {
+        let mut t = Complex::zero();
+        for s in 0..NS {
+            t += self.m[s][s];
+        }
+        t
+    }
+
+    /// Frobenius distance, as `f64`, for tests.
+    pub fn distance(&self, rhs: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..NS {
+            for j in 0..NS {
+                acc += (self.m[i][j] - rhs.m[i][j]).norm_sqr().to_f64();
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Convert precision entry-wise.
+    pub fn cast<S: Real>(&self) -> SpinMatrix<S> {
+        let mut out = SpinMatrix::zero();
+        for i in 0..NS {
+            for j in 0..NS {
+                out.m[i][j] = self.m[i][j].cast();
+            }
+        }
+        out
+    }
+}
+
+/// Dense γμ for `mu = 0..4`.
+pub fn gamma_dense(mu: usize) -> SpinMatrix<f64> {
+    GAMMAS[mu].dense()
+}
+
+/// Dense γ5.
+pub fn gamma5_dense() -> SpinMatrix<f64> {
+    let mut m = SpinMatrix::zero();
+    for s in 0..NS {
+        m.m[s][s] = Complex::new(GAMMA5_DIAG[s], 0.0);
+    }
+    m
+}
+
+/// `C γ5` where `C = γ2 γ4` is the charge-conjugation matrix in this basis;
+/// this is the diquark spin matrix in the proton interpolating operator.
+pub fn c_gamma5() -> SpinMatrix<f64> {
+    gamma_dense(1).mul(&gamma_dense(3)).mul(&gamma5_dense())
+}
+
+/// Positive-parity projector `(1 + γ4)/2` used at the baryon sink.
+pub fn parity_projector() -> SpinMatrix<f64> {
+    let half = Complex::new(0.5, 0.0);
+    SpinMatrix::identity().add(&gamma_dense(3)).scale_c(half)
+}
+
+/// Polarized positive-parity projector `(1 + γ4)(1 + i γ1 γ2 ... )`:
+/// concretely `(1 + γ4)/2 · (1 + i γ1 γ2)/2`, projecting onto spin-up along z.
+/// This is the sink projector for the axial-charge matrix element.
+pub fn polarized_projector() -> SpinMatrix<f64> {
+    let half = Complex::new(0.5, 0.0);
+    let i = Complex::new(0.0, 1.0);
+    let g12 = gamma_dense(0).mul(&gamma_dense(1)).scale_c(i);
+    let spin = SpinMatrix::identity().add(&g12).scale_c(half);
+    parity_projector().mul(&spin)
+}
+
+/// Dense `γ3 γ5`, the spin structure of the z-polarized axial current `A3`.
+pub fn gamma3_gamma5() -> SpinMatrix<f64> {
+    gamma_dense(2).mul(&gamma5_dense())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anticommutator(a: &SpinMatrix<f64>, b: &SpinMatrix<f64>) -> SpinMatrix<f64> {
+        a.mul(b).add(&b.mul(a))
+    }
+
+    #[test]
+    fn clifford_algebra_holds() {
+        // {γμ, γν} = 2 δμν
+        for mu in 0..4 {
+            for nu in 0..4 {
+                let ac = anticommutator(&gamma_dense(mu), &gamma_dense(nu));
+                let expect = if mu == nu {
+                    SpinMatrix::identity().scale_c(Complex::new(2.0, 0.0))
+                } else {
+                    SpinMatrix::zero()
+                };
+                assert!(
+                    ac.distance(&expect) < 1e-14,
+                    "anticommutator failed for mu={mu} nu={nu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gammas_are_hermitian() {
+        for mu in 0..4 {
+            let g = gamma_dense(mu);
+            assert!(g.distance(&g.dagger()) < 1e-15, "γ{mu} hermitian");
+        }
+    }
+
+    #[test]
+    fn gamma5_is_product_of_gammas() {
+        let prod = gamma_dense(0)
+            .mul(&gamma_dense(1))
+            .mul(&gamma_dense(2))
+            .mul(&gamma_dense(3));
+        assert!(prod.distance(&gamma5_dense()) < 1e-14);
+    }
+
+    #[test]
+    fn gamma5_squares_to_identity_and_anticommutes() {
+        let g5 = gamma5_dense();
+        assert!(g5.mul(&g5).distance(&SpinMatrix::identity()) < 1e-15);
+        for mu in 0..4 {
+            let ac = anticommutator(&g5, &gamma_dense(mu));
+            assert!(ac.distance(&SpinMatrix::zero()) < 1e-14, "γ5 γ{mu}");
+        }
+    }
+
+    #[test]
+    fn sparse_phases_satisfy_involution() {
+        // φ_s φ_{p(s)} = 1 is what the half-spinor reconstruction relies on.
+        for g in &GAMMAS {
+            for s in 0..NS {
+                let prod = g.phase[s] * g.phase[g.perm[s]];
+                assert!((prod - Complex::one()).abs() < 1e-15);
+            }
+            // Spin permutation must exchange upper and lower components.
+            for j in 0..2 {
+                assert!(g.perm[j] >= 2, "upper rows map to lower components");
+            }
+            for s in 2..4 {
+                assert!(g.perm[s] < 2, "lower rows map to upper components");
+            }
+        }
+    }
+
+    #[test]
+    fn projectors_are_idempotent() {
+        let p = parity_projector();
+        assert!(p.mul(&p).distance(&p) < 1e-14);
+        let pz = polarized_projector();
+        assert!(pz.mul(&pz).distance(&pz) < 1e-14);
+    }
+
+    #[test]
+    fn parity_projector_has_trace_two() {
+        let t = parity_projector().trace();
+        assert!((t.re - 2.0).abs() < 1e-14 && t.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn polarized_projector_has_trace_one() {
+        let t = polarized_projector().trace();
+        assert!((t.re - 1.0).abs() < 1e-14 && t.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn c_gamma5_is_real_and_antisymmetric() {
+        let cg5 = c_gamma5();
+        for i in 0..NS {
+            for j in 0..NS {
+                assert!(cg5.m[i][j].im.abs() < 1e-15, "real");
+                assert!(
+                    (cg5.m[i][j] + cg5.m[j][i]).abs() < 1e-14,
+                    "antisymmetric at {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma3_gamma5_is_antihermitian_in_euclidean() {
+        // (γ3 γ5)† = γ5 γ3 = -γ3 γ5.
+        let a = gamma3_gamma5();
+        let neg = a.scale_c(Complex::new(-1.0, 0.0));
+        assert!(a.dagger().distance(&neg) < 1e-14);
+    }
+}

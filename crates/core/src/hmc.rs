@@ -1,0 +1,385 @@
+//! Hybrid Monte Carlo for the pure-gauge theory: leapfrog molecular
+//! dynamics in the su(3) algebra plus a Metropolis accept/reject.
+//!
+//! The heat-bath generator in [`crate::gauge`] is the production path; HMC
+//! provides an algorithmically independent sampler of the same Wilson-action
+//! distribution, so the two cross-validate each other (and HMC is what
+//! dynamical-fermion programs like the paper's ensemble providers actually
+//! run).
+
+use crate::complex::Complex;
+use crate::field::{GaugeField, GaugeLinks};
+use crate::gauge::average_plaquette;
+use crate::lattice::{Lattice, ND};
+use crate::su3::{Su3, NC};
+use crate::su3exp::{algebra_norm_sqr, exp_su3, project_antihermitian_traceless};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// HMC parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HmcParams {
+    /// Wilson gauge coupling β.
+    pub beta: f64,
+    /// Molecular-dynamics trajectory length.
+    pub trajectory_length: f64,
+    /// Leapfrog steps per trajectory.
+    pub n_steps: usize,
+}
+
+impl Default for HmcParams {
+    fn default() -> Self {
+        Self {
+            beta: 5.7,
+            trajectory_length: 1.0,
+            n_steps: 20,
+        }
+    }
+}
+
+/// Outcome of one trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct Trajectory {
+    /// Energy violation `ΔH = H_final − H_initial`.
+    pub delta_h: f64,
+    /// Whether the Metropolis step accepted.
+    pub accepted: bool,
+    /// Plaquette after the trajectory.
+    pub plaquette: f64,
+}
+
+/// Momentum field: one su(3) algebra element per link.
+type Momenta = Vec<Su3<f64>>;
+
+/// The eight anti-hermitian generators `T_a = i λ_a / 2` (Gell-Mann basis),
+/// normalized so `Tr(T_a T_b) = −δ_ab/2`.
+fn generators() -> [Su3<f64>; 8] {
+    let i = Complex::new(0.0, 1.0);
+    let r = |v: f64| Complex::new(v, 0.0);
+    let mut t = [Su3::zero(); 8];
+    // λ1, λ2, λ3 (SU(2) block).
+    t[0].m[0][1] = i.scale(0.5);
+    t[0].m[1][0] = i.scale(0.5);
+    t[1].m[0][1] = r(0.5);
+    t[1].m[1][0] = r(-0.5);
+    t[2].m[0][0] = i.scale(0.5);
+    t[2].m[1][1] = i.scale(-0.5);
+    // λ4, λ5.
+    t[3].m[0][2] = i.scale(0.5);
+    t[3].m[2][0] = i.scale(0.5);
+    t[4].m[0][2] = r(0.5);
+    t[4].m[2][0] = r(-0.5);
+    // λ6, λ7.
+    t[5].m[1][2] = i.scale(0.5);
+    t[5].m[2][1] = i.scale(0.5);
+    t[6].m[1][2] = r(0.5);
+    t[6].m[2][1] = r(-0.5);
+    // λ8.
+    let inv_sqrt3 = 1.0 / 3.0f64.sqrt();
+    t[7].m[0][0] = i.scale(0.5 * inv_sqrt3);
+    t[7].m[1][1] = i.scale(0.5 * inv_sqrt3);
+    t[7].m[2][2] = i.scale(-inv_sqrt3);
+    t
+}
+
+/// Gaussian momenta: `P = Σ_a p_a T_a`, `p_a ~ N(0,1)`, giving kinetic
+/// energy `K = Σ_links ‖P‖²_F = ½ Σ p_a²` per link.
+fn sample_momenta(lat: &Lattice, rng: &mut SmallRng) -> Momenta {
+    let gens = generators();
+    (0..lat.volume() * ND)
+        .map(|_| {
+            let mut p = Su3::zero();
+            for g in &gens {
+                let z = {
+                    let u1: f64 = rng.gen::<f64>().max(1e-300);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                for i in 0..NC {
+                    for j in 0..NC {
+                        p.m[i][j] += g.m[i][j].scale(z);
+                    }
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Kinetic energy `Σ ‖P‖²_F`.
+fn kinetic(momenta: &Momenta) -> f64 {
+    momenta.par_iter().map(algebra_norm_sqr).sum()
+}
+
+/// Wilson gauge action `S = −β/Nc Σ_x Σ_{μ<ν} Re Tr U_{μν}` (up to the
+/// constant the Metropolis difference cancels).
+fn action(lat: &Lattice, gauge: &GaugeField<f64>, beta: f64) -> f64 {
+    -beta / NC as f64 * average_plaquette(lat, gauge) * NC as f64 * lat.volume() as f64 * 6.0
+}
+
+/// Staple sum oriented as in the heat-bath module.
+fn staple(lat: &Lattice, gauge: &GaugeField<f64>, x: usize, mu: usize) -> Su3<f64> {
+    let mut sum = Su3::zero();
+    let nb = lat.neighbors(x);
+    for nu in 0..ND {
+        if nu == mu {
+            continue;
+        }
+        let x_mu = nb.fwd[mu] as usize;
+        let x_nu = nb.fwd[nu] as usize;
+        sum += gauge.link(x_mu, nu) * gauge.link(x_nu, mu).dagger() * gauge.link(x, nu).dagger();
+        let x_dn = nb.bwd[nu] as usize;
+        let x_mu_dn = lat.neighbors(x_mu).bwd[nu] as usize;
+        sum += gauge.link(x_mu_dn, nu).dagger()
+            * gauge.link(x_dn, mu).dagger()
+            * gauge.link(x_dn, nu);
+    }
+    sum
+}
+
+/// The momentum force `Ṗ = −β/(2Nc) · P_TA(U Σ)` for every link.
+fn force(lat: &Lattice, gauge: &GaugeField<f64>, beta: f64) -> Momenta {
+    let c = -beta / (2.0 * NC as f64);
+    (0..lat.volume() * ND)
+        .into_par_iter()
+        .map(|l| {
+            let (x, mu) = (l / ND, l % ND);
+            let us = gauge.link(x, mu) * staple(lat, gauge, x, mu);
+            project_antihermitian_traceless(&us).scale(c)
+        })
+        .collect()
+}
+
+/// Leapfrog integration of (U, P) over one trajectory; mutates both.
+fn leapfrog(
+    lat: &Lattice,
+    gauge: &mut GaugeField<f64>,
+    momenta: &mut Momenta,
+    params: &HmcParams,
+) {
+    let eps = params.trajectory_length / params.n_steps as f64;
+    let half_kick = |p: &mut Momenta, g: &GaugeField<f64>, dt: f64| {
+        let f = force(lat, g, params.beta);
+        p.par_iter_mut().zip(f.into_par_iter()).for_each(|(pi, fi)| {
+            *pi += fi.scale(dt);
+        });
+    };
+    let drift = |g: &mut GaugeField<f64>, p: &Momenta, dt: f64| {
+        let new: Vec<Su3<f64>> = g
+            .links()
+            .par_iter()
+            .zip(p.par_iter())
+            .map(|(u, pi)| exp_su3(&pi.scale(dt)) * *u)
+            .collect();
+        g.links_mut().copy_from_slice(&new);
+    };
+
+    half_kick(momenta, gauge, eps / 2.0);
+    for step in 0..params.n_steps {
+        drift(gauge, momenta, eps);
+        let dt = if step + 1 == params.n_steps {
+            eps / 2.0
+        } else {
+            eps
+        };
+        half_kick(momenta, gauge, dt);
+    }
+}
+
+/// The HMC sampler.
+pub struct HmcSampler {
+    lattice: Lattice,
+    gauge: GaugeField<f64>,
+    params: HmcParams,
+    rng: SmallRng,
+    /// Trajectory history.
+    pub history: Vec<Trajectory>,
+}
+
+impl HmcSampler {
+    /// Start from a cold configuration.
+    pub fn cold_start(lattice: &Lattice, params: HmcParams, seed: u64) -> Self {
+        Self {
+            lattice: lattice.clone(),
+            gauge: GaugeField::cold(lattice),
+            params,
+            rng: SmallRng::seed_from_u64(seed),
+            history: Vec::new(),
+        }
+    }
+
+    /// Current configuration.
+    pub fn current(&self) -> &GaugeField<f64> {
+        &self.gauge
+    }
+
+    /// Run one trajectory (momentum refresh → leapfrog → Metropolis).
+    pub fn trajectory(&mut self) -> Trajectory {
+        let mut momenta = sample_momenta(&self.lattice, &mut self.rng);
+        let h0 = kinetic(&momenta) + action(&self.lattice, &self.gauge, self.params.beta);
+
+        let mut proposal = self.gauge.clone();
+        leapfrog(&self.lattice, &mut proposal, &mut momenta, &self.params);
+        let h1 = kinetic(&momenta) + action(&self.lattice, &proposal, self.params.beta);
+        let delta_h = h1 - h0;
+
+        let accepted = delta_h <= 0.0 || self.rng.gen::<f64>() < (-delta_h).exp();
+        if accepted {
+            proposal.reunitarize();
+            self.gauge = proposal;
+        }
+        let t = Trajectory {
+            delta_h,
+            accepted,
+            plaquette: average_plaquette(&self.lattice, &self.gauge),
+        };
+        self.history.push(t);
+        t
+    }
+
+    /// Acceptance rate so far.
+    pub fn acceptance(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().filter(|t| t.accepted).count() as f64 / self.history.len() as f64
+    }
+}
+
+/// Expose the leapfrog for the reversibility test.
+#[doc(hidden)]
+pub fn integrate_for_test(
+    lat: &Lattice,
+    gauge: &mut GaugeField<f64>,
+    momenta: &mut Momenta,
+    params: &HmcParams,
+) {
+    leapfrog(lat, gauge, momenta, params);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_orthonormal_in_the_killing_form() {
+        let gens = generators();
+        for (a, ta) in gens.iter().enumerate() {
+            for (b, tb) in gens.iter().enumerate() {
+                // Tr(T_a T_b) = −δ_ab / 2.
+                let tr = (*ta * *tb).trace();
+                let expect = if a == b { -0.5 } else { 0.0 };
+                assert!(
+                    (tr.re - expect).abs() < 1e-14 && tr.im.abs() < 1e-14,
+                    "Tr(T{a} T{b}) = {tr:?}"
+                );
+                assert!(ta.trace().abs() < 1e-14, "traceless");
+            }
+        }
+    }
+
+    #[test]
+    fn momenta_have_unit_gaussian_components() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = sample_momenta(&lat, &mut rng);
+        // K/link = ½ Σ_a p_a² with 8 generators → ⟨K⟩ = 4 per link.
+        let k_per_link = kinetic(&p) / p.len() as f64;
+        assert!((k_per_link - 4.0).abs() < 0.15, "⟨K⟩/link = {k_per_link}");
+    }
+
+    #[test]
+    fn leapfrog_is_reversible() {
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let mut gauge = GaugeField::<f64>::hot(&lat, 5);
+        let original = gauge.clone();
+        let params = HmcParams {
+            beta: 5.7,
+            trajectory_length: 0.5,
+            n_steps: 10,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut momenta = sample_momenta(&lat, &mut rng);
+
+        integrate_for_test(&lat, &mut gauge, &mut momenta, &params);
+        // Flip momenta and integrate back.
+        for p in momenta.iter_mut() {
+            *p = p.scale(-1.0);
+        }
+        integrate_for_test(&lat, &mut gauge, &mut momenta, &params);
+
+        let mut max = 0.0f64;
+        for (a, b) in gauge.links().iter().zip(original.links()) {
+            max = max.max(a.distance(b));
+        }
+        assert!(max < 1e-9, "reversibility violation {max}");
+    }
+
+    #[test]
+    fn energy_violation_scales_as_step_squared() {
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge0 = GaugeField::<f64>::hot(&lat, 11);
+        let dh_at = |n_steps: usize| -> f64 {
+            let params = HmcParams {
+                beta: 5.7,
+                trajectory_length: 1.0,
+                n_steps,
+            };
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut momenta = sample_momenta(&lat, &mut rng);
+            let mut gauge = gauge0.clone();
+            let h0 = kinetic(&momenta) + action(&lat, &gauge, params.beta);
+            integrate_for_test(&lat, &mut gauge, &mut momenta, &params);
+            (kinetic(&momenta) + action(&lat, &gauge, params.beta) - h0).abs()
+        };
+        let coarse = dh_at(10);
+        let fine = dh_at(40);
+        // Leapfrog: ΔH ~ ε², so 4x more steps → ~16x smaller violation.
+        assert!(
+            fine < coarse / 8.0,
+            "ΔH(40 steps) = {fine} vs ΔH(10 steps) = {coarse}"
+        );
+    }
+
+    #[test]
+    fn hmc_accepts_and_matches_heatbath_plaquette() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let mut hmc = HmcSampler::cold_start(
+            &lat,
+            HmcParams {
+                beta: 5.7,
+                trajectory_length: 1.0,
+                n_steps: 60,
+            },
+            17,
+        );
+        for _ in 0..25 {
+            hmc.trajectory();
+        }
+        assert!(hmc.acceptance() > 0.6, "acceptance {}", hmc.acceptance());
+
+        let tail: Vec<f64> = hmc.history[12..].iter().map(|t| t.plaquette).collect();
+        let hmc_plaq: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+
+        // Cross-validate against the heat-bath sampler at the same β.
+        let mut hb = crate::gauge::QuenchedEnsemble::cold_start(
+            &lat,
+            crate::gauge::HeatbathParams {
+                beta: 5.7,
+                n_or: 2,
+            },
+            19,
+        );
+        for _ in 0..30 {
+            hb.update();
+        }
+        let hb_tail = &hb.plaquette_history[15..];
+        let hb_plaq: f64 = hb_tail.iter().sum::<f64>() / hb_tail.len() as f64;
+
+        assert!(
+            (hmc_plaq - hb_plaq).abs() < 0.02,
+            "two independent samplers disagree: HMC {hmc_plaq} vs HB {hb_plaq}"
+        );
+    }
+}

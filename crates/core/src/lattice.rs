@@ -1,0 +1,340 @@
+//! Four-dimensional lattice geometry.
+//!
+//! Sites are stored lexicographically (`x` fastest); even–odd (red–black)
+//! parity, which underlies the preconditioned solver, is `(x+y+z+t) mod 2`.
+//! Neighbor lookups — the entire communication pattern of the radius-one
+//! stencil — are precomputed into flat tables, together with a wrap flag used
+//! to apply antiperiodic temporal boundary conditions to fermions.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Number of spacetime directions.
+pub const ND: usize = 4;
+
+/// Site parity for red–black decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parity {
+    /// Sites with even coordinate sum.
+    Even,
+    /// Sites with odd coordinate sum.
+    Odd,
+}
+
+impl Parity {
+    /// The opposite parity.
+    pub fn other(self) -> Self {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+}
+
+/// Neighbor record for one site: forward/backward lexicographic indices per
+/// direction, plus bitmasks marking hops that wrapped around the lattice.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Neighbors {
+    /// `fwd[mu]` = lexicographic index of `x + μ̂`.
+    pub fwd: [u32; ND],
+    /// `bwd[mu]` = lexicographic index of `x − μ̂`.
+    pub bwd: [u32; ND],
+    /// Bit `mu` set when the forward hop crossed the boundary.
+    pub fwd_wrap: u8,
+    /// Bit `mu` set when the backward hop crossed the boundary.
+    pub bwd_wrap: u8,
+}
+
+/// Shared, immutable lattice geometry.
+#[derive(Clone)]
+pub struct Lattice {
+    dims: [usize; ND],
+    volume: usize,
+    neighbors: Arc<Vec<Neighbors>>,
+    parity: Arc<Vec<Parity>>,
+    /// `cb_of_lex[idx]` = position of `idx` within its parity's site list.
+    cb_of_lex: Arc<Vec<u32>>,
+    /// Lexicographic indices of even sites, increasing.
+    even_sites: Arc<Vec<u32>>,
+    /// Lexicographic indices of odd sites, increasing.
+    odd_sites: Arc<Vec<u32>>,
+}
+
+impl Lattice {
+    /// Build the geometry for the given extents `[nx, ny, nz, nt]`.
+    ///
+    /// # Panics
+    /// If any extent is zero, or any extent is odd (even extents are required
+    /// for a consistent red–black decomposition), or the volume overflows.
+    pub fn new(dims: [usize; ND]) -> Self {
+        for (mu, &d) in dims.iter().enumerate() {
+            assert!(d > 0, "extent in direction {mu} must be positive");
+            assert!(
+                d % 2 == 0,
+                "extent in direction {mu} must be even for red-black parity"
+            );
+        }
+        let volume = dims.iter().product::<usize>();
+        assert!(volume <= u32::MAX as usize, "volume must fit in u32 indices");
+
+        let mut neighbors = vec![Neighbors::default(); volume];
+        let mut parity = vec![Parity::Even; volume];
+        for idx in 0..volume {
+            let coords = Self::coords_of(dims, idx);
+            parity[idx] = if coords.iter().sum::<usize>() % 2 == 0 {
+                Parity::Even
+            } else {
+                Parity::Odd
+            };
+            let mut rec = Neighbors::default();
+            for mu in 0..ND {
+                let mut up = coords;
+                let wrapped_up = coords[mu] + 1 == dims[mu];
+                up[mu] = if wrapped_up { 0 } else { coords[mu] + 1 };
+                rec.fwd[mu] = Self::index_of(dims, up) as u32;
+                if wrapped_up {
+                    rec.fwd_wrap |= 1 << mu;
+                }
+
+                let mut dn = coords;
+                let wrapped_dn = coords[mu] == 0;
+                dn[mu] = if wrapped_dn {
+                    dims[mu] - 1
+                } else {
+                    coords[mu] - 1
+                };
+                rec.bwd[mu] = Self::index_of(dims, dn) as u32;
+                if wrapped_dn {
+                    rec.bwd_wrap |= 1 << mu;
+                }
+            }
+            neighbors[idx] = rec;
+        }
+
+        let mut cb_of_lex = vec![0u32; volume];
+        let mut even_sites = Vec::with_capacity(volume / 2);
+        let mut odd_sites = Vec::with_capacity(volume / 2);
+        for idx in 0..volume {
+            match parity[idx] {
+                Parity::Even => {
+                    cb_of_lex[idx] = even_sites.len() as u32;
+                    even_sites.push(idx as u32);
+                }
+                Parity::Odd => {
+                    cb_of_lex[idx] = odd_sites.len() as u32;
+                    odd_sites.push(idx as u32);
+                }
+            }
+        }
+
+        Self {
+            dims,
+            volume,
+            neighbors: Arc::new(neighbors),
+            parity: Arc::new(parity),
+            cb_of_lex: Arc::new(cb_of_lex),
+            even_sites: Arc::new(even_sites),
+            odd_sites: Arc::new(odd_sites),
+        }
+    }
+
+    /// Lattice extents `[nx, ny, nz, nt]`.
+    pub fn dims(&self) -> [usize; ND] {
+        self.dims
+    }
+
+    /// Total number of sites.
+    pub fn volume(&self) -> usize {
+        self.volume
+    }
+
+    /// Spatial volume `nx·ny·nz`.
+    pub fn spatial_volume(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Temporal extent.
+    pub fn nt(&self) -> usize {
+        self.dims[3]
+    }
+
+    /// Lexicographic index of a coordinate tuple.
+    pub fn index(&self, coords: [usize; ND]) -> usize {
+        Self::index_of(self.dims, coords)
+    }
+
+    /// Coordinates of a lexicographic index.
+    pub fn coords(&self, idx: usize) -> [usize; ND] {
+        Self::coords_of(self.dims, idx)
+    }
+
+    fn index_of(dims: [usize; ND], c: [usize; ND]) -> usize {
+        ((c[3] * dims[2] + c[2]) * dims[1] + c[1]) * dims[0] + c[0]
+    }
+
+    fn coords_of(dims: [usize; ND], mut idx: usize) -> [usize; ND] {
+        let mut c = [0usize; ND];
+        for mu in 0..ND {
+            c[mu] = idx % dims[mu];
+            idx /= dims[mu];
+        }
+        c
+    }
+
+    /// Neighbor table entry for a site.
+    #[inline(always)]
+    pub fn neighbors(&self, idx: usize) -> &Neighbors {
+        &self.neighbors[idx]
+    }
+
+    /// Raw neighbor table (for kernels iterating in bulk).
+    pub fn neighbor_table(&self) -> &[Neighbors] {
+        &self.neighbors
+    }
+
+    /// Parity of a site.
+    #[inline(always)]
+    pub fn parity(&self, idx: usize) -> Parity {
+        self.parity[idx]
+    }
+
+    /// Sites of one parity, in increasing lexicographic order. Exactly half
+    /// the volume each.
+    pub fn sites_with_parity(&self, p: Parity) -> &[u32] {
+        match p {
+            Parity::Even => &self.even_sites,
+            Parity::Odd => &self.odd_sites,
+        }
+    }
+
+    /// Position of a lexicographic site within its parity's checkerboard.
+    #[inline(always)]
+    pub fn cb_index(&self, idx: usize) -> usize {
+        self.cb_of_lex[idx] as usize
+    }
+
+    /// Number of sites on one checkerboard (half the volume).
+    pub fn half_volume(&self) -> usize {
+        self.volume / 2
+    }
+
+    /// Time coordinate of a site (frequent in correlator code).
+    #[inline(always)]
+    pub fn time_of(&self, idx: usize) -> usize {
+        idx / (self.dims[0] * self.dims[1] * self.dims[2])
+    }
+}
+
+impl std::fmt::Debug for Lattice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Lattice({}x{}x{}x{})",
+            self.dims[0], self.dims[1], self.dims[2], self.dims[3]
+        )
+    }
+}
+
+/// Volume string for autotune keys, e.g. `"8x8x8x16"`.
+pub fn volume_string(dims: [usize; ND]) -> String {
+    format!("{}x{}x{}x{}", dims[0], dims[1], dims[2], dims[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_round_trip() {
+        let lat = Lattice::new([4, 6, 2, 8]);
+        for idx in 0..lat.volume() {
+            assert_eq!(lat.index(lat.coords(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn volume_and_slices() {
+        let lat = Lattice::new([4, 4, 4, 8]);
+        assert_eq!(lat.volume(), 512);
+        assert_eq!(lat.spatial_volume(), 64);
+        assert_eq!(lat.nt(), 8);
+    }
+
+    #[test]
+    fn neighbors_are_mutually_inverse() {
+        let lat = Lattice::new([4, 4, 2, 6]);
+        for idx in 0..lat.volume() {
+            let n = lat.neighbors(idx);
+            for mu in 0..ND {
+                let up = n.fwd[mu] as usize;
+                assert_eq!(lat.neighbors(up).bwd[mu] as usize, idx, "fwd∘bwd = id");
+                let dn = n.bwd[mu] as usize;
+                assert_eq!(lat.neighbors(dn).fwd[mu] as usize, idx, "bwd∘fwd = id");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_flip_parity() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        for idx in 0..lat.volume() {
+            let p = lat.parity(idx);
+            let n = lat.neighbors(idx);
+            for mu in 0..ND {
+                assert_eq!(lat.parity(n.fwd[mu] as usize), p.other());
+                assert_eq!(lat.parity(n.bwd[mu] as usize), p.other());
+            }
+        }
+    }
+
+    #[test]
+    fn parity_halves_are_equal() {
+        let lat = Lattice::new([4, 6, 2, 4]);
+        let even = lat.sites_with_parity(Parity::Even);
+        let odd = lat.sites_with_parity(Parity::Odd);
+        assert_eq!(even.len(), lat.volume() / 2);
+        assert_eq!(odd.len(), lat.volume() / 2);
+    }
+
+    #[test]
+    fn wrap_flags_mark_boundary_hops_only() {
+        let lat = Lattice::new([4, 4, 4, 6]);
+        for idx in 0..lat.volume() {
+            let c = lat.coords(idx);
+            let n = lat.neighbors(idx);
+            for mu in 0..ND {
+                let expect_fwd = c[mu] == lat.dims()[mu] - 1;
+                let expect_bwd = c[mu] == 0;
+                assert_eq!((n.fwd_wrap >> mu) & 1 == 1, expect_fwd);
+                assert_eq!((n.bwd_wrap >> mu) & 1 == 1, expect_bwd);
+            }
+        }
+    }
+
+    #[test]
+    fn cb_index_round_trips() {
+        let lat = Lattice::new([4, 4, 2, 6]);
+        for p in [Parity::Even, Parity::Odd] {
+            let sites = lat.sites_with_parity(p);
+            for (k, &lex) in sites.iter().enumerate() {
+                assert_eq!(lat.cb_index(lex as usize), k);
+                assert_eq!(lat.parity(lex as usize), p);
+            }
+        }
+        assert_eq!(lat.half_volume(), lat.volume() / 2);
+    }
+
+    #[test]
+    fn time_of_matches_coords() {
+        let lat = Lattice::new([4, 4, 2, 8]);
+        for idx in 0..lat.volume() {
+            assert_eq!(lat.time_of(idx), lat.coords(idx)[3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_extent_is_rejected() {
+        let _ = Lattice::new([3, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Gauge observables beyond the plaquette: Wilson loops, the static-quark
+//! potential, and the Polyakov loop.
+//!
+//! These are the standard diagnostics used to validate generated ensembles
+//! (the paper's configurations came pre-validated from MILC; ours must be
+//! checked in-house).
+
+use crate::field::{GaugeField, GaugeLinks};
+use crate::lattice::Lattice;
+use crate::su3::{Su3, NC};
+use rayon::prelude::*;
+
+/// Product of links along `len` steps in direction `mu` starting at `x`.
+fn line(lat: &Lattice, gauge: &GaugeField<f64>, x: usize, mu: usize, len: usize) -> Su3<f64> {
+    let mut u = Su3::identity();
+    let mut site = x;
+    for _ in 0..len {
+        u = u * gauge.link(site, mu);
+        site = lat.neighbors(site).fwd[mu] as usize;
+    }
+    u
+}
+
+/// Site reached after `len` forward hops in `mu`.
+fn hop(lat: &Lattice, x: usize, mu: usize, len: usize) -> usize {
+    let mut site = x;
+    for _ in 0..len {
+        site = lat.neighbors(site).fwd[mu] as usize;
+    }
+    site
+}
+
+/// Average `r × t` Wilson loop (trace / Nc), averaged over all sites and
+/// over the three spatial directions paired with time.
+pub fn wilson_loop(lat: &Lattice, gauge: &GaugeField<f64>, r: usize, t: usize) -> f64 {
+    assert!(r >= 1 && t >= 1);
+    let total: f64 = (0..lat.volume())
+        .into_par_iter()
+        .map(|x| {
+            let mut acc = 0.0;
+            for mu in 0..3 {
+                // Bottom spatial line, right temporal line, then back.
+                let bottom = line(lat, gauge, x, mu, r);
+                let x_r = hop(lat, x, mu, r);
+                let right = line(lat, gauge, x_r, 3, t);
+                let x_t = hop(lat, x, 3, t);
+                let top = line(lat, gauge, x_t, mu, r);
+                let left = line(lat, gauge, x, 3, t);
+                let loop_ = bottom * right * top.dagger() * left.dagger();
+                acc += loop_.re_trace() / NC as f64;
+            }
+            acc
+        })
+        .sum();
+    total / (lat.volume() as f64 * 3.0)
+}
+
+/// Static-quark potential `V(r) = ln[W(r,t) / W(r,t+1)]` at separation `r`.
+pub fn static_potential(lat: &Lattice, gauge: &GaugeField<f64>, r: usize, t: usize) -> f64 {
+    let w1 = wilson_loop(lat, gauge, r, t);
+    let w2 = wilson_loop(lat, gauge, r, t + 1);
+    if w1 > 0.0 && w2 > 0.0 {
+        (w1 / w2).ln()
+    } else {
+        f64::NAN
+    }
+}
+
+/// Volume-averaged Polyakov loop: the trace of the temporal line winding
+/// the lattice, `⟨(1/Nc) Tr Π_t U_4(x,t)⟩` over spatial sites. Its magnitude
+/// is an order parameter for deconfinement.
+pub fn polyakov_loop(lat: &Lattice, gauge: &GaugeField<f64>) -> crate::complex::C64 {
+    let dims = lat.dims();
+    let nt = dims[3];
+    let spatial = lat.spatial_volume();
+    let sum = (0..spatial)
+        .into_par_iter()
+        .map(|s| {
+            // Spatial index -> full coords at t = 0.
+            let x = s % dims[0];
+            let y = (s / dims[0]) % dims[1];
+            let z = s / (dims[0] * dims[1]);
+            let site0 = lat.index([x, y, z, 0]);
+            let lp = line(lat, gauge, site0, 3, nt);
+            let tr = lp.trace();
+            (tr.re / NC as f64, tr.im / NC as f64)
+        })
+        .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+    crate::complex::C64::new(sum.0 / spatial as f64, sum.1 / spatial as f64)
+}
+
+/// All `(r, t)` Wilson loops up to the given extents (for potential fits).
+pub fn wilson_loop_table(
+    lat: &Lattice,
+    gauge: &GaugeField<f64>,
+    r_max: usize,
+    t_max: usize,
+) -> Vec<Vec<f64>> {
+    (1..=r_max)
+        .map(|r| (1..=t_max).map(|t| wilson_loop(lat, gauge, r, t)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauge::{HeatbathParams, QuenchedEnsemble};
+
+    #[test]
+    fn unit_gauge_loops_are_one() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::<f64>::cold(&lat);
+        for r in 1..=2 {
+            for t in 1..=2 {
+                assert!((wilson_loop(&lat, &gauge, r, t) - 1.0).abs() < 1e-12);
+            }
+        }
+        let p = polyakov_loop(&lat, &gauge);
+        assert!((p.re - 1.0).abs() < 1e-12 && p.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn one_by_one_loop_is_the_plaquette() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 3);
+        let w11 = wilson_loop(&lat, &gauge, 1, 1);
+        // The plaquette average includes spatial-spatial planes; compare
+        // against a direct temporal-plane average instead.
+        let mut acc = 0.0;
+        for x in 0..lat.volume() {
+            for mu in 0..3 {
+                let nb = lat.neighbors(x);
+                let x_mu = nb.fwd[mu] as usize;
+                let x_t = nb.fwd[3] as usize;
+                let p = gauge.link(x, mu)
+                    * gauge.link(x_mu, 3)
+                    * gauge.link(x_t, mu).dagger()
+                    * gauge.link(x, 3).dagger();
+                acc += p.re_trace() / 3.0;
+            }
+        }
+        let direct = acc / (lat.volume() as f64 * 3.0);
+        assert!((w11 - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_loops_decay_with_area() {
+        // Confinement: W(r,t) ~ exp(-σ r t); larger loops are smaller.
+        let lat = Lattice::new([4, 4, 4, 8]);
+        let mut ens = QuenchedEnsemble::cold_start(
+            &lat,
+            HeatbathParams {
+                beta: 5.7,
+                n_or: 2,
+            },
+            5,
+        );
+        for _ in 0..15 {
+            ens.update();
+        }
+        let g = ens.current();
+        let w11 = wilson_loop(&lat, g, 1, 1);
+        let w22 = wilson_loop(&lat, g, 2, 2);
+        assert!(w11 > 0.0 && w22 > 0.0);
+        assert!(w22 < w11, "area law: W(2,2)={w22} < W(1,1)={w11}");
+    }
+
+    #[test]
+    fn static_potential_grows_with_separation() {
+        let lat = Lattice::new([4, 4, 4, 8]);
+        let mut ens = QuenchedEnsemble::cold_start(
+            &lat,
+            HeatbathParams {
+                beta: 5.9,
+                n_or: 2,
+            },
+            7,
+        );
+        for _ in 0..15 {
+            ens.update();
+        }
+        let g = ens.current();
+        let v1 = static_potential(&lat, g, 1, 1);
+        let v2 = static_potential(&lat, g, 2, 1);
+        assert!(v1.is_finite() && v2.is_finite());
+        assert!(v2 > v1, "V(2)={v2} should exceed V(1)={v1} (confinement)");
+    }
+
+    #[test]
+    fn polyakov_loop_small_in_confined_phase() {
+        let lat = Lattice::new([4, 4, 4, 8]);
+        let mut ens = QuenchedEnsemble::hot_start(
+            &lat,
+            HeatbathParams {
+                beta: 5.5,
+                n_or: 1,
+            },
+            9,
+        );
+        for _ in 0..10 {
+            ens.update();
+        }
+        let p = polyakov_loop(&lat, ens.current());
+        assert!(
+            p.abs() < 0.3,
+            "confined-phase Polyakov loop should be small: {p:?}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! BiCGStab for non-Hermitian systems — used for direct 4D Wilson solves,
+//! where it typically beats CGNE in matrix applications.
+
+use super::{CgParams, SolveStats};
+use crate::blas;
+use crate::complex::C64;
+use crate::dirac::LinearOp;
+use crate::real::Real;
+use crate::spinor::Spinor;
+
+/// Relative size below which a BiCG scalar is considered broken down.
+const BREAKDOWN: f64 = 1e-12;
+
+/// Solve `A x = b` for general (non-Hermitian) `A` by stabilized
+/// bi-conjugate gradients with true-residual restarts on breakdown.
+/// `x` holds the initial guess on entry.
+pub fn bicgstab<R: Real, A: LinearOp<R> + ?Sized>(
+    op: &A,
+    x: &mut [Spinor<R>],
+    b: &[Spinor<R>],
+    params: CgParams,
+) -> SolveStats {
+    let n = op.vec_len();
+    assert_eq!(x.len(), n);
+    assert_eq!(b.len(), n);
+    let mut stats = SolveStats::new();
+
+    let b_norm2 = blas::norm_sqr(b);
+    if b_norm2 == 0.0 {
+        blas::zero(x);
+        stats.converged = true;
+        stats.final_rel_residual = 0.0;
+        return stats;
+    }
+    let target = params.tol * params.tol * b_norm2;
+
+    // True residual; the shadow residual starts equal to it and is re-seeded
+    // from it at every restart (delta-function sources routinely break the
+    // fixed-shadow variant down).
+    let mut r = vec![Spinor::zero(); n];
+    op.apply(&mut r, x);
+    stats.flops += op.flops_per_apply();
+    for (ri, bi) in r.iter_mut().zip(b.iter()) {
+        *ri = *bi - *ri;
+    }
+    let mut r0 = r.clone();
+    let mut p = r.clone();
+    let mut v = vec![Spinor::zero(); n];
+    let mut t = vec![Spinor::zero(); n];
+    let mut rho = C64::new(blas::norm_sqr(&r), 0.0);
+    let mut r2 = rho.re;
+    let mut restarts = 0usize;
+
+    'outer: while stats.iterations < params.max_iter && r2 > target {
+        op.apply(&mut v, &p);
+        stats.iterations += 1;
+        stats.flops += op.flops_per_apply();
+
+        let r0v = blas::dot(&r0, &v);
+        let breakdown_scale = BREAKDOWN * blas::norm_sqr(&r0).sqrt() * blas::norm_sqr(&v).sqrt();
+        if r0v.abs() <= breakdown_scale {
+            // Shadow direction lost: restart from the true residual.
+            if restarts > 100 {
+                break 'outer;
+            }
+            restarts += 1;
+            op.apply(&mut r, x);
+            stats.flops += op.flops_per_apply();
+            for (ri, bi) in r.iter_mut().zip(b.iter()) {
+                *ri = *bi - *ri;
+            }
+            r0.copy_from_slice(&r);
+            p.copy_from_slice(&r);
+            r2 = blas::norm_sqr(&r);
+            rho = C64::new(r2, 0.0);
+            continue 'outer;
+        }
+        let alpha = rho / r0v;
+
+        // s = r − α v (reuse r as s).
+        blas::caxpy(-alpha, &v, &mut r);
+        let s2 = blas::norm_sqr(&r);
+        if s2 <= target {
+            blas::caxpy(alpha, &p, x);
+            break;
+        }
+
+        op.apply(&mut t, &r);
+        stats.iterations += 1;
+        stats.flops += op.flops_per_apply();
+        let tt = blas::norm_sqr(&t);
+        if tt <= BREAKDOWN * s2 {
+            blas::caxpy(alpha, &p, x);
+            break;
+        }
+        let omega = blas::dot(&t, &r) / C64::new(tt, 0.0);
+
+        // x += α p + ω s.
+        blas::caxpy(alpha, &p, x);
+        blas::caxpy(omega, &r, x);
+        // r = s − ω t.
+        blas::caxpy(-omega, &t, &mut r);
+        r2 = blas::norm_sqr(&r);
+
+        let rho_new = blas::dot(&r0, &r);
+        let rho_scale = BREAKDOWN * blas::norm_sqr(&r0).sqrt() * r2.sqrt();
+        if rho_new.abs() <= rho_scale || omega.abs() <= BREAKDOWN {
+            // Restart with a fresh shadow residual.
+            if restarts > 100 {
+                break 'outer;
+            }
+            restarts += 1;
+            op.apply(&mut r, x);
+            stats.flops += op.flops_per_apply();
+            for (ri, bi) in r.iter_mut().zip(b.iter()) {
+                *ri = *bi - *ri;
+            }
+            r0.copy_from_slice(&r);
+            p.copy_from_slice(&r);
+            r2 = blas::norm_sqr(&r);
+            rho = C64::new(r2, 0.0);
+            continue 'outer;
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + β (p − ω v).
+        blas::caxpy(-omega, &v, &mut p);
+        for (pi, ri) in p.iter_mut().zip(r.iter()) {
+            let scaled = pi.scale_c(beta.cast());
+            *pi = *ri + scaled;
+        }
+    }
+
+    // Exact residual for reporting.
+    let mut ax = vec![Spinor::zero(); n];
+    op.apply(&mut ax, x);
+    stats.flops += op.flops_per_apply();
+    let diff = blas::sub(b, &ax);
+    let true_r2 = blas::norm_sqr(&diff);
+    stats.final_rel_residual = (true_r2 / b_norm2).sqrt();
+    stats.converged = true_r2 <= target * 4.0; // allow rounding at the edge
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirac::WilsonDirac;
+    use crate::field::{FermionField, GaugeField};
+    use crate::lattice::Lattice;
+    use crate::solver::cgne;
+
+    #[test]
+    fn bicgstab_solves_wilson_directly() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 97);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 20).data;
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        let stats = bicgstab(
+            &d,
+            &mut x,
+            &b,
+            CgParams {
+                tol: 1e-9,
+                max_iter: 4000,
+            },
+        );
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.final_rel_residual < 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_handles_point_sources() {
+        // Delta-function sources break naive shadow residuals; the restart
+        // logic must recover.
+        let lat = Lattice::new([4, 4, 4, 8]);
+        let gauge = GaugeField::<f64>::hot(&lat, 103);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let mut b = vec![Spinor::zero(); lat.volume()];
+        b[0] = Spinor::unit(2, 1);
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        let stats = bicgstab(
+            &d,
+            &mut x,
+            &b,
+            CgParams {
+                tol: 1e-8,
+                max_iter: 8000,
+            },
+        );
+        assert!(stats.converged, "{stats:?}");
+    }
+
+    #[test]
+    fn bicgstab_agrees_with_cgne() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 101);
+        let d = WilsonDirac::new(&lat, &gauge, 0.4, true);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 21).data;
+
+        let mut x1 = vec![Spinor::zero(); lat.volume()];
+        let s1 = bicgstab(&d, &mut x1, &b, CgParams::default());
+        let mut x2 = vec![Spinor::zero(); lat.volume()];
+        let s2 = cgne(&d, &mut x2, &b, CgParams::default());
+        assert!(s1.converged && s2.converged);
+
+        let diff = crate::blas::sub(&x1, &x2);
+        let rel = crate::blas::norm_sqr(&diff) / crate::blas::norm_sqr(&x2);
+        assert!(rel < 1e-14, "two solvers disagree: {rel}");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge = GaugeField::<f64>::cold(&lat);
+        let d = WilsonDirac::new(&lat, &gauge, 0.5, true);
+        let b = vec![Spinor::zero(); lat.volume()];
+        let mut x = FermionField::<f64>::gaussian(lat.volume(), 22).data;
+        let stats = bicgstab(&d, &mut x, &b, CgParams::default());
+        assert!(stats.converged);
+        assert_eq!(crate::blas::norm_sqr(&x), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Mixed-precision CG with reliable updates.
+//!
+//! The paper's optimum solver stores fields in 16-bit fixed point, computes
+//! in single precision, and performs "occasional reliable updates to full
+//! double precision" (Clark et al., CPC 181 (2010) 1517). This module
+//! implements that control flow: the inner CG runs entirely in the low
+//! precision `L`; whenever the inner residual has dropped by `delta` relative
+//! to the last reliable point, the accumulated correction is promoted to
+//! `f64`, the true residual is recomputed with the high-precision operator,
+//! and the inner iteration restarts from it. This bounds the drift between
+//! the iterated and true residuals that pure low-precision CG suffers.
+
+use super::{CgParams, SolveStats};
+use crate::blas;
+use crate::dirac::LinearOp;
+use crate::real::Real;
+use crate::spinor::Spinor;
+
+/// Parameters of the mixed-precision solve.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedParams {
+    /// Stopping criteria on the outer (true, double-precision) residual.
+    pub outer: CgParams,
+    /// Reliable-update threshold: an update triggers when the inner residual
+    /// norm² falls below `delta²` times the norm² at the last reliable point.
+    pub delta: f64,
+    /// Safety cap on inner iterations between reliable updates.
+    pub max_inner: usize,
+}
+
+impl Default for MixedParams {
+    fn default() -> Self {
+        Self {
+            outer: CgParams::default(),
+            delta: 0.1,
+            max_inner: 1_000,
+        }
+    }
+}
+
+/// Solve `A x = b` where `A` is Hermitian positive definite, given the same
+/// operator in high (`f64`) and low (`L`) precision.
+///
+/// `x` must come in zeroed (or holding an initial guess in `f64`).
+pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
+    op_hi: &AH,
+    op_lo: &AL,
+    x: &mut [Spinor<f64>],
+    b: &[Spinor<f64>],
+    params: MixedParams,
+) -> SolveStats {
+    let n = op_hi.vec_len();
+    assert_eq!(op_lo.vec_len(), n, "precision pair must share a geometry");
+    assert_eq!(x.len(), n);
+    assert_eq!(b.len(), n);
+    let mut stats = SolveStats::new();
+
+    let b_norm2 = blas::norm_sqr(b);
+    if b_norm2 == 0.0 {
+        blas::zero(x);
+        stats.converged = true;
+        stats.final_rel_residual = 0.0;
+        return stats;
+    }
+    let target = params.outer.tol * params.outer.tol * b_norm2;
+
+    // True residual in double.
+    let mut r_hi = vec![Spinor::zero(); n];
+    op_hi.apply(&mut r_hi, x);
+    stats.flops += op_hi.flops_per_apply();
+    for (ri, bi) in r_hi.iter_mut().zip(b.iter()) {
+        *ri = *bi - *ri;
+    }
+    let mut r2_hi = blas::norm_sqr(&r_hi);
+
+    let blas_flops = 6.0 * 24.0 * n as f64;
+
+    while r2_hi > target && stats.iterations < params.outer.max_iter {
+        // Inner CG in low precision on A e = r, e starting at zero.
+        let mut r_lo: Vec<Spinor<L>> = r_hi.iter().map(|s| s.cast()).collect();
+        let mut p_lo = r_lo.clone();
+        let mut e_lo = vec![Spinor::<L>::zero(); n];
+        let mut ap_lo = vec![Spinor::<L>::zero(); n];
+        let mut r2_lo = blas::norm_sqr(&r_lo);
+        let reliable_point = r2_lo;
+        let inner_target = (params.delta * params.delta) * reliable_point;
+
+        let mut inner = 0;
+        while inner < params.max_inner
+            && stats.iterations < params.outer.max_iter
+            && r2_lo > inner_target
+            && r2_lo > target
+        {
+            op_lo.apply(&mut ap_lo, &p_lo);
+            stats.iterations += 1;
+            inner += 1;
+            stats.flops += op_lo.flops_per_apply() + blas_flops;
+
+            let pap = blas::dot(&p_lo, &ap_lo).re;
+            if pap <= 0.0 {
+                break; // precision exhausted in low precision
+            }
+            let alpha = r2_lo / pap;
+            blas::axpy(alpha, &p_lo, &mut e_lo);
+            blas::axpy(-alpha, &ap_lo, &mut r_lo);
+            let r2_new = blas::norm_sqr(&r_lo);
+            let beta = r2_new / r2_lo;
+            blas::xpby(&r_lo, beta, &mut p_lo);
+            r2_lo = r2_new;
+        }
+
+        // Reliable update: promote the correction and recompute the true
+        // residual in double precision.
+        for (xi, ei) in x.iter_mut().zip(e_lo.iter()) {
+            *xi += ei.cast();
+        }
+        op_hi.apply(&mut r_hi, x);
+        stats.flops += op_hi.flops_per_apply();
+        for (ri, bi) in r_hi.iter_mut().zip(b.iter()) {
+            *ri = *bi - *ri;
+        }
+        let r2_next = blas::norm_sqr(&r_hi);
+        stats.reliable_updates += 1;
+
+        if r2_next >= r2_hi && inner > 0 && r2_next > target {
+            // No progress even after a reliable update: the low precision
+            // cannot resolve the remaining residual. Give up cleanly.
+            r2_hi = r2_next;
+            break;
+        }
+        r2_hi = r2_next;
+    }
+
+    stats.final_rel_residual = (r2_hi / b_norm2).sqrt();
+    stats.converged = r2_hi <= target;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirac::{NormalOp, PrecMobius, MobiusParams, WilsonDirac};
+    use crate::field::{FermionField, GaugeField};
+    use crate::lattice::Lattice;
+    use crate::solver::cg;
+
+    #[test]
+    fn mixed_cg_reaches_double_precision_tolerance() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge64 = GaugeField::<f64>::hot(&lat, 83);
+        let gauge32 = gauge64.cast::<f32>();
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        let d32 = WilsonDirac::new(&lat, &gauge32, 0.3, true);
+        let n64 = NormalOp::new(&d64);
+        let n32 = NormalOp::new(&d32);
+
+        let b = FermionField::<f64>::gaussian(lat.volume(), 17).data;
+        let mut x = vec![crate::spinor::Spinor::zero(); lat.volume()];
+        let stats = mixed_cg(
+            &n64,
+            &n32,
+            &mut x,
+            &b,
+            MixedParams {
+                outer: CgParams {
+                    tol: 1e-10,
+                    max_iter: 10_000,
+                },
+                delta: 0.1,
+                max_inner: 500,
+            },
+        );
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.final_rel_residual < 1e-10);
+        assert!(
+            stats.reliable_updates >= 2,
+            "tolerance beyond f32 needs several reliable updates: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_cg_matches_pure_double_solution() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge64 = GaugeField::<f64>::hot(&lat, 89);
+        let gauge32 = gauge64.cast::<f32>();
+        let params = MobiusParams::standard(4, 0.1);
+        let p64 = PrecMobius::new(&lat, &gauge64, params);
+        let p32 = PrecMobius::new(&lat, &gauge32, params);
+        let n64 = NormalOp::new(&p64);
+        let n32 = NormalOp::new(&p32);
+
+        let b = FermionField::<f64>::gaussian(p64.vec_len(), 18).data;
+
+        let mut x_double = vec![crate::spinor::Spinor::zero(); p64.vec_len()];
+        let s1 = cg(&n64, &mut x_double, &b, CgParams::default());
+        assert!(s1.converged);
+
+        let mut x_mixed = vec![crate::spinor::Spinor::zero(); p64.vec_len()];
+        let s2 = mixed_cg(&n64, &n32, &mut x_mixed, &b, MixedParams::default());
+        assert!(s2.converged, "{s2:?}");
+
+        let diff = crate::blas::sub(&x_double, &x_mixed);
+        let rel = crate::blas::norm_sqr(&diff) / crate::blas::norm_sqr(&x_double);
+        assert!(rel < 1e-16, "solutions must agree to tolerance: rel {rel}");
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge64 = GaugeField::<f64>::cold(&lat);
+        let gauge32 = gauge64.cast::<f32>();
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.5, true);
+        let d32 = WilsonDirac::new(&lat, &gauge32, 0.5, true);
+        let n64 = NormalOp::new(&d64);
+        let n32 = NormalOp::new(&d32);
+        let b = vec![crate::spinor::Spinor::zero(); lat.volume()];
+        let mut x = FermionField::<f64>::gaussian(lat.volume(), 19).data;
+        let stats = mixed_cg(&n64, &n32, &mut x, &b, MixedParams::default());
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Krylov solvers for the Dirac linear systems.
+//!
+//! The paper's production solver is conjugate gradient on the normal
+//! equations ([`cgne`]) over the red–black preconditioned Möbius operator,
+//! run double/half mixed-precision with reliable updates ([`mixed`]). A
+//! BiCGStab variant covers non-Hermitian 4D Wilson solves; multi-shift CG
+//! solves a family of masses in one Krylov sequence; shift-invert Lanczos
+//! plus deflated CG accelerate ill-conditioned light-quark systems.
+
+mod bicgstab;
+mod eig;
+mod cg;
+mod mixed;
+mod multishift;
+
+pub use bicgstab::bicgstab;
+pub use eig::{deflated_cg, lanczos_lowest, EigenPair};
+pub use cg::{cg, cgne, CgParams};
+pub use mixed::{mixed_cg, MixedParams};
+pub use multishift::multishift_cg;
+
+/// Outcome of a linear solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveStats {
+    /// Matrix applications (of the solver's main operator) performed.
+    pub iterations: usize,
+    /// `‖b − A x‖ / ‖b‖` at exit, measured in the working precision of the
+    /// final true-residual evaluation.
+    pub final_rel_residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+    /// Reliable updates performed (mixed-precision solver only).
+    pub reliable_updates: usize,
+    /// Total floating-point operations attributed to the solve.
+    pub flops: f64,
+}
+
+impl SolveStats {
+    pub(crate) fn new() -> Self {
+        Self {
+            iterations: 0,
+            final_rel_residual: f64::INFINITY,
+            converged: false,
+            reliable_updates: 0,
+            flops: 0.0,
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Multi-shift conjugate gradient: solve `(A + σ_k) x_k = b` for a family
+//! of shifts in a single Krylov sequence.
+//!
+//! Production campaigns invert the same configuration at several valence
+//! quark masses; because the mass enters the normal-equation operator as a
+//! diagonal shift, the shifted systems share one Krylov space and cost one
+//! matrix application per iteration regardless of how many masses are
+//! solved (the classic multi-mass trick the USQCD stack relies on).
+
+use super::{CgParams, SolveStats};
+use crate::blas;
+use crate::dirac::LinearOp;
+use crate::real::Real;
+use crate::spinor::Spinor;
+
+/// Solve `(A + σ_k) x_k = b` for every shift `σ_k ≥ 0` (A Hermitian
+/// positive definite), all `x_k` starting at zero. Returns per-shift
+/// solutions and aggregate stats. Shifts must be sorted ascending; the
+/// smallest shift (hardest system) drives convergence.
+pub fn multishift_cg<R: Real, A: LinearOp<R> + ?Sized>(
+    op: &A,
+    shifts: &[f64],
+    b: &[Spinor<R>],
+    params: CgParams,
+) -> (Vec<Vec<Spinor<R>>>, SolveStats) {
+    let n = op.vec_len();
+    assert_eq!(b.len(), n);
+    assert!(!shifts.is_empty());
+    assert!(
+        shifts.windows(2).all(|w| w[0] <= w[1]),
+        "shifts must be ascending"
+    );
+    assert!(shifts[0] >= 0.0, "shifts must keep A + sigma positive definite");
+    let ns = shifts.len();
+    let mut stats = SolveStats::new();
+
+    let b_norm2 = blas::norm_sqr(b);
+    let mut xs = vec![vec![Spinor::<R>::zero(); n]; ns];
+    if b_norm2 == 0.0 {
+        stats.converged = true;
+        stats.final_rel_residual = 0.0;
+        return (xs, stats);
+    }
+    let target = params.tol * params.tol * b_norm2;
+
+    // Base system: the smallest shift. Shifted recurrences track the rest.
+    let sigma0 = shifts[0];
+    let mut r = b.to_vec();
+    let mut p = b.to_vec();
+    let mut ap = vec![Spinor::<R>::zero(); n];
+    let mut r2 = b_norm2;
+
+    // Shifted-CG coefficients (Jegerlehner's recurrence).
+    let mut zeta_prev = vec![1.0f64; ns];
+    let mut zeta = vec![1.0f64; ns];
+    let mut ps: Vec<Vec<Spinor<R>>> = (0..ns).map(|_| b.to_vec()).collect();
+    let mut alpha_prev = 1.0f64;
+    let mut beta_prev = 0.0f64;
+
+    while stats.iterations < params.max_iter && r2 > target {
+        op.apply(&mut ap, &p);
+        // (A + σ0) p.
+        blas::axpy(sigma0, &p, &mut ap);
+        stats.iterations += 1;
+        stats.flops += op.flops_per_apply();
+
+        let pap = blas::dot(&p, &ap).re;
+        if pap <= 0.0 {
+            break;
+        }
+        let alpha = r2 / pap;
+
+        // Shifted updates.
+        for k in 0..ns {
+            let ds = shifts[k] - sigma0;
+            let denom = zeta_prev[k] * alpha_prev
+                + alpha * beta_prev * (zeta_prev[k] - zeta[k])
+                + zeta_prev[k] * alpha_prev * alpha * ds;
+            // ζ_{k}^{new} = ζ_k ζ_k^{prev} α_prev / denom.
+            let zeta_new = if denom.abs() > 1e-300 {
+                zeta[k] * zeta_prev[k] * alpha_prev / denom
+            } else {
+                0.0
+            };
+            let alpha_k = if zeta[k].abs() > 1e-300 {
+                alpha * zeta_new / zeta[k]
+            } else {
+                0.0
+            };
+            blas::axpy(alpha_k, &ps[k], &mut xs[k]);
+            zeta_prev[k] = zeta[k];
+            zeta[k] = zeta_new;
+        }
+
+        blas::axpy(-alpha, &ap, &mut r);
+        let r2_new = blas::norm_sqr(&r);
+        let beta = r2_new / r2;
+
+        // Base direction and shifted directions.
+        blas::xpby(&r, beta, &mut p);
+        for k in 0..ns {
+            // p_k = ζ_k r + β_k p_k with β_k = β (ζ_k / ζ_k^{prev})².
+            let ratio = if zeta_prev[k].abs() > 1e-300 {
+                zeta[k] / zeta_prev[k]
+            } else {
+                0.0
+            };
+            let beta_k = beta * ratio * ratio;
+            let zk = R::from_f64(zeta[k]);
+            for (pk, ri) in ps[k].iter_mut().zip(r.iter()) {
+                *pk = ri.scale(zk) + pk.scale(R::from_f64(beta_k));
+            }
+        }
+
+        alpha_prev = alpha;
+        beta_prev = beta;
+        r2 = r2_new;
+        stats.flops += (3 + 2 * ns) as f64 * 24.0 * n as f64;
+    }
+
+    stats.final_rel_residual = (r2 / b_norm2).sqrt();
+    stats.converged = r2 <= target;
+    (xs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirac::{NormalOp, WilsonDirac};
+    use crate::field::{FermionField, GaugeField};
+    use crate::lattice::Lattice;
+    use crate::solver::cg;
+
+    #[test]
+    fn multishift_matches_individual_solves() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 31);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let a = NormalOp::new(&d);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 3).data;
+        let shifts = [0.0, 0.05, 0.2, 1.0];
+        let params = CgParams {
+            tol: 1e-10,
+            max_iter: 10_000,
+        };
+
+        let (xs, stats) = multishift_cg(&a, &shifts, &b, params);
+        assert!(stats.converged, "{stats:?}");
+
+        // Each shifted solution must solve its own system to tolerance
+        // (looser for the larger shifts, whose recurrences accumulate more
+        // rounding than a direct solve would).
+        for (k, &sigma) in shifts.iter().enumerate() {
+            let shifted = ShiftedOp { inner: &a, sigma };
+            let mut direct = vec![crate::spinor::Spinor::zero(); lat.volume()];
+            let s = cg(&shifted, &mut direct, &b, params);
+            assert!(s.converged);
+            let diff = blas::sub(&xs[k], &direct);
+            let rel = blas::norm_sqr(&diff) / blas::norm_sqr(&direct);
+            assert!(rel < 1e-14, "shift {sigma}: solutions differ, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn one_matrix_apply_per_iteration_regardless_of_shift_count() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 37);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let a = NormalOp::new(&d);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 5).data;
+        let params = CgParams {
+            tol: 1e-9,
+            max_iter: 10_000,
+        };
+        let (_, s1) = multishift_cg(&a, &[0.0], &b, params);
+        let (_, s4) = multishift_cg(&a, &[0.0, 0.1, 0.5, 2.0], &b, params);
+        assert_eq!(
+            s1.iterations, s4.iterations,
+            "shift count must not change the Krylov sequence"
+        );
+    }
+
+    #[test]
+    fn larger_shifts_give_smaller_solutions() {
+        // (A + σ)⁻¹ shrinks monotonically with σ.
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 41);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let a = NormalOp::new(&d);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 7).data;
+        let (xs, stats) = multishift_cg(
+            &a,
+            &[0.0, 0.5, 2.0],
+            &b,
+            CgParams {
+                tol: 1e-9,
+                max_iter: 10_000,
+            },
+        );
+        assert!(stats.converged);
+        let n0 = blas::norm_sqr(&xs[0]);
+        let n1 = blas::norm_sqr(&xs[1]);
+        let n2 = blas::norm_sqr(&xs[2]);
+        assert!(n0 > n1 && n1 > n2, "{n0} > {n1} > {n2}");
+    }
+
+    /// `A + σ` helper for the cross-check.
+    struct ShiftedOp<'a, A: LinearOp<f64>> {
+        inner: &'a A,
+        sigma: f64,
+    }
+    impl<'a, A: LinearOp<f64>> LinearOp<f64> for ShiftedOp<'a, A> {
+        fn vec_len(&self) -> usize {
+            self.inner.vec_len()
+        }
+        fn apply(&self, out: &mut [crate::spinor::Spinor<f64>], inp: &[crate::spinor::Spinor<f64>]) {
+            self.inner.apply(out, inp);
+            blas::axpy(self.sigma, inp, out);
+        }
+        fn flops_per_apply(&self) -> f64 {
+            self.inner.flops_per_apply()
+        }
+    }
+}

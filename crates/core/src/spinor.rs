@@ -1,0 +1,262 @@
+//! Wilson spinors: one color 3-vector per spin component (`Ns = 4`).
+
+use crate::complex::Complex;
+use crate::gamma::{GammaSparse, SpinMatrix, GAMMA5_DIAG, NS};
+use crate::real::Real;
+use crate::su3::ColorVec;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+/// A site spinor: 4 spins × 3 colors = 12 complex numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Spinor<R> {
+    /// Spin components, each a color vector.
+    pub s: [ColorVec<R>; NS],
+}
+
+impl<R: Real> Spinor<R> {
+    /// Zero spinor.
+    pub fn zero() -> Self {
+        Self {
+            s: [ColorVec::zero(); NS],
+        }
+    }
+
+    /// Unit spinor with a 1 in the given (spin, color) slot — a point source
+    /// component.
+    pub fn unit(spin: usize, color: usize) -> Self {
+        let mut out = Self::zero();
+        out.s[spin].c[color] = Complex::one();
+        out
+    }
+
+    /// Squared 2-norm over all 12 components.
+    #[inline(always)]
+    pub fn norm_sqr(&self) -> R {
+        self.s[0].norm_sqr() + self.s[1].norm_sqr() + self.s[2].norm_sqr() + self.s[3].norm_sqr()
+    }
+
+    /// Hermitian inner product `⟨self, rhs⟩`.
+    pub fn dot(&self, rhs: &Self) -> Complex<R> {
+        let mut acc = Complex::zero();
+        for sp in 0..NS {
+            acc += self.s[sp].dot(&rhs.s[sp]);
+        }
+        acc
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(&self, f: R) -> Self {
+        Self {
+            s: [
+                self.s[0].scale(f),
+                self.s[1].scale(f),
+                self.s[2].scale(f),
+                self.s[3].scale(f),
+            ],
+        }
+    }
+
+    /// Scale by a complex factor.
+    pub fn scale_c(&self, f: Complex<R>) -> Self {
+        Self {
+            s: [
+                self.s[0].scale_c(f),
+                self.s[1].scale_c(f),
+                self.s[2].scale_c(f),
+                self.s[3].scale_c(f),
+            ],
+        }
+    }
+
+    /// Apply a sparse γ-matrix: `(γ ψ)_s = phase_s · ψ_{perm(s)}`.
+    #[inline]
+    pub fn apply_gamma(&self, g: &GammaSparse) -> Self {
+        let mut out = Self::zero();
+        for sp in 0..NS {
+            out.s[sp] = self.s[g.perm[sp]].scale_c(g.phase[sp].cast());
+        }
+        out
+    }
+
+    /// Apply γ5 (diagonal in this basis): flips the sign of spins 2, 3.
+    #[inline(always)]
+    pub fn apply_gamma5(&self) -> Self {
+        Self {
+            s: [self.s[0], self.s[1], -self.s[2], -self.s[3]],
+        }
+    }
+
+    /// Chirality projection `P± ψ = (1 ± γ5)/2 ψ`: zeroes two spin components.
+    #[inline(always)]
+    pub fn chiral_project(&self, plus: bool) -> Self {
+        let mut out = Self::zero();
+        for sp in 0..NS {
+            let keep = (GAMMA5_DIAG[sp] > 0.0) == plus;
+            if keep {
+                out.s[sp] = self.s[sp];
+            }
+        }
+        out
+    }
+
+    /// Apply a dense spin matrix (contraction code path).
+    pub fn apply_spin_matrix(&self, m: &SpinMatrix<R>) -> Self {
+        let mut out = Self::zero();
+        for i in 0..NS {
+            for j in 0..NS {
+                let w = m.m[i][j];
+                if w.norm_sqr() != R::ZERO {
+                    out.s[i] += self.s[j].scale_c(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert precision component-wise.
+    pub fn cast<S: Real>(&self) -> Spinor<S> {
+        Spinor {
+            s: [
+                self.s[0].cast(),
+                self.s[1].cast(),
+                self.s[2].cast(),
+                self.s[3].cast(),
+            ],
+        }
+    }
+}
+
+impl<R: Real> Add for Spinor<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            s: [
+                self.s[0] + rhs.s[0],
+                self.s[1] + rhs.s[1],
+                self.s[2] + rhs.s[2],
+                self.s[3] + rhs.s[3],
+            ],
+        }
+    }
+}
+
+impl<R: Real> Sub for Spinor<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            s: [
+                self.s[0] - rhs.s[0],
+                self.s[1] - rhs.s[1],
+                self.s[2] - rhs.s[2],
+                self.s[3] - rhs.s[3],
+            ],
+        }
+    }
+}
+
+impl<R: Real> Neg for Spinor<R> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self {
+            s: [-self.s[0], -self.s[1], -self.s[2], -self.s[3]],
+        }
+    }
+}
+
+impl<R: Real> AddAssign for Spinor<R> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        for sp in 0..NS {
+            self.s[sp] += rhs.s[sp];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::{gamma5_dense, gamma_dense, GAMMAS};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_spinor(rng: &mut SmallRng) -> Spinor<f64> {
+        let mut sp = Spinor::zero();
+        for s in 0..NS {
+            for c in 0..3 {
+                sp.s[s].c[c] = Complex::from_f64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            }
+        }
+        sp
+    }
+
+    #[test]
+    fn sparse_gamma_matches_dense() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let psi = random_spinor(&mut rng);
+        for mu in 0..4 {
+            let sparse = psi.apply_gamma(&GAMMAS[mu]);
+            let dense = psi.apply_spin_matrix(&gamma_dense(mu));
+            assert!((sparse - dense).norm_sqr() < 1e-24, "γ{mu} mismatch");
+        }
+    }
+
+    #[test]
+    fn gamma5_fast_path_matches_dense() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let psi = random_spinor(&mut rng);
+        let fast = psi.apply_gamma5();
+        let dense = psi.apply_spin_matrix(&gamma5_dense());
+        assert!((fast - dense).norm_sqr() < 1e-24);
+    }
+
+    #[test]
+    fn chiral_projectors_are_complete_and_orthogonal() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let psi = random_spinor(&mut rng);
+        let plus = psi.chiral_project(true);
+        let minus = psi.chiral_project(false);
+        assert!((plus + minus - psi).norm_sqr() < 1e-28, "P+ + P- = 1");
+        assert!(plus.dot(&minus).abs() < 1e-15, "orthogonal sectors");
+        assert!(
+            (plus.chiral_project(true) - plus).norm_sqr() < 1e-28,
+            "idempotent"
+        );
+        assert!(plus.chiral_project(false).norm_sqr() < 1e-28);
+    }
+
+    #[test]
+    fn gamma_preserves_norm() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let psi = random_spinor(&mut rng);
+        for mu in 0..4 {
+            let g = psi.apply_gamma(&GAMMAS[mu]);
+            assert!((g.norm_sqr() - psi.norm_sqr()).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn unit_spinor_has_unit_norm() {
+        for spin in 0..4 {
+            for color in 0..3 {
+                let e = Spinor::<f64>::unit(spin, color);
+                assert_eq!(e.norm_sqr(), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_sesquilinear() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = random_spinor(&mut rng);
+        let b = random_spinor(&mut rng);
+        let z = Complex::from_f64(0.7, -0.3);
+        let lhs = a.dot(&b.scale_c(z));
+        let rhs = a.dot(&b) * z;
+        assert!((lhs - rhs).abs() < 1e-14);
+    }
+}

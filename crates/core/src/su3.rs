@@ -1,0 +1,449 @@
+//! SU(3) color algebra: 3×3 special-unitary matrices and color 3-vectors.
+//!
+//! Gauge links live in the fundamental representation of SU(3) (`Nc = 3`); a
+//! quark field carries one color 3-vector per spin component. These types are
+//! the dense "sub-matrices along the diagonal" of the Dirac operator the paper
+//! describes.
+
+use crate::complex::Complex;
+use crate::real::Real;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Number of colors.
+pub const NC: usize = 3;
+
+/// A color 3-vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
+pub struct ColorVec<R> {
+    /// The three color components.
+    pub c: [Complex<R>; NC],
+}
+
+impl<R: Real> ColorVec<R> {
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self {
+            c: [Complex::zero(); NC],
+        }
+    }
+
+    /// Squared 2-norm.
+    #[inline(always)]
+    pub fn norm_sqr(&self) -> R {
+        self.c[0].norm_sqr() + self.c[1].norm_sqr() + self.c[2].norm_sqr()
+    }
+
+    /// Hermitian inner product `⟨self, rhs⟩ = Σ conj(self_i) rhs_i`.
+    pub fn dot(&self, rhs: &Self) -> Complex<R> {
+        let mut acc = Complex::zero();
+        for i in 0..NC {
+            acc += self.c[i].conj() * rhs.c[i];
+        }
+        acc
+    }
+
+    /// Multiply every component by a complex scalar.
+    #[inline(always)]
+    pub fn scale_c(&self, s: Complex<R>) -> Self {
+        Self {
+            c: [self.c[0] * s, self.c[1] * s, self.c[2] * s],
+        }
+    }
+
+    /// Multiply every component by a real scalar.
+    #[inline(always)]
+    pub fn scale(&self, s: R) -> Self {
+        Self {
+            c: [self.c[0].scale(s), self.c[1].scale(s), self.c[2].scale(s)],
+        }
+    }
+
+    /// `i · self`.
+    #[inline(always)]
+    pub fn mul_i(&self) -> Self {
+        Self {
+            c: [self.c[0].mul_i(), self.c[1].mul_i(), self.c[2].mul_i()],
+        }
+    }
+
+    /// Convert precision component-wise.
+    pub fn cast<S: Real>(&self) -> ColorVec<S> {
+        ColorVec {
+            c: [self.c[0].cast(), self.c[1].cast(), self.c[2].cast()],
+        }
+    }
+}
+
+impl<R: Real> Add for ColorVec<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            c: [
+                self.c[0] + rhs.c[0],
+                self.c[1] + rhs.c[1],
+                self.c[2] + rhs.c[2],
+            ],
+        }
+    }
+}
+
+impl<R: Real> Sub for ColorVec<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            c: [
+                self.c[0] - rhs.c[0],
+                self.c[1] - rhs.c[1],
+                self.c[2] - rhs.c[2],
+            ],
+        }
+    }
+}
+
+impl<R: Real> Neg for ColorVec<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self {
+            c: [-self.c[0], -self.c[1], -self.c[2]],
+        }
+    }
+}
+
+impl<R: Real> AddAssign for ColorVec<R> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..NC {
+            self.c[i] += rhs.c[i];
+        }
+    }
+}
+
+/// A 3×3 complex matrix in row-major order; gauge links are the SU(3) subset.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Su3<R> {
+    /// Row-major entries `m[row][col]`.
+    pub m: [[Complex<R>; NC]; NC],
+}
+
+impl<R: Real> Default for Su3<R> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<R: Real> Su3<R> {
+    /// The identity matrix (a valid group element: the "cold" link).
+    pub fn identity() -> Self {
+        let mut m = [[Complex::zero(); NC]; NC];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = Complex::one();
+        }
+        Self { m }
+    }
+
+    /// The zero matrix (not a group element; used as an accumulator).
+    pub fn zero() -> Self {
+        Self {
+            m: [[Complex::zero(); NC]; NC],
+        }
+    }
+
+    /// Hermitian conjugate (the group inverse for unitary matrices).
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..NC {
+            for j in 0..NC {
+                out.m[i][j] = self.m[j][i].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `U v`.
+    #[inline]
+    pub fn mul_vec(&self, v: &ColorVec<R>) -> ColorVec<R> {
+        let mut out = ColorVec::zero();
+        for (i, row) in self.m.iter().enumerate() {
+            let mut acc = Complex::zero();
+            for (j, &u) in row.iter().enumerate() {
+                acc = acc.add_mul(u, v.c[j]);
+            }
+            out.c[i] = acc;
+        }
+        out
+    }
+
+    /// `U† v` without materializing the dagger.
+    #[inline]
+    pub fn dagger_mul_vec(&self, v: &ColorVec<R>) -> ColorVec<R> {
+        let mut out = ColorVec::zero();
+        for i in 0..NC {
+            let mut acc = Complex::zero();
+            for j in 0..NC {
+                acc += self.m[j][i].conj() * v.c[j];
+            }
+            out.c[i] = acc;
+        }
+        out
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> Complex<R> {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Real part of the trace (the plaquette observable's ingredient).
+    pub fn re_trace(&self) -> R {
+        self.m[0][0].re + self.m[1][1].re + self.m[2][2].re
+    }
+
+    /// Determinant (should be 1 for group elements).
+    pub fn det(&self) -> Complex<R> {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Multiply every entry by a real scalar.
+    pub fn scale(&self, s: R) -> Self {
+        let mut out = *self;
+        for row in out.m.iter_mut() {
+            for e in row.iter_mut() {
+                *e = e.scale(s);
+            }
+        }
+        out
+    }
+
+    /// Frobenius distance to another matrix, as `f64` for tolerance checks.
+    pub fn distance(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..NC {
+            for j in 0..NC {
+                acc += (self.m[i][j] - other.m[i][j]).norm_sqr().to_f64();
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Deviation from unitarity `‖U U† − 1‖_F` as `f64`.
+    pub fn unitarity_error(&self) -> f64 {
+        let uud = *self * self.dagger();
+        uud.distance(&Self::identity())
+    }
+
+    /// Project back onto SU(3) by Gram–Schmidt on the first two rows and
+    /// setting the third to the conjugate cross product (reunitarization,
+    /// applied periodically during gauge evolution to control rounding drift).
+    pub fn reunitarize(&self) -> Self {
+        let mut r0 = ColorVec { c: self.m[0] };
+        let n0 = r0.norm_sqr().sqrt();
+        r0 = r0.scale(R::ONE / n0);
+        let mut r1 = ColorVec { c: self.m[1] };
+        let proj = r0.dot(&r1);
+        for i in 0..NC {
+            r1.c[i] -= proj * r0.c[i];
+        }
+        let n1 = r1.norm_sqr().sqrt();
+        r1 = r1.scale(R::ONE / n1);
+        // Third row: conj(r0 × r1) makes the matrix special unitary.
+        let cross = |a: &ColorVec<R>, b: &ColorVec<R>| -> ColorVec<R> {
+            ColorVec {
+                c: [
+                    (a.c[1] * b.c[2] - a.c[2] * b.c[1]).conj(),
+                    (a.c[2] * b.c[0] - a.c[0] * b.c[2]).conj(),
+                    (a.c[0] * b.c[1] - a.c[1] * b.c[0]).conj(),
+                ],
+            }
+        };
+        let r2 = cross(&r0, &r1);
+        Self {
+            m: [r0.c, r1.c, r2.c],
+        }
+    }
+
+    /// A Haar-ish random SU(3) element: Gaussian entries re-unitarized.
+    /// Used for "hot" gauge starts.
+    pub fn random<G: Rng>(rng: &mut G) -> Self {
+        let mut m = [[Complex::zero(); NC]; NC];
+        for row in m.iter_mut() {
+            for e in row.iter_mut() {
+                *e = Complex::from_f64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            }
+        }
+        Self { m }.reunitarize()
+    }
+
+    /// Convert precision entry-wise.
+    pub fn cast<S: Real>(&self) -> Su3<S> {
+        let mut out = Su3::zero();
+        for i in 0..NC {
+            for j in 0..NC {
+                out.m[i][j] = self.m[i][j].cast();
+            }
+        }
+        out
+    }
+}
+
+impl<R: Real> Mul for Su3<R> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..NC {
+            for k in 0..NC {
+                let a = self.m[i][k];
+                for j in 0..NC {
+                    out.m[i][j] = out.m[i][j].add_mul(a, rhs.m[k][j]);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<R: Real> Add for Su3<R> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self;
+        for i in 0..NC {
+            for j in 0..NC {
+                out.m[i][j] += rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl<R: Real> AddAssign for Su3<R> {
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..NC {
+            for j in 0..NC {
+                self.m[i][j] += rhs.m[i][j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_unitary_with_unit_det() {
+        let u = Su3::<f64>::identity();
+        assert!(u.unitarity_error() < 1e-15);
+        assert!((u.det() - Complex::one()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn random_elements_are_special_unitary() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let u = Su3::<f64>::random(&mut rng);
+            assert!(u.unitarity_error() < 1e-12, "U U† = 1");
+            assert!((u.det() - Complex::one()).abs() < 1e-12, "det U = 1");
+        }
+    }
+
+    #[test]
+    fn group_closure_under_multiplication() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = Su3::<f64>::random(&mut rng);
+        let b = Su3::<f64>::random(&mut rng);
+        let c = a * b;
+        assert!(c.unitarity_error() < 1e-12);
+        assert!((c.det() - Complex::one()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dagger_is_inverse() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let u = Su3::<f64>::random(&mut rng);
+        let prod = u * u.dagger();
+        assert!(prod.distance(&Su3::identity()) < 1e-12);
+    }
+
+    #[test]
+    fn dagger_mul_vec_matches_materialized_dagger() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let u = Su3::<f64>::random(&mut rng);
+        let v = ColorVec {
+            c: [
+                Complex::from_f64(0.3, -1.0),
+                Complex::from_f64(2.0, 0.7),
+                Complex::from_f64(-0.5, 0.1),
+            ],
+        };
+        let a = u.dagger_mul_vec(&v);
+        let b = u.dagger().mul_vec(&v);
+        assert!((a - b).norm_sqr() < 1e-24);
+    }
+
+    #[test]
+    fn mul_vec_preserves_norm_for_unitary() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let u = Su3::<f64>::random(&mut rng);
+        let v = ColorVec {
+            c: [
+                Complex::from_f64(1.0, 2.0),
+                Complex::from_f64(-0.3, 0.4),
+                Complex::from_f64(0.0, -1.5),
+            ],
+        };
+        let w = u.mul_vec(&v);
+        assert!((w.norm_sqr() - v.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reunitarize_fixes_perturbed_matrix() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut u = Su3::<f64>::random(&mut rng);
+        // Perturb off the group manifold.
+        u.m[0][0] += Complex::from_f64(1e-3, -2e-3);
+        u.m[2][1] += Complex::from_f64(-5e-4, 1e-4);
+        let v = u.reunitarize();
+        assert!(v.unitarity_error() < 1e-12);
+        assert!((v.det() - Complex::one()).abs() < 1e-12);
+        // Projection must stay close to the original.
+        assert!(u.distance(&v) < 0.05);
+    }
+
+    #[test]
+    fn trace_of_identity_is_three() {
+        let u = Su3::<f64>::identity();
+        assert_eq!(u.re_trace(), 3.0);
+    }
+
+    #[test]
+    fn color_dot_is_hermitian() {
+        let a: ColorVec<f64> = ColorVec {
+            c: [
+                Complex::from_f64(1.0, 1.0),
+                Complex::from_f64(0.0, 2.0),
+                Complex::from_f64(-1.0, 0.5),
+            ],
+        };
+        let b = ColorVec {
+            c: [
+                Complex::from_f64(0.3, -0.7),
+                Complex::from_f64(1.2, 0.0),
+                Complex::from_f64(0.0, 0.9),
+            ],
+        };
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        assert!((ab - ba.conj()).abs() < 1e-15);
+        assert!((a.dot(&a).im).abs() < 1e-15, "self-dot is real");
+    }
+}

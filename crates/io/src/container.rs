@@ -1,0 +1,331 @@
+//! The chunked container format.
+//!
+//! Layout:
+//! ```text
+//! magic   8 bytes  "LQIO\x01\0\0\n"
+//! u32 LE  header JSON length
+//! bytes   header JSON (name, dtype, shape, chunk_bytes, metadata)
+//! repeat per chunk:
+//!   u64 LE  payload length
+//!   bytes   payload
+//!   u32 LE  CRC-32C(payload)
+//! ```
+
+use crate::crc32c::crc32c;
+use crate::IoError;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"LQIO\x01\0\0\n";
+
+/// Default chunk payload size.
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// Container header, stored as JSON.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Header {
+    /// Dataset name (e.g. `"gauge"`, `"propagator_column"`).
+    pub name: String,
+    /// Element type: `"f64"` or `"f32"`.
+    pub dtype: String,
+    /// Logical shape (e.g. `[x, y, z, t, 4, 18]` for a gauge field).
+    pub shape: Vec<usize>,
+    /// Number of payload chunks that follow.
+    pub n_chunks: usize,
+    /// Free-form metadata.
+    pub metadata: BTreeMap<String, String>,
+}
+
+/// A parsed container: header plus the raw little-endian payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Container {
+    /// Header.
+    pub header: Header,
+    /// Concatenated payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Container {
+    /// Total element count implied by the shape.
+    pub fn element_count(&self) -> usize {
+        self.header.shape.iter().product()
+    }
+
+    /// Decode the payload as little-endian `f64`s.
+    pub fn to_f64(&self) -> Result<Vec<f64>, IoError> {
+        if self.header.dtype != "f64" {
+            return Err(IoError::ShapeMismatch(format!(
+                "expected dtype f64, file has {}",
+                self.header.dtype
+            )));
+        }
+        if self.payload.len() != self.element_count() * 8 {
+            return Err(IoError::Format("payload length != shape".into()));
+        }
+        Ok(self
+            .payload
+            .par_chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Decode the payload as little-endian `f32`s.
+    pub fn to_f32(&self) -> Result<Vec<f32>, IoError> {
+        if self.header.dtype != "f32" {
+            return Err(IoError::ShapeMismatch(format!(
+                "expected dtype f32, file has {}",
+                self.header.dtype
+            )));
+        }
+        if self.payload.len() != self.element_count() * 4 {
+            return Err(IoError::Format("payload length != shape".into()));
+        }
+        Ok(self
+            .payload
+            .par_chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Build a container from `f64` values.
+    pub fn from_f64(
+        name: &str,
+        shape: Vec<usize>,
+        values: &[f64],
+        metadata: BTreeMap<String, String>,
+    ) -> Self {
+        assert_eq!(values.len(), shape.iter().product::<usize>());
+        let payload: Vec<u8> = values
+            .par_iter()
+            .flat_map_iter(|v| v.to_le_bytes())
+            .collect();
+        Self {
+            header: Header {
+                name: name.into(),
+                dtype: "f64".into(),
+                shape,
+                n_chunks: 0, // fixed at write time
+                metadata,
+            },
+            payload,
+        }
+    }
+
+    /// Build a container from `f32` values.
+    pub fn from_f32(
+        name: &str,
+        shape: Vec<usize>,
+        values: &[f32],
+        metadata: BTreeMap<String, String>,
+    ) -> Self {
+        assert_eq!(values.len(), shape.iter().product::<usize>());
+        let payload: Vec<u8> = values
+            .par_iter()
+            .flat_map_iter(|v| v.to_le_bytes())
+            .collect();
+        Self {
+            header: Header {
+                name: name.into(),
+                dtype: "f32".into(),
+                shape,
+                n_chunks: 0,
+                metadata,
+            },
+            payload,
+        }
+    }
+}
+
+/// Write a container to `path`, chunking the payload and checksumming each
+/// chunk (checksums computed in parallel).
+pub fn write_container(path: &Path, container: &Container) -> Result<(), IoError> {
+    let chunks: Vec<&[u8]> = container.payload.chunks(DEFAULT_CHUNK_BYTES).collect();
+    let crcs: Vec<u32> = chunks.par_iter().map(|c| crc32c(c)).collect();
+
+    let mut header = container.header.clone();
+    header.n_chunks = chunks.len();
+    let header_json = serde_json::to_vec(&header).expect("header serializes");
+
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(&MAGIC)?;
+    file.write_all(&(header_json.len() as u32).to_le_bytes())?;
+    file.write_all(&header_json)?;
+    for (chunk, crc) in chunks.iter().zip(&crcs) {
+        file.write_all(&(chunk.len() as u64).to_le_bytes())?;
+        file.write_all(chunk)?;
+        file.write_all(&crc.to_le_bytes())?;
+    }
+    file.flush()?;
+    Ok(())
+}
+
+/// Read only the header of a container (no payload, no checksum work) —
+/// what a workflow manager uses to inventory files cheaply.
+pub fn read_header(path: &Path) -> Result<Header, IoError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let mut len4 = [0u8; 4];
+    file.read_exact(&mut len4)?;
+    let hlen = u32::from_le_bytes(len4) as usize;
+    let mut hbytes = vec![0u8; hlen];
+    file.read_exact(&mut hbytes)?;
+    serde_json::from_slice(&hbytes).map_err(|e| IoError::Format(format!("header: {e}")))
+}
+
+/// Read and verify a container from `path`.
+pub fn read_container(path: &Path) -> Result<Container, IoError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let mut len4 = [0u8; 4];
+    file.read_exact(&mut len4)?;
+    let hlen = u32::from_le_bytes(len4) as usize;
+    let mut hbytes = vec![0u8; hlen];
+    file.read_exact(&mut hbytes)?;
+    let header: Header =
+        serde_json::from_slice(&hbytes).map_err(|e| IoError::Format(format!("header: {e}")))?;
+
+    let mut chunks: Vec<Vec<u8>> = Vec::with_capacity(header.n_chunks);
+    let mut stored_crcs = Vec::with_capacity(header.n_chunks);
+    for _ in 0..header.n_chunks {
+        let mut len8 = [0u8; 8];
+        file.read_exact(&mut len8)?;
+        let clen = u64::from_le_bytes(len8) as usize;
+        let mut payload = vec![0u8; clen];
+        file.read_exact(&mut payload)?;
+        file.read_exact(&mut len4)?;
+        stored_crcs.push(u32::from_le_bytes(len4));
+        chunks.push(payload);
+    }
+
+    // Verify all checksums in parallel.
+    let bad = chunks
+        .par_iter()
+        .zip(stored_crcs.par_iter())
+        .enumerate()
+        .find_map_first(|(i, (c, &crc))| if crc32c(c) != crc { Some(i) } else { None });
+    if let Some(chunk) = bad {
+        return Err(IoError::ChecksumMismatch { chunk });
+    }
+
+    let payload = chunks.concat();
+    Ok(Container { header, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lattice_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let vals: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let c = Container::from_f64("test", vec![100, 100], &vals, BTreeMap::new());
+        let path = tmp("roundtrip_f64.lqio");
+        write_container(&path, &c).unwrap();
+        let back = read_container(&path).unwrap();
+        assert_eq!(back.to_f64().unwrap(), vals);
+        assert_eq!(back.header.shape, vec![100, 100]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn f32_round_trip_with_metadata() {
+        let vals: Vec<f32> = (0..513).map(|i| i as f32 * 0.5).collect();
+        let mut md = BTreeMap::new();
+        md.insert("beta".into(), "5.7".into());
+        md.insert("config".into(), "42".into());
+        let c = Container::from_f32("cfg", vec![513], &vals, md.clone());
+        let path = tmp("roundtrip_f32.lqio");
+        write_container(&path, &c).unwrap();
+        let back = read_container(&path).unwrap();
+        assert_eq!(back.to_f32().unwrap(), vals);
+        assert_eq!(back.header.metadata, md);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let vals: Vec<f64> = (0..300_000).map(|i| i as f64).collect();
+        let c = Container::from_f64("big", vec![300_000], &vals, BTreeMap::new());
+        let path = tmp("corrupt.lqio");
+        write_container(&path, &c).unwrap();
+        // Flip one byte in the middle of the payload region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_container(&path) {
+            Err(IoError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_only_read_skips_payload() {
+        let vals: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+        let mut md = BTreeMap::new();
+        md.insert("config".into(), "7".into());
+        let c = Container::from_f64("inventory", vec![50_000], &vals, md);
+        let path = tmp("header_only.lqio");
+        write_container(&path, &c).unwrap();
+        let h = read_header(&path).unwrap();
+        assert_eq!(h.name, "inventory");
+        assert_eq!(h.shape, vec![50_000]);
+        assert_eq!(h.metadata.get("config").map(String::as_str), Some("7"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("badmagic.lqio");
+        std::fs::write(&path, b"NOTAFILE plus junk").unwrap();
+        assert!(matches!(
+            read_container(&path),
+            Err(IoError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dtype_mismatch_is_rejected() {
+        let vals: Vec<f64> = vec![1.0, 2.0];
+        let c = Container::from_f64("x", vec![2], &vals, BTreeMap::new());
+        let path = tmp("dtype.lqio");
+        write_container(&path, &c).unwrap();
+        let back = read_container(&path).unwrap();
+        assert!(back.to_f32().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_chunk_files_work() {
+        // 3.5 chunks worth of data.
+        let n = (DEFAULT_CHUNK_BYTES * 7 / 2) / 8;
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let c = Container::from_f64("multi", vec![n], &vals, BTreeMap::new());
+        let path = tmp("multichunk.lqio");
+        write_container(&path, &c).unwrap();
+        let back = read_container(&path).unwrap();
+        assert_eq!(back.header.n_chunks, 4);
+        assert_eq!(back.to_f64().unwrap(), vals);
+        std::fs::remove_file(&path).ok();
+    }
+}

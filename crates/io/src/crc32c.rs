@@ -1,0 +1,62 @@
+//! CRC-32C (Castagnoli), table-driven, implemented from the polynomial —
+//! the per-chunk integrity check of the container format.
+
+/// Reflected Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table built at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *e = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32C of a byte slice.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_test_vectors() {
+        // RFC 3720 / common CRC-32C vectors.
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(b"a"), 0xC1D0_4330);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0x5Au8; 1024];
+        let base = crc32c(&data);
+        for bit in [0usize, 13, 8000] {
+            let mut corrupt = data.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32c(&corrupt), base, "bit {bit} undetected");
+        }
+    }
+}

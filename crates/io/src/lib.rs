@@ -1,0 +1,65 @@
+//! Lattice field I/O.
+//!
+//! The paper's workflow writes every propagator to disk between the GPU
+//! solve stage and the CPU contraction stage, through parallel HDF5
+//! ("I/O takes about 0.5% of our total application time"). HDF5 is not
+//! available here, so this crate implements a chunked, checksummed binary
+//! container with the same role:
+//!
+//! - a JSON header (name, element type, shape, free-form metadata),
+//! - fixed-size chunks, each carrying a CRC-32C of its payload,
+//! - parallel (rayon) encode/decode of the numeric payloads.
+//!
+//! Gauge fields, fermion fields (propagator columns), and correlators all
+//! serialize through the same container. Corruption of any byte is detected
+//! on read.
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod bundle;
+pub mod container;
+pub mod crc32c;
+pub mod fields;
+
+pub use bundle::{read_propagator, write_propagator, BundlePrecision};
+pub use container::{read_container, read_header, write_container, Container, Header};
+pub use fields::{
+    read_correlator, read_fermion, read_gauge, write_correlator, write_fermion, write_gauge,
+};
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed file (bad magic, truncated, bad JSON).
+    Format(String),
+    /// A chunk's CRC-32C did not match its payload.
+    ChecksumMismatch {
+        /// Index of the corrupt chunk.
+        chunk: usize,
+    },
+    /// The file's shape does not match the requested object.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::ChecksumMismatch { chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk}")
+            }
+            IoError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}

@@ -1,0 +1,245 @@
+//! The simulated cluster: nodes with GPU/CPU slots, per-node speed jitter,
+//! and startup failures.
+
+use coral_machine::MachineSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Nodes allocated to this job.
+    pub nodes: usize,
+    /// Log-normal-ish node speed spread (multiplicative sigma). Real nodes
+    /// "can differ in performance" (§V); this feeds the Fig. 7 histogram.
+    pub jitter_sigma: f64,
+    /// Probability that a node is dead/unreachable at startup ("lumps that
+    /// fail to start ... are ignored").
+    pub failure_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 128,
+            jitter_sigma: 0.05,
+            failure_prob: 0.002,
+            seed: 1,
+        }
+    }
+}
+
+/// One node's simulated state.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Relative speed (1.0 = nominal); task durations divide by the slowest
+    /// participating node's speed.
+    pub speed: f64,
+    /// Free GPU slots.
+    pub free_gpus: usize,
+    /// Whether the CPU sockets are free (contractions occupy them).
+    pub cpu_free: bool,
+    /// Dead at startup.
+    pub failed: bool,
+}
+
+/// The simulated machine partition a job manager works with.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Static description of the machine this partition belongs to.
+    pub machine: MachineSpec,
+    /// Per-node state.
+    pub nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Build a partition of `machine` with the given config.
+    pub fn new(machine: MachineSpec, config: &ClusterConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let nodes = (0..config.nodes)
+            .map(|_| {
+                let z: f64 = {
+                    // Box–Muller normal sample.
+                    let u1: f64 = rng.gen::<f64>().max(1e-300);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                Node {
+                    speed: (1.0 + config.jitter_sigma * z).clamp(0.5, 1.5),
+                    free_gpus: machine.gpus_per_node,
+                    cpu_free: true,
+                    failed: rng.gen::<f64>() < config.failure_prob,
+                }
+            })
+            .collect();
+        Self { machine, nodes }
+    }
+
+    /// GPUs per node on this machine.
+    pub fn gpus_per_node(&self) -> usize {
+        self.machine.gpus_per_node
+    }
+
+    /// Total healthy nodes.
+    pub fn healthy_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.failed).count()
+    }
+
+    /// Total GPU slots on healthy nodes.
+    pub fn total_gpus(&self) -> usize {
+        self.healthy_nodes() * self.gpus_per_node()
+    }
+
+    /// Find `n_nodes` whole free nodes, preferring a contiguous run (the
+    /// `mpi_jm` block discipline); falls back to scattered nodes when
+    /// `allow_fragmented`. Returns node indices or `None`.
+    pub fn find_free_nodes(&self, n_nodes: usize, allow_fragmented: bool) -> Option<Vec<usize>> {
+        let free: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                !n.failed && n.free_gpus == self.gpus_per_node() && n.cpu_free
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if free.len() < n_nodes {
+            return None;
+        }
+        // Contiguous run first.
+        for w in free.windows(n_nodes) {
+            if w[n_nodes - 1] - w[0] == n_nodes - 1 {
+                return Some(w.to_vec());
+            }
+        }
+        if allow_fragmented {
+            Some(free[..n_nodes].to_vec())
+        } else {
+            None
+        }
+    }
+
+    /// Mark nodes busy for a whole-node GPU task.
+    pub fn occupy(&mut self, nodes: &[usize]) {
+        for &i in nodes {
+            assert_eq!(self.nodes[i].free_gpus, self.gpus_per_node(), "double-book");
+            self.nodes[i].free_gpus = 0;
+        }
+    }
+
+    /// Release nodes after a whole-node GPU task.
+    pub fn release(&mut self, nodes: &[usize]) {
+        for &i in nodes {
+            self.nodes[i].free_gpus = self.gpus_per_node();
+        }
+    }
+
+    /// Slowest speed among the given nodes (sets the task's pace).
+    pub fn group_speed(&self, nodes: &[usize]) -> f64 {
+        nodes
+            .iter()
+            .map(|&i| self.nodes[i].speed)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether an allocation is contiguous in node index (proxy for being
+    /// placed close together on the fabric).
+    pub fn is_contiguous(nodes: &[usize]) -> bool {
+        if nodes.is_empty() {
+            return true;
+        }
+        let min = *nodes.iter().min().expect("nonempty");
+        let max = *nodes.iter().max().expect("nonempty");
+        max - min + 1 == nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_machine::sierra;
+
+    fn cluster(n: usize, seed: u64) -> Cluster {
+        Cluster::new(
+            sierra(),
+            &ClusterConfig {
+                nodes: n,
+                jitter_sigma: 0.05,
+                failure_prob: 0.0,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn nodes_have_bounded_jitter() {
+        let c = cluster(1000, 3);
+        for n in &c.nodes {
+            assert!((0.5..=1.5).contains(&n.speed));
+        }
+        let mean: f64 = c.nodes.iter().map(|n| n.speed).sum::<f64>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean speed {mean}");
+    }
+
+    #[test]
+    fn contiguous_allocation_preferred() {
+        let mut c = cluster(16, 5);
+        // Occupy nodes 1 and 3, leaving holes.
+        c.occupy(&[1]);
+        c.occupy(&[3]);
+        let alloc = c.find_free_nodes(4, false).expect("room");
+        assert!(Cluster::is_contiguous(&alloc));
+        assert!(alloc[0] >= 4, "must skip the fragmented prefix");
+    }
+
+    #[test]
+    fn fragmented_fallback_when_allowed() {
+        let mut c = cluster(8, 7);
+        // Leave only scattered singles free: occupy 1,3,5,7.
+        c.occupy(&[1]);
+        c.occupy(&[3]);
+        c.occupy(&[5]);
+        c.occupy(&[7]);
+        assert!(c.find_free_nodes(3, false).is_none());
+        let frag = c.find_free_nodes(3, true).expect("scattered nodes exist");
+        assert!(!Cluster::is_contiguous(&frag));
+    }
+
+    #[test]
+    fn occupy_release_round_trip() {
+        let mut c = cluster(4, 9);
+        let alloc = c.find_free_nodes(4, false).expect("all free");
+        c.occupy(&alloc);
+        assert!(c.find_free_nodes(1, true).is_none());
+        c.release(&alloc);
+        assert!(c.find_free_nodes(4, false).is_some());
+    }
+
+    #[test]
+    fn failures_reduce_capacity() {
+        let c = Cluster::new(
+            sierra(),
+            &ClusterConfig {
+                nodes: 1000,
+                jitter_sigma: 0.0,
+                failure_prob: 0.05,
+                seed: 11,
+            },
+        );
+        let healthy = c.healthy_nodes();
+        assert!(healthy < 1000 && healthy > 900, "healthy {healthy}");
+        assert_eq!(c.total_gpus(), healthy * 4);
+    }
+
+    #[test]
+    fn group_speed_is_the_slowest() {
+        let mut c = cluster(3, 13);
+        c.nodes[0].speed = 1.2;
+        c.nodes[1].speed = 0.8;
+        c.nodes[2].speed = 1.0;
+        assert_eq!(c.group_speed(&[0, 1, 2]), 0.8);
+    }
+}

@@ -1,0 +1,415 @@
+//! `mpi_jm`: a library-level job manager with tight hardware binding.
+//!
+//! The design points implemented from §V of the paper:
+//!
+//! - The allocation is organized into **lumps** (e.g. 32–128 nodes), each
+//!   started by its own `mpirun`; lumps that fail to start (bad node,
+//!   filesystem trouble) are simply ignored, so one sick node costs a lump,
+//!   not the job — the reason "relatively small lump sizes" are used on new
+//!   systems.
+//! - Lumps are subdivided into **blocks** whose size is a multiple of the
+//!   largest job; jobs never straddle a block boundary, so allocations stay
+//!   contiguous and "block boundaries prevent fragmentation and keep high
+//!   bandwidth communications local".
+//! - Jobs start via `MPI_Comm_spawn_multiple` inside their block — cheap and
+//!   parallel across blocks, unlike METAQ's serialized `mpirun`s.
+//! - **CPU/GPU co-scheduling**: CPU-only contractions overlay nodes whose
+//!   GPUs run propagators, making their cost "effectively free".
+
+use crate::cluster::Cluster;
+use crate::report::{SimReport, TaskRecord};
+use crate::task::{TaskKind, Workload};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order wrapper for event times.
+#[derive(PartialEq)]
+struct Ord64(f64);
+impl Eq for Ord64 {}
+impl PartialOrd for Ord64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ord64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// `mpi_jm` configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiJmConfig {
+    /// Nodes per lump (one `mpirun` each).
+    pub lump_nodes: usize,
+    /// Nodes per block (must divide the lump and be ≥ the largest job).
+    pub block_nodes: usize,
+    /// `MPI_Comm_spawn_multiple` cost per job start, seconds (parallel
+    /// across blocks).
+    pub spawn_seconds: f64,
+    /// Overlay CPU-only tasks on GPU-busy nodes.
+    pub co_schedule: bool,
+    /// Solve-rate multiplier of the MPI stack (e.g. untuned MVAPICH2 < 1).
+    pub mpi_efficiency: f64,
+}
+
+impl Default for MpiJmConfig {
+    fn default() -> Self {
+        Self {
+            lump_nodes: 32,
+            block_nodes: 4,
+            spawn_seconds: 0.5,
+            co_schedule: true,
+            mpi_efficiency: 1.0,
+        }
+    }
+}
+
+/// One block's bookkeeping: a contiguous node range inside a healthy lump.
+#[derive(Clone, Debug)]
+struct Block {
+    nodes: Vec<usize>,
+    /// Free whole-node slots (vector of node indices not in use by GPU jobs).
+    free: Vec<usize>,
+}
+
+/// The `mpi_jm` scheduler.
+pub struct MpiJmScheduler {
+    config: MpiJmConfig,
+}
+
+impl MpiJmScheduler {
+    /// Build with a config.
+    pub fn new(config: MpiJmConfig) -> Self {
+        assert!(config.lump_nodes.is_multiple_of(config.block_nodes), "blocks tile lumps");
+        Self { config }
+    }
+
+    /// Number of healthy lumps and the blocks they contribute.
+    fn build_blocks(&self, cluster: &Cluster) -> (usize, usize, Vec<Block>) {
+        let ln = self.config.lump_nodes;
+        let mut blocks = Vec::new();
+        let mut lumps_total = 0;
+        let mut lumps_failed = 0;
+        let mut start = 0;
+        while start + ln <= cluster.nodes.len() {
+            lumps_total += 1;
+            let lump: Vec<usize> = (start..start + ln).collect();
+            let healthy = lump.iter().all(|&i| !cluster.nodes[i].failed);
+            if healthy {
+                for chunk in lump.chunks(self.config.block_nodes) {
+                    blocks.push(Block {
+                        nodes: chunk.to_vec(),
+                        free: chunk.to_vec(),
+                    });
+                }
+            } else {
+                lumps_failed += 1;
+            }
+            start += ln;
+        }
+        (lumps_total, lumps_failed, blocks)
+    }
+
+    /// Run `workload` on `cluster`.
+    ///
+    /// # Panics
+    /// If any GPU task needs more nodes than a block holds (jobs must not
+    /// straddle blocks) or the workload cannot fit at all.
+    pub fn run(&self, cluster: &mut Cluster, workload: &Workload) -> SimReport {
+        let n = workload.len();
+        let (_lumps, lumps_failed, mut blocks) = self.build_blocks(cluster);
+        assert!(
+            !blocks.is_empty(),
+            "no healthy lumps: {lumps_failed} lumps failed"
+        );
+        for t in &workload.tasks {
+            if let TaskKind::PropagatorSolve { nodes } = t.kind {
+                assert!(
+                    nodes <= self.config.block_nodes,
+                    "job of {nodes} nodes exceeds block size {}",
+                    self.config.block_nodes
+                );
+            }
+        }
+
+        let mut dep_count: Vec<usize> = workload.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for t in &workload.tasks {
+            for &d in &t.deps {
+                dependents[d].push(t.id);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| dep_count[i] == 0).collect();
+        let mut records: Vec<Option<TaskRecord>> = vec![None; n];
+        let mut running: BinaryHeap<Reverse<(Ord64, usize)>> = BinaryHeap::new();
+        let mut allocations: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Which nodes a CPU task pinned (co-scheduled).
+        let mut cpu_pins: Vec<Option<usize>> = vec![None; n];
+        let mut time = 0.0f64;
+        let mut busy_node_seconds = 0.0;
+        let mut done_count = 0usize;
+
+        // CPU availability per node (contractions pin one node's CPUs).
+        let mut cpu_free: Vec<bool> = cluster.nodes.iter().map(|_| true).collect();
+
+        while done_count < n {
+            let mut started_any = true;
+            while started_any {
+                started_any = false;
+                let mut next_ready = Vec::new();
+                for &id in &ready {
+                    let t = &workload.tasks[id];
+                    match t.kind {
+                        TaskKind::PropagatorSolve { nodes } => {
+                            // Find a block with `nodes` free slots.
+                            let slot = blocks
+                                .iter_mut()
+                                .find(|b| b.free.len() >= nodes);
+                            if let Some(block) = slot {
+                                let alloc: Vec<usize> =
+                                    block.free.drain(..nodes).collect();
+                                let speed = cluster.group_speed(&alloc)
+                                    * self.config.mpi_efficiency;
+                                let start = time + self.config.spawn_seconds;
+                                let end = start + t.base_seconds / speed;
+                                busy_node_seconds += (end - start) * nodes as f64;
+                                records[id] = Some(TaskRecord {
+                                    id,
+                                    start,
+                                    end,
+                                    nodes: alloc.clone(),
+                                    speed,
+                                });
+                                allocations[id] = alloc;
+                                running.push(Reverse((Ord64(end), id)));
+                                started_any = true;
+                            } else {
+                                next_ready.push(id);
+                            }
+                        }
+                        TaskKind::Contraction => {
+                            // Co-schedule onto any node with free CPUs; the
+                            // GPUs there may be busy with propagators.
+                            let host = if self.config.co_schedule {
+                                cpu_free.iter().position(|&f| f)
+                            } else {
+                                // Without co-scheduling a contraction needs a
+                                // whole free node inside some block.
+                                blocks
+                                    .iter()
+                                    .flat_map(|b| b.free.iter())
+                                    .find(|&&i| cpu_free[i])
+                                    .copied()
+                            };
+                            if let Some(host) = host {
+                                cpu_free[host] = false;
+                                let speed = cluster.nodes[host].speed;
+                                let start = time + self.config.spawn_seconds;
+                                let end = start + t.base_seconds / speed;
+                                if !self.config.co_schedule {
+                                    // Occupies the node exclusively.
+                                    for b in blocks.iter_mut() {
+                                        b.free.retain(|&x| x != host);
+                                    }
+                                    allocations[id] = vec![host];
+                                }
+                                cpu_pins[id] = Some(host);
+                                records[id] = Some(TaskRecord {
+                                    id,
+                                    start,
+                                    end,
+                                    nodes: vec![host],
+                                    speed,
+                                });
+                                running.push(Reverse((Ord64(end), id)));
+                                started_any = true;
+                            } else {
+                                next_ready.push(id);
+                            }
+                        }
+                        TaskKind::Io => {
+                            let end = time + t.base_seconds;
+                            records[id] = Some(TaskRecord {
+                                id,
+                                start: time,
+                                end,
+                                nodes: Vec::new(),
+                                speed: 1.0,
+                            });
+                            running.push(Reverse((Ord64(end), id)));
+                            started_any = true;
+                        }
+                    }
+                }
+                ready = next_ready;
+            }
+
+            let Reverse((Ord64(end), id)) = running
+                .pop()
+                .expect("tasks pending but nothing running: workload too big for blocks");
+            time = end;
+            // Return GPU nodes to their block.
+            if !allocations[id].is_empty() {
+                for b in blocks.iter_mut() {
+                    if allocations[id].iter().all(|i| b.nodes.contains(i)) {
+                        b.free.extend(allocations[id].iter().copied());
+                        b.free.sort_unstable();
+                        break;
+                    }
+                }
+            }
+            if let Some(host) = cpu_pins[id] {
+                cpu_free[host] = true;
+            }
+            done_count += 1;
+            for &dep in &dependents[id] {
+                dep_count[dep] -= 1;
+                if dep_count[dep] == 0 {
+                    ready.push(dep);
+                }
+            }
+        }
+
+        let avail_nodes = blocks.iter().map(|b| b.nodes.len()).sum::<usize>() as f64;
+        SimReport {
+            makespan: time,
+            startup: 0.0,
+            busy_node_seconds,
+            total_node_seconds: avail_nodes * time,
+            records: records.into_iter().map(|r| r.expect("all done")).collect(),
+            total_flops: workload.total_flops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use coral_machine::sierra;
+
+    fn cluster(nodes: usize, jitter: f64, fail: f64, seed: u64) -> Cluster {
+        Cluster::new(
+            sierra(),
+            &ClusterConfig {
+                nodes,
+                jitter_sigma: jitter,
+                failure_prob: fail,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn jobs_never_straddle_blocks() {
+        let sched = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 16,
+            block_nodes: 4,
+            ..MpiJmConfig::default()
+        });
+        let w = Workload::heterogeneous_solves(40, 4, 300.0, 0.3, 1e15, 3);
+        let mut c = cluster(32, 0.05, 0.0, 5);
+        let r = sched.run(&mut c, &w);
+        for rec in &r.records {
+            if rec.nodes.len() == 4 {
+                assert!(Cluster::is_contiguous(&rec.nodes), "block allocations stay contiguous");
+                // All four nodes in the same block of 4.
+                let block = rec.nodes[0] / 4;
+                assert!(rec.nodes.iter().all(|&i| i / 4 == block));
+            }
+        }
+    }
+
+    #[test]
+    fn failed_lumps_are_dropped_not_fatal() {
+        let sched = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 8,
+            block_nodes: 4,
+            ..MpiJmConfig::default()
+        });
+        // High failure rate: some lumps must drop, the run must still finish.
+        let mut c = cluster(64, 0.0, 0.05, 7);
+        let w = Workload::uniform_solves(20, 4, 100.0, 1e15);
+        let r = sched.run(&mut c, &w);
+        assert_eq!(r.records.len(), 20);
+        assert!(r.total_node_seconds < 64.0 * r.makespan, "capacity shrank");
+    }
+
+    #[test]
+    fn co_scheduling_makes_contractions_free() {
+        // Workload: solves + contractions heavy enough to contend for nodes
+        // (a backlog of contractions from earlier configurations, as in the
+        // production workflow). With co-scheduling the makespan stays near
+        // the solves-only value; without it, contractions steal GPU nodes.
+        let mut w = Workload::figure2_workflow(4, 8, 4, 400.0, 1e15);
+        for t in w.tasks.iter_mut() {
+            if matches!(t.kind, TaskKind::Contraction) {
+                t.base_seconds *= 10.0;
+            }
+        }
+        let solves_only = Workload::uniform_solves(32, 4, 400.0, 1e15);
+
+        let co = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 16,
+            block_nodes: 4,
+            co_schedule: true,
+            ..MpiJmConfig::default()
+        });
+        let no_co = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 16,
+            block_nodes: 4,
+            co_schedule: false,
+            ..MpiJmConfig::default()
+        });
+
+        let m_solves = co.run(&mut cluster(16, 0.0, 0.0, 9), &solves_only).makespan;
+        let m_co = co.run(&mut cluster(16, 0.0, 0.0, 9), &w).makespan;
+        let m_noco = no_co.run(&mut cluster(16, 0.0, 0.0, 9), &w).makespan;
+
+        assert!(
+            m_co < m_solves * 1.15,
+            "co-scheduled contractions nearly free: {m_co} vs {m_solves}"
+        );
+        assert!(
+            m_noco > m_co * 1.03,
+            "dropping co-scheduling must cost time: {m_noco} vs {m_co}"
+        );
+    }
+
+    #[test]
+    fn mpi_efficiency_scales_run_time() {
+        let w = Workload::uniform_solves(8, 4, 100.0, 1e15);
+        let fast = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 8,
+            block_nodes: 4,
+            mpi_efficiency: 1.0,
+            ..MpiJmConfig::default()
+        });
+        let slow = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 8,
+            block_nodes: 4,
+            mpi_efficiency: 0.8,
+            ..MpiJmConfig::default()
+        });
+        let m1 = fast.run(&mut cluster(8, 0.0, 0.0, 11), &w).makespan;
+        let m2 = slow.run(&mut cluster(8, 0.0, 0.0, 11), &w).makespan;
+        assert!(m2 > m1 * 1.2, "{m2} vs {m1}");
+    }
+
+    #[test]
+    fn dependencies_are_honored() {
+        let sched = MpiJmScheduler::new(MpiJmConfig {
+            lump_nodes: 8,
+            block_nodes: 4,
+            ..MpiJmConfig::default()
+        });
+        let w = Workload::figure2_workflow(1, 3, 2, 50.0, 1e14);
+        let r = sched.run(&mut cluster(8, 0.0, 0.0, 13), &w);
+        for t in &w.tasks {
+            for &d in &t.deps {
+                assert!(r.records[d].end <= r.records[t.id].start + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Simulation outcome reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// One task's scheduling record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task id.
+    pub id: usize,
+    /// Simulation time the task started.
+    pub start: f64,
+    /// Simulation time the task finished.
+    pub end: f64,
+    /// Node indices it occupied.
+    pub nodes: Vec<usize>,
+    /// Effective speed factor it ran at (node jitter × fragmentation).
+    pub speed: f64,
+}
+
+/// Aggregate outcome of one scheduler run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall time from submission to last completion, seconds.
+    pub makespan: f64,
+    /// Startup overhead before the first task could run, seconds.
+    pub startup: f64,
+    /// Node-seconds actually busy with GPU tasks.
+    pub busy_node_seconds: f64,
+    /// Node-seconds available (healthy nodes × makespan).
+    pub total_node_seconds: f64,
+    /// Per-task records.
+    pub records: Vec<TaskRecord>,
+    /// Useful flops completed.
+    pub total_flops: f64,
+}
+
+impl SimReport {
+    /// Fraction of available node time spent on GPU tasks.
+    pub fn utilization(&self) -> f64 {
+        if self.total_node_seconds > 0.0 {
+            self.busy_node_seconds / self.total_node_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Sustained application rate, FLOP/s.
+    pub fn sustained_flops(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.total_flops / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-task sustained rates in TFLOP/s, for the Fig. 7 histogram.
+    pub fn per_task_tflops(&self, flops_per_task: f64) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.end > r.start)
+            .map(|r| flops_per_task / (r.end - r.start) / 1e12)
+            .collect()
+    }
+}
+
+/// Histogram helper: counts of `values` in `n_bins` equal bins over
+/// `[lo, hi)`. Returns (bin_centers, counts).
+pub fn histogram(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(hi > lo && n_bins > 0);
+    let width = (hi - lo) / n_bins as f64;
+    let mut counts = vec![0usize; n_bins];
+    for &v in values {
+        if v >= lo && v < hi {
+            counts[((v - lo) / width) as usize] += 1;
+        }
+    }
+    let centers = (0..n_bins)
+        .map(|i| lo + (i as f64 + 0.5) * width)
+        .collect();
+    (centers, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_rate() {
+        let r = SimReport {
+            makespan: 100.0,
+            startup: 0.0,
+            busy_node_seconds: 75.0 * 4.0,
+            total_node_seconds: 100.0 * 4.0,
+            records: vec![],
+            total_flops: 1e15,
+        };
+        assert!((r.utilization() - 0.75).abs() < 1e-12);
+        assert!((r.sustained_flops() - 1e13).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let vals = vec![0.5, 1.5, 1.6, 2.5, 9.9, 10.0, -1.0];
+        let (centers, counts) = histogram(&vals, 0.0, 10.0, 10);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts.iter().sum::<usize>(), 5, "out-of-range dropped");
+        assert!((centers[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! The `mpi_jm` partitioned-startup model.
+//!
+//! "Each launch of a lump is on a bounded number of nodes and hence does not
+//! suffer from the common non-linear startup cost for large sets of nodes
+//! ... Even on thousands of nodes this partitioned startup process is very
+//! fast, taking only a couple of minutes. On Sierra, we were able to bring a
+//! 4224 node job up and running in 3-5 minutes ... In less than one minute,
+//! all lumps were connected and within five minutes, nearly all nodes were
+//! performing real work."
+
+use serde::{Deserialize, Serialize};
+
+/// Startup timing breakdown.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StartupReport {
+    /// Nodes in the job.
+    pub nodes: usize,
+    /// Lump size used.
+    pub lump_nodes: usize,
+    /// Number of lumps.
+    pub n_lumps: usize,
+    /// Time for all lumps to `mpirun` up (parallel across lumps), seconds.
+    pub lump_start_seconds: f64,
+    /// Time for lumps to connect to the scheduler via MPI DPM, seconds.
+    pub connect_seconds: f64,
+    /// Time for the scheduler to distribute the first wave of jobs, seconds.
+    pub first_wave_seconds: f64,
+    /// Monolithic-`mpirun` comparison (super-linear in node count), seconds.
+    pub monolithic_seconds: f64,
+}
+
+impl StartupReport {
+    /// Total time until nearly all nodes perform real work.
+    pub fn total_seconds(&self) -> f64 {
+        self.lump_start_seconds + self.connect_seconds + self.first_wave_seconds
+    }
+
+    /// Time until all lumps are connected (the paper's "< 1 minute" figure).
+    pub fn connected_seconds(&self) -> f64 {
+        self.lump_start_seconds + self.connect_seconds
+    }
+}
+
+/// Model the partitioned startup of an `n_nodes` job with `lump_nodes`-node
+/// lumps, assuming `jobs_per_node` first-wave job starts per node group of
+/// `job_nodes`.
+pub fn startup_model(n_nodes: usize, lump_nodes: usize, job_nodes: usize) -> StartupReport {
+    let n_lumps = n_nodes.div_ceil(lump_nodes.max(1));
+
+    // One mpirun per lump, all in parallel: linear in the (bounded) lump
+    // size, so independent of total job size.
+    let lump_start_seconds = 15.0 + 0.20 * lump_nodes as f64;
+
+    // DPM connect: lumps contact the scheduler, lightly serialized.
+    let connect_seconds = 5.0 + 0.05 * n_lumps as f64;
+
+    // Scheduler matches jobs to blocks and spawns them; throughput-limited
+    // on the scheduler process.
+    let first_jobs = n_nodes / job_nodes.max(1);
+    let first_wave_seconds = first_jobs as f64 * 0.15;
+
+    // Monolithic mpirun for comparison: super-linear wireup.
+    let n = n_nodes as f64;
+    let monolithic_seconds = 0.5 * n + 2e-3 * n * n.log2();
+
+    StartupReport {
+        nodes: n_nodes,
+        lump_nodes,
+        n_lumps,
+        lump_start_seconds,
+        connect_seconds,
+        first_wave_seconds,
+        monolithic_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sierra_4224_nodes_starts_in_3_to_5_minutes() {
+        let r = startup_model(4224, 128, 4);
+        assert!(
+            (180.0..300.0).contains(&r.total_seconds()),
+            "total startup {}s outside the paper's 3-5 minute window",
+            r.total_seconds()
+        );
+        assert!(
+            r.connected_seconds() < 60.0,
+            "lumps must connect in under a minute: {}s",
+            r.connected_seconds()
+        );
+    }
+
+    #[test]
+    fn partitioned_startup_beats_monolithic_at_scale() {
+        let r = startup_model(4224, 128, 4);
+        assert!(r.total_seconds() < 0.2 * r.monolithic_seconds);
+    }
+
+    #[test]
+    fn lump_start_independent_of_job_size() {
+        let small = startup_model(256, 128, 4);
+        let large = startup_model(4096, 128, 4);
+        assert_eq!(small.lump_start_seconds, large.lump_start_seconds);
+    }
+
+    #[test]
+    fn lump_count_rounds_up() {
+        assert_eq!(startup_model(100, 32, 4).n_lumps, 4);
+        assert_eq!(startup_model(96, 32, 4).n_lumps, 3);
+    }
+}

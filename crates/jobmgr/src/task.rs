@@ -1,0 +1,232 @@
+//! Tasks and workloads — the Fig. 2 application structure.
+//!
+//! The workflow is: load a gluonic configuration, solve a large number of
+//! propagators (GPU, ~96.5% of time), contract propagators that are already
+//! on disk (CPU-only, ~3%), and read/write fields (~0.5%). Contractions
+//! depend on the propagators they consume.
+
+use serde::{Deserialize, Serialize};
+
+/// What a task needs and does.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// GPU propagator solve occupying `nodes` whole nodes.
+    PropagatorSolve {
+        /// Whole nodes required.
+        nodes: usize,
+    },
+    /// CPU-only tensor contraction: occupies one node's CPUs, leaves its
+    /// GPUs free — the co-scheduling opportunity `mpi_jm` exploits.
+    Contraction,
+    /// I/O step (configuration read / propagator write).
+    Io,
+}
+
+/// One schedulable task.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Stable identifier (index into the workload).
+    pub id: usize,
+    /// Resource shape.
+    pub kind: TaskKind,
+    /// Nominal duration on ideal nodes, seconds.
+    pub base_seconds: f64,
+    /// Useful floating-point work in the task (for sustained-rate reports).
+    pub flops: f64,
+    /// Tasks that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// A bag of tasks with dependencies.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// All tasks, `id` = index.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl Workload {
+    /// Uniform batch of independent GPU solves (the Fig. 5/6 workload shape:
+    /// "groups of 4 nodes" each running propagator solves).
+    pub fn uniform_solves(n_tasks: usize, nodes_per_task: usize, base_seconds: f64, flops: f64) -> Self {
+        let tasks = (0..n_tasks)
+            .map(|id| TaskSpec {
+                id,
+                kind: TaskKind::PropagatorSolve {
+                    nodes: nodes_per_task,
+                },
+                base_seconds,
+                flops,
+                deps: Vec::new(),
+            })
+            .collect();
+        Self { tasks }
+    }
+
+    /// Heterogeneous batch with a duration spread — the regime where naive
+    /// bundling visibly idles (fast tasks wait for the slowest in the wave).
+    pub fn heterogeneous_solves(
+        n_tasks: usize,
+        nodes_per_task: usize,
+        base_seconds: f64,
+        spread: f64,
+        flops: f64,
+        seed: u64,
+    ) -> Self {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tasks = (0..n_tasks)
+            .map(|id| TaskSpec {
+                id,
+                kind: TaskKind::PropagatorSolve {
+                    nodes: nodes_per_task,
+                },
+                base_seconds: base_seconds * (1.0 + spread * (rng.gen::<f64>() - 0.5) * 2.0),
+                flops,
+                deps: Vec::new(),
+            })
+            .collect();
+        Self { tasks }
+    }
+
+    /// The Fig. 2 workflow for one ensemble: per configuration, an I/O load,
+    /// `props_per_config` propagator solves (each followed by a write), and
+    /// one contraction per propagator depending on it. Time fractions follow
+    /// §VI: propagators 96.5%, contractions 3%, I/O 0.5%.
+    pub fn figure2_workflow(
+        n_configs: usize,
+        props_per_config: usize,
+        nodes_per_solve: usize,
+        solve_seconds: f64,
+        solve_flops: f64,
+    ) -> Self {
+        let mut tasks = Vec::new();
+        // §VI fractions, per propagator solve.
+        let contraction_seconds = solve_seconds * (3.0 / 96.5);
+        let io_seconds = solve_seconds * (0.5 / 96.5) / 2.0;
+        for _cfg in 0..n_configs {
+            let load_id = tasks.len();
+            tasks.push(TaskSpec {
+                id: load_id,
+                kind: TaskKind::Io,
+                base_seconds: io_seconds,
+                flops: 0.0,
+                deps: Vec::new(),
+            });
+            for _p in 0..props_per_config {
+                let solve_id = tasks.len();
+                tasks.push(TaskSpec {
+                    id: solve_id,
+                    kind: TaskKind::PropagatorSolve {
+                        nodes: nodes_per_solve,
+                    },
+                    base_seconds: solve_seconds,
+                    flops: solve_flops,
+                    deps: vec![load_id],
+                });
+                let write_id = tasks.len();
+                tasks.push(TaskSpec {
+                    id: write_id,
+                    kind: TaskKind::Io,
+                    base_seconds: io_seconds,
+                    flops: 0.0,
+                    deps: vec![solve_id],
+                });
+                let contract_id = tasks.len();
+                tasks.push(TaskSpec {
+                    id: contract_id,
+                    kind: TaskKind::Contraction,
+                    base_seconds: contraction_seconds,
+                    flops: solve_flops * 0.03,
+                    deps: vec![write_id],
+                });
+            }
+        }
+        Self { tasks }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Sum of task flops.
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Serial GPU-seconds of all propagator tasks (ideal-node work content).
+    pub fn total_gpu_node_seconds(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TaskKind::PropagatorSolve { nodes } => Some(t.base_seconds * nodes as f64),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_solves_have_no_deps() {
+        let w = Workload::uniform_solves(10, 4, 100.0, 1e15);
+        assert_eq!(w.len(), 10);
+        assert!(w.tasks.iter().all(|t| t.deps.is_empty()));
+        assert_eq!(w.total_flops(), 1e16);
+    }
+
+    #[test]
+    fn heterogeneous_spread_is_bounded() {
+        let w = Workload::heterogeneous_solves(100, 4, 100.0, 0.25, 1e15, 3);
+        for t in &w.tasks {
+            assert!((75.0..=125.0).contains(&t.base_seconds));
+        }
+        // Not all equal.
+        let first = w.tasks[0].base_seconds;
+        assert!(w.tasks.iter().any(|t| (t.base_seconds - first).abs() > 1.0));
+    }
+
+    #[test]
+    fn figure2_workflow_structure() {
+        let w = Workload::figure2_workflow(2, 3, 4, 965.0, 1e15);
+        // Per config: 1 load + 3×(solve + write + contraction).
+        assert_eq!(w.len(), 2 * (1 + 3 * 3));
+        // Dependencies: solves depend on the config load; contractions on
+        // the propagator write.
+        for t in &w.tasks {
+            match t.kind {
+                TaskKind::PropagatorSolve { .. } => assert_eq!(t.deps.len(), 1),
+                TaskKind::Contraction => assert_eq!(t.deps.len(), 1),
+                TaskKind::Io => assert!(t.deps.len() <= 1),
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_time_budget_matches_section6() {
+        let w = Workload::figure2_workflow(1, 10, 4, 965.0, 1e15);
+        let mut solve = 0.0;
+        let mut contract = 0.0;
+        let mut io = 0.0;
+        for t in &w.tasks {
+            match t.kind {
+                TaskKind::PropagatorSolve { .. } => solve += t.base_seconds,
+                TaskKind::Contraction => contract += t.base_seconds,
+                TaskKind::Io => io += t.base_seconds,
+            }
+        }
+        let total = solve + contract + io;
+        assert!((solve / total - 0.965).abs() < 0.01, "{}", solve / total);
+        assert!((contract / total - 0.03).abs() < 0.01);
+        assert!((io / total - 0.005).abs() < 0.005);
+    }
+}

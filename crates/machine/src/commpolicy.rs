@@ -1,0 +1,255 @@
+//! Halo-exchange communication policies and their timing model.
+//!
+//! Deploying a multi-process stencil on an MPI+GPU system offers several
+//! ways to coordinate GPU compute with MPI communication (paper §V):
+//! staging halos through CPU memory with GPU DMA engines, zero-copy
+//! reads/writes against CPU memory, or GPU Direct RDMA straight to the NIC —
+//! crossed with coarse-grained (one halo kernel after all communication,
+//! less launch latency) versus fine-grained (per-dimension, better overlap)
+//! scheduling. The optimum depends on message size, node density, GPU
+//! generation, and machine support — "given this multi-dimensional parameter
+//! space ... applying the autotuner to the stencil-communication policy is
+//! very natural."
+//!
+//! Each policy here exposes a deterministic cost model; the autotuner sweeps
+//! the available policies per (machine, decomposition) exactly as the
+//! paper's communication-policy tuning does.
+
+use crate::decomp::Decomposition;
+use crate::specs::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// How halo bytes reach the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommTransport {
+    /// GPU DMA to CPU buffers, regular MPI from the CPU. Always available;
+    /// costs CPU synchronization and shares the CPU link.
+    StagedDma,
+    /// Zero-copy loads/stores against CPU memory for sends/receives. Lower
+    /// latency, lower achievable bandwidth.
+    ZeroCopy,
+    /// GPU Direct RDMA between GPU and NIC. Best transport, but unsupported
+    /// on Sierra/Summit at the time of the paper's submission.
+    GdrDirect,
+}
+
+/// Halo-update scheduling granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommGranularity {
+    /// Wait for all dimensions, launch one fused halo kernel (less launch
+    /// latency, worse overlap).
+    Coarse,
+    /// Per-dimension halo kernels as messages complete (more launches,
+    /// better overlap).
+    Fine,
+}
+
+/// A complete communication policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommPolicy {
+    /// Wire transport.
+    pub transport: CommTransport,
+    /// Scheduling granularity.
+    pub granularity: CommGranularity,
+}
+
+impl CommPolicy {
+    /// Every policy, in a stable order (policy index = position).
+    pub fn all() -> Vec<CommPolicy> {
+        let mut v = Vec::new();
+        for transport in [
+            CommTransport::StagedDma,
+            CommTransport::ZeroCopy,
+            CommTransport::GdrDirect,
+        ] {
+            for granularity in [CommGranularity::Coarse, CommGranularity::Fine] {
+                v.push(CommPolicy {
+                    transport,
+                    granularity,
+                });
+            }
+        }
+        v
+    }
+
+    /// Policies usable on `machine` (GDR requires hardware/software support).
+    pub fn available(machine: &MachineSpec) -> Vec<CommPolicy> {
+        Self::all()
+            .into_iter()
+            .filter(|p| machine.gdr_available || p.transport != CommTransport::GdrDirect)
+            .collect()
+    }
+
+    /// Short display name, e.g. `"staged/coarse"`.
+    pub fn label(&self) -> String {
+        let t = match self.transport {
+            CommTransport::StagedDma => "staged",
+            CommTransport::ZeroCopy => "zerocopy",
+            CommTransport::GdrDirect => "gdr",
+        };
+        let g = match self.granularity {
+            CommGranularity::Coarse => "coarse",
+            CommGranularity::Fine => "fine",
+        };
+        format!("{t}/{g}")
+    }
+
+    /// Peak inter-node bandwidth per GPU for this transport on `machine`,
+    /// GB/s, before message-size derating. The NIC is shared by all GPUs on
+    /// the node; staging additionally rides the CPU link and pays protocol
+    /// overheads (the paper's motivation for wanting GDR).
+    fn base_inter_bw(&self, machine: &MachineSpec) -> f64 {
+        let share = machine.gpus_per_node as f64;
+        match self.transport {
+            CommTransport::StagedDma => {
+                (machine.nic_bw_gbs * 0.55).min(machine.cpu_gpu_bw_gbs * 0.5) / share
+            }
+            CommTransport::ZeroCopy => {
+                (machine.nic_bw_gbs * 0.35).min(machine.cpu_gpu_bw_gbs * 0.4) / share
+            }
+            CommTransport::GdrDirect => machine.nic_bw_gbs * 0.80 / share,
+        }
+    }
+
+    /// Message size at which the transport reaches half its peak bandwidth,
+    /// bytes. Staging pipelines poorly for small messages.
+    fn half_saturation_bytes(&self) -> f64 {
+        match self.transport {
+            CommTransport::StagedDma => 1.0e6,
+            CommTransport::ZeroCopy => 2.5e5,
+            CommTransport::GdrDirect => 1.25e5,
+        }
+    }
+
+    /// Per-message software latency, seconds.
+    fn message_latency(&self, machine: &MachineSpec) -> f64 {
+        let wire = machine.net_latency_us * 1e-6;
+        match self.transport {
+            CommTransport::StagedDma => wire + 8e-6,
+            CommTransport::ZeroCopy => wire + 4e-6,
+            CommTransport::GdrDirect => wire + 2e-6,
+        }
+    }
+
+    /// Kernel-launch overhead for the halo update, seconds.
+    pub fn launch_overhead(&self, n_dirs: usize) -> f64 {
+        match self.granularity {
+            CommGranularity::Coarse => 10e-6,
+            CommGranularity::Fine => 5e-6 * (2 * n_dirs.max(1)) as f64,
+        }
+    }
+
+    /// Fraction of the halo compute that overlaps with communication.
+    pub fn overlap_fraction(&self) -> f64 {
+        match self.granularity {
+            CommGranularity::Coarse => 0.0,
+            CommGranularity::Fine => 0.6,
+        }
+    }
+
+    /// Time for one operator application's halo exchange under this policy,
+    /// seconds: intra-node over NVLink (CUDA IPC), inter-node over the NIC
+    /// with message-size derating, plus per-message latencies.
+    pub fn exchange_time(&self, machine: &MachineSpec, decomp: &Decomposition) -> f64 {
+        let (intra_bytes, inter_bytes) = decomp.halo_bytes();
+        let mut t = 0.0;
+
+        if intra_bytes > 0.0 {
+            // CUDA IPC over NVLink; negligible software latency after the
+            // paper's dense-node optimization removed CPU synchronization.
+            t += intra_bytes / (machine.nvlink_bw_gbs * 1e9) + 2e-6;
+        }
+
+        if inter_bytes > 0.0 {
+            let inter_dirs: Vec<_> = decomp.halos.iter().filter(|h| !h.intra_node).collect();
+            let n_msgs = 2 * inter_dirs.len();
+            // Average face message size for derating.
+            let avg_msg = inter_bytes / n_msgs as f64;
+            let half = self.half_saturation_bytes();
+            let utilization = avg_msg / (avg_msg + half);
+            let bw = self.base_inter_bw(machine) * 1e9 * utilization.max(1e-3);
+            t += inter_bytes / bw + n_msgs as f64 * self.message_latency(machine);
+        }
+
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{ray, sierra, titan};
+
+    fn decomp_48(gpus: usize, gpn: usize) -> Decomposition {
+        Decomposition::best([48, 48, 48, 64], 12, gpus, gpn).expect("fits")
+    }
+
+    #[test]
+    fn six_policies_exist_and_gdr_is_gated() {
+        assert_eq!(CommPolicy::all().len(), 6);
+        assert_eq!(CommPolicy::available(&sierra()).len(), 4, "no GDR on Sierra");
+        assert_eq!(CommPolicy::available(&ray()).len(), 6, "GDR on Ray");
+    }
+
+    #[test]
+    fn gdr_beats_staging_when_available() {
+        let m = ray();
+        let d = decomp_48(32, m.gpus_per_node);
+        let staged = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Coarse,
+        };
+        let gdr = CommPolicy {
+            transport: CommTransport::GdrDirect,
+            granularity: CommGranularity::Coarse,
+        };
+        assert!(gdr.exchange_time(&m, &d) < staged.exchange_time(&m, &d));
+    }
+
+    #[test]
+    fn single_gpu_needs_no_exchange_time_beyond_zero() {
+        let m = sierra();
+        let d = decomp_48(1, m.gpus_per_node);
+        for p in CommPolicy::available(&m) {
+            assert_eq!(p.exchange_time(&m, &d), 0.0, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn exchange_time_grows_with_gpu_count_past_node() {
+        let m = sierra();
+        let p = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Coarse,
+        };
+        // All-intra (4 GPUs, one node) must beat inter-node (32 GPUs).
+        let t4 = p.exchange_time(&m, &decomp_48(4, 4));
+        let t32 = p.exchange_time(&m, &decomp_48(32, 4));
+        assert!(t4 < t32, "intra-node {t4} vs inter-node {t32}");
+    }
+
+    #[test]
+    fn titan_interconnect_is_slowest() {
+        let d_t = decomp_48(16, 1);
+        let d_s = decomp_48(16, 4);
+        let p = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Coarse,
+        };
+        assert!(p.exchange_time(&titan(), &d_t) > p.exchange_time(&sierra(), &d_s));
+    }
+
+    #[test]
+    fn fine_granularity_overlaps_more_but_launches_more() {
+        let coarse = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Coarse,
+        };
+        let fine = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Fine,
+        };
+        assert!(fine.overlap_fraction() > coarse.overlap_fraction());
+        assert!(fine.launch_overhead(4) > coarse.launch_overhead(4));
+    }
+}

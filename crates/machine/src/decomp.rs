@@ -1,0 +1,238 @@
+//! Domain decomposition of the 4D lattice across GPUs and the resulting
+//! halo traffic of the radius-one stencil.
+//!
+//! Following QUDA's practice the 4D volume is block-decomposed over a
+//! process grid; the fifth dimension is never split. The decomposition
+//! search minimizes local surface area subject to divisibility, and then
+//! greedily assigns partitioned directions to intra-node GPU pairs (largest
+//! halo first) so NVLink carries as much of the exchange as possible — the
+//! paper's "NVLink connections between GPUs in the node can be used
+//! optimally" point.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per halo site: a spin-projected half-spinor (6 complex) in 16-bit
+/// fixed point, plus its scale amortized away.
+pub const HALO_BYTES_PER_SITE: f64 = 24.0;
+
+/// One direction's share of the halo exchange.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HaloTraffic {
+    /// Direction index (0..4).
+    pub dir: usize,
+    /// Halo sites per exchange per GPU (both faces, one operator apply).
+    pub sites: f64,
+    /// Whether this direction's partner GPUs share a node.
+    pub intra_node: bool,
+}
+
+/// A decomposition of the lattice over `n_gpus` GPUs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Process grid `[gx, gy, gz, gt]`.
+    pub grid: [usize; 4],
+    /// Local 4D extents per GPU.
+    pub local_dims: [usize; 4],
+    /// Fifth-dimension extent (not decomposed).
+    pub l5: usize,
+    /// Halo traffic per partitioned direction.
+    pub halos: Vec<HaloTraffic>,
+}
+
+impl Decomposition {
+    /// Find the surface-minimizing decomposition of `dims` over `n_gpus`,
+    /// assigning directions to intra-node links greedily.
+    ///
+    /// Returns `None` when `n_gpus` cannot be factored into the lattice (no
+    /// grid with every local extent ≥ 2 divides the volume evenly).
+    pub fn best(dims: [usize; 4], l5: usize, n_gpus: usize, gpus_per_node: usize) -> Option<Self> {
+        let mut best: Option<([usize; 4], f64)> = None;
+        let mut grid = [1usize; 4];
+        search(dims, n_gpus, 0, &mut grid, &mut best);
+        let (grid, _) = best?;
+
+        let local = [
+            dims[0] / grid[0],
+            dims[1] / grid[1],
+            dims[2] / grid[2],
+            dims[3] / grid[3],
+        ];
+        let local_vol: usize = local.iter().product();
+
+        // Halo sites per face = local volume / local extent; both faces.
+        let mut dirs: Vec<(usize, f64)> = (0..4)
+            .filter(|&mu| grid[mu] > 1)
+            .map(|mu| (mu, 2.0 * (local_vol / local[mu]) as f64 * l5 as f64))
+            .collect();
+        // Largest halo first gets the intra-node slots.
+        dirs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+
+        let mut node_budget = gpus_per_node;
+        let mut halos = Vec::new();
+        for (mu, sites) in dirs {
+            let g = grid[mu];
+            let intra = g <= node_budget && node_budget.is_multiple_of(g) && n_gpus > 1;
+            if intra {
+                node_budget /= g;
+            }
+            halos.push(HaloTraffic {
+                dir: mu,
+                sites,
+                intra_node: intra,
+            });
+        }
+
+        Some(Self {
+            grid,
+            local_dims: local,
+            l5,
+            halos,
+        })
+    }
+
+    /// Local 4D volume per GPU.
+    pub fn local_volume(&self) -> usize {
+        self.local_dims.iter().product()
+    }
+
+    /// Local 5D sites per GPU.
+    pub fn local_sites_5d(&self) -> f64 {
+        self.local_volume() as f64 * self.l5 as f64
+    }
+
+    /// Fraction of local sites that sit on a communicated surface.
+    pub fn surface_fraction(&self) -> f64 {
+        let vol = self.local_volume() as f64;
+        let mut surface = 0.0;
+        for h in &self.halos {
+            surface += h.sites / self.l5 as f64;
+        }
+        (surface / vol).min(1.0)
+    }
+
+    /// Total halo bytes per operator application per GPU, split into
+    /// (intra-node, inter-node).
+    pub fn halo_bytes(&self) -> (f64, f64) {
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        for h in &self.halos {
+            let bytes = h.sites * HALO_BYTES_PER_SITE;
+            if h.intra_node {
+                intra += bytes;
+            } else {
+                inter += bytes;
+            }
+        }
+        (intra, inter)
+    }
+
+    /// Number of distinct neighbor messages per operator application.
+    pub fn messages_per_apply(&self) -> usize {
+        2 * self.halos.len()
+    }
+}
+
+/// Exhaustive search over grids dividing the lattice (4 directions, each
+/// factor must divide the extent and leave a local extent ≥ 2).
+fn search(
+    dims: [usize; 4],
+    remaining: usize,
+    mu: usize,
+    grid: &mut [usize; 4],
+    best: &mut Option<([usize; 4], f64)>,
+) {
+    if mu == 4 {
+        if remaining != 1 {
+            return;
+        }
+        let local: Vec<f64> = (0..4).map(|i| (dims[i] / grid[i]) as f64).collect();
+        let vol: f64 = local.iter().product();
+        let mut surface = 0.0;
+        for i in 0..4 {
+            if grid[i] > 1 {
+                surface += 2.0 * vol / local[i];
+            }
+        }
+        if best.as_ref().is_none_or(|(_, s)| surface < *s) {
+            *best = Some((*grid, surface));
+        }
+        return;
+    }
+    let mut f = 1;
+    while f <= remaining {
+        if remaining.is_multiple_of(f) && dims[mu].is_multiple_of(f) && dims[mu] / f >= 2 {
+            grid[mu] = f;
+            search(dims, remaining / f, mu + 1, grid, best);
+        }
+        f += 1;
+    }
+    grid[mu] = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gpu_has_no_halos() {
+        let d = Decomposition::best([48, 48, 48, 64], 12, 1, 4).expect("fits");
+        assert_eq!(d.grid, [1, 1, 1, 1]);
+        assert!(d.halos.is_empty());
+        assert_eq!(d.local_volume(), 48 * 48 * 48 * 64);
+        assert_eq!(d.halo_bytes(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn grid_covers_all_gpus_and_divides_lattice() {
+        for &g in &[2usize, 4, 8, 16, 32, 64, 128] {
+            let d = Decomposition::best([48, 48, 48, 64], 12, g, 4).expect("fits");
+            assert_eq!(d.grid.iter().product::<usize>(), g);
+            for mu in 0..4 {
+                assert_eq!(d.local_dims[mu] * d.grid[mu], [48, 48, 48, 64][mu]);
+                assert!(d.local_dims[mu] >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn surface_fraction_grows_with_gpu_count() {
+        let f4 = Decomposition::best([48, 48, 48, 64], 12, 4, 4)
+            .unwrap()
+            .surface_fraction();
+        let f64_ = Decomposition::best([48, 48, 48, 64], 12, 64, 4)
+            .unwrap()
+            .surface_fraction();
+        assert!(f64_ > f4, "strong scaling raises surface-to-volume");
+    }
+
+    #[test]
+    fn intra_node_assignment_respects_budget() {
+        let d = Decomposition::best([48, 48, 48, 64], 12, 16, 4).expect("fits");
+        // With 4 GPUs/node, at most a product of 4 worth of grid factors can
+        // be intra-node.
+        let intra_product: usize = d
+            .halos
+            .iter()
+            .filter(|h| h.intra_node)
+            .map(|h| d.grid[h.dir])
+            .product();
+        assert!(intra_product <= 4);
+    }
+
+    #[test]
+    fn impossible_decomposition_returns_none() {
+        // 7 GPUs cannot divide a 48³×64 lattice evenly in any direction.
+        assert!(Decomposition::best([48, 48, 48, 64], 12, 7, 4).is_none());
+    }
+
+    #[test]
+    fn halo_bytes_match_hand_count() {
+        // 2 GPUs split the largest dim (t=64): faces are 48³ each, two
+        // faces, L5=12, 24 B/site.
+        let d = Decomposition::best([48, 48, 48, 64], 12, 2, 4).expect("fits");
+        assert_eq!(d.grid[3], 2);
+        let (intra, inter) = d.halo_bytes();
+        let expect = 2.0 * 48.0f64.powi(3) * 12.0 * 24.0;
+        assert!((intra + inter - expect).abs() < 1.0);
+    }
+}

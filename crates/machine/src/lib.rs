@@ -1,0 +1,29 @@
+//! Analytical machine and performance models for the CORAL systems.
+//!
+//! The paper's scaling results (Figs. 3–7) were measured on Titan, Ray,
+//! Sierra, and Summit. None of those machines is available here, so this
+//! crate models them: Table II's specifications ([`specs`]), the domain
+//! decomposition and halo traffic of the radius-one stencil ([`decomp`]),
+//! the communication-policy choices the paper autotunes over
+//! ([`commpolicy`]), and an analytical per-iteration solver model
+//! ([`perfmodel`]) calibrated against the paper's measured anchor points
+//! (139/516/975 GB/s effective per-GPU bandwidth at peak efficiency on
+//! Titan/Ray/Sierra; ~1.5 PFLOPS Summit strong-scaling saturation).
+//!
+//! The model reproduces *shapes* — who wins, by what factor, where the
+//! knees fall — not testbed-exact numbers, per the reproduction ground
+//! rules in `DESIGN.md`.
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod commpolicy;
+pub mod decomp;
+pub mod memory;
+pub mod perfmodel;
+pub mod specs;
+
+pub use commpolicy::{CommGranularity, CommPolicy, CommTransport};
+pub use decomp::{Decomposition, HaloTraffic};
+pub use memory::{min_gpus_for_memory, solve_footprint, MemoryFootprint};
+pub use perfmodel::{PerfPoint, SolverPerfModel};
+pub use specs::{all_machines, MachineSpec, ray, sierra, summit, titan};

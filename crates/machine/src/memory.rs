@@ -1,0 +1,121 @@
+//! GPU memory-footprint model of the mixed-precision DWF solve.
+//!
+//! The paper notes that data parallelism alone cannot be abandoned: "we will
+//! in general need a minimum number of GPUs for a given calculation due to
+//! memory overheads". This module estimates the solver's working set per
+//! GPU so campaigns (and tests) can derive that minimum.
+
+use crate::decomp::Decomposition;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per 4D site of gauge links: 4 directions × 18 reals, kept in both
+/// single (compute) and half (bulk) precision by the double-half solver.
+const GAUGE_BYTES_PER_SITE: f64 = 4.0 * 18.0 * (4.0 + 2.0);
+
+/// Bytes per 5D site of one fermion vector in half precision (24 reals) —
+/// the storage precision of the bulk CG workspace.
+const VECTOR_BYTES_PER_SITE_HALF: f64 = 24.0 * 2.0;
+
+/// CG working set in vectors: solution, residual, direction, operator
+/// temporaries, plus the double-precision reliable-update copies (counted
+/// as 4 half-equivalents each).
+const CG_VECTORS_HALF_EQUIV: f64 = 8.0 + 3.0 * 4.0;
+
+/// Memory estimate for one GPU's share of a solve.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Gauge field bytes.
+    pub gauge_bytes: f64,
+    /// Fermion workspace bytes.
+    pub vector_bytes: f64,
+    /// Halo buffer bytes.
+    pub halo_bytes: f64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.gauge_bytes + self.vector_bytes + self.halo_bytes
+    }
+
+    /// Total in GiB.
+    pub fn total_gib(&self) -> f64 {
+        self.total() / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+/// Estimate the per-GPU footprint of a `dims`×`l5` solve decomposed over
+/// `n_gpus` GPUs (with `gpus_per_node` for the halo assignment).
+pub fn solve_footprint(
+    dims: [usize; 4],
+    l5: usize,
+    n_gpus: usize,
+    gpus_per_node: usize,
+) -> Option<MemoryFootprint> {
+    let d = Decomposition::best(dims, l5, n_gpus, gpus_per_node)?;
+    let local4d = d.local_volume() as f64;
+    let local5d = d.local_sites_5d();
+    let (intra, inter) = d.halo_bytes();
+    Some(MemoryFootprint {
+        gauge_bytes: local4d * GAUGE_BYTES_PER_SITE,
+        vector_bytes: local5d * VECTOR_BYTES_PER_SITE_HALF * CG_VECTORS_HALF_EQUIV,
+        // Send + receive staging for every face.
+        halo_bytes: 2.0 * (intra + inter),
+    })
+}
+
+/// Smallest GPU count (from the given ladder) whose per-GPU footprint fits
+/// in `hbm_gib` GiB — the "minimum number of GPUs" of the paper.
+pub fn min_gpus_for_memory(
+    dims: [usize; 4],
+    l5: usize,
+    gpus_per_node: usize,
+    hbm_gib: f64,
+    ladder: &[usize],
+) -> Option<usize> {
+    ladder.iter().copied().find(|&g| {
+        solve_footprint(dims, l5, g, gpus_per_node)
+            .map(|f| f.total_gib() <= hbm_gib * 0.9) // leave headroom
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_shrinks_with_gpu_count() {
+        let f4 = solve_footprint([48, 48, 48, 64], 12, 4, 4).unwrap();
+        let f16 = solve_footprint([48, 48, 48, 64], 12, 16, 4).unwrap();
+        assert!(f16.total() < f4.total());
+        assert!(f16.gauge_bytes * 3.9 < f4.gauge_bytes * 4.1);
+    }
+
+    #[test]
+    fn production_lattice_needs_multiple_v100s() {
+        // 48³×64×12 on 16 GB V100s: a single GPU cannot hold the working
+        // set; a 4-node (16-GPU) group fits comfortably — the paper's group.
+        let ladder = [1usize, 2, 4, 8, 16, 32];
+        let min = min_gpus_for_memory([48, 48, 48, 64], 12, 4, 16.0, &ladder).expect("some fit");
+        assert!(min > 1, "one GPU must NOT suffice (got {min})");
+        assert!(min <= 16, "a 4-node group must fit (got {min})");
+        let f = solve_footprint([48, 48, 48, 64], 12, 1, 4).unwrap();
+        assert!(f.total_gib() > 16.0, "single-GPU footprint {} GiB", f.total_gib());
+    }
+
+    #[test]
+    fn big_fig4_lattice_needs_hundreds_of_gpus() {
+        let ladder: Vec<usize> = (0..12).map(|k| 1usize << k).collect();
+        let min = min_gpus_for_memory([96, 96, 96, 144], 20, 6, 16.0, &ladder).expect("fits");
+        assert!(
+            min >= 64,
+            "the 96^3x144x20 proof-of-concept needs a large allocation: {min}"
+        );
+    }
+
+    #[test]
+    fn undecomposable_counts_give_none() {
+        assert!(solve_footprint([48, 48, 48, 64], 12, 7, 4).is_none());
+    }
+}

@@ -1,0 +1,310 @@
+//! Analytical performance model of the red–black preconditioned
+//! domain-wall CG solver on a modeled machine.
+//!
+//! The solver is bandwidth bound (arithmetic intensity 1.8–1.9), so the
+//! per-iteration time is streaming bytes over the effective GPU bandwidth,
+//! plus a halo exchange that overlaps with interior compute according to
+//! the communication policy, plus global-reduction latency. Performance
+//! reporting follows §VI of the paper: raw solver flops, effective
+//! bandwidth via the arithmetic intensity, and percent of FP32 peak with
+//! the 1.675× accounting scale.
+//!
+//! The model integrates with the [`autotune`] crate exactly as QUDA's
+//! communication-policy tuning does: each policy is a candidate; the tuner
+//! sweeps the deterministic cost model on first encounter and caches the
+//! winner per (machine, lattice, GPU count).
+
+use crate::commpolicy::CommPolicy;
+use crate::decomp::Decomposition;
+use crate::specs::MachineSpec;
+use autotune::{ParamSpace, TimingHarness, TuneKey, TuneParam, Tunable, Tuner};
+use serde::{Deserialize, Serialize};
+
+/// Paper flop-accounting constants (duplicated from `lqcd_core::flops` to
+/// keep this crate physics-independent).
+const FLOPS_PER_SITE_PER_APPLY: f64 = 11_000.0;
+const BLAS_FLOPS_PER_SITE: f64 = 75.0;
+const ARITHMETIC_INTENSITY: f64 = 1.9;
+const PEAK_ACCOUNTING_SCALE: f64 = 1.675;
+
+/// One solver performance sample.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// GPUs used.
+    pub n_gpus: usize,
+    /// Raw sustained solver rate, TFLOP/s (aggregate).
+    pub tflops: f64,
+    /// Percent of aggregate FP32 peak (with the 1.675× accounting scale).
+    pub pct_peak: f64,
+    /// Effective bandwidth per GPU, GB/s (rate / AI / GPUs).
+    pub bw_per_gpu_gbs: f64,
+    /// Modeled wall time of one CG iteration, seconds.
+    pub time_per_iter: f64,
+}
+
+/// The solver performance model for one (machine, lattice) pair.
+#[derive(Clone, Debug)]
+pub struct SolverPerfModel {
+    /// Machine being modeled.
+    pub machine: MachineSpec,
+    /// Global 4D lattice extents.
+    pub dims: [usize; 4],
+    /// Fifth-dimension extent.
+    pub l5: usize,
+}
+
+impl SolverPerfModel {
+    /// Build a model.
+    pub fn new(machine: MachineSpec, dims: [usize; 4], l5: usize) -> Self {
+        Self { machine, dims, l5 }
+    }
+
+    /// Flops of one CG iteration over the whole (red–black half) problem.
+    fn iteration_flops(&self) -> f64 {
+        let sites_5d = self.dims.iter().product::<usize>() as f64 * self.l5 as f64 / 2.0;
+        sites_5d * (2.0 * FLOPS_PER_SITE_PER_APPLY + BLAS_FLOPS_PER_SITE)
+    }
+
+    /// Model one CG iteration under an explicit policy. Returns `None` when
+    /// `n_gpus` cannot decompose the lattice.
+    pub fn iteration_time(&self, n_gpus: usize, policy: CommPolicy) -> Option<f64> {
+        let d = Decomposition::best(self.dims, self.l5, n_gpus, self.machine.gpus_per_node)?;
+
+        // Streaming compute time: bytes per GPU over effective bandwidth.
+        let flops_per_gpu = self.iteration_flops() / n_gpus as f64;
+        let bytes_per_gpu = flops_per_gpu / ARITHMETIC_INTENSITY;
+        let bw = self.machine.effective_gpu_bw_gbs() * 1e9;
+        let t_compute = bytes_per_gpu / bw;
+
+        // Split into interior and halo compute by surface fraction.
+        let sf = d.surface_fraction();
+        let t_interior = t_compute * (1.0 - sf);
+        let t_halo = t_compute * sf;
+
+        // Two operator applications per CG iteration, each with an exchange.
+        // Communication overlaps with interior *compute*; halo compute can
+        // never overlap other compute on the same GPU. Fine-grained policies
+        // additionally hide part of the halo compute inside the tail of the
+        // exchange (per-dimension updates start as messages land).
+        let t_exchange = 2.0 * policy.exchange_time(&self.machine, &d);
+        let overlap = policy.overlap_fraction();
+        let comm_window = t_interior.max(t_exchange);
+        let hidden_halo = (t_halo * overlap).min((t_exchange - t_interior).max(0.0));
+        let mut t = comm_window + (t_halo - hidden_halo) + policy.launch_overhead(d.halos.len());
+
+        // Two double-precision global reductions per iteration.
+        let n_nodes = (n_gpus as f64 / self.machine.gpus_per_node as f64).max(1.0);
+        t += 2.0 * self.machine.net_latency_us * 1e-6 * n_nodes.log2().max(0.0);
+
+        Some(t)
+    }
+
+    /// Performance under an explicit policy.
+    pub fn performance_with_policy(&self, n_gpus: usize, policy: CommPolicy) -> Option<PerfPoint> {
+        let t = self.iteration_time(n_gpus, policy)?;
+        let flops = self.iteration_flops();
+        let rate = flops / t;
+        let peak = self.machine.fp32_tflops_per_gpu() * 1e12 * n_gpus as f64;
+        Some(PerfPoint {
+            n_gpus,
+            tflops: rate / 1e12,
+            pct_peak: 100.0 * rate * PEAK_ACCOUNTING_SCALE / peak,
+            bw_per_gpu_gbs: rate / ARITHMETIC_INTENSITY / n_gpus as f64 / 1e9,
+            time_per_iter: t,
+        })
+    }
+
+    /// Best policy for this (machine, lattice, GPU count), resolved through
+    /// the autotuner cache (swept on first encounter).
+    pub fn tuned_policy(&self, tuner: &Tuner, n_gpus: usize) -> Option<CommPolicy> {
+        Decomposition::best(self.dims, self.l5, n_gpus, self.machine.gpus_per_node)?;
+        let mut tunable = PolicyTunable {
+            model: self,
+            n_gpus,
+            policies: CommPolicy::available(&self.machine),
+        };
+        let param = tuner.tune(&mut tunable);
+        Some(tunable.policies[param.policy])
+    }
+
+    /// Performance at the autotuned optimum policy — what the paper's curves
+    /// report.
+    pub fn performance(&self, tuner: &Tuner, n_gpus: usize) -> Option<PerfPoint> {
+        let policy = self.tuned_policy(tuner, n_gpus)?;
+        self.performance_with_policy(n_gpus, policy)
+    }
+
+    /// Sweep a strong-scaling curve over the given GPU counts, skipping
+    /// counts that cannot decompose the lattice.
+    pub fn strong_scaling(&self, tuner: &Tuner, gpu_counts: &[usize]) -> Vec<PerfPoint> {
+        gpu_counts
+            .iter()
+            .filter_map(|&g| self.performance(tuner, g))
+            .collect()
+    }
+}
+
+/// Communication-policy tunable: the paper's extension of the QUDA autotuner.
+struct PolicyTunable<'m> {
+    model: &'m SolverPerfModel,
+    n_gpus: usize,
+    policies: Vec<CommPolicy>,
+}
+
+impl<'m> Tunable for PolicyTunable<'m> {
+    fn key(&self) -> TuneKey {
+        TuneKey::new(
+            "comm_policy",
+            format!(
+                "{}x{}x{}x{}x{}",
+                self.model.dims[0],
+                self.model.dims[1],
+                self.model.dims[2],
+                self.model.dims[3],
+                self.model.l5
+            ),
+            format!("machine={},gpus={}", self.model.machine.name, self.n_gpus),
+        )
+    }
+
+    fn param_space(&self) -> ParamSpace {
+        ParamSpace::policies(self.policies.len())
+    }
+
+    fn run(&mut self, _param: TuneParam) {
+        // Modeled tunable: nothing to execute.
+    }
+
+    fn modeled_cost(&self, param: TuneParam) -> f64 {
+        self.model
+            .iteration_time(self.n_gpus, self.policies[param.policy])
+            .expect("decomposition checked by caller")
+    }
+
+    fn harness(&self) -> TimingHarness {
+        TimingHarness::Modeled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{ray, sierra, summit, titan};
+
+    fn fig3_model(machine: MachineSpec) -> SolverPerfModel {
+        SolverPerfModel::new(machine, [48, 48, 48, 64], 12)
+    }
+
+    #[test]
+    fn low_gpu_count_hits_paper_peak_efficiencies() {
+        // Paper: "sustained performance of 20% on the minimal number of
+        // nodes" (Sierra). By construction the model's 1-GPU point gives
+        // eff_bw × AI × 1.675 / peak.
+        let tuner = Tuner::new();
+        let p = fig3_model(sierra()).performance(&tuner, 1).expect("fits");
+        assert!((19.0..23.0).contains(&p.pct_peak), "Sierra {}", p.pct_peak);
+        assert!((900.0..1000.0).contains(&p.bw_per_gpu_gbs));
+    }
+
+    #[test]
+    fn fig3_per_gpu_bandwidth_anchors() {
+        let tuner = Tuner::new();
+        for (m, bw_expect) in [(titan(), 139.0), (ray(), 516.0), (sierra(), 975.0)] {
+            let p = fig3_model(m.clone()).performance(&tuner, 1).expect("fits");
+            assert!(
+                (p.bw_per_gpu_gbs - bw_expect).abs() < 0.05 * bw_expect,
+                "{}: {} vs {}",
+                m.name,
+                p.bw_per_gpu_gbs,
+                bw_expect
+            );
+        }
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_declines() {
+        let tuner = Tuner::new();
+        let model = fig3_model(sierra());
+        let curve = model.strong_scaling(&tuner, &[4, 16, 64, 128]);
+        assert_eq!(curve.len(), 4);
+        // Aggregate TFLOPS grows...
+        assert!(curve.windows(2).all(|w| w[1].tflops > w[0].tflops));
+        // ...but percent of peak falls.
+        assert!(curve.windows(2).all(|w| w[1].pct_peak < w[0].pct_peak));
+    }
+
+    #[test]
+    fn machine_ordering_matches_fig3() {
+        let tuner = Tuner::new();
+        let at64 = |m: MachineSpec| {
+            fig3_model(m)
+                .performance(&tuner, 64)
+                .expect("fits")
+                .tflops
+        };
+        let t = at64(titan());
+        let r = at64(ray());
+        let s = at64(sierra());
+        assert!(s > r && r > t, "Sierra {s} > Ray {r} > Titan {t}");
+    }
+
+    #[test]
+    fn fig4_summit_saturates_near_paper_value() {
+        // 96³×144 strong scales to ~1.5 PFLOPS with a knee past ~2000 GPUs.
+        let tuner = Tuner::new();
+        let model = SolverPerfModel::new(summit(), [96, 96, 96, 144], 20);
+        let counts = [96usize, 384, 1536, 3072, 6144, 9216];
+        let curve = model.strong_scaling(&tuner, &counts);
+        let last = curve.last().expect("nonempty");
+        assert!(
+            (0.7..3.0).contains(&(last.tflops / 1000.0)),
+            "saturation {} TFLOPS should be order 1.5 PFLOPS",
+            last.tflops
+        );
+        // Efficiency at 9216 GPUs must be far below the low-count value.
+        let first = &curve[0];
+        assert!(
+            last.pct_peak < 0.35 * first.pct_peak,
+            "knee must collapse efficiency: {} -> {}",
+            first.pct_peak,
+            last.pct_peak
+        );
+    }
+
+    #[test]
+    fn tuned_policy_is_cached_and_beats_or_ties_all_candidates() {
+        let tuner = Tuner::new();
+        let model = fig3_model(sierra());
+        let best = model.tuned_policy(&tuner, 32).expect("fits");
+        let t_best = model.iteration_time(32, best).unwrap();
+        for p in CommPolicy::available(&model.machine) {
+            assert!(t_best <= model.iteration_time(32, p).unwrap() + 1e-15);
+        }
+        assert_eq!(tuner.stats().misses, 1);
+        model.tuned_policy(&tuner, 32);
+        assert_eq!(tuner.stats().hits, 1);
+    }
+
+    #[test]
+    fn gdr_machine_prefers_gdr_when_comm_bound() {
+        // At low GPU counts the exchange hides behind interior compute and
+        // the tuner is free to pick the cheapest-latency policy; once the
+        // solve is communication bound, GDR's bandwidth must win on Ray.
+        let tuner = Tuner::new();
+        let model = fig3_model(ray());
+        let policy = model.tuned_policy(&tuner, 128).expect("fits");
+        assert_eq!(
+            policy.transport,
+            crate::commpolicy::CommTransport::GdrDirect,
+            "Ray supports GDR and should pick it once comm-bound"
+        );
+    }
+
+    #[test]
+    fn undecomposable_counts_yield_none() {
+        let tuner = Tuner::new();
+        let model = fig3_model(sierra());
+        assert!(model.performance(&tuner, 7).is_none());
+        assert!(model.performance(&tuner, 11).is_none());
+    }
+}

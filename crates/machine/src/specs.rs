@@ -1,0 +1,239 @@
+//! Machine specifications — Table II of the paper, plus the calibration
+//! constants the performance model needs.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table II, extended with model calibration parameters.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct MachineSpec {
+    /// Machine name.
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// CPU description.
+    pub cpu: String,
+    /// GPU description.
+    pub gpu: String,
+    /// Single-precision peak per node, TFLOP/s.
+    pub fp32_tflops_per_node: f64,
+    /// Aggregate GPU memory bandwidth per node, GB/s.
+    pub gpu_bw_per_node_gbs: f64,
+    /// CPU↔GPU link bandwidth, GB/s.
+    pub cpu_gpu_bw_gbs: f64,
+    /// Interconnect description.
+    pub interconnect: String,
+    /// Injection bandwidth per node into the network, GB/s.
+    pub nic_bw_gbs: f64,
+    /// GPU↔GPU intra-node bandwidth per GPU (NVLink where present), GB/s.
+    pub nvlink_bw_gbs: f64,
+    /// Inter-node message latency, microseconds.
+    pub net_latency_us: f64,
+    /// Whether GPU Direct RDMA is available ("at the time of submission the
+    /// Sierra and Summit systems did not support this").
+    pub gdr_available: bool,
+    /// Calibrated ratio of achieved effective bandwidth to raw HBM bandwidth
+    /// at peak solver efficiency. >1 on Volta ("improved cache structure ...
+    /// amplifying the effective bandwidth"), <1 on Kepler.
+    pub bw_amplification: f64,
+    /// Compiler/runtime metadata from Table II.
+    pub gcc: String,
+    /// MPI implementation from Table II.
+    pub mpi: String,
+    /// CUDA toolkit from Table II.
+    pub cuda: String,
+}
+
+impl MachineSpec {
+    /// Single-precision peak per GPU, TFLOP/s.
+    pub fn fp32_tflops_per_gpu(&self) -> f64 {
+        self.fp32_tflops_per_node / self.gpus_per_node as f64
+    }
+
+    /// Raw HBM bandwidth per GPU, GB/s.
+    pub fn gpu_bw_gbs(&self) -> f64 {
+        self.gpu_bw_per_node_gbs / self.gpus_per_node as f64
+    }
+
+    /// Effective streaming bandwidth per GPU seen by the solver at peak
+    /// efficiency (raw × cache amplification), GB/s.
+    pub fn effective_gpu_bw_gbs(&self) -> f64 {
+        self.gpu_bw_gbs() * self.bw_amplification
+    }
+
+    /// Total GPUs in the machine.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// Titan (OLCF): Cray XK7, one K20X per node, Gemini interconnect.
+pub fn titan() -> MachineSpec {
+    MachineSpec {
+        name: "Titan".into(),
+        nodes: 18_688,
+        gpus_per_node: 1,
+        cpu: "AMD Opteron".into(),
+        gpu: "NVIDIA K20X".into(),
+        fp32_tflops_per_node: 4.0,
+        gpu_bw_per_node_gbs: 250.0,
+        cpu_gpu_bw_gbs: 6.0,
+        interconnect: "Cray Gemini (~8 GB/s)".into(),
+        nic_bw_gbs: 8.0,
+        // No NVLink: intra-node is moot with 1 GPU; PCIe bandwidth used.
+        nvlink_bw_gbs: 6.0,
+        net_latency_us: 1.5,
+        gdr_available: false,
+        // Calibrated to the paper's 139 GB/s effective at peak efficiency.
+        bw_amplification: 139.0 / 250.0,
+        gcc: "4.9.3".into(),
+        mpi: "Cray MPICH 7.6.3".into(),
+        cuda: "7.5.18".into(),
+    }
+}
+
+/// Ray (LLNL): pre-CORAL development system, four P100 per node.
+pub fn ray() -> MachineSpec {
+    MachineSpec {
+        name: "Ray".into(),
+        nodes: 54,
+        gpus_per_node: 4,
+        cpu: "IBM POWER8".into(),
+        gpu: "NVIDIA P100".into(),
+        fp32_tflops_per_node: 44.0,
+        gpu_bw_per_node_gbs: 2880.0,
+        cpu_gpu_bw_gbs: 20.0,
+        interconnect: "Mellanox IB 2xEDR".into(),
+        nic_bw_gbs: 25.0,
+        nvlink_bw_gbs: 40.0,
+        net_latency_us: 1.0,
+        gdr_available: true,
+        // Calibrated to the paper's 516 GB/s effective per GPU (720 raw).
+        bw_amplification: 516.0 / 720.0,
+        gcc: "4.9.3".into(),
+        mpi: "Spectrum 2017.04.03".into(),
+        cuda: "9.0.176".into(),
+    }
+}
+
+/// Sierra (LLNL): four V100 per node, 2×EDR InfiniBand.
+pub fn sierra() -> MachineSpec {
+    MachineSpec {
+        name: "Sierra".into(),
+        nodes: 4200,
+        gpus_per_node: 4,
+        cpu: "IBM POWER9".into(),
+        gpu: "NVIDIA V100".into(),
+        fp32_tflops_per_node: 60.0,
+        gpu_bw_per_node_gbs: 3600.0,
+        cpu_gpu_bw_gbs: 75.0,
+        interconnect: "Mellanox IB 2xEDR".into(),
+        nic_bw_gbs: 25.0,
+        nvlink_bw_gbs: 75.0,
+        net_latency_us: 1.0,
+        gdr_available: false,
+        // Calibrated to the paper's 975 GB/s effective per GPU (900 raw):
+        // Volta's larger L1/L2 amplify effective bandwidth past HBM.
+        bw_amplification: 975.0 / 900.0,
+        gcc: "4.9.3".into(),
+        mpi: "MVAPICH2 2.3".into(),
+        cuda: "9.2.148".into(),
+    }
+}
+
+/// Summit (OLCF): six V100 per node, 2×EDR InfiniBand.
+pub fn summit() -> MachineSpec {
+    MachineSpec {
+        name: "Summit".into(),
+        nodes: 4600,
+        gpus_per_node: 6,
+        cpu: "IBM POWER9".into(),
+        gpu: "NVIDIA V100".into(),
+        fp32_tflops_per_node: 90.0,
+        gpu_bw_per_node_gbs: 5400.0,
+        cpu_gpu_bw_gbs: 50.0,
+        interconnect: "Mellanox IB 2xEDR".into(),
+        nic_bw_gbs: 25.0,
+        nvlink_bw_gbs: 50.0,
+        net_latency_us: 1.0,
+        gdr_available: false,
+        // Same silicon as Sierra.
+        bw_amplification: 975.0 / 900.0,
+        gcc: "4.8.5".into(),
+        mpi: "Spectrum 2018.01.10".into(),
+        cuda: "9.1.85".into(),
+    }
+}
+
+/// All four systems of Table II, in the paper's column order.
+pub fn all_machines() -> Vec<MachineSpec> {
+    vec![titan(), ray(), sierra(), summit()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let t = titan();
+        assert_eq!(t.nodes, 18_688);
+        assert_eq!(t.gpus_per_node, 1);
+        assert_eq!(t.fp32_tflops_per_node, 4.0);
+        let r = ray();
+        assert_eq!(r.nodes, 54);
+        assert_eq!(r.gpus_per_node, 4);
+        assert_eq!(r.gpu_bw_per_node_gbs, 2880.0);
+        let s = sierra();
+        assert_eq!(s.gpus_per_node, 4);
+        assert_eq!(s.fp32_tflops_per_node, 60.0);
+        assert_eq!(s.cpu_gpu_bw_gbs, 75.0);
+        let m = summit();
+        assert_eq!(m.gpus_per_node, 6);
+        assert_eq!(m.fp32_tflops_per_node, 90.0);
+        assert_eq!(m.gpu_bw_per_node_gbs, 5400.0);
+    }
+
+    #[test]
+    fn effective_bandwidth_reproduces_fig3c_anchors() {
+        assert!((titan().effective_gpu_bw_gbs() - 139.0).abs() < 0.5);
+        assert!((ray().effective_gpu_bw_gbs() - 516.0).abs() < 0.5);
+        assert!((sierra().effective_gpu_bw_gbs() - 975.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn volta_amplifies_kepler_does_not() {
+        assert!(titan().bw_amplification < 1.0);
+        assert!(ray().bw_amplification < 1.0);
+        assert!(sierra().bw_amplification > 1.0, "Volta cache amplification");
+    }
+
+    #[test]
+    fn machine_speedup_over_titan_preserves_paper_ordering() {
+        // The paper quotes application-level speedups of ~12x (Sierra) and
+        // ~15x (Summit) over Titan. The model's per-GPU effective-bandwidth
+        // ratio is ~7x with 4x/6x the GPUs per node; the reproducible claim
+        // is the ordering Summit > Sierra >> Titan and the Summit/Sierra
+        // ratio of ~1.25 (= 15/12) from the extra GPUs per node being
+        // partially offset by NIC sharing. EXPERIMENTS.md discusses the
+        // absolute-factor deviation.
+        let t = titan();
+        let s = sierra();
+        let m = summit();
+        let per_gpu = |x: &MachineSpec| x.effective_gpu_bw_gbs();
+        assert!((6.0..8.0).contains(&(per_gpu(&s) / per_gpu(&t))));
+        let node_bw = |x: &MachineSpec| x.effective_gpu_bw_gbs() * x.gpus_per_node as f64;
+        let sierra_speedup = node_bw(&s) / node_bw(&t);
+        let summit_speedup = node_bw(&m) / node_bw(&t);
+        assert!(summit_speedup > sierra_speedup && sierra_speedup > 10.0);
+        assert!((1.3..1.7).contains(&(summit_speedup / sierra_speedup)));
+    }
+
+    #[test]
+    fn gdr_unavailable_on_coral_at_submission() {
+        assert!(!sierra().gdr_available);
+        assert!(!summit().gdr_available);
+        assert!(ray().gdr_available);
+    }
+}

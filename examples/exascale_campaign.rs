@@ -1,0 +1,115 @@
+//! Plan and simulate a full-machine lattice campaign on Sierra, the way the
+//! paper did: strong-scale a single solve to pick the group size, then
+//! weak-scale thousands of bundled solves under `mpi_jm`, compare job
+//! managers, and model the partitioned startup.
+//!
+//! ```sh
+//! cargo run --release --example exascale_campaign
+//! ```
+
+use lqcd::autotune::Tuner;
+use lqcd::jobmgr::{
+    startup_model, weak_scaling_point, Cluster, ClusterConfig, MetaqScheduler, MpiFlavor,
+    MpiJmConfig, MpiJmScheduler, NaiveBundler, Workload,
+};
+use lqcd::machine::{sierra, SolverPerfModel};
+
+fn main() {
+    let machine = sierra();
+    let tuner = Tuner::new();
+    let model = SolverPerfModel::new(machine.clone(), [48, 48, 48, 64], 12);
+
+    // Step 1: strong-scaling test over a single propagator to find the
+    // smallest group that still runs near peak efficiency (paper §VII:
+    // "we first perform strong-scaling tests ... to determine the optimal
+    // number of nodes to carve out using mpi_jm").
+    println!("step 1 — strong scaling of one 48^3x64 solve on Sierra:");
+    // Memory floor: the 5D fields of a 48^3x64x12 solve need at least four
+    // nodes' worth of HBM ("we will in general need a minimum number of GPUs
+    // for a given calculation due to memory overheads").
+    let memory_floor_gpus = 16;
+    let peak_pct = model.performance(&tuner, 1).expect("fits").pct_peak;
+    let mut best_group = memory_floor_gpus;
+    for gpus in [4usize, 8, 16, 32, 64, 128] {
+        if let Some(p) = model.performance(&tuner, gpus) {
+            println!(
+                "  {gpus:4} GPUs: {:7.1} TFLOPS  {:5.1}% of peak  ({:.0} GB/s per GPU)",
+                p.tflops, p.pct_peak, p.bw_per_gpu_gbs
+            );
+            if gpus >= memory_floor_gpus
+                && p.pct_peak > 0.98 * peak_pct
+                && gpus < best_group.max(memory_floor_gpus + 1)
+            {
+                best_group = gpus;
+            }
+        }
+    }
+    println!(
+        "  -> group size: {best_group} GPUs ({} nodes), the paper's choice\n",
+        best_group / machine.gpus_per_node
+    );
+
+    // Step 2: weak-scale bundles of 4-node solves across the machine under
+    // the three deployment modes of Fig. 5.
+    println!("step 2 — weak scaling of bundled 4-node solves:");
+    for flavor in [
+        MpiFlavor::SpectrumIndividual,
+        MpiFlavor::OpenMpiJmBlocks,
+        MpiFlavor::Mvapich2JmSingle,
+    ] {
+        print!("  {:>18}:", flavor.label());
+        for groups in [32usize, 128, 512] {
+            let p = weak_scaling_point(
+                &machine,
+                [48, 48, 48, 64],
+                12,
+                4,
+                groups,
+                3,
+                flavor,
+                groups as u64,
+            );
+            print!("  {:5} GPUs -> {:6.2} PF", p.n_gpus, p.pflops);
+        }
+        println!();
+    }
+
+    // Step 3: job-manager shoot-out on a heterogeneous batch.
+    println!("\nstep 3 — scheduler comparison (128 heterogeneous solves, 64 nodes):");
+    let workload = Workload::heterogeneous_solves(128, 4, 1000.0, 0.35, 1e15, 7);
+    let config = ClusterConfig {
+        nodes: 64,
+        jitter_sigma: 0.06,
+        failure_prob: 0.0,
+        seed: 3,
+    };
+    let naive = NaiveBundler::run(&mut Cluster::new(machine.clone(), &config), &workload);
+    let metaq = MetaqScheduler::run(&mut Cluster::new(machine.clone(), &config), &workload);
+    let mpijm = MpiJmScheduler::new(MpiJmConfig {
+        lump_nodes: 32,
+        block_nodes: 4,
+        ..MpiJmConfig::default()
+    })
+    .run(&mut Cluster::new(machine.clone(), &config), &workload);
+    for (name, r) in [("naive", &naive), ("METAQ", &metaq), ("mpi_jm", &mpijm)] {
+        println!(
+            "  {name:>7}: makespan {:6.0} s, utilization {:4.1}%, speedup {:.2}x",
+            r.makespan,
+            100.0 * r.utilization(),
+            naive.makespan / r.makespan
+        );
+    }
+
+    // Step 4: the startup story at the paper's largest single submission.
+    println!("\nstep 4 — partitioned startup at 4224 nodes (lumps of 128):");
+    let s = startup_model(4224, 128, 4);
+    println!(
+        "  lumps connected after {:.0} s; nearly all nodes working after {:.0} s",
+        s.connected_seconds(),
+        s.total_seconds()
+    );
+    println!(
+        "  (a monolithic mpirun would have taken ~{:.0} s)",
+        s.monolithic_seconds
+    );
+}

@@ -1,0 +1,84 @@
+//! The paper's physics headline: determine gA with the Feynman–Hellmann
+//! method and convert it to the Standard-Model neutron lifetime,
+//! `τ_n = 5172.0 s / (1 + 3 gA²)`.
+//!
+//! Runs the Fig. 1 analysis on the a09m310 spectral model: jackknifed
+//! effective couplings, excited-state fit over the early-time window the FH
+//! method unlocks, and the comparison against traditional three-point ratios
+//! with ten times the statistics.
+//!
+//! ```sh
+//! cargo run --release --example neutron_lifetime
+//! ```
+
+use lqcd::analysis::corrmodel::{SyntheticEnsemble, A09M310};
+use lqcd::analysis::fit::{curve_fit, FitSettings};
+use lqcd::analysis::jackknife::jackknife_vector;
+use lqcd::{neutron_lifetime_error_seconds, neutron_lifetime_seconds};
+
+fn main() {
+    let model = A09M310;
+    let n_fh = 800;
+    let n_trad = 8000;
+
+    // Feynman-Hellmann data: every source-sink separation from one extra
+    // inversion per quark line.
+    let ens = model.generate(n_fh, 14, 7);
+    let idx: Vec<usize> = (0..n_fh).collect();
+    let est = jackknife_vector(&idx, |ii| {
+        let c2: Vec<Vec<f64>> = ii.iter().map(|&i| ens.c2pt[i].clone()).collect();
+        let cf: Vec<Vec<f64>> = ii.iter().map(|&i| ens.cfh[i].clone()).collect();
+        SyntheticEnsemble::effective_ga_of(&c2, &cf)
+    });
+
+    println!("FH effective coupling ({} configs):", n_fh);
+    for t in 1..est.len() {
+        let bar = "*".repeat((est[t].error * 400.0).min(60.0) as usize + 1);
+        println!(
+            "  t={t:2}  g_eff = {:.4} ± {:.4}  noise {bar}",
+            est[t].mean, est[t].error
+        );
+    }
+
+    // Fit gA + b e^{-ΔE t} over the precise early-time window.
+    let xs: Vec<f64> = (2..=10).map(|t| t as f64).collect();
+    let ys: Vec<f64> = (2..=10).map(|t| est[t].mean).collect();
+    let ss: Vec<f64> = (2..=10).map(|t| est[t].error.max(1e-9)).collect();
+    let de = model.de;
+    let fit = curve_fit(
+        &xs,
+        &ys,
+        &ss,
+        |x, p| p[0] + p[1] * (-de * x).exp(),
+        &[1.2, -0.3],
+        &FitSettings::default(),
+    );
+    let (ga, dga) = (fit.params[0], fit.errors[0]);
+    println!(
+        "\nexcited-state fit: gA = {ga:.4} ± {dga:.4} ({:.1}% precision, chi2/dof {:.2})",
+        100.0 * dga / ga,
+        fit.chi2_per_dof()
+    );
+
+    // Traditional comparison at 10x the statistics.
+    let trad = model.traditional_samples(14, n_trad, 9);
+    let mean: f64 = trad.iter().sum::<f64>() / n_trad as f64;
+    let var: f64 =
+        trad.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n_trad as f64 - 1.0);
+    let terr = (var / n_trad as f64).sqrt();
+    println!(
+        "traditional ratio at t_sep = 14 with {n_trad} configs: {mean:.4} ± {terr:.4}"
+    );
+    println!(
+        "=> FH with 10x fewer samples is {:.1}x more precise",
+        terr / dga
+    );
+
+    // Eq. 1 of the paper.
+    let tau = neutron_lifetime_seconds(ga);
+    let dtau = neutron_lifetime_error_seconds(ga, dga);
+    println!("\nStandard-Model neutron lifetime: τ_n = {tau:.1} ± {dtau:.1} s");
+    println!("experiment: trapped 879.4(6) s vs beam 888(2) s — an 8.6 s puzzle;");
+    println!("resolving it needs gA at 0.2%, i.e. Δτ ≲ {:.1} s",
+        neutron_lifetime_error_seconds(ga, 0.002 * ga));
+}

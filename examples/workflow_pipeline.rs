@@ -1,0 +1,102 @@
+//! The Fig. 2 application workflow, end to end and for real: generate a
+//! quenched ensemble, round-trip every field through the checksummed I/O
+//! layer, solve mixed-precision red–black Möbius propagators, run the
+//! Feynman–Hellmann sequential solves, contract, and analyze with the
+//! jackknife.
+//!
+//! ```sh
+//! cargo run --release --example workflow_pipeline
+//! ```
+
+use lqcd::analysis::jackknife::jackknife_vector;
+use lqcd::core::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let lat = Lattice::new([4, 4, 4, 8]);
+    let params = MobiusParams::standard(4, 0.3);
+    let n_configs = 2;
+    let dir = std::env::temp_dir().join("lqcd_workflow");
+    std::fs::create_dir_all(&dir).expect("workdir");
+
+    // Load gluonic field(s): generate, write, read back — blue ovals of
+    // Fig. 2.
+    let mut ens = QuenchedEnsemble::cold_start(
+        &lat,
+        HeatbathParams {
+            beta: 6.0,
+            n_or: 2,
+        },
+        11,
+    );
+    let configs = ens.generate(8, n_configs, 4);
+
+    let mut c2_all: Vec<Vec<f64>> = Vec::new();
+    let mut cfh_all: Vec<Vec<f64>> = Vec::new();
+
+    for (i, gauge) in configs.iter().enumerate() {
+        let gpath = dir.join(format!("cfg_{i}.lqio"));
+        let mut md = BTreeMap::new();
+        md.insert("beta".into(), "6.0".into());
+        lqcd::io::write_gauge(&gpath, &lat, gauge, md).expect("write");
+        let gauge = lqcd::io::read_gauge(&gpath, &lat).expect("read");
+        println!(
+            "config {i}: plaquette {:.4} (round-tripped through {})",
+            average_plaquette(&lat, &gauge),
+            gpath.display()
+        );
+
+        // Calculate propagators (green box; ~97% of machine time at scale).
+        let solver = PropagatorSolver::new(&lat, &gauge, SolverKind::MobiusMixed { params });
+        let (prop, stats) = solver.point_propagator(0);
+        println!(
+            "  12 columns: {} iterations, reliable updates: {}",
+            stats.iter().map(|s| s.iterations).sum::<usize>(),
+            stats.iter().map(|s| s.reliable_updates).sum::<usize>()
+        );
+
+        // Feynman–Hellmann sequential inversions.
+        let fh = FeynmanHellmann::axial(&solver);
+        let (fh_prop, _) = fh.fh_propagator(&prop);
+
+        // Propagator contractions (the CPU-only stage).
+        let proj = lqcd::core::gamma::polarized_projector();
+        let c2: Vec<f64> = proton_correlator(&lat, &prop, &prop, &proj)
+            .iter()
+            .map(|c| c.re)
+            .collect();
+        let cfh: Vec<f64> = fh_nucleon_correlator(&lat, &prop, &prop, &fh_prop, &fh_prop, &proj)
+            .iter()
+            .map(|c| c.re)
+            .collect();
+
+        // Write result (blue oval).
+        let cpath = dir.join(format!("proton_{i}.lqio"));
+        let c64: Vec<C64> = c2.iter().map(|&r| C64::new(r, 0.0)).collect();
+        lqcd::io::write_correlator(&cpath, &c64, BTreeMap::new()).expect("write corr");
+
+        c2_all.push(c2);
+        cfh_all.push(cfh);
+    }
+
+    // Analysis: jackknifed effective coupling across configurations.
+    let idx: Vec<usize> = (0..n_configs).collect();
+    let nt = lat.nt();
+    let est = jackknife_vector(&idx, |ii| {
+        let n = ii.len() as f64;
+        let r: Vec<f64> = (0..nt)
+            .map(|t| {
+                let num: f64 = ii.iter().map(|&i| cfh_all[i][t]).sum::<f64>() / n;
+                let den: f64 = ii.iter().map(|&i| c2_all[i][t]).sum::<f64>() / n;
+                num / den
+            })
+            .collect();
+        (0..nt - 1).map(|t| r[t + 1] - r[t]).collect()
+    });
+    println!("\nFH effective coupling (tiny quenched demo — machinery, not physics):");
+    for (t, e) in est.iter().enumerate() {
+        println!("  t={t}: g_eff = {:+.4} ± {:.4}", e.mean, e.error);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
