@@ -23,11 +23,8 @@ where
         values.push(statistic(&buf));
     }
     let mean: f64 = values.iter().sum::<f64>() / n_boot as f64;
-    let var: f64 = values
-        .iter()
-        .map(|v| (v - mean) * (v - mean))
-        .sum::<f64>()
-        / (n_boot as f64 - 1.0);
+    let var: f64 =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n_boot as f64 - 1.0);
     (mean, var.sqrt())
 }
 

@@ -143,15 +143,9 @@ impl CorrelatorModel {
     /// `t_sep` (current at `t_sep/2`): mean carries twice-decayed
     /// excited-state contamination; noise carries the full `e^{growth·t_sep}`
     /// plus the extra factor a three-point function pays.
-    pub fn traditional_samples(
-        &self,
-        t_sep: usize,
-        n_configs: usize,
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn traditional_samples(&self, t_sep: usize, n_configs: usize, seed: u64) -> Vec<f64> {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
-        let mean =
-            self.ga + 2.0 * self.contamination * (-self.de * t_sep as f64 / 2.0).exp();
+        let mean = self.ga + 2.0 * self.contamination * (-self.de * t_sep as f64 / 2.0).exp();
         let sigma = 1.8 * self.relative_noise(t_sep as f64);
         (0..n_configs)
             .map(|_| {
@@ -186,9 +180,7 @@ impl SyntheticEnsemble {
         let n = c2.len() as f64;
         let t_len = c2[0].len();
         let mean = |rows: &[Vec<f64>], t: usize| rows.iter().map(|r| r[t]).sum::<f64>() / n;
-        let r: Vec<f64> = (0..t_len)
-            .map(|t| mean(cf, t) / mean(c2, t))
-            .collect();
+        let r: Vec<f64> = (0..t_len).map(|t| mean(cf, t) / mean(c2, t)).collect();
         (0..t_len - 1).map(|t| r[t + 1] - r[t]).collect()
     }
 }
@@ -284,8 +276,8 @@ mod tests {
         let stats_of = |t_sep: usize, seed: u64| {
             let trad = m.traditional_samples(t_sep, n_trad, seed);
             let mean: f64 = trad.iter().sum::<f64>() / n_trad as f64;
-            let var: f64 = trad.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / (n_trad as f64 - 1.0);
+            let var: f64 =
+                trad.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n_trad as f64 - 1.0);
             (mean, (var / n_trad as f64).sqrt())
         };
         let (mean12, err12) = stats_of(12, 9);

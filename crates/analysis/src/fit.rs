@@ -98,12 +98,8 @@ where
     assert_eq!(ys.len(), n);
     assert!(n >= np, "need at least as many points as parameters");
 
-    let residuals = |p: &[f64]| -> Vec<f64> {
-        xs.iter()
-            .zip(ys)
-            .map(|(&x, &y)| y - model(x, p))
-            .collect()
-    };
+    let residuals =
+        |p: &[f64]| -> Vec<f64> { xs.iter().zip(ys).map(|(&x, &y)| y - model(x, p)).collect() };
 
     let mut p = p0.to_vec();
     let mut res = residuals(&p);

@@ -104,11 +104,15 @@ mod tests {
         let samples: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
         let est = jackknife(&samples, |s| s.iter().sum::<f64>() / s.len() as f64);
         let mean: f64 = samples.iter().sum::<f64>() / 400.0;
-        let var: f64 =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (400.0 - 1.0);
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (400.0 - 1.0);
         let sem = (var / 400.0).sqrt();
         assert!((est.mean - mean).abs() < 1e-14);
-        assert!((est.error - sem).abs() < 1e-3 * sem, "{} vs {}", est.error, sem);
+        assert!(
+            (est.error - sem).abs() < 1e-3 * sem,
+            "{} vs {}",
+            est.error,
+            sem
+        );
     }
 
     #[test]
@@ -125,9 +129,7 @@ mod tests {
 
     #[test]
     fn vector_jackknife_matches_scalar_per_component() {
-        let samples: Vec<[f64; 2]> = (0..50)
-            .map(|i| [i as f64, (i * i) as f64])
-            .collect();
+        let samples: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, (i * i) as f64]).collect();
         let v = jackknife_vector(&samples, |s| {
             let n = s.len() as f64;
             vec![

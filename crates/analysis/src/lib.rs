@@ -27,7 +27,7 @@ pub mod modelavg;
 
 pub use autocorr::integrated_autocorrelation;
 pub use bootstrap::bootstrap;
-pub use corrmodel::{A09M310, CorrelatorModel, SyntheticEnsemble};
+pub use corrmodel::{CorrelatorModel, SyntheticEnsemble, A09M310};
 pub use covariance::{inverse_mean_covariance, sample_covariance, shrink};
 pub use fit::{curve_fit, curve_fit_correlated, FitResult, FitSettings};
 pub use jackknife::{jackknife, jackknife_vector, JackknifeEstimate};

@@ -107,10 +107,7 @@ where
     }
 
     let value: f64 = fits.iter().map(|(w, _)| w.weight * w.value).sum();
-    let stat2: f64 = fits
-        .iter()
-        .map(|(w, _)| w.weight * w.error * w.error)
-        .sum();
+    let stat2: f64 = fits.iter().map(|(w, _)| w.weight * w.error * w.error).sum();
     let model2: f64 = fits
         .iter()
         .map(|(w, _)| w.weight * (w.value - value) * (w.value - value))
@@ -178,16 +175,7 @@ mod tests {
         // A constant-only model is wrong at early times; windows that start
         // early must get lower weight than windows past the contamination.
         let (xs, ys, sigmas) = synthetic_geff(7);
-        let avg = model_average(
-            &xs,
-            &ys,
-            &sigmas,
-            |_x, p| p[0],
-            &[1.2],
-            0..8,
-            4,
-            0,
-        );
+        let avg = model_average(&xs, &ys, &sigmas, |_x, p| p[0], &[1.2], 0..8, 4, 0);
         let early = avg.fits.iter().find(|f| f.window.0 == 0).expect("fit");
         let late_best = avg
             .fits

@@ -20,11 +20,7 @@ pub struct TuneKey {
 
 impl TuneKey {
     /// Build a key from its three components.
-    pub fn new(
-        name: impl Into<String>,
-        volume: impl Into<String>,
-        aux: impl Into<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, volume: impl Into<String>, aux: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             volume: volume.into(),

@@ -101,7 +101,10 @@ fn entry_records_metadata() {
     let e = tuner.lookup(&t.key()).expect("entry cached");
     assert_eq!(e.candidates_swept, 7);
     assert!((e.seconds - 1.0).abs() < 1e-12, "optimum cost is 1.0");
-    assert!((e.gflops - 2.0).abs() < 1e-9, "2e9 flops in 1 s = 2 GFLOP/s");
+    assert!(
+        (e.gflops - 2.0).abs() < 1e-9,
+        "2e9 flops in 1 s = 2 GFLOP/s"
+    );
 }
 
 #[test]

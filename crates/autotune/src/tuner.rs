@@ -1,5 +1,5 @@
 use crate::tunable::time_candidate;
-use crate::{TuneKey, TuneParam, Tunable};
+use crate::{Tunable, TuneKey, TuneParam};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -172,7 +172,11 @@ impl Tuner {
         for (k, e) in entries {
             out.push_str(&format!(
                 "{k}  grain={} block={} policy={}  {:.3e}s  {:.1} GFLOP/s  ({} swept)\n",
-                e.param.grain, e.param.block, e.param.policy, e.seconds, e.gflops,
+                e.param.grain,
+                e.param.block,
+                e.param.policy,
+                e.seconds,
+                e.gflops,
                 e.candidates_swept
             ));
         }

@@ -19,9 +19,7 @@ fn bench_contractions(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Elements(lat.volume() as u64));
 
-    group.bench_function("pion_shortcut", |b| {
-        b.iter(|| pion_correlator(&lat, &prop))
-    });
+    group.bench_function("pion_shortcut", |b| b.iter(|| pion_correlator(&lat, &prop)));
 
     let g5 = gamma5_dense();
     group.bench_function("meson_generic", |b| {

@@ -13,7 +13,7 @@ fn bench_schedulers(c: &mut Criterion) {
     let config = ClusterConfig {
         nodes: 256,
         jitter_sigma: 0.05,
-        failure_prob: 0.0,
+        startup_failure_prob: 0.0,
         seed: 3,
     };
 

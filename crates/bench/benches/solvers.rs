@@ -126,5 +126,9 @@ fn bench_mobius_prec_vs_full(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_precision_strategies, bench_mobius_prec_vs_full);
+criterion_group!(
+    benches,
+    bench_precision_strategies,
+    bench_mobius_prec_vs_full
+);
 criterion_main!(benches);

@@ -20,7 +20,9 @@ fn bench_su3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("su3");
     group.bench_function("mat_mul", |bch| bch.iter(|| std::hint::black_box(a) * b));
-    group.bench_function("mat_vec", |bch| bch.iter(|| a.mul_vec(std::hint::black_box(&v))));
+    group.bench_function("mat_vec", |bch| {
+        bch.iter(|| a.mul_vec(std::hint::black_box(&v)))
+    });
     group.bench_function("dagger_vec", |bch| {
         bch.iter(|| a.dagger_mul_vec(std::hint::black_box(&v)))
     });

@@ -13,6 +13,7 @@
 //!   fig6      Summit weak scaling under METAQ
 //!   fig7      per-solve performance histogram at 13488 GPUs
 //!   backfill  naive vs METAQ vs mpi_jm utilization
+//!   faults    mid-run failure sweep: blast radius and recovery per scheduler
 //!   startup   mpi_jm partitioned startup model
 //!   budget    application time budget (Fig. 2 fractions)
 //!   speedup   machine-to-machine speedup over Titan
@@ -22,7 +23,7 @@
 //!   all       everything above
 //! ```
 
-use bench::experiments::{ablation, fig1, fig3, fig5, jobs, pipeline, tables};
+use bench::experiments::{ablation, faults, fig1, fig3, fig5, jobs, pipeline, tables};
 use bench::output::ExperimentOutput;
 
 fn main() {
@@ -49,7 +50,7 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|startup|budget|speedup|memory|ablation|pipeline|all> [--results DIR]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|all> [--results DIR]"
         );
         std::process::exit(2);
     };
@@ -80,6 +81,9 @@ fn main() {
         "backfill" => {
             jobs::run_backfill(out);
         }
+        "faults" => {
+            faults::run_faults(out);
+        }
         "startup" => jobs::run_startup(out),
         "budget" => {
             jobs::run_budget(out);
@@ -103,7 +107,7 @@ fn main() {
     if experiment == "all" {
         for name in [
             "table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "backfill",
-            "startup", "budget", "speedup", "memory", "ablation", "pipeline",
+            "faults", "startup", "budget", "speedup", "memory", "ablation", "pipeline",
         ] {
             run_one(name, &out);
         }

@@ -24,10 +24,7 @@ pub fn run_policy_ablation(out: &ExperimentOutput) {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &g in &counts {
-        let tuned = model
-            .performance(&tuner, g)
-            .expect("decomposable")
-            .tflops;
+        let tuned = model.performance(&tuner, g).expect("decomposable").tflops;
         let mut row = vec![g.to_string(), format!("{tuned:.1}")];
         let mut csv_row = vec![g as f64, tuned];
         for p in &policies {
@@ -53,12 +50,8 @@ pub fn run_policy_ablation(out: &ExperimentOutput) {
         "\nno single fixed policy is optimal at every scale — the reason the \
          paper extended the autotuner to communication policies"
     );
-    out.csv(
-        "ablation_policy.csv",
-        "gpus,tuned_tflops,p0,p1,p2,p3",
-        &csv,
-    )
-    .expect("csv");
+    out.csv("ablation_policy.csv", "gpus,tuned_tflops,p0,p1,p2,p3", &csv)
+        .expect("csv");
 }
 
 /// Ablation 2+3: mixed-precision solver — reliable-update threshold sweep
@@ -103,30 +96,35 @@ pub fn run_solver_ablation(out: &ExperimentOutput) {
             s.reliable_updates.to_string(),
             format!("{}", s.converged),
         ]);
-        csv.push(vec![
-            delta,
-            s.iterations as f64,
-            s.reliable_updates as f64,
-        ]);
+        csv.push(vec![delta, s.iterations as f64, s.reliable_updates as f64]);
     }
     print_table(
         "Ablation — reliable-update threshold δ (double/single, Wilson CGNE)",
         &["delta", "inner iterations", "reliable updates", "converged"],
         &rows,
     );
-    out.csv("ablation_delta.csv", "delta,iterations,reliable_updates", &csv)
-        .expect("csv");
+    out.csv(
+        "ablation_delta.csv",
+        "delta,iterations,reliable_updates",
+        &csv,
+    )
+    .expect("csv");
 
     // Precision strategies at δ = 0.1.
     let mut rows = Vec::new();
     let mut x = vec![Spinor::zero(); lat.volume()];
-    let s_double = cg(&n64, &mut x, {
-        // Build D†b once for a fair CGNE comparison.
-        let mut rhs = vec![Spinor::zero(); lat.volume()];
-        use lqcd_core::dirac::DiracOp;
-        d64.apply_dagger(&mut rhs, &b);
-        &rhs.clone()
-    }, outer);
+    let s_double = cg(
+        &n64,
+        &mut x,
+        {
+            // Build D†b once for a fair CGNE comparison.
+            let mut rhs = vec![Spinor::zero(); lat.volume()];
+            use lqcd_core::dirac::DiracOp;
+            d64.apply_dagger(&mut rhs, &b);
+            &rhs.clone()
+        },
+        outer,
+    );
     rows.push(vec![
         "pure double".into(),
         s_double.iterations.to_string(),
@@ -136,17 +134,29 @@ pub fn run_solver_ablation(out: &ExperimentOutput) {
     for (name, s) in [
         ("double/single", {
             let mut x = vec![Spinor::zero(); lat.volume()];
-            mixed_cg(&n64, &n32, &mut x, &b, MixedParams {
-                outer,
-                ..MixedParams::default()
-            })
+            mixed_cg(
+                &n64,
+                &n32,
+                &mut x,
+                &b,
+                MixedParams {
+                    outer,
+                    ..MixedParams::default()
+                },
+            )
         }),
         ("double/half-gauge", {
             let mut x = vec![Spinor::zero(); lat.volume()];
-            mixed_cg(&n64, &nh, &mut x, &b, MixedParams {
-                outer,
-                ..MixedParams::default()
-            })
+            mixed_cg(
+                &n64,
+                &nh,
+                &mut x,
+                &b,
+                MixedParams {
+                    outer,
+                    ..MixedParams::default()
+                },
+            )
         }),
     ] {
         assert!(s.converged, "{name} failed: {s:?}");

@@ -87,9 +87,7 @@ pub fn run_fig4(out: &ExperimentOutput) -> Vec<PerfPoint> {
         &["GPUs", "TFLOPS", "% peak"],
         &rows,
     );
-    println!(
-        "\npaper: approaches 1.5 PFLOPS with a large efficiency drop past ~2000 GPUs"
-    );
+    println!("\npaper: approaches 1.5 PFLOPS with a large efficiency drop past ~2000 GPUs");
 
     let csv: Vec<Vec<f64>> = curve
         .iter()
@@ -118,7 +116,9 @@ mod tests {
         }
         // Efficiency decreases monotonically along each curve.
         for (_, curve) in &curves {
-            assert!(curve.windows(2).all(|w| w[1].pct_peak <= w[0].pct_peak + 1e-9));
+            assert!(curve
+                .windows(2)
+                .all(|w| w[1].pct_peak <= w[0].pct_peak + 1e-9));
         }
     }
 

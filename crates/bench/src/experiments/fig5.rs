@@ -138,7 +138,7 @@ pub fn run_fig7(out: &ExperimentOutput) -> (Vec<f64>, Vec<usize>) {
         &ClusterConfig {
             nodes: groups * 4,
             jitter_sigma: 0.05,
-            failure_prob: 0.0,
+            startup_failure_prob: 0.0,
             seed: 77,
         },
     );

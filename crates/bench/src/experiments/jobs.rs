@@ -18,7 +18,7 @@ pub fn run_backfill(out: &ExperimentOutput) -> (f64, f64, f64) {
     let config = ClusterConfig {
         nodes: 64,
         jitter_sigma: 0.06,
-        failure_prob: 0.0,
+        startup_failure_prob: 0.0,
         seed: 3,
     };
 
@@ -53,7 +53,12 @@ pub fn run_backfill(out: &ExperimentOutput) -> (f64, f64, f64) {
     ];
     print_table(
         "Backfilling — 128 heterogeneous 4-node solves on 64 Sierra nodes",
-        &["scheduler", "makespan (s)", "utilization", "speedup vs naive"],
+        &[
+            "scheduler",
+            "makespan (s)",
+            "utilization",
+            "speedup vs naive",
+        ],
         &rows,
     );
     println!("\nbusy-nodes timeline (one char ≈ 1/72 of the makespan):");
@@ -157,7 +162,7 @@ pub fn run_budget(out: &ExperimentOutput) -> (f64, f64, f64) {
     let config = ClusterConfig {
         nodes: 32,
         jitter_sigma: 0.0,
-        failure_prob: 0.0,
+        startup_failure_prob: 0.0,
         seed: 5,
     };
     let co = MpiJmScheduler::new(MpiJmConfig {
@@ -226,7 +231,12 @@ pub fn run_budget(out: &ExperimentOutput) -> (f64, f64, f64) {
 pub fn run_memory(out: &ExperimentOutput) {
     use coral_machine::{min_gpus_for_memory, solve_footprint};
     let cases = [
-        ("48^3x64x12 (Fig. 3/5)", [48usize, 48, 48, 64], 12usize, 4usize),
+        (
+            "48^3x64x12 (Fig. 3/5)",
+            [48usize, 48, 48, 64],
+            12usize,
+            4usize,
+        ),
         ("64^3x96x12 (Fig. 6)", [64, 64, 64, 96], 12, 6),
         ("96^3x144x20 (Fig. 4)", [96, 96, 96, 144], 20, 6),
     ];
@@ -241,10 +251,7 @@ pub fn run_memory(out: &ExperimentOutput) {
             format!("{:.1}", single.total_gib()),
             min.map_or("-".into(), |m| m.to_string()),
         ]);
-        csv.push(vec![
-            single.total_gib(),
-            min.unwrap_or(0) as f64,
-        ]);
+        csv.push(vec![single.total_gib(), min.unwrap_or(0) as f64]);
     }
     print_table(
         "Solver memory footprint (16 GiB V100 HBM, double-half working set)",
@@ -255,7 +262,8 @@ pub fn run_memory(out: &ExperimentOutput) {
         "\npaper: \"we will in general need a minimum number of GPUs for a \
          given calculation due to memory overheads\""
     );
-    out.csv("memory.csv", "single_gib,min_gpus", &csv).expect("csv");
+    out.csv("memory.csv", "single_gib,min_gpus", &csv)
+        .expect("csv");
 }
 
 /// Machine-to-machine application speedup over Titan.
@@ -274,7 +282,12 @@ pub fn run_speedup(out: &ExperimentOutput) {
     let m = rate_per_node(summit(), 24);
 
     let rows = vec![
-        vec!["Titan".to_string(), format!("{t:.2}"), "1.0".to_string(), "1".to_string()],
+        vec![
+            "Titan".to_string(),
+            format!("{t:.2}"),
+            "1.0".to_string(),
+            "1".to_string(),
+        ],
         vec![
             "Sierra".to_string(),
             format!("{s:.2}"),

@@ -30,24 +30,19 @@ pub struct PipelineResult {
 
 /// Run the pipeline: `n_configs` quenched configurations of a `dims`
 /// lattice, Möbius mixed-precision propagators, proton + FH contractions.
-pub fn run(out: &ExperimentOutput, dims: [usize; 4], n_configs: usize, seed: u64) -> PipelineResult {
+pub fn run(
+    out: &ExperimentOutput,
+    dims: [usize; 4],
+    n_configs: usize,
+    seed: u64,
+) -> PipelineResult {
     let lat = Lattice::new(dims);
     let params = MobiusParams::standard(4, 0.3);
 
     // Stage 1: gauge generation (Monte Carlo ensemble).
-    let mut ens = QuenchedEnsemble::cold_start(
-        &lat,
-        HeatbathParams {
-            beta: 6.0,
-            n_or: 2,
-        },
-        seed,
-    );
+    let mut ens = QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 6.0, n_or: 2 }, seed);
     let configs = ens.generate(10, n_configs, 5);
-    let plaquettes: Vec<f64> = configs
-        .iter()
-        .map(|g| average_plaquette(&lat, g))
-        .collect();
+    let plaquettes: Vec<f64> = configs.iter().map(|g| average_plaquette(&lat, g)).collect();
 
     // Per-configuration correlators.
     let mut pion_all = Vec::new();
@@ -99,11 +94,10 @@ pub fn run(out: &ExperimentOutput, dims: [usize; 4], n_configs: usize, seed: u64
             .iter()
             .map(|c| c.re)
             .collect();
-        let cfh: Vec<f64> =
-            fh_nucleon_correlator(&lat, &prop, &prop, &fh_prop, &fh_prop, &proj)
-                .iter()
-                .map(|c| c.re)
-                .collect();
+        let cfh: Vec<f64> = fh_nucleon_correlator(&lat, &prop, &prop, &fh_prop, &fh_prop, &proj)
+            .iter()
+            .map(|c| c.re)
+            .collect();
         // Traditional 3pt at t_sep = 2 and 4 (current at t_sep/2).
         let c3_t2: Vec<f64> = fh_nucleon_correlator(&lat, &prop, &prop, &seq_t1, &seq_t1, &proj)
             .iter()

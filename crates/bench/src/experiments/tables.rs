@@ -11,10 +11,7 @@ pub fn table1() {
         &[
             vec!["Category of achievement".into(), "time to solution".into()],
             vec!["method".into(), "explicit".into()],
-            vec![
-                "reporting".into(),
-                "whole application including I/O".into(),
-            ],
+            vec!["reporting".into(), "whole application including I/O".into()],
             vec!["precision".into(), "mixed-precision".into()],
             vec!["system scale".into(), "full-scale system".into()],
             vec!["measurement method".into(), "FLOP count".into()],

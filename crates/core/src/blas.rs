@@ -113,7 +113,10 @@ pub fn dot<R: Real>(x: &[Spinor<R>], y: &[Spinor<R>]) -> C64 {
 /// `z = x − y` into a fresh vector.
 pub fn sub<R: Real>(x: &[Spinor<R>], y: &[Spinor<R>]) -> Vec<Spinor<R>> {
     assert_eq!(x.len(), y.len());
-    x.par_iter().zip(y.par_iter()).map(|(a, b)| *a - *b).collect()
+    x.par_iter()
+        .zip(y.par_iter())
+        .map(|(a, b)| *a - *b)
+        .collect()
 }
 
 #[cfg(test)]

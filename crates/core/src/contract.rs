@@ -198,11 +198,7 @@ pub fn proton_correlator_general(
 /// Momentum-projected pion correlator:
 /// `C(p, t) = Σ_x e^{−i p·x} Σ |S(x)|²`-style with the phase on the sink,
 /// for integer momentum `n = (nx, ny, nz)` in units of `2π/L`.
-pub fn pion_correlator_momentum(
-    lattice: &Lattice,
-    prop: &Propagator,
-    n_mom: [i32; 3],
-) -> Vec<C64> {
+pub fn pion_correlator_momentum(lattice: &Lattice, prop: &Propagator, n_mom: [i32; 3]) -> Vec<C64> {
     let nt = lattice.nt();
     let t0 = prop.source_time;
     let dims = lattice.dims();
@@ -253,10 +249,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 8]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 6.0,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 6.0, n_or: 1 },
             11,
         );
         for _ in 0..5 {

@@ -205,10 +205,7 @@ mod tests {
     use super::*;
     use crate::field::{FermionField, GaugeField};
 
-    fn setup(
-        dims: [usize; 4],
-        seed: u64,
-    ) -> (Lattice, GaugeField<f64>, FermionField<f64>) {
+    fn setup(dims: [usize; 4], seed: u64) -> (Lattice, GaugeField<f64>, FermionField<f64>) {
         let lat = Lattice::new(dims);
         let gauge = GaugeField::hot(&lat, seed);
         let psi = FermionField::gaussian(lat.volume(), seed + 1);
@@ -289,7 +286,8 @@ mod tests {
             let mut s: Spinor<f64> = Spinor::zero();
             for sp in 0..4 {
                 for c in 0..3 {
-                    s.s[sp].c[c] = crate::complex::Complex::from_f64(0.3 * (sp as f64) + 0.1, c as f64);
+                    s.s[sp].c[c] =
+                        crate::complex::Complex::from_f64(0.3 * (sp as f64) + 0.1, c as f64);
                 }
             }
             s

@@ -172,12 +172,8 @@ impl<R: Real> FifthDim<R> {
     fn new(params: MobiusParams) -> Self {
         assert!(params.l5 >= 2, "L5 must be at least 2");
         let (p, m) = build_a_inverses(&params);
-        let flat = |m: Vec<Vec<f64>>| -> Vec<R> {
-            m.into_iter()
-                .flatten()
-                .map(R::from_f64)
-                .collect()
-        };
+        let flat =
+            |m: Vec<Vec<f64>>| -> Vec<R> { m.into_iter().flatten().map(R::from_f64).collect() };
         Self {
             params,
             ainv_plus: flat(p),
@@ -335,7 +331,8 @@ impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
         self.hop_5d(&mut hrho, &rho);
 
         // A(ψ) − ½ H ρ(ψ).
-        self.fifth.affine_shift(out, inp, v, p.alpha(), p.beta(), false);
+        self.fifth
+            .affine_shift(out, inp, v, p.alpha(), p.beta(), false);
         let half = R::from_f64(0.5);
         out.par_iter_mut().zip(hrho.par_iter()).for_each(|(o, h)| {
             *o = *o - h.scale(half);
@@ -375,11 +372,9 @@ impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for MobiusDirac<'a, R, G> {
         self.fifth
             .affine_shift(out, inp, v, p.alpha(), p.beta(), true);
         let half = R::from_f64(0.5);
-        out.par_iter_mut()
-            .zip(rho_h.par_iter())
-            .for_each(|(o, r)| {
-                *o = *o - r.scale(half);
-            });
+        out.par_iter_mut().zip(rho_h.par_iter()).for_each(|(o, r)| {
+            *o = *o - r.scale(half);
+        });
     }
 }
 

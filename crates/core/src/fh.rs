@@ -125,7 +125,9 @@ pub fn effective_ga(c2pt: &[f64], cfh: &[f64]) -> Vec<f64> {
         .zip(cfh)
         .map(|(&c2, &cf)| if c2 != 0.0 { cf / c2 } else { f64::NAN })
         .collect();
-    (0..r.len().saturating_sub(1)).map(|t| r[t + 1] - r[t]).collect()
+    (0..r.len().saturating_sub(1))
+        .map(|t| r[t + 1] - r[t])
+        .collect()
 }
 
 /// The traditional three-point ratio
@@ -153,10 +155,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 8]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 6.0,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 6.0, n_or: 1 },
             13,
         );
         for _ in 0..5 {

@@ -50,7 +50,8 @@ impl<R: Real> GaugeField<R> {
             .par_chunks_mut(ND)
             .enumerate()
             .for_each(|(site, chunk)| {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (site as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (site as u64).wrapping_mul(0x9E3779B97F4A7C15));
                 for link in chunk.iter_mut() {
                     *link = Su3::random(&mut rng);
                 }

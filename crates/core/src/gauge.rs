@@ -377,14 +377,8 @@ mod tests {
     #[test]
     fn strong_coupling_gives_small_plaquette_weak_coupling_large() {
         let lat = Lattice::new([4, 4, 4, 4]);
-        let mut strong = QuenchedEnsemble::hot_start(
-            &lat,
-            HeatbathParams {
-                beta: 0.5,
-                n_or: 1,
-            },
-            11,
-        );
+        let mut strong =
+            QuenchedEnsemble::hot_start(&lat, HeatbathParams { beta: 0.5, n_or: 1 }, 11);
         let mut weak = QuenchedEnsemble::cold_start(
             &lat,
             HeatbathParams {
@@ -401,7 +395,10 @@ mod tests {
         let pw = weak.plaquette_history.last().copied().unwrap();
         assert!(ps < 0.25, "strong coupling plaquette {ps}");
         // Leading weak-coupling expansion: ⟨P⟩ ≈ 1 − 2/β = 0.833 at β = 12.
-        assert!((pw - (1.0 - 2.0 / 12.0)).abs() < 0.04, "weak coupling plaquette {pw}");
+        assert!(
+            (pw - (1.0 - 2.0 / 12.0)).abs() < 0.04,
+            "weak coupling plaquette {pw}"
+        );
     }
 
     #[test]
@@ -409,14 +406,7 @@ mod tests {
         // Quenched Wilson action at β = 5.7 has ⟨P⟩ ≈ 0.549 in the
         // thermodynamic limit; a 4⁴ box lands close enough for a loose check.
         let lat = Lattice::new([4, 4, 4, 4]);
-        let mut ens = QuenchedEnsemble::cold_start(
-            &lat,
-            HeatbathParams {
-                beta: 5.7,
-                n_or: 2,
-            },
-            13,
-        );
+        let mut ens = QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 5.7, n_or: 2 }, 13);
         for _ in 0..40 {
             ens.update();
         }
@@ -431,10 +421,7 @@ mod tests {
     #[test]
     fn hot_and_cold_starts_converge_to_same_plaquette() {
         let lat = Lattice::new([4, 4, 4, 4]);
-        let p = HeatbathParams {
-            beta: 5.9,
-            n_or: 2,
-        };
+        let p = HeatbathParams { beta: 5.9, n_or: 2 };
         let mut hot = QuenchedEnsemble::hot_start(&lat, p, 17);
         let mut cold = QuenchedEnsemble::cold_start(&lat, p, 19);
         for _ in 0..30 {
@@ -462,14 +449,7 @@ mod tests {
     #[test]
     fn overrelaxation_preserves_action_approximately() {
         let lat = Lattice::new([4, 4, 2, 2]);
-        let mut ens = QuenchedEnsemble::hot_start(
-            &lat,
-            HeatbathParams {
-                beta: 5.7,
-                n_or: 0,
-            },
-            29,
-        );
+        let mut ens = QuenchedEnsemble::hot_start(&lat, HeatbathParams { beta: 5.7, n_or: 0 }, 29);
         for _ in 0..10 {
             ens.update();
         }

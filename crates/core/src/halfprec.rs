@@ -216,9 +216,7 @@ mod tests {
 
     #[test]
     fn fermion_round_trip_error_is_bounded_by_block_scale() {
-        let v: Vec<Spinor<f32>> = FermionField::<f64>::gaussian(512, 5)
-            .cast::<f32>()
-            .data;
+        let v: Vec<Spinor<f32>> = FermionField::<f64>::gaussian(512, 5).cast::<f32>().data;
         let half = HalfFermionField::encode(&v);
         let back = half.decode();
         for (orig, dec) in v.iter().zip(&back) {

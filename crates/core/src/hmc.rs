@@ -131,9 +131,8 @@ fn staple(lat: &Lattice, gauge: &GaugeField<f64>, x: usize, mu: usize) -> Su3<f6
         sum += gauge.link(x_mu, nu) * gauge.link(x_nu, mu).dagger() * gauge.link(x, nu).dagger();
         let x_dn = nb.bwd[nu] as usize;
         let x_mu_dn = lat.neighbors(x_mu).bwd[nu] as usize;
-        sum += gauge.link(x_mu_dn, nu).dagger()
-            * gauge.link(x_dn, mu).dagger()
-            * gauge.link(x_dn, nu);
+        sum +=
+            gauge.link(x_mu_dn, nu).dagger() * gauge.link(x_dn, mu).dagger() * gauge.link(x_dn, nu);
     }
     sum
 }
@@ -152,18 +151,15 @@ fn force(lat: &Lattice, gauge: &GaugeField<f64>, beta: f64) -> Momenta {
 }
 
 /// Leapfrog integration of (U, P) over one trajectory; mutates both.
-fn leapfrog(
-    lat: &Lattice,
-    gauge: &mut GaugeField<f64>,
-    momenta: &mut Momenta,
-    params: &HmcParams,
-) {
+fn leapfrog(lat: &Lattice, gauge: &mut GaugeField<f64>, momenta: &mut Momenta, params: &HmcParams) {
     let eps = params.trajectory_length / params.n_steps as f64;
     let half_kick = |p: &mut Momenta, g: &GaugeField<f64>, dt: f64| {
         let f = force(lat, g, params.beta);
-        p.par_iter_mut().zip(f.into_par_iter()).for_each(|(pi, fi)| {
-            *pi += fi.scale(dt);
-        });
+        p.par_iter_mut()
+            .zip(f.into_par_iter())
+            .for_each(|(pi, fi)| {
+                *pi += fi.scale(dt);
+            });
     };
     let drift = |g: &mut GaugeField<f64>, p: &Momenta, dt: f64| {
         let new: Vec<Su3<f64>> = g
@@ -365,10 +361,7 @@ mod tests {
         // Cross-validate against the heat-bath sampler at the same β.
         let mut hb = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 5.7,
-                n_or: 2,
-            },
+            crate::gauge::HeatbathParams { beta: 5.7, n_or: 2 },
             19,
         );
         for _ in 0..30 {

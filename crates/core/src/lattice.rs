@@ -75,7 +75,10 @@ impl Lattice {
             );
         }
         let volume = dims.iter().product::<usize>();
-        assert!(volume <= u32::MAX as usize, "volume must fit in u32 indices");
+        assert!(
+            volume <= u32::MAX as usize,
+            "volume must fit in u32 indices"
+        );
 
         let mut neighbors = vec![Neighbors::default(); volume];
         let mut parity = vec![Parity::Even; volume];

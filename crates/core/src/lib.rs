@@ -35,13 +35,13 @@ pub mod blas;
 pub mod complex;
 pub mod contract;
 pub mod dirac;
-pub mod flops;
-pub mod gauge;
-pub mod hmc;
-pub mod halfprec;
 pub mod fh;
 pub mod field;
+pub mod flops;
 pub mod gamma;
+pub mod gauge;
+pub mod halfprec;
+pub mod hmc;
 pub mod lattice;
 pub mod observables;
 pub mod prop;
@@ -62,29 +62,31 @@ pub mod prelude {
         effective_mass, meson_correlator, pion_correlator, pion_correlator_momentum,
         proton_correlator, proton_correlator_general,
     };
-    pub use crate::fh::{effective_ga, fh_nucleon_correlator, FeynmanHellmann};
-    pub use crate::prop::{point_source, wall_source, z2_noise_source, Propagator, PropagatorSolver, SolverKind};
     pub use crate::dirac::{
         DiracOp, HoppingKernel, LinearOp, MobiusDirac, MobiusParams, NormalOp, PrecMobius,
         PrecWilson, WilsonDirac,
     };
+    pub use crate::fh::{effective_ga, fh_nucleon_correlator, FeynmanHellmann};
     pub use crate::field::{FermionField, GaugeField, GaugeLinks};
-    pub use crate::gauge::{average_plaquette, HeatbathParams, QuenchedEnsemble};
-    pub use crate::hmc::{HmcParams, HmcSampler};
-    pub use crate::halfprec::{HalfFermionField, HalfGaugeField};
     pub use crate::gamma::{gamma5_dense, gamma_dense, SpinMatrix, NS};
+    pub use crate::gauge::{average_plaquette, HeatbathParams, QuenchedEnsemble};
+    pub use crate::halfprec::{HalfFermionField, HalfGaugeField};
+    pub use crate::hmc::{HmcParams, HmcSampler};
     pub use crate::lattice::{Lattice, Parity, ND};
     pub use crate::observables::{polyakov_loop, static_potential, wilson_loop};
-    pub use crate::topology::{action_density, topological_charge};
-    pub use crate::smear::{ape_smear_spatial, gaussian_smear};
+    pub use crate::prop::{
+        point_source, wall_source, z2_noise_source, Propagator, PropagatorSolver, SolverKind,
+    };
     pub use crate::real::Real;
-    pub use crate::tune::{tune_operator, GrainTunable};
+    pub use crate::smear::{ape_smear_spatial, gaussian_smear};
     pub use crate::solver::{
         bicgstab, cg, cgne, deflated_cg, lanczos_lowest, mixed_cg, multishift_cg, CgParams,
         EigenPair, MixedParams, SolveStats,
     };
     pub use crate::spinor::Spinor;
     pub use crate::su3::{ColorVec, Su3, NC};
+    pub use crate::topology::{action_density, topological_charge};
+    pub use crate::tune::{tune_operator, GrainTunable};
 }
 
 pub use prelude::*;

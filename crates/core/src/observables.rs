@@ -147,14 +147,7 @@ mod tests {
     fn wilson_loops_decay_with_area() {
         // Confinement: W(r,t) ~ exp(-σ r t); larger loops are smaller.
         let lat = Lattice::new([4, 4, 4, 8]);
-        let mut ens = QuenchedEnsemble::cold_start(
-            &lat,
-            HeatbathParams {
-                beta: 5.7,
-                n_or: 2,
-            },
-            5,
-        );
+        let mut ens = QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 5.7, n_or: 2 }, 5);
         for _ in 0..15 {
             ens.update();
         }
@@ -168,14 +161,7 @@ mod tests {
     #[test]
     fn static_potential_grows_with_separation() {
         let lat = Lattice::new([4, 4, 4, 8]);
-        let mut ens = QuenchedEnsemble::cold_start(
-            &lat,
-            HeatbathParams {
-                beta: 5.9,
-                n_or: 2,
-            },
-            7,
-        );
+        let mut ens = QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 5.9, n_or: 2 }, 7);
         for _ in 0..15 {
             ens.update();
         }
@@ -189,14 +175,7 @@ mod tests {
     #[test]
     fn polyakov_loop_small_in_confined_phase() {
         let lat = Lattice::new([4, 4, 4, 8]);
-        let mut ens = QuenchedEnsemble::hot_start(
-            &lat,
-            HeatbathParams {
-                beta: 5.5,
-                n_or: 1,
-            },
-            9,
-        );
+        let mut ens = QuenchedEnsemble::hot_start(&lat, HeatbathParams { beta: 5.5, n_or: 1 }, 9);
         for _ in 0..10 {
             ens.update();
         }

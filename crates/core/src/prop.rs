@@ -48,7 +48,12 @@ pub enum SolverKind {
 }
 
 /// A point source: 1 in the given (spin, color) slot at `site`.
-pub fn point_source(lattice: &Lattice, site: usize, spin: usize, color: usize) -> FermionField<f64> {
+pub fn point_source(
+    lattice: &Lattice,
+    site: usize,
+    spin: usize,
+    color: usize,
+) -> FermionField<f64> {
     let mut b = FermionField::zeros(lattice.volume());
     b.data[site] = Spinor::unit(spin, color);
     b
@@ -102,14 +107,7 @@ pub struct Propagator {
 impl Propagator {
     /// Matrix element `S(x)_{(s_snk, c_snk), (s_src, c_src)}`.
     #[inline]
-    pub fn entry(
-        &self,
-        x: usize,
-        s_snk: usize,
-        c_snk: usize,
-        s_src: usize,
-        c_src: usize,
-    ) -> C64 {
+    pub fn entry(&self, x: usize, s_snk: usize, c_snk: usize, s_src: usize, c_src: usize) -> C64 {
         self.columns[s_src * 3 + c_src].data[x].s[s_snk].c[c_snk]
     }
 
@@ -183,12 +181,8 @@ impl<'a> PropagatorSolver<'a> {
                     stats,
                 )
             }
-            SolverKind::MobiusCgne { params } => {
-                self.solve_mobius(source, params, false)
-            }
-            SolverKind::MobiusMixed { params } => {
-                self.solve_mobius(source, params, true)
-            }
+            SolverKind::MobiusCgne { params } => self.solve_mobius(source, params, false),
+            SolverKind::MobiusMixed { params } => self.solve_mobius(source, params, true),
         }
     }
 
@@ -251,8 +245,7 @@ impl<'a> PropagatorSolver<'a> {
         // Wall extraction of the 4D quark field.
         let mut q = FermionField::zeros(v);
         for x in 0..v {
-            q.data[x] =
-                full[x].chiral_project(false) + full[(l5 - 1) * v + x].chiral_project(true);
+            q.data[x] = full[x].chiral_project(false) + full[(l5 - 1) * v + x].chiral_project(true);
         }
         (q, stats)
     }
@@ -326,10 +319,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 8]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 6.0,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 6.0, n_or: 1 },
             3,
         );
         for _ in 0..5 {

@@ -29,9 +29,8 @@ pub fn ape_smear_spatial(lat: &Lattice, gauge: &GaugeField<f64>, alpha: f64) -> 
                     }
                     let x_mu = nb.fwd[mu] as usize;
                     let x_nu = nb.fwd[nu] as usize;
-                    staple += gauge.link(x, nu)
-                        * gauge.link(x_nu, mu)
-                        * gauge.link(x_mu, nu).dagger();
+                    staple +=
+                        gauge.link(x, nu) * gauge.link(x_nu, mu) * gauge.link(x_mu, nu).dagger();
                     let x_dn = nb.bwd[nu] as usize;
                     let x_mu_dn = lat.neighbors(x_mu).bwd[nu] as usize;
                     staple += gauge.link(x_dn, nu).dagger()
@@ -113,9 +112,7 @@ pub fn stout_smear(lat: &Lattice, gauge: &GaugeField<f64>, rho: f64) -> GaugeFie
                     }
                     let x_mu = nb.fwd[mu] as usize;
                     let x_nu = nb.fwd[nu] as usize;
-                    c += gauge.link(x, nu)
-                        * gauge.link(x_nu, mu)
-                        * gauge.link(x_mu, nu).dagger();
+                    c += gauge.link(x, nu) * gauge.link(x_nu, mu) * gauge.link(x_mu, nu).dagger();
                     let x_dn = nb.bwd[nu] as usize;
                     let x_mu_dn = lat.neighbors(x_mu).bwd[nu] as usize;
                     c += gauge.link(x_dn, nu).dagger()
@@ -170,10 +167,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 4]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 5.7,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 5.7, n_or: 1 },
             3,
         );
         for _ in 0..8 {
@@ -203,10 +197,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 4]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 5.7,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 5.7, n_or: 1 },
             13,
         );
         for _ in 0..8 {
@@ -277,10 +268,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 8]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 6.0,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 6.0, n_or: 1 },
             7,
         );
         for _ in 0..6 {

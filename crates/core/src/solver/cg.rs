@@ -47,6 +47,11 @@ pub fn cg<R: Real, A: LinearOp<R> + ?Sized>(
         stats.final_rel_residual = 0.0;
         return stats;
     }
+    if !b_norm2.is_finite() {
+        // Corrupted source (NaN/∞): iterating would only propagate garbage.
+        stats.breakdown = true;
+        return stats;
+    }
 
     // r = b − A x.
     let mut r = vec![Spinor::zero(); n];
@@ -63,13 +68,20 @@ pub fn cg<R: Real, A: LinearOp<R> + ?Sized>(
     let blas_flops = 6.0 * 24.0 * n as f64; // three axpys + two reductions per iteration
 
     while stats.iterations < params.max_iter && r2 > target {
+        if !r2.is_finite() {
+            // Divergence: terminate with an error status instead of
+            // spinning on NaN until `max_iter`.
+            stats.breakdown = true;
+            break;
+        }
         op.apply(&mut ap, &p);
         stats.iterations += 1;
         stats.flops += op.flops_per_apply() + blas_flops;
 
         let pap = blas::dot(&p, &ap).re;
-        if pap <= 0.0 {
+        if !pap.is_finite() || pap <= 0.0 {
             // Not positive definite (or total loss of precision) — bail out.
+            stats.breakdown = true;
             break;
         }
         let alpha = r2 / pap;
@@ -81,8 +93,15 @@ pub fn cg<R: Real, A: LinearOp<R> + ?Sized>(
         r2 = r2_new;
     }
 
-    stats.final_rel_residual = (r2 / b_norm2).sqrt();
-    stats.converged = r2 <= target;
+    if !r2.is_finite() {
+        stats.breakdown = true;
+    }
+    stats.final_rel_residual = if r2.is_finite() {
+        (r2 / b_norm2).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    stats.converged = r2.is_finite() && r2 <= target;
     stats
 }
 
@@ -107,8 +126,15 @@ pub fn cgne<R: Real, D: DiracOp<R>>(
     op.apply(&mut dx, x);
     let diff = blas::sub(b, &dx);
     let b2 = blas::norm_sqr(b);
-    if b2 > 0.0 {
-        stats.final_rel_residual = (blas::norm_sqr(&diff) / b2).sqrt();
+    if b2 > 0.0 && b2.is_finite() {
+        let true_r2 = blas::norm_sqr(&diff);
+        if true_r2.is_finite() {
+            stats.final_rel_residual = (true_r2 / b2).sqrt();
+        } else {
+            stats.final_rel_residual = f64::INFINITY;
+            stats.converged = false;
+            stats.breakdown = true;
+        }
     }
     stats
 }
@@ -151,6 +177,37 @@ mod tests {
         );
         assert!(!stats.converged);
         assert_eq!(stats.iterations, 3);
+    }
+
+    #[test]
+    fn nan_source_terminates_with_breakdown_not_max_iter() {
+        // A corrupted propagator source (NaN) must stop the solve with an
+        // error status immediately, not iterate to max_iter on garbage.
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 61);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let mut b = FermionField::<f64>::gaussian(lat.volume(), 11).data;
+        b[7].s[0].c[0].re = f64::NAN;
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        let stats = cgne(&d, &mut x, &b, CgParams::default());
+        assert!(stats.breakdown, "{stats:?}");
+        assert!(!stats.converged);
+        assert!(stats.iterations < 10, "must not spin on NaN: {stats:?}");
+    }
+
+    #[test]
+    fn nan_initial_guess_terminates_with_breakdown() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 61);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 11).data;
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        x[0].s[0].c[0].re = f64::INFINITY;
+        let stats = cg(&normal, &mut x, &b, CgParams::default());
+        assert!(stats.breakdown, "{stats:?}");
+        assert!(!stats.converged);
+        assert!(stats.iterations < 10);
     }
 
     #[test]

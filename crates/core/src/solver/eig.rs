@@ -184,7 +184,7 @@ pub fn lanczos_lowest<A: LinearOp<f64> + ?Sized>(
 fn block_rayleigh_ritz<A: LinearOp<f64> + ?Sized>(
     op: &A,
     block: Vec<Vec<Spinor<f64>>>,
-    ) -> Vec<EigenPair> {
+) -> Vec<EigenPair> {
     let k = block.len();
     let n = op.vec_len();
     // A v_j for every block vector.

@@ -10,7 +10,8 @@
 //! and the inner iteration restarts from it. This bounds the drift between
 //! the iterated and true residuals that pure low-precision CG suffers.
 
-use super::{CgParams, SolveStats};
+use super::cg::cg;
+use super::{CgParams, SolveStats, SolverOutcome};
 use crate::blas;
 use crate::dirac::LinearOp;
 use crate::real::Real;
@@ -62,6 +63,11 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
         stats.final_rel_residual = 0.0;
         return stats;
     }
+    if !b_norm2.is_finite() {
+        // Corrupted source (NaN/∞): refuse to iterate on garbage.
+        stats.breakdown = true;
+        return stats;
+    }
     let target = params.outer.tol * params.outer.tol * b_norm2;
 
     // True residual in double.
@@ -74,6 +80,12 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
     let mut r2_hi = blas::norm_sqr(&r_hi);
 
     let blas_flops = 6.0 * 24.0 * n as f64;
+
+    if !r2_hi.is_finite() {
+        // A non-finite initial guess poisons the recurrence immediately.
+        stats.breakdown = true;
+        return stats;
+    }
 
     while r2_hi > target && stats.iterations < params.outer.max_iter {
         // Inner CG in low precision on A e = r, e starting at zero.
@@ -97,13 +109,19 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
             stats.flops += op_lo.flops_per_apply() + blas_flops;
 
             let pap = blas::dot(&p_lo, &ap_lo).re;
-            if pap <= 0.0 {
-                break; // precision exhausted in low precision
+            if !pap.is_finite() || pap <= 0.0 {
+                break; // precision exhausted (or overflow) in low precision
             }
             let alpha = r2_lo / pap;
             blas::axpy(alpha, &p_lo, &mut e_lo);
             blas::axpy(-alpha, &ap_lo, &mut r_lo);
             let r2_new = blas::norm_sqr(&r_lo);
+            if !r2_new.is_finite() {
+                // Low-precision overflow/NaN: abandon this inner sequence;
+                // the reliable update below re-anchors in double precision.
+                blas::zero(&mut e_lo);
+                break;
+            }
             let beta = r2_new / r2_lo;
             blas::xpby(&r_lo, beta, &mut p_lo);
             r2_lo = r2_new;
@@ -122,8 +140,15 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
         let r2_next = blas::norm_sqr(&r_hi);
         stats.reliable_updates += 1;
 
-        if r2_next >= r2_hi && inner > 0 && r2_next > target {
-            // No progress even after a reliable update: the low precision
+        if !r2_next.is_finite() {
+            // The promoted correction poisoned the iterate: divergence.
+            stats.breakdown = true;
+            r2_hi = r2_next;
+            break;
+        }
+        if r2_next >= r2_hi && r2_next > target {
+            // No progress even after a reliable update (or a degenerate
+            // inner loop that could not move at all): the low precision
             // cannot resolve the remaining residual. Give up cleanly.
             r2_hi = r2_next;
             break;
@@ -131,15 +156,124 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
         r2_hi = r2_next;
     }
 
-    stats.final_rel_residual = (r2_hi / b_norm2).sqrt();
-    stats.converged = r2_hi <= target;
+    stats.final_rel_residual = if r2_hi.is_finite() {
+        (r2_hi / b_norm2).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    stats.converged = r2_hi.is_finite() && r2_hi <= target;
     stats
+}
+
+/// Parameters of the fault-tolerant solve ([`mixed_cg_robust`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RobustParams {
+    /// The mixed-precision solve attempted first.
+    pub mixed: MixedParams,
+    /// Checkpointed restarts (each with a tighter reliable-update
+    /// threshold) before escalating to full double precision.
+    pub max_restarts: usize,
+    /// Factor applied to `delta` on each restart (< 1 tightens).
+    pub delta_shrink: f64,
+}
+
+impl Default for RobustParams {
+    fn default() -> Self {
+        Self {
+            mixed: MixedParams::default(),
+            max_restarts: 2,
+            delta_shrink: 0.25,
+        }
+    }
+}
+
+/// Fault-tolerant mixed-precision solve with checkpointed restarts and
+/// precision escalation, returning a typed [`SolverOutcome`].
+///
+/// Strategy: run [`mixed_cg`]. On divergence (residual drift to NaN/∞ or a
+/// breakdown), roll `x` back to the checkpoint and retry with a tighter
+/// reliable-update threshold, up to `max_restarts` times. If the mixed
+/// solver still cannot converge — persistent divergence or low-precision
+/// stagnation — escalate to full double-precision [`cg`] from the best
+/// finite iterate. Only when even the double-precision solve breaks down is
+/// the solve declared [`SolverOutcome::Failed`].
+pub fn mixed_cg_robust<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
+    op_hi: &AH,
+    op_lo: &AL,
+    x: &mut [Spinor<f64>],
+    b: &[Spinor<f64>],
+    params: RobustParams,
+) -> SolverOutcome {
+    let checkpoint: Vec<Spinor<f64>> = x.to_vec();
+    let mut total = SolveStats::new();
+    let mut mixed_params = params.mixed;
+    let mut restarts = 0usize;
+
+    loop {
+        let mut attempt = checkpoint.clone();
+        let stats = mixed_cg(op_hi, op_lo, &mut attempt, b, mixed_params);
+        total.iterations += stats.iterations;
+        total.flops += stats.flops;
+        total.reliable_updates += stats.reliable_updates;
+        total.final_rel_residual = stats.final_rel_residual;
+        if stats.converged {
+            x.copy_from_slice(&attempt);
+            total.converged = true;
+            return SolverOutcome::Converged {
+                stats: total,
+                restarts,
+                escalated: false,
+            };
+        }
+        let diverged = stats.breakdown || !stats.final_rel_residual.is_finite();
+        if diverged && restarts < params.max_restarts {
+            // Residual drifted beyond recovery: discard the attempt (x
+            // stays at the checkpoint) and retry with tighter reliable
+            // updates.
+            restarts += 1;
+            mixed_params.delta *= params.delta_shrink;
+            continue;
+        }
+        if !diverged {
+            // Stagnated but finite: keep the partial progress as the
+            // starting guess for the escalation.
+            x.copy_from_slice(&attempt);
+        }
+        break;
+    }
+
+    // Persistent divergence or low-precision stagnation: escalate to full
+    // double precision from the best finite iterate.
+    let stats = cg(op_hi, x, b, params.mixed.outer);
+    total.iterations += stats.iterations;
+    total.flops += stats.flops;
+    total.final_rel_residual = stats.final_rel_residual;
+    total.breakdown = stats.breakdown;
+    if stats.converged {
+        total.converged = true;
+        SolverOutcome::Converged {
+            stats: total,
+            restarts,
+            escalated: true,
+        }
+    } else if stats.breakdown || !stats.final_rel_residual.is_finite() {
+        SolverOutcome::Failed {
+            stats: total,
+            restarts,
+            reason: "non-finite residual in full double precision",
+        }
+    } else {
+        SolverOutcome::MaxIterations {
+            stats: total,
+            restarts,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dirac::{NormalOp, PrecMobius, MobiusParams, WilsonDirac};
+    use crate::dirac::{MobiusParams, NormalOp, PrecMobius, WilsonDirac};
     use crate::field::{FermionField, GaugeField};
     use crate::lattice::Lattice;
     use crate::solver::cg;
@@ -202,6 +336,115 @@ mod tests {
         let diff = crate::blas::sub(&x_double, &x_mixed);
         let rel = crate::blas::norm_sqr(&diff) / crate::blas::norm_sqr(&x_double);
         assert!(rel < 1e-16, "solutions must agree to tolerance: rel {rel}");
+    }
+
+    #[test]
+    fn robust_solver_converges_without_escalation_on_healthy_input() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge64 = GaugeField::<f64>::hot(&lat, 83);
+        let gauge32 = gauge64.cast::<f32>();
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        let d32 = WilsonDirac::new(&lat, &gauge32, 0.3, true);
+        let n64 = NormalOp::new(&d64);
+        let n32 = NormalOp::new(&d32);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 21).data;
+        let mut x = vec![crate::spinor::Spinor::zero(); lat.volume()];
+        let outcome = mixed_cg_robust(&n64, &n32, &mut x, &b, RobustParams::default());
+        match outcome {
+            crate::solver::SolverOutcome::Converged {
+                restarts,
+                escalated,
+                stats,
+            } => {
+                assert_eq!(restarts, 0);
+                assert!(!escalated);
+                assert!(stats.final_rel_residual < 1e-10);
+            }
+            other => panic!("healthy solve must converge cleanly: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robust_solver_fails_typed_on_nan_source() {
+        // A NaN source cannot be saved by restarts or escalation: the
+        // outcome must be a typed failure, never silent garbage or a panic.
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge64 = GaugeField::<f64>::cold(&lat);
+        let gauge32 = gauge64.cast::<f32>();
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.5, true);
+        let d32 = WilsonDirac::new(&lat, &gauge32, 0.5, true);
+        let n64 = NormalOp::new(&d64);
+        let n32 = NormalOp::new(&d32);
+        let mut b = FermionField::<f64>::gaussian(lat.volume(), 23).data;
+        b[3].s[0].c[1].im = f64::NAN;
+        let mut x = vec![crate::spinor::Spinor::zero(); lat.volume()];
+        let outcome = mixed_cg_robust(&n64, &n32, &mut x, &b, RobustParams::default());
+        match outcome {
+            crate::solver::SolverOutcome::Failed { stats, .. } => {
+                assert!(stats.breakdown);
+                assert!(!outcome.is_converged());
+            }
+            other => panic!("NaN source must yield Failed, got {other:?}"),
+        }
+        // The iterate was rolled back, not poisoned.
+        assert!(x.iter().all(|sp| sp
+            .s
+            .iter()
+            .all(|cv| cv.c.iter().all(|z| z.re.is_finite() && z.im.is_finite()))));
+    }
+
+    /// An inner operator corrupted by a wrong overall normalization (e.g. a
+    /// bad rescaling applied during a precision conversion). With `A_lo =
+    /// c·A` and c = 0.4, the inner solve returns `d = 2.5·A⁻¹r`, so every
+    /// correction overshoots and the true residual *grows* by 1.5× — a
+    /// deterministic stall, independent of the gauge configuration.
+    struct MisscaledOp<'a, D: crate::dirac::DiracOp<f32>>(NormalOp<'a, f32, D>, f32);
+
+    impl<D: crate::dirac::DiracOp<f32>> LinearOp<f32> for MisscaledOp<'_, D> {
+        fn vec_len(&self) -> usize {
+            self.0.vec_len()
+        }
+        fn apply(
+            &self,
+            out: &mut [crate::spinor::Spinor<f32>],
+            inp: &[crate::spinor::Spinor<f32>],
+        ) {
+            self.0.apply(out, inp);
+            for sp in out.iter_mut() {
+                for cv in sp.s.iter_mut() {
+                    for z in cv.c.iter_mut() {
+                        z.re *= self.1;
+                        z.im *= self.1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn robust_solver_escalates_when_low_precision_stagnates() {
+        // The mis-scaled inner operator makes the mixed solve diverge, so
+        // the double-precision escalation path must finish the job.
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge64 = GaugeField::<f64>::hot(&lat, 97);
+        let gauge32 = gauge64.cast::<f32>();
+        let d64 = WilsonDirac::new(&lat, &gauge64, 0.3, true);
+        let d32 = WilsonDirac::new(&lat, &gauge32, 0.3, true);
+        let n64 = NormalOp::new(&d64);
+        let n32 = MisscaledOp(NormalOp::new(&d32), 0.4);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 25).data;
+        let mut x = vec![crate::spinor::Spinor::zero(); lat.volume()];
+        let outcome = mixed_cg_robust(&n64, &n32, &mut x, &b, RobustParams::default());
+        match outcome {
+            crate::solver::SolverOutcome::Converged { escalated, .. } => {
+                assert!(escalated, "stalled mixed solve must escalate");
+            }
+            crate::solver::SolverOutcome::MaxIterations { .. } => {
+                panic!("escalated double CG should converge here")
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(outcome.stats().final_rel_residual < 1e-10);
     }
 
     #[test]

@@ -8,15 +8,15 @@
 //! plus deflated CG accelerate ill-conditioned light-quark systems.
 
 mod bicgstab;
-mod eig;
 mod cg;
+mod eig;
 mod mixed;
 mod multishift;
 
 pub use bicgstab::bicgstab;
-pub use eig::{deflated_cg, lanczos_lowest, EigenPair};
 pub use cg::{cg, cgne, CgParams};
-pub use mixed::{mixed_cg, MixedParams};
+pub use eig::{deflated_cg, lanczos_lowest, EigenPair};
+pub use mixed::{mixed_cg, mixed_cg_robust, MixedParams, RobustParams};
 pub use multishift::multishift_cg;
 
 /// Outcome of a linear solve.
@@ -33,6 +33,10 @@ pub struct SolveStats {
     pub reliable_updates: usize,
     /// Total floating-point operations attributed to the solve.
     pub flops: f64,
+    /// The iteration broke down — a non-finite residual (NaN/∞ from a
+    /// corrupted field or overflow) or loss of positive-definiteness — and
+    /// the solve terminated early rather than iterating on garbage.
+    pub breakdown: bool,
 }
 
 impl SolveStats {
@@ -43,6 +47,57 @@ impl SolveStats {
             converged: false,
             reliable_updates: 0,
             flops: 0.0,
+            breakdown: false,
         }
+    }
+}
+
+/// Typed outcome of a fault-tolerant solve ([`mixed_cg_robust`]): callers
+/// can distinguish clean convergence from a budget exhaustion or an
+/// irrecoverable divergence instead of inspecting silent garbage.
+#[derive(Clone, Copy, Debug)]
+pub enum SolverOutcome {
+    /// Converged to tolerance.
+    Converged {
+        /// Accumulated statistics over every attempt.
+        stats: SolveStats,
+        /// Checkpointed restarts that were needed.
+        restarts: usize,
+        /// Whether the solve had to escalate to full double precision.
+        escalated: bool,
+    },
+    /// The iteration budget ran out while the residual was still finite.
+    MaxIterations {
+        /// Accumulated statistics over every attempt.
+        stats: SolveStats,
+        /// Checkpointed restarts that were performed.
+        restarts: usize,
+    },
+    /// Divergence persisted through every restart and the double-precision
+    /// escalation — the inputs themselves are bad (NaN/∞ in the source or
+    /// operator).
+    Failed {
+        /// Accumulated statistics over every attempt.
+        stats: SolveStats,
+        /// Checkpointed restarts that were performed.
+        restarts: usize,
+        /// What killed the solve.
+        reason: &'static str,
+    },
+}
+
+impl SolverOutcome {
+    /// The accumulated solve statistics, whatever the outcome.
+    pub fn stats(&self) -> &SolveStats {
+        match self {
+            SolverOutcome::Converged { stats, .. }
+            | SolverOutcome::MaxIterations { stats, .. }
+            | SolverOutcome::Failed { stats, .. } => stats,
+        }
+    }
+
+    /// Whether the solve met its tolerance.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, SolverOutcome::Converged { .. })
     }
 }

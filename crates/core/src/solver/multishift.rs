@@ -30,7 +30,10 @@ pub fn multishift_cg<R: Real, A: LinearOp<R> + ?Sized>(
         shifts.windows(2).all(|w| w[0] <= w[1]),
         "shifts must be ascending"
     );
-    assert!(shifts[0] >= 0.0, "shifts must keep A + sigma positive definite");
+    assert!(
+        shifts[0] >= 0.0,
+        "shifts must keep A + sigma positive definite"
+    );
     let ns = shifts.len();
     let mut stats = SolveStats::new();
 
@@ -213,7 +216,11 @@ mod tests {
         fn vec_len(&self) -> usize {
             self.inner.vec_len()
         }
-        fn apply(&self, out: &mut [crate::spinor::Spinor<f64>], inp: &[crate::spinor::Spinor<f64>]) {
+        fn apply(
+            &self,
+            out: &mut [crate::spinor::Spinor<f64>],
+            inp: &[crate::spinor::Spinor<f64>],
+        ) {
             self.inner.apply(out, inp);
             blas::axpy(self.sigma, inp, out);
         }

@@ -20,7 +20,8 @@ fn clover_leaves(lat: &Lattice, g: &GaugeField<f64>, x: usize, mu: usize, nu: us
     let xm_mu_m_nu = lat.neighbors(xm_mu).bwd[nu] as usize;
 
     // Leaf 1: x -> +μ -> +ν -> −μ -> −ν.
-    let l1 = g.link(x, mu) * g.link(xp_mu, nu) * g.link(xp_nu, mu).dagger() * g.link(x, nu).dagger();
+    let l1 =
+        g.link(x, mu) * g.link(xp_mu, nu) * g.link(xp_nu, mu).dagger() * g.link(x, nu).dagger();
     // Leaf 2: x -> +ν -> −μ -> −ν -> +μ.
     let l2 = g.link(x, nu)
         * g.link(xm_mu_p_nu, mu).dagger()
@@ -162,10 +163,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 4]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 5.7,
-                n_or: 1,
-            },
+            crate::gauge::HeatbathParams { beta: 5.7, n_or: 1 },
             9,
         );
         for _ in 0..8 {
@@ -190,10 +188,7 @@ mod tests {
         let lat = Lattice::new([4, 4, 4, 4]);
         let mut ens = crate::gauge::QuenchedEnsemble::cold_start(
             &lat,
-            crate::gauge::HeatbathParams {
-                beta: 6.2,
-                n_or: 2,
-            },
+            crate::gauge::HeatbathParams { beta: 6.2, n_or: 2 },
             11,
         );
         for _ in 0..10 {

@@ -11,7 +11,7 @@ use crate::field::FermionField;
 use crate::lattice::volume_string;
 use crate::real::Real;
 use crate::spinor::Spinor;
-use autotune::{ParamSpace, TimingHarness, TuneKey, TuneParam, Tunable, Tuner};
+use autotune::{ParamSpace, TimingHarness, Tunable, TuneKey, TuneParam, Tuner};
 
 /// Trait for operators whose parallel grain can be set post-construction.
 pub trait GrainTunable<R: Real>: LinearOp<R> {

@@ -3,7 +3,7 @@
 //! tolerance is 1e-8, so f32 storage loses nothing physical and halves the
 //! I/O volume the workflow's 0.5% budget pays for).
 
-use crate::container::{read_container, write_container, Container};
+use crate::container::{read_container, salvage_container, write_container, Container};
 use crate::IoError;
 use lqcd_core::complex::Complex;
 use lqcd_core::field::FermionField;
@@ -58,7 +58,11 @@ pub fn write_propagator(
 /// Read a propagator bundle written by [`write_propagator`] (either
 /// precision; f32 widens on read).
 pub fn read_propagator(path: &Path) -> Result<Propagator, IoError> {
-    let c = read_container(path)?;
+    decode_propagator(&read_container(path)?)
+}
+
+/// Decode a propagator from an already-verified (or salvaged) container.
+fn decode_propagator(c: &Container) -> Result<Propagator, IoError> {
     if c.header.shape.len() != 5 || c.header.shape[0] != 12 || c.header.shape[2..] != [4, 3, 2] {
         return Err(IoError::ShapeMismatch(format!(
             "not a propagator bundle: shape {:?}",
@@ -105,6 +109,68 @@ pub fn read_propagator(path: &Path) -> Result<Propagator, IoError> {
     })
 }
 
+/// A propagator recovered from a damaged bundle: columns overlapping a lost
+/// chunk are zeroed and listed, so the workflow can re-solve just those
+/// columns instead of re-running all twelve.
+#[derive(Clone)]
+pub struct SalvagedPropagator {
+    /// The propagator, with lost columns zero-filled.
+    pub propagator: Propagator,
+    /// Column indices (0..12) that touched a lost byte range.
+    pub lost_columns: Vec<usize>,
+}
+
+impl SalvagedPropagator {
+    /// Whether every column survived.
+    pub fn is_complete(&self) -> bool {
+        self.lost_columns.is_empty()
+    }
+}
+
+/// Salvage a propagator bundle with corrupt or truncated chunks.
+///
+/// The header must be intact; every chunk whose CRC-32C fails (or that is
+/// missing entirely) maps back to the propagator columns whose bytes it
+/// held, and those columns are reported lost. Columns untouched by any bad
+/// chunk are recovered bit-exactly.
+pub fn read_propagator_salvaged(path: &Path) -> Result<SalvagedPropagator, IoError> {
+    let s = salvage_container(path)?;
+    let esize = s
+        .header
+        .element_size()
+        .ok_or_else(|| IoError::Format(format!("unknown dtype {}", s.header.dtype)))?;
+    if s.header.shape.len() != 5 || s.header.shape[0] != 12 || s.header.shape[2..] != [4, 3, 2] {
+        return Err(IoError::ShapeMismatch(format!(
+            "not a propagator bundle: shape {:?}",
+            s.header.shape
+        )));
+    }
+    let volume = s.header.shape[1];
+    let col_bytes = volume * 24 * esize;
+
+    let mut lost_columns: Vec<usize> = Vec::new();
+    for &(a, b) in &s.lost_ranges {
+        let first = a / col_bytes;
+        let last = (b - 1) / col_bytes;
+        for col in first..=last.min(11) {
+            if lost_columns.last() != Some(&col) {
+                lost_columns.push(col);
+            }
+        }
+    }
+    lost_columns.dedup();
+
+    let container = Container {
+        header: s.header,
+        payload: s.payload,
+    };
+    let propagator = decode_propagator(&container)?;
+    Ok(SalvagedPropagator {
+        propagator,
+        lost_columns,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,7 +213,10 @@ mod tests {
         write_propagator(&p32, &prop, BundlePrecision::F32, BTreeMap::new()).unwrap();
         let s64 = std::fs::metadata(&p64).unwrap().len();
         let s32 = std::fs::metadata(&p32).unwrap().len();
-        assert!(s32 * 2 < s64 + 4096, "f32 halves the payload: {s32} vs {s64}");
+        assert!(
+            s32 * 2 < s64 + 4096,
+            "f32 halves the payload: {s32} vs {s64}"
+        );
 
         let back = read_propagator(&p32).unwrap();
         for (a, b) in prop.columns.iter().zip(&back.columns) {
@@ -172,6 +241,66 @@ mod tests {
         let c2 = pion_correlator(&lat, &back);
         for (a, b) in c1.iter().zip(&c2) {
             assert!((a - b).abs() < 1e-6 * a.abs().max(1e-30));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_maps_a_bad_chunk_to_lost_columns() {
+        use crate::container::DEFAULT_CHUNK_BYTES;
+        use lqcd_core::field::FermionField;
+
+        // A synthetic propagator big enough to span several chunks:
+        // 12 columns × 2048 sites × 24 f64 = 4.5 MB ≈ 5 chunks.
+        let volume = 2048;
+        let prop = Propagator {
+            columns: (0..12)
+                .map(|i| FermionField::<f64>::gaussian(volume, 100 + i as u64))
+                .collect(),
+            source_site: 0,
+            source_time: 0,
+        };
+        let path = tmp("bundle_salvage.lqio");
+        write_propagator(&path, &prop, BundlePrecision::F64, BTreeMap::new()).unwrap();
+
+        // Corrupt a byte inside the second chunk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let hlen = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let target = 12 + hlen + 8 + DEFAULT_CHUNK_BYTES + 4 + 8 + 1000;
+        bytes[target] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict read refuses; salvage recovers the untouched columns.
+        assert!(matches!(
+            read_propagator(&path),
+            Err(IoError::ChecksumMismatch { .. })
+        ));
+        let s = read_propagator_salvaged(&path).unwrap();
+        assert!(!s.is_complete());
+        // Chunk 1 covers payload bytes [1 MiB, 2 MiB): columns 2..=5 at
+        // 384 KiB per column.
+        assert_eq!(s.lost_columns, vec![2, 3, 4, 5]);
+        for col in 0..12 {
+            if s.lost_columns.contains(&col) {
+                continue;
+            }
+            assert_eq!(
+                s.propagator.columns[col].data, prop.columns[col].data,
+                "intact column {col} must be bit-exact"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_of_a_clean_bundle_is_complete() {
+        let (_, prop) = make_prop();
+        let path = tmp("bundle_salvage_clean.lqio");
+        write_propagator(&path, &prop, BundlePrecision::F64, BTreeMap::new()).unwrap();
+        let s = read_propagator_salvaged(&path).unwrap();
+        assert!(s.is_complete());
+        for (a, b) in prop.columns.iter().zip(&s.propagator.columns) {
+            assert_eq!(a.data, b.data);
         }
         std::fs::remove_file(&path).ok();
     }

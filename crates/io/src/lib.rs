@@ -12,7 +12,11 @@
 //!
 //! Gauge fields, fermion fields (propagator columns), and correlators all
 //! serialize through the same container. Corruption of any byte is detected
-//! on read.
+//! on read, and detection is recoverable rather than fatal: bounded re-read
+//! retries ([`read_container_with_retry`]) handle transient read-path
+//! faults, and partial salvage ([`salvage_container`],
+//! [`read_propagator_salvaged`]) recovers the intact chunks of a damaged
+//! file so only the lost pieces need recomputing.
 
 #![allow(clippy::needless_range_loop)]
 
@@ -21,8 +25,15 @@ pub mod container;
 pub mod crc32c;
 pub mod fields;
 
-pub use bundle::{read_propagator, write_propagator, BundlePrecision};
-pub use container::{read_container, read_header, write_container, Container, Header};
+pub use bundle::{
+    read_propagator, read_propagator_salvaged, write_propagator, BundlePrecision,
+    SalvagedPropagator,
+};
+pub use container::{
+    parse_container, read_container, read_container_retrying, read_container_with_retry,
+    read_header, salvage_container, salvage_container_bytes, write_container, Container, Header,
+    SalvagedContainer,
+};
 pub use fields::{
     read_correlator, read_fermion, read_gauge, write_correlator, write_fermion, write_gauge,
 };

@@ -14,9 +14,15 @@ pub struct ClusterConfig {
     /// Log-normal-ish node speed spread (multiplicative sigma). Real nodes
     /// "can differ in performance" (§V); this feeds the Fig. 7 histogram.
     pub jitter_sigma: f64,
-    /// Probability that a node is dead/unreachable at startup ("lumps that
-    /// fail to start ... are ignored").
-    pub failure_prob: f64,
+    /// Probability that a node is dead/unreachable *at startup* ("lumps that
+    /// fail to start ... are ignored") — the node never serves a single
+    /// task. Mid-run failures are a separate model: see
+    /// [`crate::fault::FaultConfig::node_mtbf_seconds`], which crashes
+    /// initially-healthy nodes while tasks are running on them. The field
+    /// was previously (misleadingly) called `failure_prob`; that name is
+    /// kept as a serde alias so stored configs keep parsing.
+    #[serde(alias = "failure_prob")]
+    pub startup_failure_prob: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -26,9 +32,18 @@ impl Default for ClusterConfig {
         Self {
             nodes: 128,
             jitter_sigma: 0.05,
-            failure_prob: 0.002,
+            startup_failure_prob: 0.002,
             seed: 1,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Deprecated accessor for the old `failure_prob` name.
+    #[deprecated(note = "renamed to `startup_failure_prob`; mid-run failures \
+                         are modelled by `fault::FaultConfig` instead")]
+    pub fn failure_prob(&self) -> f64 {
+        self.startup_failure_prob
     }
 }
 
@@ -71,7 +86,7 @@ impl Cluster {
                     speed: (1.0 + config.jitter_sigma * z).clamp(0.5, 1.5),
                     free_gpus: machine.gpus_per_node,
                     cpu_free: true,
-                    failed: rng.gen::<f64>() < config.failure_prob,
+                    failed: rng.gen::<f64>() < config.startup_failure_prob,
                 }
             })
             .collect();
@@ -101,9 +116,7 @@ impl Cluster {
             .nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| {
-                !n.failed && n.free_gpus == self.gpus_per_node() && n.cpu_free
-            })
+            .filter(|(_, n)| !n.failed && n.free_gpus == self.gpus_per_node() && n.cpu_free)
             .map(|(i, _)| i)
             .collect();
         if free.len() < n_nodes {
@@ -137,6 +150,16 @@ impl Cluster {
         }
     }
 
+    /// Retire `node` after a mid-run crash: its slots are reclaimed (any
+    /// task on it has been killed by the caller) and it never serves again.
+    pub fn mark_crashed(&mut self, node: usize) {
+        let gpn = self.gpus_per_node();
+        let n = &mut self.nodes[node];
+        n.failed = true;
+        n.free_gpus = gpn;
+        n.cpu_free = true;
+    }
+
     /// Slowest speed among the given nodes (sets the task's pace).
     pub fn group_speed(&self, nodes: &[usize]) -> f64 {
         nodes
@@ -168,7 +191,7 @@ mod tests {
             &ClusterConfig {
                 nodes: n,
                 jitter_sigma: 0.05,
-                failure_prob: 0.0,
+                startup_failure_prob: 0.0,
                 seed,
             },
         )
@@ -225,7 +248,7 @@ mod tests {
             &ClusterConfig {
                 nodes: 1000,
                 jitter_sigma: 0.0,
-                failure_prob: 0.05,
+                startup_failure_prob: 0.05,
                 seed: 11,
             },
         );

@@ -16,6 +16,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cluster;
+pub mod fault;
 pub mod metaq;
 pub mod mpijm;
 pub mod naive;
@@ -27,6 +28,7 @@ pub mod timeline;
 pub mod weak;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use fault::{AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy};
 pub use metaq::MetaqScheduler;
 pub use mpijm::{MpiJmConfig, MpiJmScheduler};
 pub use naive::NaiveBundler;
@@ -34,5 +36,5 @@ pub use placement::{bundle_throughput, place_jobs, GpuPlacement};
 pub use report::{SimReport, TaskRecord};
 pub use startup::{startup_model, StartupReport};
 pub use task::{TaskKind, TaskSpec, Workload};
-pub use timeline::{sparkline, timeline_utilization, utilization_timeline};
+pub use timeline::{sparkline, timeline_utilization, utilization_timeline, wasted_timeline};
 pub use weak::{weak_scaling_point, MpiFlavor, WeakScalingPoint};

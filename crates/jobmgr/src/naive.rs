@@ -6,99 +6,304 @@
 //! waiting for their completion — often caused a 20 to 25% idling
 //! inefficiency", because nodes differ in performance and task durations
 //! vary, so every wave ends at the pace of its slowest member.
+//!
+//! Under mid-run faults the baseline is even worse than idle: the wave is
+//! one bundled `mpirun`, so the first node crash or task failure inside it
+//! kills *every* task still in flight (one sick node costs the whole job
+//! step). Each kill burns one retry attempt for every unfinished wave
+//! member, which is why naive bundling collapses in the `repro faults`
+//! sweep while `mpi_jm` degrades gracefully.
 
 use crate::cluster::Cluster;
+use crate::fault::{
+    AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy,
+};
 use crate::report::{SimReport, TaskRecord};
 use crate::task::{TaskKind, Workload};
 
 /// The naive wave-at-a-time bundler.
 pub struct NaiveBundler;
 
+/// One wave member's launch plan.
+struct WaveTask {
+    id: usize,
+    alloc: Vec<usize>,
+    attempt: usize,
+    start: f64,
+    /// Completion time if nothing kills the wave first.
+    planned_end: f64,
+    /// Time the attempt dies of a transient failure, if fated to.
+    fail_at: Option<f64>,
+    speed: f64,
+}
+
 impl NaiveBundler {
-    /// Run `workload` on `cluster`, returning the schedule report.
+    /// Run `workload` on `cluster` on a pristine machine (no mid-run
+    /// faults), returning the schedule report.
     ///
     /// Dependencies are honored across waves: a task joins a wave only when
     /// all of its dependencies completed in earlier waves.
     pub fn run(cluster: &mut Cluster, workload: &Workload) -> SimReport {
+        Self::run_with_faults(
+            cluster,
+            workload,
+            &FaultConfig::default(),
+            &RetryPolicy::default(),
+        )
+    }
+
+    /// Run `workload` on `cluster` under the given mid-run fault model.
+    ///
+    /// Recovery policy: a killed wave requeues every unfinished member with
+    /// capped exponential backoff; a member whose retry budget is exhausted
+    /// is permanently failed. Nodes crossing the blacklist threshold of
+    /// attributed transient faults are quarantined.
+    pub fn run_with_faults(
+        cluster: &mut Cluster,
+        workload: &Workload,
+        faults: &FaultConfig,
+        policy: &RetryPolicy,
+    ) -> SimReport {
         let n = workload.len();
+        let n_nodes = cluster.nodes.len();
+        let injector = FaultInjector::new(*faults, n_nodes);
+        let mut recovery = RecoveryState::new(n, n_nodes);
+        let mut stats = FaultStats {
+            nic_degraded_nodes: (0..n_nodes).filter(|&i| injector.nic_degraded(i)).count(),
+            ..FaultStats::default()
+        };
+        let mut crash_applied = vec![false; n_nodes];
+
         let mut done = vec![false; n];
         let mut records: Vec<Option<TaskRecord>> = vec![None; n];
+        let mut wasted_records: Vec<TaskRecord> = Vec::new();
         let mut time = 0.0f64;
         let mut busy_node_seconds = 0.0;
+        let mut completed_flops = 0.0;
 
-        while done.iter().any(|d| !d) {
+        loop {
+            // Retire nodes whose crash time has passed while idle.
+            for node in 0..n_nodes {
+                if !crash_applied[node] && injector.crash_time(node) <= time {
+                    crash_applied[node] = true;
+                    if !cluster.nodes[node].failed {
+                        cluster.mark_crashed(node);
+                        stats.node_crashes += 1;
+                    }
+                }
+            }
+            // Abandon tasks whose dependencies permanently failed.
+            loop {
+                let mut cascaded = false;
+                for t in &workload.tasks {
+                    if !done[t.id]
+                        && !recovery.failed[t.id]
+                        && t.deps.iter().any(|&d| recovery.failed[d])
+                    {
+                        recovery.failed[t.id] = true;
+                        stats.abandoned_tasks += 1;
+                        cascaded = true;
+                    }
+                }
+                if !cascaded {
+                    break;
+                }
+            }
+            let pending: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && !recovery.failed[i])
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            // Honor backoff gates: if every dep-ready task is still backing
+            // off, idle forward to the earliest gate.
+            // Borrow `recovery` per call (not in a closure) so the wave loop
+            // below can still take it mutably.
+            let dep_ready = |i: usize| workload.tasks[i].deps.iter().all(|&d| done[d]);
+            let ready_now =
+                |i: usize, now: f64, ready_at: &[f64]| dep_ready(i) && ready_at[i] <= now;
+            if !pending
+                .iter()
+                .any(|&i| ready_now(i, time, &recovery.ready_at))
+            {
+                let next_gate = pending
+                    .iter()
+                    .filter(|&&i| dep_ready(i))
+                    .map(|&i| recovery.ready_at[i])
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    next_gate.is_finite(),
+                    "deadlock: pending tasks but no runnable dependency chain"
+                );
+                time = next_gate;
+                continue;
+            }
+
             // Collect the wave: ready tasks that fit in the (fully free)
             // machine simultaneously.
-            let mut wave: Vec<(usize, Vec<usize>, f64)> = Vec::new();
-            let mut progressed = false;
+            let mut wave: Vec<WaveTask> = Vec::new();
             for t in &workload.tasks {
-                if done[t.id] || !t.deps.iter().all(|&d| done[d]) {
+                if done[t.id] || recovery.failed[t.id] || !ready_now(t.id, time, &recovery.ready_at)
+                {
                     continue;
                 }
-                match t.kind {
+                let alloc = match t.kind {
                     TaskKind::PropagatorSolve { nodes } => {
-                        if let Some(alloc) = cluster.find_free_nodes(nodes, true) {
-                            cluster.occupy(&alloc);
-                            let speed = cluster.group_speed(&alloc);
-                            wave.push((t.id, alloc, speed));
-                            progressed = true;
+                        match cluster.find_free_nodes(nodes, true) {
+                            Some(a) => a,
+                            None => continue,
                         }
                     }
                     TaskKind::Contraction => {
                         // Naive bundling gives contractions their own whole
                         // node; GPUs on it idle.
-                        if let Some(alloc) = cluster.find_free_nodes(1, true) {
-                            cluster.occupy(&alloc);
-                            let speed = cluster.group_speed(&alloc);
-                            wave.push((t.id, alloc, speed));
-                            progressed = true;
+                        match cluster.find_free_nodes(1, true) {
+                            Some(a) => a,
+                            None => continue,
                         }
                     }
-                    TaskKind::Io => {
-                        // I/O runs on service nodes, consuming only time.
-                        wave.push((t.id, Vec::new(), 1.0));
-                        progressed = true;
+                    // I/O runs on service nodes, consuming only time.
+                    TaskKind::Io => Vec::new(),
+                };
+                cluster.occupy(&alloc);
+                let attempt = recovery.start_attempt(t.id, &mut stats);
+                let mut speed = if alloc.is_empty() {
+                    1.0
+                } else {
+                    cluster.group_speed(&alloc) * injector.nic_speed(&alloc)
+                };
+                let fate = injector.attempt_fate(t.id, attempt);
+                if let AttemptFate::Straggler { slowdown } = fate {
+                    speed *= slowdown;
+                    stats.stragglers += 1;
+                }
+                let dur = t.base_seconds / speed;
+                let fail_at = match fate {
+                    AttemptFate::TransientFailure { at_fraction } => Some(time + dur * at_fraction),
+                    _ => None,
+                };
+                wave.push(WaveTask {
+                    id: t.id,
+                    alloc,
+                    attempt,
+                    start: time,
+                    planned_end: time + dur,
+                    fail_at,
+                    speed,
+                });
+            }
+            if wave.is_empty() {
+                if faults.enabled() {
+                    // The machine is fully free here, so a ready task that
+                    // does not fit now never will: capacity shrank below its
+                    // footprint. Abandon those gracefully (tasks merely
+                    // backing off get another chance) instead of panicking.
+                    for &i in &pending {
+                        if ready_now(i, time, &recovery.ready_at) {
+                            recovery.failed[i] = true;
+                            stats.abandoned_tasks += 1;
+                        }
+                    }
+                    continue;
+                }
+                panic!("deadlock: no ready task fits (workload larger than machine?)");
+            }
+
+            // The wave is one bundled launch: the first failure event —
+            // a transient task death or a crash of any participating node —
+            // kills everything still in flight.
+            let nominal_end = wave.iter().map(|w| w.planned_end).fold(time, f64::max);
+            let mut kill: Option<(f64, Option<usize>)> = None; // (when, crashed node)
+            for w in &wave {
+                if let Some(f) = w.fail_at {
+                    if kill.is_none_or(|(k, _)| f < k) {
+                        kill = Some((f, None));
+                    }
+                }
+                for &node in &w.alloc {
+                    let ct = injector.crash_time(node);
+                    if ct > time && ct <= nominal_end && kill.is_none_or(|(k, _)| ct < k) {
+                        kill = Some((ct, Some(node)));
                     }
                 }
             }
-            assert!(
-                progressed,
-                "deadlock: no ready task fits (workload larger than machine?)"
-            );
 
-            // The wave ends when its slowest task does.
-            let mut wave_end = time;
-            for (id, alloc, speed) in &wave {
-                let t = &workload.tasks[*id];
-                let dur = t.base_seconds / speed;
-                let end = time + dur;
-                wave_end = wave_end.max(end);
-                if matches!(t.kind, TaskKind::PropagatorSolve { .. }) {
-                    busy_node_seconds += dur * alloc.len() as f64;
+            let wave_end = kill.map_or(nominal_end, |(k, _)| k);
+            for w in &wave {
+                let t = &workload.tasks[w.id];
+                if w.planned_end <= wave_end {
+                    // Finished before the bundle died (output already on
+                    // disk) — or the wave was never killed.
+                    if matches!(t.kind, TaskKind::PropagatorSolve { .. }) {
+                        busy_node_seconds += (w.planned_end - w.start) * w.alloc.len() as f64;
+                    }
+                    completed_flops += t.flops;
+                    records[w.id] = Some(TaskRecord {
+                        id: w.id,
+                        start: w.start,
+                        end: w.planned_end,
+                        nodes: w.alloc.clone(),
+                        speed: w.speed,
+                        attempts: w.attempt,
+                    });
+                    done[w.id] = true;
+                } else {
+                    // Killed as part of the bundle.
+                    stats.wasted_node_seconds += (wave_end - w.start) * w.alloc.len() as f64;
+                    wasted_records.push(TaskRecord {
+                        id: w.id,
+                        start: w.start,
+                        end: wave_end,
+                        nodes: w.alloc.clone(),
+                        speed: w.speed,
+                        attempts: w.attempt,
+                    });
+                    if w.fail_at == Some(wave_end) {
+                        stats.transient_failures += 1;
+                        if let Some(&node) = w.alloc.first() {
+                            if recovery.attribute_node_fault(node, policy)
+                                && !cluster.nodes[node].failed
+                            {
+                                cluster.mark_crashed(node);
+                                stats.blacklisted_nodes += 1;
+                            }
+                        }
+                    }
+                    recovery.requeue_or_fail(w.id, wave_end, policy, &mut stats);
                 }
-                records[*id] = Some(TaskRecord {
-                    id: *id,
-                    start: time,
-                    end,
-                    nodes: alloc.clone(),
-                    speed: *speed,
-                });
-                done[*id] = true;
             }
-            for (_, alloc, _) in &wave {
-                cluster.release(alloc);
+            for w in &wave {
+                cluster.release(&w.alloc);
+            }
+            if let Some((k, Some(node))) = kill {
+                // The crash culprit is retired permanently.
+                if injector.crash_time(node) <= k && !crash_applied[node] {
+                    crash_applied[node] = true;
+                    if !cluster.nodes[node].failed {
+                        cluster.mark_crashed(node);
+                        stats.node_crashes += 1;
+                    }
+                }
             }
             time = wave_end;
         }
 
+        let completed_tasks = done.iter().filter(|&&d| d).count();
+        let failed_tasks = recovery.failed.iter().filter(|&&f| f).count();
         let healthy = cluster.healthy_nodes() as f64;
         SimReport {
             makespan: time,
             startup: 0.0,
             busy_node_seconds,
             total_node_seconds: healthy * time,
-            records: records.into_iter().map(|r| r.expect("all done")).collect(),
+            records: records.into_iter().flatten().collect(),
             total_flops: workload.total_flops(),
+            completed_flops,
+            completed_tasks,
+            failed_tasks,
+            task_attempts: recovery.attempts,
+            wasted_records,
+            faults: stats,
         }
     }
 }
@@ -116,7 +321,7 @@ mod tests {
             &ClusterConfig {
                 nodes: 16,
                 jitter_sigma: 0.0,
-                failure_prob: 0.0,
+                startup_failure_prob: 0.0,
                 seed: 1,
             },
         );
@@ -125,6 +330,9 @@ mod tests {
         let r = NaiveBundler::run(&mut c, &w);
         assert!((r.makespan - 200.0).abs() < 1e-9);
         assert!((r.utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(r.completed_tasks, 8);
+        assert_eq!(r.failed_tasks, 0);
+        assert!((r.completed_work_fraction() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -136,7 +344,7 @@ mod tests {
             &ClusterConfig {
                 nodes: 64,
                 jitter_sigma: 0.06,
-                failure_prob: 0.0,
+                startup_failure_prob: 0.0,
                 seed: 3,
             },
         );
@@ -156,7 +364,7 @@ mod tests {
             &ClusterConfig {
                 nodes: 8,
                 jitter_sigma: 0.0,
-                failure_prob: 0.0,
+                startup_failure_prob: 0.0,
                 seed: 5,
             },
         );
@@ -172,5 +380,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn a_node_crash_kills_the_whole_wave() {
+        // One crash inside the first wave must requeue every unfinished
+        // member (the bundle is a single mpirun), then finish on retry.
+        let mut c = Cluster::new(
+            sierra(),
+            &ClusterConfig {
+                nodes: 16,
+                jitter_sigma: 0.0,
+                startup_failure_prob: 0.0,
+                seed: 1,
+            },
+        );
+        let w = Workload::uniform_solves(4, 4, 1000.0, 1e15);
+        // MTBF chosen so some node crashes inside the first ~1000 s.
+        let faults = FaultConfig {
+            node_mtbf_seconds: 10_000.0,
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let r = NaiveBundler::run_with_faults(&mut c, &w, &faults, &RetryPolicy::default());
+        assert!(r.faults.node_crashes >= 1, "{:?}", r.faults);
+        assert!(
+            !r.wasted_records.is_empty(),
+            "a mid-wave crash must kill in-flight collateral"
+        );
+        assert!(r.faults.wasted_node_seconds > 0.0);
+        assert_eq!(
+            r.completed_tasks + r.failed_tasks,
+            4,
+            "every task is accounted for"
+        );
+        // Retried tasks completed exactly once each.
+        let mut seen = std::collections::HashSet::new();
+        for rec in &r.records {
+            assert!(seen.insert(rec.id), "task {} completed twice", rec.id);
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        let mut c = Cluster::new(
+            sierra(),
+            &ClusterConfig {
+                nodes: 8,
+                jitter_sigma: 0.0,
+                startup_failure_prob: 0.0,
+                seed: 9,
+            },
+        );
+        let w = Workload::uniform_solves(16, 4, 100.0, 1e15);
+        let faults = FaultConfig {
+            transient_fail_prob: 0.3,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let policy = RetryPolicy::default();
+        let r = NaiveBundler::run_with_faults(&mut c, &w, &faults, &policy);
+        assert!(r.faults.transient_failures > 0, "{:?}", r.faults);
+        for (i, &a) in r.task_attempts.iter().enumerate() {
+            assert!(
+                a <= policy.max_attempts,
+                "task {i} burned {a} attempts > budget"
+            );
+        }
+        assert_eq!(r.completed_tasks + r.failed_tasks, 16);
     }
 }

@@ -153,7 +153,10 @@ mod tests {
     fn backfilling_mitigates_the_spread_penalty() {
         let placements = place_jobs(3, 16, 8, 6).expect("fits");
         let (without, with) = bundle_throughput(&placements);
-        assert!(with > without, "backfill raises throughput: {with} > {without}");
+        assert!(
+            with > without,
+            "backfill raises throughput: {with} > {without}"
+        );
         // With backfill the bundle runs within a few percent of ideal.
         assert!(with > 0.93, "mitigated throughput {with}");
     }

@@ -1,5 +1,6 @@
 //! Simulation outcome reporting.
 
+use crate::fault::FaultStats;
 use serde::{Deserialize, Serialize};
 
 /// One task's scheduling record.
@@ -13,8 +14,16 @@ pub struct TaskRecord {
     pub end: f64,
     /// Node indices it occupied.
     pub nodes: Vec<usize>,
-    /// Effective speed factor it ran at (node jitter × fragmentation).
+    /// Effective speed factor it ran at (node jitter × fragmentation ×
+    /// straggler/NIC degradation).
     pub speed: f64,
+    /// Which attempt this record describes (1 = first launch).
+    #[serde(default = "one")]
+    pub attempts: usize,
+}
+
+fn one() -> usize {
+    1
 }
 
 /// Aggregate outcome of one scheduler run.
@@ -24,18 +33,40 @@ pub struct SimReport {
     pub makespan: f64,
     /// Startup overhead before the first task could run, seconds.
     pub startup: f64,
-    /// Node-seconds actually busy with GPU tasks.
+    /// Node-seconds actually busy with GPU tasks that *completed*.
     pub busy_node_seconds: f64,
     /// Node-seconds available (healthy nodes × makespan).
     pub total_node_seconds: f64,
-    /// Per-task records.
+    /// Per-task records of the successful attempt of every *completed* task
+    /// (ordered by id when every task completed).
     pub records: Vec<TaskRecord>,
-    /// Useful flops completed.
+    /// Useful flops in the submitted workload.
     pub total_flops: f64,
+    /// Flops of the tasks that actually completed (== `total_flops` on a
+    /// pristine run).
+    #[serde(default)]
+    pub completed_flops: f64,
+    /// Tasks that completed.
+    #[serde(default)]
+    pub completed_tasks: usize,
+    /// Tasks permanently failed or abandoned.
+    #[serde(default)]
+    pub failed_tasks: usize,
+    /// Attempts consumed per task id (length = workload size; empty for
+    /// legacy reports).
+    #[serde(default)]
+    pub task_attempts: Vec<usize>,
+    /// Records of killed attempts (crash collateral, transient failures) —
+    /// the wasted work the fault sweep plots.
+    #[serde(default)]
+    pub wasted_records: Vec<TaskRecord>,
+    /// Fault and recovery counters.
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
 impl SimReport {
-    /// Fraction of available node time spent on GPU tasks.
+    /// Fraction of available node time spent on GPU tasks that completed.
     pub fn utilization(&self) -> f64 {
         if self.total_node_seconds > 0.0 {
             self.busy_node_seconds / self.total_node_seconds
@@ -44,10 +75,32 @@ impl SimReport {
         }
     }
 
-    /// Sustained application rate, FLOP/s.
+    /// Sustained application rate, FLOP/s, counting only completed work.
     pub fn sustained_flops(&self) -> f64 {
         if self.makespan > 0.0 {
-            self.total_flops / self.makespan
+            self.completed_flops / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the submitted useful work that completed.
+    pub fn completed_work_fraction(&self) -> f64 {
+        if self.total_flops > 0.0 {
+            self.completed_flops / self.total_flops
+        } else if self.completed_tasks + self.failed_tasks > 0 {
+            self.completed_tasks as f64 / (self.completed_tasks + self.failed_tasks) as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Node-seconds thrown away on killed attempts, as a fraction of all
+    /// node-seconds spent computing (useful + wasted).
+    pub fn wasted_work_fraction(&self) -> f64 {
+        let spent = self.busy_node_seconds + self.faults.wasted_node_seconds;
+        if spent > 0.0 {
+            self.faults.wasted_node_seconds / spent
         } else {
             0.0
         }
@@ -74,9 +127,7 @@ pub fn histogram(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> (Vec<f64>, 
             counts[((v - lo) / width) as usize] += 1;
         }
     }
-    let centers = (0..n_bins)
-        .map(|i| lo + (i as f64 + 0.5) * width)
-        .collect();
+    let centers = (0..n_bins).map(|i| lo + (i as f64 + 0.5) * width).collect();
     (centers, counts)
 }
 
@@ -88,14 +139,35 @@ mod tests {
     fn utilization_and_rate() {
         let r = SimReport {
             makespan: 100.0,
-            startup: 0.0,
             busy_node_seconds: 75.0 * 4.0,
             total_node_seconds: 100.0 * 4.0,
-            records: vec![],
             total_flops: 1e15,
+            completed_flops: 1e15,
+            ..SimReport::default()
         };
         assert!((r.utilization() - 0.75).abs() < 1e-12);
         assert!((r.sustained_flops() - 1e13).abs() < 1.0);
+        assert!((r.completed_work_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_fractions() {
+        let r = SimReport {
+            makespan: 100.0,
+            busy_node_seconds: 300.0,
+            total_node_seconds: 400.0,
+            total_flops: 1e15,
+            completed_flops: 0.5e15,
+            completed_tasks: 5,
+            failed_tasks: 5,
+            faults: FaultStats {
+                wasted_node_seconds: 100.0,
+                ..FaultStats::default()
+            },
+            ..SimReport::default()
+        };
+        assert!((r.completed_work_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.wasted_work_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct Workload {
 impl Workload {
     /// Uniform batch of independent GPU solves (the Fig. 5/6 workload shape:
     /// "groups of 4 nodes" each running propagator solves).
-    pub fn uniform_solves(n_tasks: usize, nodes_per_task: usize, base_seconds: f64, flops: f64) -> Self {
+    pub fn uniform_solves(
+        n_tasks: usize,
+        nodes_per_task: usize,
+        base_seconds: f64,
+        flops: f64,
+    ) -> Self {
         let tasks = (0..n_tasks)
             .map(|id| TaskSpec {
                 id,

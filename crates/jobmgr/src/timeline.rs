@@ -5,7 +5,11 @@
 use crate::report::SimReport;
 
 /// Sampled utilization curve: `(time, busy_nodes)` at `n_samples` points.
-pub fn utilization_timeline(report: &SimReport, total_nodes: usize, n_samples: usize) -> Vec<(f64, usize)> {
+pub fn utilization_timeline(
+    report: &SimReport,
+    total_nodes: usize,
+    n_samples: usize,
+) -> Vec<(f64, usize)> {
     assert!(n_samples >= 2);
     let end = report.makespan.max(1e-12);
     (0..n_samples)
@@ -13,6 +17,30 @@ pub fn utilization_timeline(report: &SimReport, total_nodes: usize, n_samples: u
             let t = end * k as f64 / (n_samples - 1) as f64;
             let busy: usize = report
                 .records
+                .iter()
+                .filter(|r| r.start <= t && t < r.end)
+                .map(|r| r.nodes.len())
+                .sum();
+            (t, busy.min(total_nodes))
+        })
+        .collect()
+}
+
+/// Sampled wasted-work curve: nodes busy with attempts that were later
+/// killed (crash collateral, transient failures), at `n_samples` points.
+/// Zero everywhere on a pristine run.
+pub fn wasted_timeline(
+    report: &SimReport,
+    total_nodes: usize,
+    n_samples: usize,
+) -> Vec<(f64, usize)> {
+    assert!(n_samples >= 2);
+    let end = report.makespan.max(1e-12);
+    (0..n_samples)
+        .map(|k| {
+            let t = end * k as f64 / (n_samples - 1) as f64;
+            let busy: usize = report
+                .wasted_records
                 .iter()
                 .filter(|r| r.start <= t && t < r.end)
                 .map(|r| r.nodes.len())
@@ -65,7 +93,7 @@ mod tests {
             &ClusterConfig {
                 nodes,
                 jitter_sigma: 0.06,
-                failure_prob: 0.0,
+                startup_failure_prob: 0.0,
                 seed: 3,
             },
         )
@@ -96,6 +124,27 @@ mod tests {
             min_busy < 24,
             "naive bundling should show idle valleys, min busy = {min_busy}"
         );
+    }
+
+    #[test]
+    fn wasted_timeline_is_zero_on_pristine_runs_and_nonzero_under_faults() {
+        use crate::fault::{FaultConfig, RetryPolicy};
+        let w = Workload::uniform_solves(16, 4, 1000.0, 1e15);
+        let pristine = NaiveBundler::run(&mut cluster(16), &w);
+        let tl = wasted_timeline(&pristine, 16, 50);
+        assert!(tl.iter().all(|&(_, b)| b == 0));
+
+        let faults = FaultConfig {
+            node_mtbf_seconds: 8_000.0,
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let faulty =
+            NaiveBundler::run_with_faults(&mut cluster(16), &w, &faults, &RetryPolicy::default());
+        if !faulty.wasted_records.is_empty() {
+            let tl = wasted_timeline(&faulty, 16, 400);
+            assert!(tl.iter().any(|&(_, b)| b > 0));
+        }
     }
 
     #[test]

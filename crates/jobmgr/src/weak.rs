@@ -104,7 +104,7 @@ pub fn weak_scaling_point(
         &ClusterConfig {
             nodes: total_nodes,
             jitter_sigma: 0.04,
-            failure_prob: 0.0,
+            startup_failure_prob: 0.0,
             seed,
         },
     );
@@ -236,6 +236,10 @@ mod tests {
         );
         assert_eq!(p.n_gpus, 8 * 24);
         assert!(p.pflops > 0.0);
-        assert!(p.utilization > 0.8, "METAQ keeps nodes busy: {}", p.utilization);
+        assert!(
+            p.utilization > 0.8,
+            "METAQ keeps nodes busy: {}",
+            p.utilization
+        );
     }
 }

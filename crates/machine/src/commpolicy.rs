@@ -187,7 +187,11 @@ mod tests {
     #[test]
     fn six_policies_exist_and_gdr_is_gated() {
         assert_eq!(CommPolicy::all().len(), 6);
-        assert_eq!(CommPolicy::available(&sierra()).len(), 4, "no GDR on Sierra");
+        assert_eq!(
+            CommPolicy::available(&sierra()).len(),
+            4,
+            "no GDR on Sierra"
+        );
         assert_eq!(CommPolicy::available(&ray()).len(), 6, "GDR on Ray");
     }
 

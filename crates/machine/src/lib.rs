@@ -26,4 +26,4 @@ pub use commpolicy::{CommGranularity, CommPolicy, CommTransport};
 pub use decomp::{Decomposition, HaloTraffic};
 pub use memory::{min_gpus_for_memory, solve_footprint, MemoryFootprint};
 pub use perfmodel::{PerfPoint, SolverPerfModel};
-pub use specs::{all_machines, MachineSpec, ray, sierra, summit, titan};
+pub use specs::{all_machines, ray, sierra, summit, titan, MachineSpec};

@@ -101,7 +101,11 @@ mod tests {
         assert!(min > 1, "one GPU must NOT suffice (got {min})");
         assert!(min <= 16, "a 4-node group must fit (got {min})");
         let f = solve_footprint([48, 48, 48, 64], 12, 1, 4).unwrap();
-        assert!(f.total_gib() > 16.0, "single-GPU footprint {} GiB", f.total_gib());
+        assert!(
+            f.total_gib() > 16.0,
+            "single-GPU footprint {} GiB",
+            f.total_gib()
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::commpolicy::CommPolicy;
 use crate::decomp::Decomposition;
 use crate::specs::MachineSpec;
-use autotune::{ParamSpace, TimingHarness, TuneKey, TuneParam, Tunable, Tuner};
+use autotune::{ParamSpace, TimingHarness, Tunable, TuneKey, TuneParam, Tuner};
 use serde::{Deserialize, Serialize};
 
 /// Paper flop-accounting constants (duplicated from `lqcd_core::flops` to
@@ -236,12 +236,7 @@ mod tests {
     #[test]
     fn machine_ordering_matches_fig3() {
         let tuner = Tuner::new();
-        let at64 = |m: MachineSpec| {
-            fig3_model(m)
-                .performance(&tuner, 64)
-                .expect("fits")
-                .tflops
-        };
+        let at64 = |m: MachineSpec| fig3_model(m).performance(&tuner, 64).expect("fits").tflops;
         let t = at64(titan());
         let r = at64(ray());
         let s = at64(sierra());

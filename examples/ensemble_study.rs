@@ -15,10 +15,7 @@ use lqcd::core::topology::{action_density, topological_charge};
 
 fn main() {
     let lat = Lattice::new([6, 6, 6, 12]);
-    let params = HeatbathParams {
-        beta: 5.9,
-        n_or: 3,
-    };
+    let params = HeatbathParams { beta: 5.9, n_or: 3 };
     println!(
         "generating quenched ensemble: {:?}, beta = {}, {} OR/HB",
         lat, params.beta, params.n_or
@@ -55,8 +52,12 @@ fn main() {
 
     // Polyakov loop: confinement order parameter.
     let pl = polyakov_loop(&lat, &g);
-    println!("\nPolyakov loop: {:.4} + {:.4}i (|P| = {:.4}, small => confined)",
-        pl.re, pl.im, pl.abs());
+    println!(
+        "\nPolyakov loop: {:.4} + {:.4}i (|P| = {:.4}, small => confined)",
+        pl.re,
+        pl.im,
+        pl.abs()
+    );
 
     // Topology under smearing.
     println!("\nsmearing flow of the action density and topological charge:");

@@ -80,7 +80,7 @@ fn main() {
     let config = ClusterConfig {
         nodes: 64,
         jitter_sigma: 0.06,
-        failure_prob: 0.0,
+        startup_failure_prob: 0.0,
         seed: 3,
     };
     let naive = NaiveBundler::run(&mut Cluster::new(machine.clone(), &config), &workload);

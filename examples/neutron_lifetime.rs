@@ -66,9 +66,7 @@ fn main() {
     let var: f64 =
         trad.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n_trad as f64 - 1.0);
     let terr = (var / n_trad as f64).sqrt();
-    println!(
-        "traditional ratio at t_sep = 14 with {n_trad} configs: {mean:.4} ± {terr:.4}"
-    );
+    println!("traditional ratio at t_sep = 14 with {n_trad} configs: {mean:.4} ± {terr:.4}");
     println!(
         "=> FH with 10x fewer samples is {:.1}x more precise",
         terr / dga
@@ -79,6 +77,8 @@ fn main() {
     let dtau = neutron_lifetime_error_seconds(ga, dga);
     println!("\nStandard-Model neutron lifetime: τ_n = {tau:.1} ± {dtau:.1} s");
     println!("experiment: trapped 879.4(6) s vs beam 888(2) s — an 8.6 s puzzle;");
-    println!("resolving it needs gA at 0.2%, i.e. Δτ ≲ {:.1} s",
-        neutron_lifetime_error_seconds(ga, 0.002 * ga));
+    println!(
+        "resolving it needs gA at 0.2%, i.e. Δτ ≲ {:.1} s",
+        neutron_lifetime_error_seconds(ga, 0.002 * ga)
+    );
 }

@@ -10,14 +10,8 @@ use lqcd::core::prelude::*;
 fn main() {
     // A 4³×8 lattice with a quenched ensemble at β = 6.0.
     let lat = Lattice::new([4, 4, 4, 8]);
-    let mut ensemble = QuenchedEnsemble::cold_start(
-        &lat,
-        HeatbathParams {
-            beta: 6.0,
-            n_or: 2,
-        },
-        42,
-    );
+    let mut ensemble =
+        QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 6.0, n_or: 2 }, 42);
     let configs = ensemble.generate(8, 1, 2);
     let gauge = &configs[0];
     println!(

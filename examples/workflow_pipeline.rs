@@ -21,14 +21,7 @@ fn main() {
 
     // Load gluonic field(s): generate, write, read back — blue ovals of
     // Fig. 2.
-    let mut ens = QuenchedEnsemble::cold_start(
-        &lat,
-        HeatbathParams {
-            beta: 6.0,
-            n_or: 2,
-        },
-        11,
-    );
+    let mut ens = QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 6.0, n_or: 2 }, 11);
     let configs = ens.generate(8, n_configs, 4);
 
     let mut c2_all: Vec<Vec<f64>> = Vec::new();

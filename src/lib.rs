@@ -62,8 +62,8 @@ mod tests {
         let ga = 1.271;
         let dga = 1e-3;
         let analytic = neutron_lifetime_error_seconds(ga, dga);
-        let fd = neutron_lifetime_seconds(ga - dga / 2.0)
-            - neutron_lifetime_seconds(ga + dga / 2.0);
+        let fd =
+            neutron_lifetime_seconds(ga - dga / 2.0) - neutron_lifetime_seconds(ga + dga / 2.0);
         assert!((analytic - fd).abs() < 1e-3 * analytic);
     }
 

@@ -16,14 +16,7 @@ use std::collections::BTreeMap;
 #[test]
 fn gauge_to_correlator_through_every_crate() {
     let lat = Lattice::new([4, 4, 4, 8]);
-    let mut ens = QuenchedEnsemble::cold_start(
-        &lat,
-        HeatbathParams {
-            beta: 6.0,
-            n_or: 1,
-        },
-        3,
-    );
+    let mut ens = QuenchedEnsemble::cold_start(&lat, HeatbathParams { beta: 6.0, n_or: 1 }, 3);
     let configs = ens.generate(5, 3, 2);
 
     let dir = std::env::temp_dir().join("full_stack_test");
@@ -124,7 +117,7 @@ fn scheduler_invariants_on_the_figure2_workflow() {
     let config = ClusterConfig {
         nodes: 16,
         jitter_sigma: 0.05,
-        failure_prob: 0.0,
+        startup_failure_prob: 0.0,
         seed: 7,
     };
 

@@ -1,8 +1,8 @@
 //! Property-based tests (proptest) over the core invariants listed in
 //! DESIGN.md.
 
-use lqcd::core::prelude::*;
 use lqcd::core::complex::Complex;
+use lqcd::core::prelude::*;
 use proptest::prelude::*;
 
 fn arb_su3() -> impl Strategy<Value = Su3<f64>> {
