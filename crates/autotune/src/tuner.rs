@@ -1,13 +1,13 @@
 use crate::tunable::time_candidate;
 use crate::{Tunable, TuneKey, TuneParam};
+use obs::{Json, JsonError, Registry};
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 
 /// Cached optimum for one [`TuneKey`], with performance metadata.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TuneEntry {
     /// Winning launch parameters.
     pub param: TuneParam,
@@ -74,18 +74,26 @@ impl Tuner {
     /// parameter space first if this key has never been seen.
     pub fn tune<T: Tunable + ?Sized>(&self, tunable: &mut T) -> TuneParam {
         let key = tunable.key();
+        let reg = Registry::current();
         if let Some(entry) = self.lookup(&key) {
             self.inner.write().stats.hits += 1;
+            reg.counter("autotune.cache_hits").inc();
             return entry.param;
         }
         self.inner.write().stats.misses += 1;
+        reg.counter("autotune.cache_misses").inc();
 
         let space = tunable.param_space();
         tunable.backup();
+        let candidate_seconds = reg.histogram(
+            "autotune.candidate_seconds",
+            &obs::span::DEFAULT_SECONDS_BOUNDS,
+        );
         let mut best_param = space.candidates()[0];
         let mut best_time = f64::INFINITY;
         for &candidate in space.candidates() {
             let seconds = time_candidate(tunable, candidate);
+            candidate_seconds.record(seconds);
             if seconds < best_time {
                 best_time = seconds;
                 best_param = candidate;
@@ -104,6 +112,18 @@ impl Tuner {
             gflops,
             candidates_swept: space.len(),
         };
+        reg.event(
+            "autotune.tuned",
+            vec![
+                ("key", Json::from(key.to_string())),
+                ("grain", Json::from(best_param.grain)),
+                ("block", Json::from(best_param.block)),
+                ("policy", Json::from(best_param.policy)),
+                ("seconds", Json::from(best_time)),
+                ("gflops", Json::from(gflops)),
+                ("swept", Json::from(space.len())),
+            ],
+        );
         self.inner.write().cache.insert(key, entry);
         best_param
     }
@@ -141,17 +161,79 @@ impl Tuner {
     }
 
     /// Serialize the cache to JSON (QUDA persists to `tunecache.tsv`; we use
-    /// JSON via serde for the same purpose).
+    /// JSON for the same purpose). Entries are sorted by key so the output
+    /// is deterministic.
     pub fn to_json(&self) -> String {
         let inner = self.inner.read();
-        let entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
-        serde_json::to_string_pretty(&entries).expect("tune cache serializes")
+        let mut entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
+        entries.sort_by(|a, b| {
+            (&a.0.name, &a.0.volume, &a.0.aux).cmp(&(&b.0.name, &b.0.volume, &b.0.aux))
+        });
+        Json::Arr(
+            entries
+                .into_iter()
+                .map(|(k, e)| {
+                    Json::obj(vec![
+                        ("name", Json::from(k.name.as_str())),
+                        ("volume", Json::from(k.volume.as_str())),
+                        ("aux", Json::from(k.aux.as_str())),
+                        ("grain", Json::from(e.param.grain)),
+                        ("block", Json::from(e.param.block)),
+                        ("policy", Json::from(e.param.policy)),
+                        ("seconds", Json::from(e.seconds)),
+                        ("gflops", Json::from(e.gflops)),
+                        ("candidates_swept", Json::from(e.candidates_swept)),
+                    ])
+                })
+                .collect(),
+        )
+        .to_string_pretty()
     }
 
     /// Restore a cache previously produced by `to_json`, merging into the
     /// current cache (disk entries win on key collision).
-    pub fn merge_json(&self, json: &str) -> Result<usize, serde_json::Error> {
-        let entries: Vec<(TuneKey, TuneEntry)> = serde_json::from_str(json)?;
+    pub fn merge_json(&self, json: &str) -> Result<usize, JsonError> {
+        let bad = |msg: &str| JsonError {
+            offset: 0,
+            message: msg.to_string(),
+        };
+        let doc = Json::parse(json)?;
+        let items = doc
+            .as_arr()
+            .ok_or_else(|| bad("tune cache: expected array"))?;
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let s = |f: &str| {
+                item.get(f)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| bad(&format!("tune cache: missing {f}")))
+            };
+            let u = |f: &str| {
+                item.get(f)
+                    .and_then(Json::as_u64)
+                    .map(|v| v as usize)
+                    .ok_or_else(|| bad(&format!("tune cache: missing {f}")))
+            };
+            let f = |f: &str| {
+                item.get(f)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad(&format!("tune cache: missing {f}")))
+            };
+            entries.push((
+                TuneKey::new(s("name")?, s("volume")?, s("aux")?),
+                TuneEntry {
+                    param: TuneParam {
+                        grain: u("grain")?,
+                        block: u("block")?,
+                        policy: u("policy")?,
+                    },
+                    seconds: f("seconds")?,
+                    gflops: f("gflops")?,
+                    candidates_swept: u("candidates_swept")?,
+                },
+            ));
+        }
         let n = entries.len();
         let mut inner = self.inner.write();
         for (k, v) in entries {

@@ -20,10 +20,11 @@
 //!   memory    solver memory footprints and minimum-GPU floors
 //!   ablation  design-choice ablations (policy tuning, delta, precision, placement)
 //!   pipeline  real end-to-end physics run on a small lattice
+//!   metrics   deterministic observability snapshot (results/metrics.json golden)
 //!   all       everything above
 //! ```
 
-use bench::experiments::{ablation, faults, fig1, fig3, fig5, jobs, pipeline, tables};
+use bench::experiments::{ablation, faults, fig1, fig3, fig5, jobs, metrics, pipeline, tables};
 use bench::output::ExperimentOutput;
 
 fn main() {
@@ -50,7 +51,7 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|all> [--results DIR]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|all> [--results DIR]"
         );
         std::process::exit(2);
     };
@@ -98,6 +99,9 @@ fn main() {
             ablation::run_solver_ablation(out);
             ablation::run_placement(out);
         }
+        "metrics" => {
+            metrics::run_metrics(out);
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
@@ -107,7 +111,7 @@ fn main() {
     if experiment == "all" {
         for name in [
             "table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "backfill",
-            "faults", "startup", "budget", "speedup", "memory", "ablation", "pipeline",
+            "faults", "startup", "budget", "speedup", "memory", "ablation", "pipeline", "metrics",
         ] {
             run_one(name, &out);
         }

@@ -13,9 +13,10 @@
 use crate::output::{print_table, ExperimentOutput};
 use coral_machine::sierra;
 use mpi_jm::{
-    Cluster, ClusterConfig, FaultConfig, MetaqScheduler, MpiJmConfig, MpiJmScheduler, NaiveBundler,
-    RetryPolicy, SimReport, Workload,
+    Cluster, ClusterConfig, FaultConfig, FaultStats, MetaqScheduler, MpiJmConfig, MpiJmScheduler,
+    NaiveBundler, RetryPolicy, SimReport, Workload,
 };
+use obs::Json;
 use std::io::Write;
 
 /// Per-node mean-time-between-failures values swept, in seconds. `inf`
@@ -30,13 +31,16 @@ const MTBF_SWEEP: [f64; 6] = [0.0, 160_000.0, 80_000.0, 40_000.0, 20_000.0, 10_0
 const TRANSIENT_PROB: f64 = 0.02;
 
 /// One scheduler's response at one failure rate.
-struct SweepPoint {
-    mtbf: f64,
-    scheduler: &'static str,
-    report: SimReport,
+pub(crate) struct SweepPoint {
+    pub(crate) mtbf: f64,
+    pub(crate) scheduler: &'static str,
+    pub(crate) report: SimReport,
 }
 
-fn run_point(mtbf: f64, scheduler: &'static str) -> SweepPoint {
+/// Run one scheduler at one MTBF under the sweep's fixed workload, cluster,
+/// and deterministic fault schedule. Shared with the metrics experiment so
+/// its golden `metrics.json` exercises exactly the sweep's fault paths.
+pub(crate) fn run_point(mtbf: f64, scheduler: &'static str) -> SweepPoint {
     let workload = Workload::heterogeneous_solves(16 * 4, 4, 1000.0, 0.35, 1e15, 7);
     let config = ClusterConfig {
         nodes: 64,
@@ -82,6 +86,22 @@ fn run_point(mtbf: f64, scheduler: &'static str) -> SweepPoint {
         scheduler,
         report,
     }
+}
+
+/// Every [`FaultStats`] counter as ordered JSON.
+pub(crate) fn fault_stats_json(f: &FaultStats) -> Json {
+    Json::obj(vec![
+        ("node_crashes", Json::from(f.node_crashes)),
+        ("transient_failures", Json::from(f.transient_failures)),
+        ("stragglers", Json::from(f.stragglers)),
+        ("nic_degraded_nodes", Json::from(f.nic_degraded_nodes)),
+        ("retries", Json::from(f.retries)),
+        ("requeues", Json::from(f.requeues)),
+        ("permanent_failures", Json::from(f.permanent_failures)),
+        ("abandoned_tasks", Json::from(f.abandoned_tasks)),
+        ("blacklisted_nodes", Json::from(f.blacklisted_nodes)),
+        ("wasted_node_seconds", Json::from(f.wasted_node_seconds)),
+    ])
 }
 
 /// Run the MTBF sweep; returns (naive, mpi_jm) completed-work fractions at
@@ -162,30 +182,43 @@ pub fn run_faults(out: &ExperimentOutput) -> (f64, f64) {
     .expect("csv");
 
     // JSON: full fault counters per point, machine-readable.
-    let json_points: Vec<serde_json::Value> = points
+    let json_points: Vec<Json> = points
         .iter()
         .map(|p| {
             let r = &p.report;
-            serde_json::json!({
-                "mtbf_seconds": if p.mtbf > 0.0 { Some(p.mtbf) } else { None },
-                "scheduler": p.scheduler,
-                "makespan_seconds": r.makespan,
-                "completed_work_fraction": r.completed_work_fraction(),
-                "wasted_work_fraction": r.wasted_work_fraction(),
-                "completed_tasks": r.completed_tasks,
-                "failed_tasks": r.failed_tasks,
-                "faults": r.faults,
-            })
+            Json::obj(vec![
+                (
+                    "mtbf_seconds",
+                    if p.mtbf > 0.0 {
+                        Json::from(p.mtbf)
+                    } else {
+                        Json::Null
+                    },
+                ),
+                ("scheduler", Json::from(p.scheduler)),
+                ("makespan_seconds", Json::from(r.makespan)),
+                (
+                    "completed_work_fraction",
+                    Json::from(r.completed_work_fraction()),
+                ),
+                ("wasted_work_fraction", Json::from(r.wasted_work_fraction())),
+                ("completed_tasks", Json::from(r.completed_tasks)),
+                ("failed_tasks", Json::from(r.failed_tasks)),
+                ("faults", fault_stats_json(&r.faults)),
+            ])
         })
         .collect();
-    let json = serde_json::to_string_pretty(&serde_json::json!({
-        "experiment": "faults",
-        "workload": "64 heterogeneous 4-node solves (~1000 s each)",
-        "cluster": "64 Sierra nodes",
-        "transient_fail_prob": TRANSIENT_PROB,
-        "points": json_points,
-    }))
-    .expect("json serializes");
+    let json = Json::obj(vec![
+        ("experiment", Json::from("faults")),
+        (
+            "workload",
+            Json::from("64 heterogeneous 4-node solves (~1000 s each)"),
+        ),
+        ("cluster", Json::from("64 Sierra nodes")),
+        ("transient_fail_prob", Json::from(TRANSIENT_PROB)),
+        ("points", Json::Arr(json_points)),
+    ])
+    .to_string_pretty();
     std::fs::write(out.path("faults.json"), &json).expect("write json");
 
     // Markdown report.

@@ -6,5 +6,6 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig5;
 pub mod jobs;
+pub mod metrics;
 pub mod pipeline;
 pub mod tables;

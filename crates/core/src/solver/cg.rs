@@ -45,11 +45,13 @@ pub fn cg<R: Real, A: LinearOp<R> + ?Sized>(
         blas::zero(x);
         stats.converged = true;
         stats.final_rel_residual = 0.0;
+        super::record_solve("cg", &stats);
         return stats;
     }
     if !b_norm2.is_finite() {
         // Corrupted source (NaN/∞): iterating would only propagate garbage.
         stats.breakdown = true;
+        super::record_solve("cg", &stats);
         return stats;
     }
 
@@ -102,6 +104,7 @@ pub fn cg<R: Real, A: LinearOp<R> + ?Sized>(
         f64::INFINITY
     };
     stats.converged = r2.is_finite() && r2 <= target;
+    super::record_solve("cg", &stats);
     stats
 }
 

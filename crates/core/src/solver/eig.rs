@@ -299,7 +299,7 @@ mod tests {
         let (lat, gauge) = setup();
         let d = WilsonDirac::new(&lat, &gauge, 0.1, true);
         let a = NormalOp::new(&d);
-        let pairs = lanczos_lowest(&a, 4, 60, 3);
+        let pairs = lanczos_lowest(&a, 4, 90, 3);
         assert_eq!(pairs.len(), 4);
         for (k, p) in pairs.iter().enumerate() {
             assert!(p.value > 0.0, "D†D is positive definite");

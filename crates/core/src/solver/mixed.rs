@@ -16,6 +16,7 @@ use crate::blas;
 use crate::dirac::LinearOp;
 use crate::real::Real;
 use crate::spinor::Spinor;
+use obs::{Json, Registry};
 
 /// Parameters of the mixed-precision solve.
 #[derive(Clone, Copy, Debug)]
@@ -61,11 +62,13 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
         blas::zero(x);
         stats.converged = true;
         stats.final_rel_residual = 0.0;
+        super::record_solve("mixed", &stats);
         return stats;
     }
     if !b_norm2.is_finite() {
         // Corrupted source (NaN/∞): refuse to iterate on garbage.
         stats.breakdown = true;
+        super::record_solve("mixed", &stats);
         return stats;
     }
     let target = params.outer.tol * params.outer.tol * b_norm2;
@@ -84,6 +87,7 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
     if !r2_hi.is_finite() {
         // A non-finite initial guess poisons the recurrence immediately.
         stats.breakdown = true;
+        super::record_solve("mixed", &stats);
         return stats;
     }
 
@@ -139,6 +143,23 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
         }
         let r2_next = blas::norm_sqr(&r_hi);
         stats.reliable_updates += 1;
+        // One event per reliable update — together they trace the true
+        // (double-precision) residual trajectory of the solve.
+        Registry::current().event(
+            "solver.reliable_update",
+            vec![
+                ("update", Json::from(stats.reliable_updates)),
+                ("iteration", Json::from(stats.iterations)),
+                (
+                    "rel_residual",
+                    Json::from(if r2_next.is_finite() {
+                        (r2_next / b_norm2).sqrt()
+                    } else {
+                        f64::INFINITY
+                    }),
+                ),
+            ],
+        );
 
         if !r2_next.is_finite() {
             // The promoted correction poisoned the iterate: divergence.
@@ -162,6 +183,7 @@ pub fn mixed_cg<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?Sized>(
         f64::INFINITY
     };
     stats.converged = r2_hi.is_finite() && r2_hi <= target;
+    super::record_solve("mixed", &stats);
     stats
 }
 
@@ -208,6 +230,8 @@ pub fn mixed_cg_robust<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?S
     let mut total = SolveStats::new();
     let mut mixed_params = params.mixed;
     let mut restarts = 0usize;
+    let reg = Registry::current();
+    reg.counter("solver.robust.solves").inc();
 
     loop {
         let mut attempt = checkpoint.clone();
@@ -232,6 +256,14 @@ pub fn mixed_cg_robust<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?S
             // updates.
             restarts += 1;
             mixed_params.delta *= params.delta_shrink;
+            reg.counter("solver.robust.restarts").inc();
+            reg.event(
+                "solver.restart",
+                vec![
+                    ("restart", Json::from(restarts)),
+                    ("delta", Json::from(mixed_params.delta)),
+                ],
+            );
             continue;
         }
         if !diverged {
@@ -244,6 +276,11 @@ pub fn mixed_cg_robust<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?S
 
     // Persistent divergence or low-precision stagnation: escalate to full
     // double precision from the best finite iterate.
+    reg.counter("solver.robust.escalations").inc();
+    reg.event(
+        "solver.escalation",
+        vec![("restarts", Json::from(restarts))],
+    );
     let stats = cg(op_hi, x, b, params.mixed.outer);
     total.iterations += stats.iterations;
     total.flops += stats.flops;
@@ -257,6 +294,7 @@ pub fn mixed_cg_robust<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?S
             escalated: true,
         }
     } else if stats.breakdown || !stats.final_rel_residual.is_finite() {
+        reg.counter("solver.robust.failures").inc();
         SolverOutcome::Failed {
             stats: total,
             restarts,

@@ -52,6 +52,38 @@ impl SolveStats {
     }
 }
 
+/// Bucket edges for per-solve iteration-count histograms: powers of two,
+/// with the default iteration budget as the last finite edge.
+pub(crate) const ITERATION_BOUNDS: [f64; 12] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 10_000.0,
+];
+
+/// Flush one completed solve into the ambient observability registry.
+///
+/// Called exactly once per solve, after the iteration loop has exited, so
+/// the hot path itself carries no atomic traffic beyond the local
+/// [`SolveStats`] accumulation it already does.
+pub(crate) fn record_solve(kind: &str, stats: &SolveStats) {
+    let reg = obs::Registry::current();
+    reg.counter(&format!("solver.{kind}.solves")).inc();
+    reg.counter(&format!("solver.{kind}.iters"))
+        .add(stats.iterations as u64);
+    reg.float_counter(&format!("solver.{kind}.flops"))
+        .add(stats.flops);
+    reg.histogram(&format!("solver.{kind}.iterations"), &ITERATION_BOUNDS)
+        .record(stats.iterations as f64);
+    if stats.converged {
+        reg.counter(&format!("solver.{kind}.converged")).inc();
+    }
+    if stats.breakdown {
+        reg.counter(&format!("solver.{kind}.breakdowns")).inc();
+    }
+    if stats.reliable_updates > 0 {
+        reg.counter(&format!("solver.{kind}.reliable_updates"))
+            .add(stats.reliable_updates as u64);
+    }
+}
+
 /// Typed outcome of a fault-tolerant solve ([`mixed_cg_robust`]): callers
 /// can distinguish clean convergence from a budget exhaustion or an
 /// irrecoverable divergence instead of inspecting silent garbage.

@@ -13,8 +13,8 @@
 
 use crate::crc32c::crc32c;
 use crate::IoError;
+use obs::{Json, Registry};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -26,7 +26,7 @@ pub const MAGIC: [u8; 8] = *b"LQIO\x01\0\0\n";
 pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 
 /// Container header, stored as JSON.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Header {
     /// Dataset name (e.g. `"gauge"`, `"propagator_column"`).
     pub name: String,
@@ -55,6 +55,66 @@ impl Header {
     pub fn expected_payload_bytes(&self) -> Option<usize> {
         self.element_size()
             .map(|e| e * self.shape.iter().product::<usize>())
+    }
+
+    /// Encode as the on-disk header JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("dtype", Json::from(self.dtype.as_str())),
+            (
+                "shape",
+                Json::Arr(self.shape.iter().map(|&d| Json::from(d)).collect()),
+            ),
+            ("n_chunks", Json::from(self.n_chunks)),
+            ("metadata", Json::from(&self.metadata)),
+        ])
+    }
+
+    /// Decode from header JSON, validating every field's type.
+    pub fn from_json(j: &Json) -> Result<Header, IoError> {
+        let bad = |what: &str| IoError::Format(format!("header: {what}"));
+        let usize_field =
+            |v: &Json, what: &str| v.as_u64().map(|n| n as usize).ok_or_else(|| bad(what));
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing name"))?;
+        let dtype = j
+            .get("dtype")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing dtype"))?;
+        let shape = j
+            .get("shape")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing shape"))?
+            .iter()
+            .map(|v| usize_field(v, "bad shape entry"))
+            .collect::<Result<Vec<usize>, IoError>>()?;
+        let n_chunks = usize_field(
+            j.get("n_chunks").ok_or_else(|| bad("missing n_chunks"))?,
+            "bad n_chunks",
+        )?;
+        let mut metadata = BTreeMap::new();
+        for (k, v) in j
+            .get("metadata")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("missing metadata"))?
+        {
+            metadata.insert(
+                k.clone(),
+                v.as_str()
+                    .ok_or_else(|| bad("non-string metadata value"))?
+                    .to_string(),
+            );
+        }
+        Ok(Header {
+            name: name.to_string(),
+            dtype: dtype.to_string(),
+            shape,
+            n_chunks,
+            metadata,
+        })
     }
 }
 
@@ -166,7 +226,7 @@ pub fn write_container(path: &Path, container: &Container) -> Result<(), IoError
 
     let mut header = container.header.clone();
     header.n_chunks = chunks.len();
-    let header_json = serde_json::to_vec(&header).expect("header serializes");
+    let header_json = header.to_json().to_string().into_bytes();
 
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     file.write_all(&MAGIC)?;
@@ -178,6 +238,10 @@ pub fn write_container(path: &Path, container: &Container) -> Result<(), IoError
         file.write_all(&crc.to_le_bytes())?;
     }
     file.flush()?;
+    let reg = Registry::current();
+    reg.counter("io.containers_written").inc();
+    reg.counter("io.bytes_written")
+        .add((12 + header_json.len() + container.payload.len() + chunks.len() * 12) as u64);
     Ok(())
 }
 
@@ -195,7 +259,10 @@ pub fn read_header(path: &Path) -> Result<Header, IoError> {
     let hlen = u32::from_le_bytes(len4) as usize;
     let mut hbytes = vec![0u8; hlen];
     file.read_exact(&mut hbytes)?;
-    serde_json::from_slice(&hbytes).map_err(|e| IoError::Format(format!("header: {e}")))
+    let text =
+        std::str::from_utf8(&hbytes).map_err(|_| IoError::Format("header: not utf-8".into()))?;
+    let json = Json::parse(text).map_err(|e| IoError::Format(format!("header: {e}")))?;
+    Header::from_json(&json)
 }
 
 /// Parse the header from the front of `bytes`; returns the header and the
@@ -212,9 +279,10 @@ fn parse_header_bytes(bytes: &[u8]) -> Result<(Header, usize), IoError> {
         .checked_add(hlen)
         .filter(|&e| e <= bytes.len())
         .ok_or_else(|| IoError::Format("truncated header".into()))?;
-    let header: Header = serde_json::from_slice(&bytes[12..hend])
-        .map_err(|e| IoError::Format(format!("header: {e}")))?;
-    Ok((header, hend))
+    let text = std::str::from_utf8(&bytes[12..hend])
+        .map_err(|_| IoError::Format("header: not utf-8".into()))?;
+    let json = Json::parse(text).map_err(|e| IoError::Format(format!("header: {e}")))?;
+    Ok((Header::from_json(&json)?, hend))
 }
 
 /// Per-chunk record slices carved out of a raw container image. For a chunk
@@ -262,6 +330,7 @@ pub fn parse_container(bytes: &[u8]) -> Result<Container, IoError> {
         .enumerate()
         .find_map_first(|(i, (c, crc))| if crc32c(c) != *crc { Some(i) } else { None });
     if let Some(chunk) = bad {
+        Registry::current().counter("io.checksum_failures").inc();
         return Err(IoError::ChecksumMismatch { chunk });
     }
 
@@ -270,6 +339,9 @@ pub fn parse_container(bytes: &[u8]) -> Result<Container, IoError> {
     for (c, _) in &chunks {
         payload.extend_from_slice(c);
     }
+    let reg = Registry::current();
+    reg.counter("io.containers_read").inc();
+    reg.counter("io.bytes_read").add(bytes.len() as u64);
     Ok(Container { header, payload })
 }
 
@@ -310,7 +382,10 @@ pub fn read_container_retrying(
         let result = fetch().and_then(|bytes| parse_container(&bytes));
         match result {
             Ok(c) => return Ok((c, attempt)),
-            Err(e) if is_retryable(&e) && attempt <= max_retries => continue,
+            Err(e) if is_retryable(&e) && attempt <= max_retries => {
+                Registry::current().counter("io.crc_retries").inc();
+                continue;
+            }
             Err(e) => return Err(e),
         }
     }
@@ -407,6 +482,12 @@ pub fn salvage_container_bytes(bytes: &[u8]) -> Result<SalvagedContainer, IoErro
         }
     }
 
+    let reg = Registry::current();
+    reg.counter("io.salvage.calls").inc();
+    reg.counter("io.salvage.corrupt_chunks")
+        .add(corrupt_chunks.len() as u64);
+    reg.counter("io.salvage.lost_bytes")
+        .add(merged.iter().map(|(a, b)| (b - a) as u64).sum());
     Ok(SalvagedContainer {
         header,
         payload,

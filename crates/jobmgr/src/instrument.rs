@@ -1,0 +1,158 @@
+//! Observability hooks shared by the three schedulers.
+//!
+//! Each scheduler builds a [`SchedObs`] at the top of its fault-aware run
+//! and calls the event hooks at state transitions, passing the *simulation*
+//! time (`Registry::event_at`), so the emitted timeline is deterministic
+//! and independent of the wall clock. Event kinds are unified across
+//! schedulers — `task_start`, `task_end`, `task_killed`, `task_failed`,
+//! `task_abandoned`, `requeue`, `node_crash`, `blacklist` — with a `sched`
+//! field naming the scheduler, mirroring the recovery decisions tracked by
+//! [`crate::fault::FaultStats`].
+//!
+//! Aggregate counters and gauges are flushed once per run from the final
+//! [`SimReport`] in [`SchedObs::finish`]; only the high-water gauges are
+//! touched from inside the DES loop.
+
+use crate::report::SimReport;
+use obs::{Json, Registry};
+
+pub(crate) struct SchedObs {
+    reg: Registry,
+    sched: &'static str,
+}
+
+impl SchedObs {
+    pub(crate) fn new(sched: &'static str) -> Self {
+        Self {
+            reg: Registry::current(),
+            sched,
+        }
+    }
+
+    fn ev(&self, t: f64, kind: &str, mut fields: Vec<(&str, Json)>) {
+        fields.insert(0, ("sched", Json::from(self.sched)));
+        self.reg.event_at(t, kind, fields);
+    }
+
+    pub(crate) fn task_start(&self, t: f64, id: usize, attempt: usize, nodes: usize) {
+        self.ev(
+            t,
+            "task_start",
+            vec![
+                ("task", Json::from(id)),
+                ("attempt", Json::from(attempt)),
+                ("nodes", Json::from(nodes)),
+            ],
+        );
+    }
+
+    pub(crate) fn task_end(&self, t: f64, id: usize, attempt: usize) {
+        self.ev(
+            t,
+            "task_end",
+            vec![("task", Json::from(id)), ("attempt", Json::from(attempt))],
+        );
+    }
+
+    /// An in-flight attempt died (`cause`: "transient", "node_crash", or
+    /// "wave_kill" for naive-bundling collateral).
+    pub(crate) fn task_killed(&self, t: f64, id: usize, attempt: usize, cause: &str) {
+        self.ev(
+            t,
+            "task_killed",
+            vec![
+                ("task", Json::from(id)),
+                ("attempt", Json::from(attempt)),
+                ("cause", Json::from(cause)),
+            ],
+        );
+    }
+
+    /// Retry budget exhausted: the task is permanently failed.
+    pub(crate) fn task_failed(&self, t: f64, id: usize) {
+        self.ev(t, "task_failed", vec![("task", Json::from(id))]);
+    }
+
+    /// Never ran: a dependency failed or capacity shrank below its footprint.
+    pub(crate) fn task_abandoned(&self, t: f64, id: usize) {
+        self.ev(t, "task_abandoned", vec![("task", Json::from(id))]);
+    }
+
+    pub(crate) fn requeue(&self, t: f64, id: usize, ready_at: f64) {
+        self.ev(
+            t,
+            "requeue",
+            vec![("task", Json::from(id)), ("ready_at", Json::from(ready_at))],
+        );
+    }
+
+    pub(crate) fn node_crash(&self, t: f64, node: usize) {
+        self.ev(t, "node_crash", vec![("node", Json::from(node))]);
+    }
+
+    pub(crate) fn blacklist(&self, t: f64, node: usize) {
+        self.ev(t, "blacklist", vec![("node", Json::from(node))]);
+    }
+
+    /// Tasks ready to run but not yet placed. Tracks the current value and
+    /// the run's high-water mark.
+    pub(crate) fn queue_depth(&self, depth: usize) {
+        self.reg
+            .gauge(&format!("sched.{}.queue_depth", self.sched))
+            .set(depth as f64);
+        self.reg
+            .gauge(&format!("sched.{}.queue_depth_peak", self.sched))
+            .set_max(depth as f64);
+    }
+
+    /// Nodes currently occupied by in-flight attempts.
+    pub(crate) fn nodes_busy(&self, busy: usize) {
+        self.reg
+            .gauge(&format!("sched.{}.nodes_busy", self.sched))
+            .set(busy as f64);
+        self.reg
+            .gauge(&format!("sched.{}.nodes_busy_peak", self.sched))
+            .set_max(busy as f64);
+    }
+
+    /// Flush the run's aggregate counters and utilization gauges.
+    pub(crate) fn finish(&self, report: &SimReport) {
+        let p = format!("sched.{}", self.sched);
+        let c = |name: &str, v: u64| {
+            if v > 0 {
+                self.reg.counter(&format!("{p}.{name}")).add(v);
+            }
+        };
+        self.reg.counter(&format!("{p}.runs")).inc();
+        c("tasks_completed", report.completed_tasks as u64);
+        c("tasks_failed", report.failed_tasks as u64);
+        c("node_crashes", report.faults.node_crashes as u64);
+        c("blacklisted_nodes", report.faults.blacklisted_nodes as u64);
+        c(
+            "transient_failures",
+            report.faults.transient_failures as u64,
+        );
+        c("retries", report.faults.retries as u64);
+        c("requeues", report.faults.requeues as u64);
+        c(
+            "permanent_failures",
+            report.faults.permanent_failures as u64,
+        );
+        c("abandoned_tasks", report.faults.abandoned_tasks as u64);
+        c("stragglers", report.faults.stragglers as u64);
+        if report.faults.wasted_node_seconds > 0.0 {
+            self.reg
+                .float_counter(&format!("{p}.wasted_node_seconds"))
+                .add(report.faults.wasted_node_seconds);
+        }
+        self.reg
+            .float_counter(&format!("{p}.busy_node_seconds"))
+            .add(report.busy_node_seconds);
+        self.reg
+            .gauge(&format!("{p}.utilization"))
+            .set(report.utilization());
+        self.reg
+            .gauge(&format!("{p}.makespan"))
+            .set(report.makespan);
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod cluster;
 pub mod fault;
+mod instrument;
 pub mod metaq;
 pub mod mpijm;
 pub mod naive;

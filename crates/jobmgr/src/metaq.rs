@@ -19,6 +19,7 @@ use crate::cluster::Cluster;
 use crate::fault::{
     AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy,
 };
+use crate::instrument::SchedObs;
 use crate::report::{SimReport, TaskRecord};
 use crate::task::{TaskKind, Workload};
 use std::cmp::Reverse;
@@ -103,6 +104,7 @@ impl MetaqScheduler {
     ) -> SimReport {
         let n = workload.len();
         let n_nodes = cluster.nodes.len();
+        let sobs = SchedObs::new("metaq");
         let injector = FaultInjector::new(*faults, n_nodes);
         let mut recovery = RecoveryState::new(n, n_nodes);
         let mut stats = FaultStats {
@@ -140,6 +142,8 @@ impl MetaqScheduler {
         // Permanently fail `id` and abandon its transitive dependents.
         fn cascade_fail(
             id: usize,
+            time: f64,
+            sobs: &SchedObs,
             recovery: &mut RecoveryState,
             dependents: &[Vec<usize>],
             stats: &mut FaultStats,
@@ -151,6 +155,7 @@ impl MetaqScheduler {
                     if !recovery.failed[dep] {
                         recovery.failed[dep] = true;
                         stats.abandoned_tasks += 1;
+                        sobs.task_abandoned(time, dep);
                         *settled += 1;
                         stack.push(dep);
                     }
@@ -203,6 +208,7 @@ impl MetaqScheduler {
                                 _ => (start + dur, false),
                             };
                             epoch[id] += 1;
+                            sobs.task_start(start, id, attempt, alloc.len());
                             running[id] = Some(RunInfo {
                                 alloc,
                                 start,
@@ -225,6 +231,8 @@ impl MetaqScheduler {
                 }
                 ready = next_ready;
             }
+            sobs.queue_depth(ready.len());
+            sobs.nodes_busy(running.iter().flatten().map(|ri| ri.alloc.len()).sum());
 
             // Nothing running and no events left: the stranded ready tasks
             // can never fit on what remains of the machine.
@@ -235,8 +243,17 @@ impl MetaqScheduler {
                         if !recovery.failed[id] {
                             recovery.failed[id] = true;
                             stats.abandoned_tasks += 1;
+                            sobs.task_abandoned(time, id);
                             settled += 1;
-                            cascade_fail(id, &mut recovery, &dependents, &mut stats, &mut settled);
+                            cascade_fail(
+                                id,
+                                time,
+                                &sobs,
+                                &mut recovery,
+                                &dependents,
+                                &mut stats,
+                                &mut settled,
+                            );
                         }
                     }
                     continue;
@@ -265,6 +282,7 @@ impl MetaqScheduler {
                     if ri.fails {
                         // Transient failure partway through the attempt.
                         stats.transient_failures += 1;
+                        sobs.task_killed(time, id, ri.attempt, "transient");
                         stats.wasted_node_seconds +=
                             (time - ri.start).max(0.0) * ri.alloc.len() as f64;
                         wasted_records.push(TaskRecord {
@@ -281,16 +299,27 @@ impl MetaqScheduler {
                             {
                                 cluster.mark_crashed(node);
                                 stats.blacklisted_nodes += 1;
+                                sobs.blacklist(time, node);
                             }
                         }
                         if recovery.requeue_or_fail(id, time, policy, &mut stats) {
+                            sobs.requeue(time, id, recovery.ready_at[id]);
                             events.push(Reverse((
                                 Ord64(recovery.ready_at[id]),
                                 Event::TaskReady { id },
                             )));
                         } else {
                             settled += 1;
-                            cascade_fail(id, &mut recovery, &dependents, &mut stats, &mut settled);
+                            sobs.task_failed(time, id);
+                            cascade_fail(
+                                id,
+                                time,
+                                &sobs,
+                                &mut recovery,
+                                &dependents,
+                                &mut stats,
+                                &mut settled,
+                            );
                         }
                     } else {
                         if matches!(t.kind, TaskKind::PropagatorSolve { .. }) {
@@ -307,6 +336,7 @@ impl MetaqScheduler {
                         });
                         done[id] = true;
                         settled += 1;
+                        sobs.task_end(time, id, ri.attempt);
                         for &dep in &dependents[id] {
                             dep_count[dep] -= 1;
                             if dep_count[dep] == 0 && !recovery.failed[dep] {
@@ -320,6 +350,7 @@ impl MetaqScheduler {
                         continue; // dead at startup or already blacklisted
                     }
                     stats.node_crashes += 1;
+                    sobs.node_crash(time, node);
                     // Kill every attempt whose allocation touches the node.
                     for id in 0..n {
                         let hit = running[id]
@@ -330,6 +361,7 @@ impl MetaqScheduler {
                         }
                         let ri = running[id].take().expect("checked above");
                         cluster.release(&ri.alloc);
+                        sobs.task_killed(time, id, ri.attempt, "node_crash");
                         stats.wasted_node_seconds +=
                             (time - ri.start).max(0.0) * ri.alloc.len() as f64;
                         wasted_records.push(TaskRecord {
@@ -341,13 +373,23 @@ impl MetaqScheduler {
                             attempts: ri.attempt,
                         });
                         if recovery.requeue_or_fail(id, time, policy, &mut stats) {
+                            sobs.requeue(time, id, recovery.ready_at[id]);
                             events.push(Reverse((
                                 Ord64(recovery.ready_at[id]),
                                 Event::TaskReady { id },
                             )));
                         } else {
                             settled += 1;
-                            cascade_fail(id, &mut recovery, &dependents, &mut stats, &mut settled);
+                            sobs.task_failed(time, id);
+                            cascade_fail(
+                                id,
+                                time,
+                                &sobs,
+                                &mut recovery,
+                                &dependents,
+                                &mut stats,
+                                &mut settled,
+                            );
                         }
                     }
                     cluster.mark_crashed(node);
@@ -363,7 +405,7 @@ impl MetaqScheduler {
         let completed_tasks = done.iter().filter(|&&d| d).count();
         let failed_tasks = recovery.failed.iter().filter(|&&f| f).count();
         let healthy = cluster.healthy_nodes() as f64;
-        SimReport {
+        let report = SimReport {
             makespan: time,
             startup: 0.0,
             busy_node_seconds,
@@ -376,7 +418,9 @@ impl MetaqScheduler {
             task_attempts: recovery.attempts,
             wasted_records,
             faults: stats,
-        }
+        };
+        sobs.finish(&report);
+        report
     }
 }
 

@@ -28,6 +28,7 @@ use crate::cluster::Cluster;
 use crate::fault::{
     AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy,
 };
+use crate::instrument::SchedObs;
 use crate::report::{SimReport, TaskRecord};
 use crate::task::{TaskKind, Workload};
 use std::cmp::Reverse;
@@ -126,16 +127,23 @@ impl MpiJmScheduler {
         let mut lumps_total = 0;
         let mut lumps_failed = 0;
         let mut start = 0;
-        while start + ln <= cluster.nodes.len() {
+        // Allocations smaller than (or not divisible by) the lump size get
+        // a trailing partial lump: mpi_jm shrinks its last mpirun to the
+        // nodes that exist rather than leaving them idle. Only full blocks
+        // are formed inside it — jobs never straddle a block boundary.
+        while start + self.config.block_nodes <= cluster.nodes.len() {
+            let end = (start + ln).min(cluster.nodes.len());
             lumps_total += 1;
-            let lump: Vec<usize> = (start..start + ln).collect();
+            let lump: Vec<usize> = (start..end).collect();
             let healthy = lump.iter().all(|&i| !cluster.nodes[i].failed);
             if healthy {
                 for chunk in lump.chunks(self.config.block_nodes) {
-                    blocks.push(Block {
-                        nodes: chunk.to_vec(),
-                        free: chunk.to_vec(),
-                    });
+                    if chunk.len() == self.config.block_nodes {
+                        blocks.push(Block {
+                            nodes: chunk.to_vec(),
+                            free: chunk.to_vec(),
+                        });
+                    }
                 }
             } else {
                 lumps_failed += 1;
@@ -191,6 +199,7 @@ impl MpiJmScheduler {
             }
         }
 
+        let sobs = SchedObs::new("mpi_jm");
         let injector = FaultInjector::new(*faults, n_nodes);
         let mut recovery = RecoveryState::new(n, n_nodes);
         let mut stats = FaultStats {
@@ -229,6 +238,8 @@ impl MpiJmScheduler {
 
         fn cascade_fail(
             id: usize,
+            time: f64,
+            sobs: &SchedObs,
             recovery: &mut RecoveryState,
             dependents: &[Vec<usize>],
             stats: &mut FaultStats,
@@ -240,6 +251,7 @@ impl MpiJmScheduler {
                     if !recovery.failed[dep] {
                         recovery.failed[dep] = true;
                         stats.abandoned_tasks += 1;
+                        sobs.task_abandoned(time, dep);
                         *settled += 1;
                         stack.push(dep);
                     }
@@ -351,6 +363,12 @@ impl MpiJmScheduler {
                         _ => (start + dur, false),
                     };
                     epoch[id] += 1;
+                    sobs.task_start(
+                        start,
+                        id,
+                        attempt,
+                        alloc.len().max(usize::from(cpu_pin.is_some())),
+                    );
                     running[id] = Some(RunInfo {
                         alloc,
                         cpu_pin,
@@ -371,6 +389,14 @@ impl MpiJmScheduler {
                 }
                 ready = next_ready;
             }
+            sobs.queue_depth(ready.len());
+            sobs.nodes_busy(
+                running
+                    .iter()
+                    .flatten()
+                    .map(|ri| ri.alloc.len().max(usize::from(ri.cpu_pin.is_some())))
+                    .sum(),
+            );
 
             let any_running = running.iter().any(|r| r.is_some());
             if !any_running && events.is_empty() {
@@ -381,8 +407,17 @@ impl MpiJmScheduler {
                         if !recovery.failed[id] {
                             recovery.failed[id] = true;
                             stats.abandoned_tasks += 1;
+                            sobs.task_abandoned(time, id);
                             settled += 1;
-                            cascade_fail(id, &mut recovery, &dependents, &mut stats, &mut settled);
+                            cascade_fail(
+                                id,
+                                time,
+                                &sobs,
+                                &mut recovery,
+                                &dependents,
+                                &mut stats,
+                                &mut settled,
+                            );
                         }
                     }
                     continue;
@@ -411,6 +446,7 @@ impl MpiJmScheduler {
                     let t = &workload.tasks[id];
                     if ri.fails {
                         stats.transient_failures += 1;
+                        sobs.task_killed(time, id, ri.attempt, "transient");
                         stats.wasted_node_seconds +=
                             (time - ri.start).max(0.0) * ri.alloc.len() as f64;
                         wasted_records.push(TaskRecord {
@@ -428,16 +464,27 @@ impl MpiJmScheduler {
                                 cluster.mark_crashed(node);
                                 retire_node(&mut blocks, node);
                                 stats.blacklisted_nodes += 1;
+                                sobs.blacklist(time, node);
                             }
                         }
                         if recovery.requeue_or_fail(id, time, policy, &mut stats) {
+                            sobs.requeue(time, id, recovery.ready_at[id]);
                             events.push(Reverse((
                                 Ord64(recovery.ready_at[id]),
                                 Event::TaskReady { id },
                             )));
                         } else {
                             settled += 1;
-                            cascade_fail(id, &mut recovery, &dependents, &mut stats, &mut settled);
+                            sobs.task_failed(time, id);
+                            cascade_fail(
+                                id,
+                                time,
+                                &sobs,
+                                &mut recovery,
+                                &dependents,
+                                &mut stats,
+                                &mut settled,
+                            );
                         }
                     } else {
                         if matches!(t.kind, TaskKind::PropagatorSolve { .. }) {
@@ -458,6 +505,7 @@ impl MpiJmScheduler {
                         });
                         done[id] = true;
                         settled += 1;
+                        sobs.task_end(time, id, ri.attempt);
                         for &dep in &dependents[id] {
                             dep_count[dep] -= 1;
                             if dep_count[dep] == 0 && !recovery.failed[dep] {
@@ -472,6 +520,7 @@ impl MpiJmScheduler {
                     }
                     node_dead[node] = true;
                     stats.node_crashes += 1;
+                    sobs.node_crash(time, node);
                     // Kill only the jobs bound to this node; the block
                     // re-spawns at the boundary with its survivors.
                     for id in 0..n {
@@ -486,6 +535,7 @@ impl MpiJmScheduler {
                         if let Some(host) = ri.cpu_pin {
                             cpu_free[host] = true;
                         }
+                        sobs.task_killed(time, id, ri.attempt, "node_crash");
                         stats.wasted_node_seconds +=
                             (time - ri.start).max(0.0) * ri.alloc.len().max(1) as f64;
                         wasted_records.push(TaskRecord {
@@ -501,13 +551,23 @@ impl MpiJmScheduler {
                             attempts: ri.attempt,
                         });
                         if recovery.requeue_or_fail(id, time, policy, &mut stats) {
+                            sobs.requeue(time, id, recovery.ready_at[id]);
                             events.push(Reverse((
                                 Ord64(recovery.ready_at[id]),
                                 Event::TaskReady { id },
                             )));
                         } else {
                             settled += 1;
-                            cascade_fail(id, &mut recovery, &dependents, &mut stats, &mut settled);
+                            sobs.task_failed(time, id);
+                            cascade_fail(
+                                id,
+                                time,
+                                &sobs,
+                                &mut recovery,
+                                &dependents,
+                                &mut stats,
+                                &mut settled,
+                            );
                         }
                     }
                     retire_node(&mut blocks, node);
@@ -524,7 +584,7 @@ impl MpiJmScheduler {
         let completed_tasks = done.iter().filter(|&&d| d).count();
         let failed_tasks = recovery.failed.iter().filter(|&&f| f).count();
         let avail_nodes = blocks.iter().map(|b| b.nodes.len()).sum::<usize>() as f64;
-        SimReport {
+        let report = SimReport {
             makespan: time,
             startup: 0.0,
             busy_node_seconds,
@@ -537,7 +597,9 @@ impl MpiJmScheduler {
             task_attempts: recovery.attempts,
             wasted_records,
             faults: stats,
-        }
+        };
+        sobs.finish(&report);
+        report
     }
 }
 

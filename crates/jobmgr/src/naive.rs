@@ -18,6 +18,7 @@ use crate::cluster::Cluster;
 use crate::fault::{
     AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy,
 };
+use crate::instrument::SchedObs;
 use crate::report::{SimReport, TaskRecord};
 use crate::task::{TaskKind, Workload};
 
@@ -66,6 +67,7 @@ impl NaiveBundler {
     ) -> SimReport {
         let n = workload.len();
         let n_nodes = cluster.nodes.len();
+        let sobs = SchedObs::new("naive");
         let injector = FaultInjector::new(*faults, n_nodes);
         let mut recovery = RecoveryState::new(n, n_nodes);
         let mut stats = FaultStats {
@@ -89,6 +91,7 @@ impl NaiveBundler {
                     if !cluster.nodes[node].failed {
                         cluster.mark_crashed(node);
                         stats.node_crashes += 1;
+                        sobs.node_crash(time, node);
                     }
                 }
             }
@@ -102,6 +105,7 @@ impl NaiveBundler {
                     {
                         recovery.failed[t.id] = true;
                         stats.abandoned_tasks += 1;
+                        sobs.task_abandoned(time, t.id);
                         cascaded = true;
                     }
                 }
@@ -112,6 +116,7 @@ impl NaiveBundler {
             let pending: Vec<usize> = (0..n)
                 .filter(|&i| !done[i] && !recovery.failed[i])
                 .collect();
+            sobs.queue_depth(pending.len());
             if pending.is_empty() {
                 break;
             }
@@ -182,6 +187,7 @@ impl NaiveBundler {
                     AttemptFate::TransientFailure { at_fraction } => Some(time + dur * at_fraction),
                     _ => None,
                 };
+                sobs.task_start(time, t.id, attempt, alloc.len());
                 wave.push(WaveTask {
                     id: t.id,
                     alloc,
@@ -192,6 +198,7 @@ impl NaiveBundler {
                     speed,
                 });
             }
+            sobs.nodes_busy(wave.iter().map(|w| w.alloc.len()).sum());
             if wave.is_empty() {
                 if faults.enabled() {
                     // The machine is fully free here, so a ready task that
@@ -202,6 +209,7 @@ impl NaiveBundler {
                         if ready_now(i, time, &recovery.ready_at) {
                             recovery.failed[i] = true;
                             stats.abandoned_tasks += 1;
+                            sobs.task_abandoned(time, i);
                         }
                     }
                     continue;
@@ -247,6 +255,7 @@ impl NaiveBundler {
                         attempts: w.attempt,
                     });
                     done[w.id] = true;
+                    sobs.task_end(w.planned_end, w.id, w.attempt);
                 } else {
                     // Killed as part of the bundle.
                     stats.wasted_node_seconds += (wave_end - w.start) * w.alloc.len() as f64;
@@ -260,16 +269,24 @@ impl NaiveBundler {
                     });
                     if w.fail_at == Some(wave_end) {
                         stats.transient_failures += 1;
+                        sobs.task_killed(wave_end, w.id, w.attempt, "transient");
                         if let Some(&node) = w.alloc.first() {
                             if recovery.attribute_node_fault(node, policy)
                                 && !cluster.nodes[node].failed
                             {
                                 cluster.mark_crashed(node);
                                 stats.blacklisted_nodes += 1;
+                                sobs.blacklist(wave_end, node);
                             }
                         }
+                    } else {
+                        sobs.task_killed(wave_end, w.id, w.attempt, "wave_kill");
                     }
-                    recovery.requeue_or_fail(w.id, wave_end, policy, &mut stats);
+                    if recovery.requeue_or_fail(w.id, wave_end, policy, &mut stats) {
+                        sobs.requeue(wave_end, w.id, recovery.ready_at[w.id]);
+                    } else {
+                        sobs.task_failed(wave_end, w.id);
+                    }
                 }
             }
             for w in &wave {
@@ -282,6 +299,7 @@ impl NaiveBundler {
                     if !cluster.nodes[node].failed {
                         cluster.mark_crashed(node);
                         stats.node_crashes += 1;
+                        sobs.node_crash(k, node);
                     }
                 }
             }
@@ -291,7 +309,7 @@ impl NaiveBundler {
         let completed_tasks = done.iter().filter(|&&d| d).count();
         let failed_tasks = recovery.failed.iter().filter(|&&f| f).count();
         let healthy = cluster.healthy_nodes() as f64;
-        SimReport {
+        let report = SimReport {
             makespan: time,
             startup: 0.0,
             busy_node_seconds,
@@ -304,7 +322,9 @@ impl NaiveBundler {
             task_attempts: recovery.attempts,
             wasted_records,
             faults: stats,
-        }
+        };
+        sobs.finish(&report);
+        report
     }
 }
 

@@ -22,6 +22,9 @@ pub struct TaskRecord {
     pub attempts: usize,
 }
 
+// Referenced by `serde(default = "one")` under real serde; the vendored
+// derive stub does not expand the attribute, so the function looks unused.
+#[allow(dead_code)]
 fn one() -> usize {
     1
 }

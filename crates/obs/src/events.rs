@@ -1,0 +1,195 @@
+//! Structured event log: a timestamped, append-only sequence of typed
+//! events ("task_start", "reliable_update", "node_crash", …) with
+//! arbitrary JSON-valued fields. The scheduler simulations append with
+//! explicit simulated timestamps; live code lets the registry stamp the
+//! event from its clock.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Seconds — simulated or wall, depending on who recorded it.
+    pub t: f64,
+    pub kind: String,
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    pub fn new(t: f64, kind: &str, fields: Vec<(&str, Json)>) -> Event {
+        Event {
+            t,
+            kind: kind.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("t".to_string(), Json::Num(self.t)),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+        ];
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs)
+    }
+
+    /// One-line rendering, `t=12.5 task_start task=3 attempt=1`.
+    pub fn render(&self) -> String {
+        let mut line = format!("t={:.6} {}", self.t, self.kind);
+        for (k, v) in &self.fields {
+            match v {
+                Json::Str(s) => line.push_str(&format!(" {k}={s}")),
+                other => line.push_str(&format!(" {k}={other}")),
+            }
+        }
+        line
+    }
+}
+
+/// Append-only, thread-safe event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, event: Event) {
+        self.events.lock().unwrap().push(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Copy of all events in append order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// How many events of each kind were recorded.
+    pub fn counts_by_kind(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for e in self.events.lock().unwrap().iter() {
+            *counts.entry(e.kind.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    pub fn count_kind(&self, kind: &str) -> u64 {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count() as u64
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.events
+                .lock()
+                .unwrap()
+                .iter()
+                .map(Event::to_json)
+                .collect(),
+        )
+    }
+
+    /// Text timeline, one event per line in append order. This is the
+    /// representation the golden regression tests snapshot: it captures
+    /// ordering and every field, and diffs legibly.
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().unwrap().iter() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV export: `t,kind,fields` with fields as `k=v` joined by `;`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,kind,fields\n");
+        for e in self.events.lock().unwrap().iter() {
+            let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!("{},{},\"{}\"\n", e.t, e.kind, fields.join(";")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_order_and_counts() {
+        let log = EventLog::new();
+        log.record(Event::new(
+            0.0,
+            "task_start",
+            vec![("task", Json::from(0u64))],
+        ));
+        log.record(Event::new(
+            1.5,
+            "task_end",
+            vec![("task", Json::from(0u64))],
+        ));
+        log.record(Event::new(
+            2.0,
+            "task_start",
+            vec![("task", Json::from(1u64))],
+        ));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count_kind("task_start"), 2);
+        assert_eq!(log.counts_by_kind()["task_end"], 1);
+        let snap = log.snapshot();
+        assert_eq!(snap[1].field("task").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn timeline_renders_one_line_per_event() {
+        let log = EventLog::new();
+        log.record(Event::new(
+            12.5,
+            "node_crash",
+            vec![("node", Json::from(7u64)), ("sched", Json::from("metaq"))],
+        ));
+        assert_eq!(
+            log.render_timeline(),
+            "t=12.500000 node_crash node=7 sched=metaq\n"
+        );
+    }
+
+    #[test]
+    fn json_and_csv_exports_contain_fields() {
+        let log = EventLog::new();
+        log.record(Event::new(1.0, "retry", vec![("task", Json::from(3u64))]));
+        let j = log.to_json();
+        assert_eq!(
+            j.as_arr().unwrap()[0].get("kind").unwrap().as_str(),
+            Some("retry")
+        );
+        assert!(log.to_csv().contains("1,retry,\"task=3\""));
+    }
+}

@@ -1,0 +1,408 @@
+//! Metric primitives: lock-free counters, gauges, and fixed-bucket
+//! histograms. All types are `Send + Sync` and updated with atomics so the
+//! hot paths (solver inner loops, DES event handlers) pay one atomic op
+//! per update and never block.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing integer counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Accumulating floating-point counter (flops, bytes-seconds, …).
+/// Stored as f64 bits in an `AtomicU64`, added with a CAS loop.
+#[derive(Debug)]
+pub struct FloatCounter {
+    bits: AtomicU64,
+}
+
+impl Default for FloatCounter {
+    fn default() -> Self {
+        FloatCounter {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl FloatCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins instantaneous value (queue depth, nodes busy, …).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add(&self, dv: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + dv).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Raise the gauge to `v` if it is below (high-water mark).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram.
+///
+/// `bounds` are the inclusive upper edges of the first `bounds.len()`
+/// buckets; a final overflow bucket catches everything above the last
+/// bound (so there are `bounds.len() + 1` buckets). Recording is one
+/// branchless-ish scan plus three atomic ops; bucket placement is a pure
+/// function of the value, so per-bucket counts are deterministic even
+/// under concurrent recording.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: FloatCounter,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Point-in-time copy of a histogram, for export and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing and non-empty.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: FloatCounter::new(),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Geometric bucket edges: `start, start*factor, …` (n edges).
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n >= 1);
+        let mut bounds = Vec::with_capacity(n);
+        let mut edge = start;
+        for _ in 0..n {
+            bounds.push(edge);
+            edge *= factor;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Uniform bucket edges: `start, start+width, …` (n edges).
+    pub fn linear(start: f64, width: f64, n: usize) -> Self {
+        assert!(width > 0.0 && n >= 1);
+        let bounds: Vec<f64> = (0..n).map(|i| start + width * i as f64).collect();
+        Histogram::new(&bounds)
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    fn bucket_index(&self, v: f64) -> usize {
+        // partition_point gives the first edge >= v; NaN lands in overflow.
+        self.bounds.partition_point(|&edge| edge < v)
+    }
+
+    pub fn record(&self, v: f64) {
+        self.buckets[self.bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+        update_extreme(&self.min_bits, v, |cur, v| v < cur);
+        update_extreme(&self.max_bits, v, |cur, v| v > cur);
+    }
+
+    pub fn record_n(&self, v: f64, times: u64) {
+        if times == 0 {
+            return;
+        }
+        self.buckets[self.bucket_index(v)].fetch_add(times, Ordering::Relaxed);
+        self.count.fetch_add(times, Ordering::Relaxed);
+        self.sum.add(v * times as f64);
+        update_extreme(&self.min_bits, v, |cur, v| v < cur);
+        update_extreme(&self.max_bits, v, |cur, v| v > cur);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Merge another histogram's counts into this one. Panics if bucket
+    /// bounds differ — merging histograms of different shape is a bug.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge: mismatched bounds"
+        );
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.add(other.sum());
+        let omin = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        let omax = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+        update_extreme(&self.min_bits, omin, |cur, v| v < cur);
+        update_extreme(&self.max_bits, omax, |cur, v| v > cur);
+    }
+
+    /// Quantile estimate, `q` in [0, 1]: the upper edge of the bucket
+    /// holding the ceil(q·count)-th sample (the true min/max for the
+    /// extreme buckets). Returns NaN on an empty histogram. Because the
+    /// answer is always a bucket edge (or min/max), it is exactly
+    /// monotonic in `q` and stable under merge.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.snapshot_min();
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    // Clip to the observed max so q=1.0 reports a real value.
+                    self.bounds[i].min(self.snapshot_max())
+                } else {
+                    self.snapshot_max()
+                };
+            }
+        }
+        self.snapshot_max()
+    }
+
+    fn snapshot_min(&self) -> f64 {
+        f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+    }
+
+    fn snapshot_max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.snapshot_min(),
+            max: self.snapshot_max(),
+        }
+    }
+}
+
+fn update_extreme(bits: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    if v.is_nan() {
+        return;
+    }
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        if !better(f64::from_bits(cur), v) {
+            return;
+        }
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_float_counter_accumulate() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let f = FloatCounter::new();
+        f.add(1.5);
+        f.add(2.25);
+        assert_eq!(f.get(), 3.75);
+    }
+
+    #[test]
+    fn gauge_tracks_last_value_and_high_water() {
+        let g = Gauge::new();
+        g.set(3.0);
+        g.add(-1.0);
+        assert_eq!(g.get(), 2.0);
+        g.set_max(10.0);
+        g.set_max(5.0);
+        assert_eq!(g.get(), 10.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0, 5000.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Edges are inclusive: 1.0 lands in the first bucket.
+        assert_eq!(s.buckets, vec![2, 1, 1, 2]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 5000.0);
+        assert_eq!(s.sum, 0.5 + 1.0 + 5.0 + 50.0 + 500.0 + 5000.0);
+    }
+
+    #[test]
+    fn quantiles_walk_bucket_edges() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 3.0, 3.5, 7.0, 20.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.5);
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+        assert!(Histogram::new(&[1.0]).quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_extremes() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(9.0);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bounds")]
+    fn merge_rejects_different_shapes() {
+        Histogram::new(&[1.0]).merge(&Histogram::new(&[2.0]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Span timers: RAII guards that measure a region's duration on the
+//! registry's clock and record it into a `<name>.seconds` histogram
+//! (plus a `<name>.calls` counter). With a [`crate::ManualClock`]
+//! installed, spans measure simulated time — under a DES the recorded
+//! durations are exactly the simulated durations.
+
+use crate::registry::Registry;
+
+/// Default duration buckets: 1 µs .. ~68 s, ×4 per bucket.
+pub const DEFAULT_SECONDS_BOUNDS: [f64; 13] = [
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3, 1.6384e-2, 6.5536e-2, 2.62144e-1,
+    1.048576, 4.194304, 16.777216,
+];
+
+pub struct Span {
+    registry: Registry,
+    name: String,
+    start: f64,
+    recorded: bool,
+}
+
+impl Span {
+    /// Start a span on an explicit registry.
+    pub fn start_on(registry: &Registry, name: &str) -> Span {
+        let start = registry.now();
+        Span {
+            registry: registry.clone(),
+            name: name.to_string(),
+            start,
+            recorded: false,
+        }
+    }
+
+    /// Start a span on the ambient registry.
+    pub fn start(name: &str) -> Span {
+        Span::start_on(&Registry::current(), name)
+    }
+
+    /// End the span now and return the elapsed seconds.
+    pub fn end(mut self) -> f64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> f64 {
+        let elapsed = self.registry.now() - self.start;
+        self.registry
+            .histogram(&format!("{}.seconds", self.name), &DEFAULT_SECONDS_BOUNDS)
+            .record(elapsed);
+        self.registry.counter(&format!("{}.calls", self.name)).inc();
+        self.recorded = true;
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn span_measures_on_the_registry_clock() {
+        let r = Registry::new();
+        let clock = ManualClock::new(0.0);
+        r.set_clock(clock.clone());
+        let span = Span::start_on(&r, "solve");
+        clock.advance(2.5);
+        assert_eq!(span.end(), 2.5);
+        assert_eq!(r.counter("solve.calls").get(), 1);
+        let h = r
+            .histogram("solve.seconds", &DEFAULT_SECONDS_BOUNDS)
+            .snapshot();
+        assert_eq!((h.count, h.sum), (1, 2.5));
+    }
+
+    #[test]
+    fn dropping_a_span_records_it_once() {
+        let r = Registry::new();
+        let clock = ManualClock::new(0.0);
+        r.set_clock(clock.clone());
+        {
+            let _span = Span::start_on(&r, "region");
+            clock.advance(1.0);
+        }
+        assert_eq!(r.counter("region.calls").get(), 1);
+        assert_eq!(
+            r.histogram("region.seconds", &DEFAULT_SECONDS_BOUNDS).sum(),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Metric-assertion helpers for tests. The macros take a [`Registry`]
+//! (tests usually create a fresh one and `install_scoped` it around the
+//! code under test), read a named metric, and panic with a diagnostic
+//! that includes the metric name and both values.
+//!
+//! ```
+//! use obs::{assert_counter, assert_event_count, Registry};
+//! let r = Registry::new();
+//! r.counter("solver.cg.solves").inc();
+//! r.event_at(0.0, "converged", vec![]);
+//! assert_counter!(r, "solver.cg.solves", 1);
+//! assert_event_count!(r, "converged", 1);
+//! ```
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+
+/// Assert an integer counter's exact value.
+#[macro_export]
+macro_rules! assert_counter {
+    ($registry:expr, $name:expr, $expected:expr) => {{
+        let actual = $registry.counter($name).get();
+        let expected: u64 = $expected;
+        assert_eq!(
+            actual, expected,
+            "counter `{}`: got {}, expected {}",
+            $name, actual, expected
+        );
+    }};
+}
+
+/// Assert a float counter's value to within an absolute tolerance
+/// (omit the tolerance for exact bit equality — counters that only ever
+/// accumulate the same deterministic sequence are bit-stable).
+#[macro_export]
+macro_rules! assert_float_counter {
+    ($registry:expr, $name:expr, $expected:expr) => {{
+        let actual = $registry.float_counter($name).get();
+        let expected: f64 = $expected;
+        assert!(
+            actual == expected,
+            "float counter `{}`: got {}, expected exactly {}",
+            $name,
+            actual,
+            expected
+        );
+    }};
+    ($registry:expr, $name:expr, $expected:expr, $tol:expr) => {{
+        let actual = $registry.float_counter($name).get();
+        let expected: f64 = $expected;
+        assert!(
+            (actual - expected).abs() <= $tol,
+            "float counter `{}`: got {}, expected {} ± {}",
+            $name,
+            actual,
+            expected,
+            $tol
+        );
+    }};
+}
+
+/// Assert a gauge's value to within an absolute tolerance.
+#[macro_export]
+macro_rules! assert_gauge {
+    ($registry:expr, $name:expr, $expected:expr, $tol:expr) => {{
+        let actual = $registry.gauge($name).get();
+        let expected: f64 = $expected;
+        assert!(
+            (actual - expected).abs() <= $tol,
+            "gauge `{}`: got {}, expected {} ± {}",
+            $name,
+            actual,
+            expected,
+            $tol
+        );
+    }};
+}
+
+/// Assert a histogram quantile lies within a range:
+/// `assert_hist_quantile!(reg, "solve.seconds", 0.5, 0.1..=2.0)`.
+#[macro_export]
+macro_rules! assert_hist_quantile {
+    ($registry:expr, $name:expr, $q:expr, $range:expr) => {{
+        let value = $crate::testing::existing_histogram(&$registry, $name)
+            .unwrap_or_else(|| panic!("histogram `{}` was never recorded", $name))
+            .quantile($q);
+        let range: ::std::ops::RangeInclusive<f64> = $range;
+        assert!(
+            range.contains(&value),
+            "histogram `{}` q{}: got {}, expected in [{}, {}]",
+            $name,
+            $q,
+            value,
+            range.start(),
+            range.end()
+        );
+    }};
+}
+
+/// Assert the number of events of a kind in the registry's event log.
+#[macro_export]
+macro_rules! assert_event_count {
+    ($registry:expr, $name:expr, $expected:expr) => {{
+        let actual = $registry.events().count_kind($name);
+        let expected: u64 = $expected;
+        assert_eq!(
+            actual, expected,
+            "event kind `{}`: got {}, expected {}",
+            $name, actual, expected
+        );
+    }};
+}
+
+/// Fetch a histogram only if it already exists (never creates one) —
+/// used by `assert_hist_quantile!` so asserting on a typo'd name fails
+/// loudly instead of checking a fresh empty histogram.
+pub fn existing_histogram(registry: &Registry, name: &str) -> Option<std::sync::Arc<Histogram>> {
+    registry.try_histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn assertions_pass_on_matching_metrics() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.float_counter("f").add(0.5);
+        r.gauge("g").set(7.0);
+        r.histogram("h", &[1.0, 2.0, 4.0]).record(1.5);
+        r.histogram("h", &[1.0, 2.0, 4.0]).record(3.0);
+        r.event_at(1.0, "boom", vec![]);
+        assert_counter!(r, "c", 3);
+        assert_float_counter!(r, "f", 0.5);
+        assert_float_counter!(r, "f", 0.51, 0.02);
+        assert_gauge!(r, "g", 7.0, 0.0);
+        assert_hist_quantile!(r, "h", 0.5, 1.0..=2.0);
+        assert_event_count!(r, "boom", 1);
+        assert_event_count!(r, "quiet", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter `c`: got 1, expected 2")]
+    fn counter_mismatch_names_the_metric() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        assert_counter!(r, "c", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram `missing` was never recorded")]
+    fn quantile_on_unknown_histogram_panics() {
+        let r = Registry::new();
+        assert_hist_quantile!(r, "missing", 0.5, 0.0..=1.0);
+    }
+}

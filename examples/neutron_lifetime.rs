@@ -32,11 +32,11 @@ fn main() {
     });
 
     println!("FH effective coupling ({} configs):", n_fh);
-    for t in 1..est.len() {
-        let bar = "*".repeat((est[t].error * 400.0).min(60.0) as usize + 1);
+    for (t, e) in est.iter().enumerate().skip(1) {
+        let bar = "*".repeat((e.error * 400.0).min(60.0) as usize + 1);
         println!(
             "  t={t:2}  g_eff = {:.4} ± {:.4}  noise {bar}",
-            est[t].mean, est[t].error
+            e.mean, e.error
         );
     }
 

@@ -23,6 +23,7 @@ pub use lattice_io as io;
 pub use lqcd_analysis as analysis;
 pub use lqcd_core as core;
 pub use mpi_jm as jobmgr;
+pub use obs;
 
 /// The paper's central physics formula: the neutron lifetime implied by the
 /// axial coupling, `τ_n = 5172.0 s / (1 + 3 gA²)` (Czarnecki–Marciano–Sirlin

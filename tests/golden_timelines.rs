@@ -1,0 +1,145 @@
+//! Golden event-timeline regression tests: each scheduler replays a fixed
+//! workload under a deterministic fault schedule (same shape as the
+//! `fault_recovery` property tests) while a fresh registry records its
+//! event stream. The rendered timeline must match the committed golden in
+//! `tests/goldens/` line for line — any change to scheduling order, fault
+//! handling, or event fields shows up as a legible text diff.
+//!
+//! Regenerate after an intentional behaviour change with:
+//! `UPDATE_GOLDENS=1 cargo test --test golden_timelines`
+
+use lqcd::jobmgr::{
+    Cluster, ClusterConfig, FaultConfig, MetaqScheduler, MpiJmConfig, MpiJmScheduler, NaiveBundler,
+    RetryPolicy, SimReport, Workload,
+};
+use lqcd::machine::sierra;
+use obs::Registry;
+use std::path::PathBuf;
+
+/// The fixed scenario every scheduler replays: 24 heterogeneous 2-node
+/// solves on 12 nodes, node crashes at MTBF 12 000 s plus 5% transient
+/// failures, all seeded.
+fn run_scheduler(which: &str) -> (Registry, SimReport) {
+    let workload = Workload::heterogeneous_solves(24, 2, 400.0, 0.3, 1e14, 11);
+    let config = ClusterConfig {
+        nodes: 12,
+        jitter_sigma: 0.05,
+        startup_failure_prob: 0.0,
+        seed: 5,
+    };
+    let faults = FaultConfig {
+        node_mtbf_seconds: 12_000.0,
+        transient_fail_prob: 0.05,
+        seed: 42,
+        ..FaultConfig::default()
+    };
+    let policy = RetryPolicy::default();
+    let reg = Registry::new();
+    let report = {
+        let _guard = reg.install_scoped();
+        match which {
+            "naive" => NaiveBundler::run_with_faults(
+                &mut Cluster::new(sierra(), &config),
+                &workload,
+                &faults,
+                &policy,
+            ),
+            "metaq" => MetaqScheduler::run_with_faults(
+                &mut Cluster::new(sierra(), &config),
+                &workload,
+                &faults,
+                &policy,
+            ),
+            "mpi_jm" => MpiJmScheduler::new(MpiJmConfig {
+                lump_nodes: 16,
+                block_nodes: 4,
+                ..MpiJmConfig::default()
+            })
+            .run_with_faults(
+                &mut Cluster::new(sierra(), &config),
+                &workload,
+                &faults,
+                &policy,
+            ),
+            other => unreachable!("unknown scheduler {other}"),
+        }
+    };
+    (reg, report)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}_timeline.txt"))
+}
+
+fn check_timeline(name: &str) {
+    let (reg, report) = run_scheduler(name);
+    let timeline = reg.events().render_timeline();
+
+    // The event stream must agree with the report's own accounting.
+    assert_eq!(
+        reg.events().count_kind("task_end"),
+        report.completed_tasks as u64,
+        "one task_end per completed task"
+    );
+    assert_eq!(
+        reg.events().count_kind("node_crash"),
+        report.faults.node_crashes as u64,
+        "one node_crash event per crash"
+    );
+    assert_eq!(
+        reg.events().count_kind("task_abandoned"),
+        report.faults.abandoned_tasks as u64
+    );
+    assert!(
+        reg.events().count_kind("task_start") >= report.completed_tasks as u64,
+        "every completion implies at least one start"
+    );
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &timeline).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    if timeline != golden {
+        let first_diff = timeline
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| timeline.lines().count().min(golden.lines().count()));
+        panic!(
+            "{name} timeline diverged from golden at line {} \
+             (got {} lines, golden {}):\n  got:    {:?}\n  golden: {:?}\n\
+             rerun with UPDATE_GOLDENS=1 if the change is intentional",
+            first_diff + 1,
+            timeline.lines().count(),
+            golden.lines().count(),
+            timeline.lines().nth(first_diff).unwrap_or("<eof>"),
+            golden.lines().nth(first_diff).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn naive_timeline_matches_golden() {
+    check_timeline("naive");
+}
+
+#[test]
+fn metaq_timeline_matches_golden() {
+    check_timeline("metaq");
+}
+
+#[test]
+fn mpi_jm_timeline_matches_golden() {
+    check_timeline("mpi_jm");
+}

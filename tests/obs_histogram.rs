@@ -1,0 +1,107 @@
+//! Property tests for the observability histogram: merge associativity,
+//! quantile monotonicity, and lossless concurrent recording — the three
+//! invariants the metric-assertion harness leans on.
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+const BOUNDS: [f64; 6] = [0.1, 1.0, 10.0, 100.0, 1000.0, 10_000.0];
+
+fn filled(samples: &[f64]) -> Histogram {
+    let h = Histogram::new(&BOUNDS);
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c and a ∪ (b ∪ c) agree: bucket counts, totals, and
+    /// extremes exactly; the floating-point sum to rounding.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(-1e5f64..1e5, 0..64),
+        b in proptest::collection::vec(-1e5f64..1e5, 0..64),
+        c in proptest::collection::vec(-1e5f64..1e5, 0..64),
+    ) {
+        let left = filled(&a);
+        left.merge(&filled(&b));
+        left.merge(&filled(&c));
+
+        let bc = filled(&b);
+        bc.merge(&filled(&c));
+        let right = filled(&a);
+        right.merge(&bc);
+
+        let (l, r) = (left.snapshot(), right.snapshot());
+        prop_assert_eq!(&l.buckets, &r.buckets);
+        prop_assert_eq!(l.count, r.count);
+        prop_assert_eq!(l.count as usize, a.len() + b.len() + c.len());
+        if l.count > 0 {
+            prop_assert_eq!(l.min, r.min);
+            prop_assert_eq!(l.max, r.max);
+        }
+        let scale = 1.0f64.max(l.sum.abs());
+        prop_assert!(
+            (l.sum - r.sum).abs() <= 1e-9 * scale,
+            "sums differ beyond rounding: {} vs {}",
+            l.sum,
+            r.sum
+        );
+    }
+
+    /// Quantiles never decrease in q, and are bracketed by min and max.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in proptest::collection::vec(-1e5f64..1e5, 1..128),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..16),
+    ) {
+        let h = filled(&samples);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let values: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(
+                w[0] <= w[1],
+                "quantile not monotone: {} then {} for sorted qs",
+                w[0],
+                w[1]
+            );
+        }
+        let s = h.snapshot();
+        for &v in &values {
+            prop_assert!(s.min <= v && v <= s.max, "quantile {v} outside [{}, {}]", s.min, s.max);
+        }
+    }
+
+    /// Concurrent recorders lose no samples: total count and per-bucket
+    /// counts equal the sequential reference.
+    #[test]
+    fn concurrent_recording_loses_no_samples(
+        samples in proptest::collection::vec(-1e5f64..1e5, 4..256),
+    ) {
+        let shared = Histogram::new(&BOUNDS);
+        let chunk = samples.len().div_ceil(4);
+        rayon::scope(|s| {
+            for part in samples.chunks(chunk) {
+                let h = &shared;
+                s.spawn(move |_| {
+                    for &v in part {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let reference = filled(&samples).snapshot();
+        let got = shared.snapshot();
+        prop_assert_eq!(got.count as usize, samples.len());
+        prop_assert_eq!(&got.buckets, &reference.buckets);
+        prop_assert_eq!(got.min, reference.min);
+        prop_assert_eq!(got.max, reference.max);
+        prop_assert_eq!(
+            got.buckets.iter().sum::<u64>(),
+            got.count,
+            "bucket totals must equal the sample count"
+        );
+    }
+}

@@ -1,0 +1,2 @@
+//! Offline typecheck stub: the workspace declares `bytes` but does not use
+//! its API directly.

@@ -1,0 +1,1 @@
+//! Offline typecheck stub: declared in the workspace, unused in code.

@@ -1,0 +1,94 @@
+//! Offline typecheck stub mirroring the subset of the `rand 0.8` API this
+//! workspace uses. Functional enough to compile against, not statistically
+//! meaningful.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[doc(hidden)]
+pub trait Standardable {
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! standardable_int {
+    ($($t:ty),*) => { $(impl Standardable for $t { fn from_u64(v: u64) -> Self { v as $t } })* };
+}
+standardable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standardable for f64 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standardable for f32 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Standardable for bool {
+    fn from_u64(v: u64) -> Self {
+        v & 1 == 1
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Standardable>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+    fn gen_range<T>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        T: Copy + RangeSample,
+    {
+        T::pick(self.next_u64(), range)
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[doc(hidden)]
+pub trait RangeSample: Sized {
+    fn pick(v: u64, range: std::ops::Range<Self>) -> Self;
+}
+macro_rules! range_sample_int {
+    ($($t:ty),*) => { $(impl RangeSample for $t {
+        fn pick(v: u64, range: std::ops::Range<Self>) -> Self {
+            let span = range.end.wrapping_sub(range.start);
+            if span == 0 { range.start } else { range.start + (v % span as u64) as $t }
+        }
+    })* };
+}
+range_sample_int!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    /// Splitmix64-backed stand-in for rand's `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(u64);
+
+    impl crate::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(seed)
+        }
+    }
+}
+
+pub mod distributions {
+    pub trait Distribution<T> {
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    pub struct Standard;
+}

@@ -1,0 +1,255 @@
+//! Offline typecheck stub mirroring the subset of the `rayon 1.x` API this
+//! workspace uses. Everything runs sequentially; the point is that the
+//! *types* line up with rayon's (identity-closure `fold`/`reduce`,
+//! `flat_map_iter`, `find_map_first`, ...), so `cargo check` against this
+//! stub validates the same source that compiles against real rayon.
+
+pub mod iter {
+    /// Sequential stand-in for rayon's parallel iterator. A wrapper type
+    /// (rather than a re-used `std` iterator) so that rayon-signature
+    /// inherent methods like `fold(|| init, f)` win method resolution.
+    pub struct ParIter<I>(pub(crate) I);
+
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        type Item = T::Item;
+        fn into_par_iter(self) -> ParIter<T::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+        pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter(self.0.filter_map(f))
+        }
+        pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter(self.0.enumerate())
+        }
+        pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+            ParIter(self.0.zip(other.0))
+        }
+        pub fn chain<J: Iterator<Item = I::Item>>(
+            self,
+            other: ParIter<J>,
+        ) -> ParIter<std::iter::Chain<I, J>> {
+            ParIter(self.0.chain(other.0))
+        }
+        pub fn cloned<'a, T: 'a + Clone>(self) -> ParIter<std::iter::Cloned<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            ParIter(self.0.cloned())
+        }
+        pub fn copied<'a, T: 'a + Copy>(self) -> ParIter<std::iter::Copied<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            ParIter(self.0.copied())
+        }
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut it = self.0;
+            it.any(f)
+        }
+        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut it = self.0;
+            it.all(f)
+        }
+        /// rayon-signature `reduce`: identity closure + associative op.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+        /// rayon-signature `fold`: produces a (single-element) iterator of
+        /// partial accumulators, to be combined with `reduce`.
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+        where
+            ID: Fn() -> T,
+            F: FnMut(T, I::Item) -> T,
+        {
+            ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+        }
+        pub fn find_map_first<U, F: FnMut(I::Item) -> Option<U>>(self, f: F) -> Option<U> {
+            let mut it = self.0;
+            it.find_map(f)
+        }
+        pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+            let mut it = self.0;
+            it.find(f)
+        }
+        pub fn position_first<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
+            let mut it = self.0;
+            it.position(f)
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+        fn par_chunks_exact(&self, size: usize) -> ParIter<std::slice::ChunksExact<'_, T>>;
+        fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter(self.chunks(size))
+        }
+        fn par_chunks_exact(&self, size: usize) -> ParIter<std::slice::ChunksExact<'_, T>> {
+            ParIter(self.chunks_exact(size))
+        }
+        fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+            ParIter(self.windows(size))
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+        fn par_chunks_exact_mut(
+            &mut self,
+            size: usize,
+        ) -> ParIter<std::slice::ChunksExactMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter(self.chunks_mut(size))
+        }
+        fn par_chunks_exact_mut(
+            &mut self,
+            size: usize,
+        ) -> ParIter<std::slice::ChunksExactMut<'_, T>> {
+            ParIter(self.chunks_exact_mut(size))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Iterator adapters above run on the calling thread, so this is 1. The
+/// bit-stable numeric results that implies are relied on by the
+/// observability goldens (see vendor/README.md).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Structured task scope backed by real OS threads (`std::thread::scope`),
+/// so tests exercising concurrent data structures get genuine parallelism
+/// even though the iterator adapters are sequential.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Run both closures and return both results; `b` runs on its own thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join: task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_spawns_really_run() {
+        let n = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline typecheck stub: marker traits satisfied by every type, plus the
+//! (no-op) derive macros re-exported under the usual names.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

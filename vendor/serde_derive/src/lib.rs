@@ -1,0 +1,16 @@
+//! Offline typecheck stub: derive macros that accept (and discard) the
+//! `#[serde(...)]` helper attributes and emit nothing. Combined with the
+//! stub `serde` crate's blanket trait impls, `#[derive(Serialize)]` on any
+//! type still typechecks.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
