@@ -21,16 +21,23 @@
 //!   ablation  design-choice ablations (policy tuning, delta, precision, placement)
 //!   pipeline  real end-to-end physics run on a small lattice
 //!   metrics   deterministic observability snapshot (results/metrics.json golden)
-//!   all       everything above
+//!   bench     threaded kernel benchmarks at 1 and N pool threads
+//!             (--quick for CI smoke, --check-schema FILE to diff a
+//!             committed BENCH_kernels.json against this build's schema)
+//!   all       everything above except bench (timings are machine-specific)
 //! ```
 
-use bench::experiments::{ablation, faults, fig1, fig3, fig5, jobs, metrics, pipeline, tables};
+use bench::experiments::{
+    ablation, faults, fig1, fig3, fig5, jobs, kernels, metrics, pipeline, tables,
+};
 use bench::output::ExperimentOutput;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = None;
     let mut results_dir = "results".to_string();
+    let mut quick = false;
+    let mut check_schema: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -40,6 +47,14 @@ fn main() {
                     eprintln!("--results needs a directory");
                     std::process::exit(2);
                 });
+            }
+            "--quick" => quick = true,
+            "--check-schema" => {
+                i += 1;
+                check_schema = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--check-schema needs a file");
+                    std::process::exit(2);
+                }));
             }
             name if experiment.is_none() => experiment = Some(name.to_string()),
             other => {
@@ -51,7 +66,7 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|all> [--results DIR]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|all> [--results DIR] [--quick] [--check-schema FILE]"
         );
         std::process::exit(2);
     };
@@ -101,6 +116,12 @@ fn main() {
         }
         "metrics" => {
             metrics::run_metrics(out);
+        }
+        "bench" => {
+            kernels::run_bench(out, &kernels::BenchOpts { quick });
+            if let Some(file) = &check_schema {
+                kernels::check_schema(out, file);
+            }
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -6,6 +6,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig5;
 pub mod jobs;
+pub mod kernels;
 pub mod metrics;
 pub mod pipeline;
 pub mod tables;

@@ -1,0 +1,41 @@
+//! The committed `results/metrics.json` golden must be byte-identical at
+//! any pool width: the metrics experiment runs real solves and
+//! contractions through the threaded kernels, so this test is the
+//! end-to-end check that chunked reductions keep every exported number
+//! bit-stable when the pool is 1 wide vs 8 wide.
+
+use bench::experiments::metrics;
+use bench::output::ExperimentOutput;
+
+fn run_at_width(width: usize, dir: &std::path::Path) -> (String, String) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("width handle")
+        .install(|| {
+            let out = ExperimentOutput::new(dir).expect("results dir");
+            metrics::run_metrics(&out);
+            (
+                std::fs::read_to_string(dir.join("metrics.json")).expect("metrics.json"),
+                std::fs::read_to_string(dir.join("metrics.csv")).expect("metrics.csv"),
+            )
+        })
+}
+
+#[test]
+fn metrics_golden_is_byte_identical_across_pool_widths() {
+    let base = std::env::temp_dir().join(format!("thread_det_{}", std::process::id()));
+    let d1 = base.join("w1");
+    let d8 = base.join("w8");
+    let (json1, csv1) = run_at_width(1, &d1);
+    let (json8, csv8) = run_at_width(8, &d8);
+    assert_eq!(
+        json1, json8,
+        "metrics.json differs between pool widths 1 and 8"
+    );
+    assert_eq!(
+        csv1, csv8,
+        "metrics.csv differs between pool widths 1 and 8"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

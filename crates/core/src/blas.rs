@@ -11,53 +11,65 @@ use crate::real::Real;
 use crate::spinor::Spinor;
 use rayon::prelude::*;
 
-/// Minimum chunk length before a BLAS-1 loop is split across threads; tiny
-/// vectors stay sequential to avoid fork-join overhead.
+/// Minimum vector length before a BLAS-1 loop is split across threads; tiny
+/// vectors stay a single sequential chunk to avoid fork-join overhead.
 const PAR_THRESHOLD: usize = 1 << 12;
+
+/// Chunk length for a loop over `len` spinors. Below `PAR_THRESHOLD` the
+/// whole vector is one chunk (sequential, and bit-identical to a plain
+/// loop); above it, fixed chunks split the work across the pool. Derived
+/// from `len` only, so the chunk shape — and therefore every reduction's
+/// bits — is independent of the pool width.
+fn grain_for(len: usize) -> usize {
+    if len < PAR_THRESHOLD {
+        len.max(1)
+    } else {
+        PAR_THRESHOLD / 4
+    }
+}
+
+/// Chunked elementwise update `y[i] = f(y[i], x[i])`: the one code path
+/// behind the axpy family, sequential or parallel by `grain_for`.
+fn update2<R: Real, F>(x: &[Spinor<R>], y: &mut [Spinor<R>], f: F)
+where
+    F: Fn(&mut Spinor<R>, &Spinor<R>) + Sync + Send,
+{
+    assert_eq!(x.len(), y.len());
+    rayon::for_each_chunk_mut(y, grain_for(x.len()), |base, chunk| {
+        for (k, yi) in chunk.iter_mut().enumerate() {
+            f(yi, &x[base + k]);
+        }
+    });
+}
+
+/// Chunked `f64` reduction over `0..len` with per-chunk sequential folds
+/// combined in index order: the one code path behind `dot`/`norm_sqr`.
+fn reduce2<T, ID, F, OP>(len: usize, identity: ID, fold_chunk: F, combine: OP) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync + Send,
+    F: Fn(T, std::ops::Range<usize>) -> T + Sync + Send,
+    OP: Fn(T, T) -> T + Sync + Send,
+{
+    rayon::reduce_chunks(len, grain_for(len), identity, fold_chunk, combine)
+}
 
 /// `y += a * x` with real `a`.
 pub fn axpy<R: Real>(a: f64, x: &[Spinor<R>], y: &mut [Spinor<R>]) {
-    assert_eq!(x.len(), y.len());
     let a = R::from_f64(a);
-    if x.len() < PAR_THRESHOLD {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi += xi.scale(a);
-        }
-    } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
-            *yi += xi.scale(a);
-        });
-    }
+    update2(x, y, |yi, xi| *yi += xi.scale(a));
 }
 
 /// `y += a * x` with complex `a`.
 pub fn caxpy<R: Real>(a: C64, x: &[Spinor<R>], y: &mut [Spinor<R>]) {
-    assert_eq!(x.len(), y.len());
     let a: Complex<R> = a.cast();
-    if x.len() < PAR_THRESHOLD {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi += xi.scale_c(a);
-        }
-    } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
-            *yi += xi.scale_c(a);
-        });
-    }
+    update2(x, y, |yi, xi| *yi += xi.scale_c(a));
 }
 
 /// `y = x + b * y` (the CG search-direction update).
 pub fn xpby<R: Real>(x: &[Spinor<R>], b: f64, y: &mut [Spinor<R>]) {
-    assert_eq!(x.len(), y.len());
     let b = R::from_f64(b);
-    if x.len() < PAR_THRESHOLD {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi = *xi + yi.scale(b);
-        }
-    } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
-            *yi = *xi + yi.scale(b);
-        });
-    }
+    update2(x, y, |yi, xi| *yi = *xi + yi.scale(b));
 }
 
 /// `y = x` (copy).
@@ -69,13 +81,12 @@ pub fn copy<R: Real>(x: &[Spinor<R>], y: &mut [Spinor<R>]) {
 /// `y *= a`.
 pub fn scal<R: Real>(a: f64, y: &mut [Spinor<R>]) {
     let a = R::from_f64(a);
-    if y.len() < PAR_THRESHOLD {
-        for yi in y.iter_mut() {
+    let grain = grain_for(y.len());
+    rayon::for_each_chunk_mut(y, grain, |_, chunk| {
+        for yi in chunk.iter_mut() {
             *yi = yi.scale(a);
         }
-    } else {
-        y.par_iter_mut().for_each(|yi| *yi = yi.scale(a));
-    }
+    });
 }
 
 /// Set every component to zero.
@@ -85,28 +96,28 @@ pub fn zero<R: Real>(y: &mut [Spinor<R>]) {
 
 /// `‖x‖²` accumulated in `f64`.
 pub fn norm_sqr<R: Real>(x: &[Spinor<R>]) -> f64 {
-    if x.len() < PAR_THRESHOLD {
-        x.iter().map(|s| s.norm_sqr().to_f64()).sum()
-    } else {
-        x.par_iter().map(|s| s.norm_sqr().to_f64()).sum()
-    }
+    reduce2(
+        x.len(),
+        || 0.0f64,
+        |acc, r| r.fold(acc, |a, i| a + x[i].norm_sqr().to_f64()),
+        |a, b| a + b,
+    )
 }
 
 /// `⟨x, y⟩` accumulated in `f64`.
 pub fn dot<R: Real>(x: &[Spinor<R>], y: &[Spinor<R>]) -> C64 {
     assert_eq!(x.len(), y.len());
-    let fold = |(re, im): (f64, f64), (xi, yi): (&Spinor<R>, &Spinor<R>)| {
-        let d = xi.dot(yi).to_c64();
-        (re + d.re, im + d.im)
-    };
-    let (re, im) = if x.len() < PAR_THRESHOLD {
-        x.iter().zip(y.iter()).fold((0.0, 0.0), fold)
-    } else {
-        x.par_iter()
-            .zip(y.par_iter())
-            .fold(|| (0.0, 0.0), fold)
-            .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1))
-    };
+    let (re, im) = reduce2(
+        x.len(),
+        || (0.0f64, 0.0f64),
+        |acc, r| {
+            r.fold(acc, |(re, im), i| {
+                let d = x[i].dot(&y[i]).to_c64();
+                (re + d.re, im + d.im)
+            })
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1),
+    );
     C64::new(re, im)
 }
 

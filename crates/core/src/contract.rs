@@ -13,7 +13,40 @@ use crate::complex::C64;
 use crate::gamma::{c_gamma5, gamma5_dense, SpinMatrix, NS};
 use crate::lattice::Lattice;
 use crate::prop::Propagator;
-use rayon::prelude::*;
+
+/// Sites per parallel chunk of a contraction volume sum. Constant (never
+/// width-derived) so the reduction shape — and the correlator's bits — are
+/// identical at any thread count.
+const SITE_GRAIN: usize = 1024;
+
+/// Timeslice-binned volume sum `corr[(t(x) + nt - t0) % nt] += site(x)`:
+/// each fixed chunk of sites folds into its own `nt`-length partial
+/// correlator, and partials are added slice-wise in chunk-index order.
+fn timeslice_sum<T, F>(lattice: &Lattice, t0: usize, zero: T, site: F) -> Vec<T>
+where
+    T: Copy + std::ops::AddAssign + Send + Sync,
+    F: Fn(usize) -> (usize, T) + Sync + Send,
+{
+    let nt = lattice.nt();
+    rayon::reduce_chunks(
+        lattice.volume(),
+        SITE_GRAIN,
+        || vec![zero; nt],
+        |mut corr, sites| {
+            for x in sites {
+                let (t, v) = site(x);
+                corr[(t + nt - t0) % nt] += v;
+            }
+            corr
+        },
+        |mut a, b| {
+            for (ai, bi) in a.iter_mut().zip(b) {
+                *ai += bi;
+            }
+            a
+        },
+    )
+}
 
 /// The 6 non-zero entries of the ε tensor as (a, b, c, sign).
 const EPSILON: [(usize, usize, usize, f64); 6] = [
@@ -37,77 +70,57 @@ pub fn meson_correlator(
     gamma_src: &SpinMatrix<f64>,
 ) -> Vec<C64> {
     assert_eq!(prop_a.source_site, prop_b.source_site, "same source needed");
-    let nt = lattice.nt();
     let t0 = prop_a.source_time;
     let g5 = gamma5_dense();
     // Γ̃_src = γ5 Γ_src γ5 is applied to the conjugated propagator:
     // Tr[Γ_snk S_a Γ_src γ5 S_b† γ5] = Σ (Γ_snk S_a)_{..} (γ5 Γ_src† γ5 ...).
-    let per_site: Vec<(usize, C64)> = (0..lattice.volume())
-        .into_par_iter()
-        .map(|x| {
-            let ma = prop_a.site_matrix(x);
-            let mb = prop_b.site_matrix(x);
-            let mut acc = C64::zero();
-            // Tr over spin-color: Γ_snk(s1,s2) S_a[(s2,c1),(s3,c2)]
-            // Γ_src(s3,s4) [γ5 S_b† γ5][(s4,c2),(s1,c1)]
-            // with [γ5 S_b† γ5][(s4,c2),(s1,c1)]
-            //    = γ5(s4) γ5(s1) conj(S_b[(s1,c1),(s4,c2)]).
-            for s1 in 0..NS {
-                for s2 in 0..NS {
-                    let gk = gamma_snk.m[s1][s2];
-                    if gk.norm_sqr() == 0.0 {
-                        continue;
-                    }
-                    for s3 in 0..NS {
-                        for s4 in 0..NS {
-                            let gs = gamma_src.m[s3][s4];
-                            if gs.norm_sqr() == 0.0 {
-                                continue;
-                            }
-                            let phase = g5.m[s4][s4] * g5.m[s1][s1];
-                            for c1 in 0..3 {
-                                for c2 in 0..3 {
-                                    let a = ma[s2 * 3 + c1][s3 * 3 + c2];
-                                    let b = mb[s1 * 3 + c1][s4 * 3 + c2].conj();
-                                    acc += gk * gs * phase * a * b;
-                                }
+    timeslice_sum(lattice, t0, C64::zero(), |x| {
+        let ma = prop_a.site_matrix(x);
+        let mb = prop_b.site_matrix(x);
+        let mut acc = C64::zero();
+        // Tr over spin-color: Γ_snk(s1,s2) S_a[(s2,c1),(s3,c2)]
+        // Γ_src(s3,s4) [γ5 S_b† γ5][(s4,c2),(s1,c1)]
+        // with [γ5 S_b† γ5][(s4,c2),(s1,c1)]
+        //    = γ5(s4) γ5(s1) conj(S_b[(s1,c1),(s4,c2)]).
+        for s1 in 0..NS {
+            for s2 in 0..NS {
+                let gk = gamma_snk.m[s1][s2];
+                if gk.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for s3 in 0..NS {
+                    for s4 in 0..NS {
+                        let gs = gamma_src.m[s3][s4];
+                        if gs.norm_sqr() == 0.0 {
+                            continue;
+                        }
+                        let phase = g5.m[s4][s4] * g5.m[s1][s1];
+                        for c1 in 0..3 {
+                            for c2 in 0..3 {
+                                let a = ma[s2 * 3 + c1][s3 * 3 + c2];
+                                let b = mb[s1 * 3 + c1][s4 * 3 + c2].conj();
+                                acc += gk * gs * phase * a * b;
                             }
                         }
                     }
                 }
             }
-            (lattice.time_of(x), acc)
-        })
-        .collect();
-
-    let mut corr = vec![C64::zero(); nt];
-    for (t, v) in per_site {
-        corr[(t + nt - t0) % nt] += v;
-    }
-    corr
+        }
+        (lattice.time_of(x), acc)
+    })
 }
 
 /// Pion correlator via the γ5-hermiticity shortcut: `C(t) = Σ_x Σ |S(x)|²`.
 /// Used both as the physical pseudoscalar channel and as a cross-check of
 /// [`meson_correlator`].
 pub fn pion_correlator(lattice: &Lattice, prop: &Propagator) -> Vec<f64> {
-    let nt = lattice.nt();
-    let t0 = prop.source_time;
-    let per_site: Vec<(usize, f64)> = (0..lattice.volume())
-        .into_par_iter()
-        .map(|x| {
-            let mut acc = 0.0;
-            for col in &prop.columns {
-                acc += col.data[x].norm_sqr();
-            }
-            (lattice.time_of(x), acc)
-        })
-        .collect();
-    let mut corr = vec![0.0; nt];
-    for (t, v) in per_site {
-        corr[(t + nt - t0) % nt] += v;
-    }
-    corr
+    timeslice_sum(lattice, prop.source_time, 0.0f64, |x| {
+        let mut acc = 0.0;
+        for col in &prop.columns {
+            acc += col.data[x].norm_sqr();
+        }
+        (lattice.time_of(x), acc)
+    })
 }
 
 /// Proton two-point function with an arbitrary sink spin projector:
@@ -137,7 +150,6 @@ pub fn proton_correlator_general(
     d: &Propagator,
     projector: &SpinMatrix<f64>,
 ) -> Vec<C64> {
-    let nt = lattice.nt();
     let t0 = d.source_time;
     let cg5 = c_gamma5();
 
@@ -151,78 +163,59 @@ pub fn proton_correlator_general(
         }
     }
 
-    let per_site: Vec<(usize, C64)> = (0..lattice.volume())
-        .into_par_iter()
-        .map(|x| {
-            let mu1 = u1.site_matrix(x);
-            let mu2 = u2.site_matrix(x);
-            let md = d.site_matrix(x);
-            let mut acc = C64::zero();
-            for &(a, b, c, sgn) in &EPSILON {
-                for &(ap, bp, cp, sgnp) in &EPSILON {
-                    let color_sign = sgn * sgnp;
-                    for &(al, be, w1) in &cg5_entries {
-                        for &(alp, bep, w2) in &cg5_entries {
-                            let sd = md[be * 3 + b][bep * 3 + bp];
-                            let w = color_sign * w1 * w2;
-                            for ga in 0..NS {
-                                for gap in 0..NS {
-                                    let p = projector.m[gap][ga];
-                                    if p.norm_sqr() == 0.0 {
-                                        continue;
-                                    }
-                                    // Direct pairing.
-                                    let direct = mu1[al * 3 + a][alp * 3 + ap]
-                                        * mu2[ga * 3 + c][gap * 3 + cp];
-                                    // Exchange pairing.
-                                    let exchange = mu1[al * 3 + a][gap * 3 + cp]
-                                        * mu2[ga * 3 + c][alp * 3 + ap];
-                                    acc += p * sd * (direct - exchange) * C64::new(w, 0.0);
+    timeslice_sum(lattice, t0, C64::zero(), |x| {
+        let mu1 = u1.site_matrix(x);
+        let mu2 = u2.site_matrix(x);
+        let md = d.site_matrix(x);
+        let mut acc = C64::zero();
+        for &(a, b, c, sgn) in &EPSILON {
+            for &(ap, bp, cp, sgnp) in &EPSILON {
+                let color_sign = sgn * sgnp;
+                for &(al, be, w1) in &cg5_entries {
+                    for &(alp, bep, w2) in &cg5_entries {
+                        let sd = md[be * 3 + b][bep * 3 + bp];
+                        let w = color_sign * w1 * w2;
+                        for ga in 0..NS {
+                            for gap in 0..NS {
+                                let p = projector.m[gap][ga];
+                                if p.norm_sqr() == 0.0 {
+                                    continue;
                                 }
+                                // Direct pairing.
+                                let direct =
+                                    mu1[al * 3 + a][alp * 3 + ap] * mu2[ga * 3 + c][gap * 3 + cp];
+                                // Exchange pairing.
+                                let exchange =
+                                    mu1[al * 3 + a][gap * 3 + cp] * mu2[ga * 3 + c][alp * 3 + ap];
+                                acc += p * sd * (direct - exchange) * C64::new(w, 0.0);
                             }
                         }
                     }
                 }
             }
-            (lattice.time_of(x), acc)
-        })
-        .collect();
-
-    let mut corr = vec![C64::zero(); nt];
-    for (t, v) in per_site {
-        corr[(t + nt - t0) % nt] += v;
-    }
-    corr
+        }
+        (lattice.time_of(x), acc)
+    })
 }
 
 /// Momentum-projected pion correlator:
 /// `C(p, t) = Σ_x e^{−i p·x} Σ |S(x)|²`-style with the phase on the sink,
 /// for integer momentum `n = (nx, ny, nz)` in units of `2π/L`.
 pub fn pion_correlator_momentum(lattice: &Lattice, prop: &Propagator, n_mom: [i32; 3]) -> Vec<C64> {
-    let nt = lattice.nt();
-    let t0 = prop.source_time;
     let dims = lattice.dims();
-    let per_site: Vec<(usize, C64)> = (0..lattice.volume())
-        .into_par_iter()
-        .map(|x| {
-            let c = lattice.coords(x);
-            let mut phase = 0.0f64;
-            for (k, &n) in n_mom.iter().enumerate() {
-                phase += 2.0 * std::f64::consts::PI * n as f64 * c[k] as f64 / dims[k] as f64;
-            }
-            let w = C64::new(phase.cos(), -phase.sin());
-            let mut acc = 0.0;
-            for col in &prop.columns {
-                acc += col.data[x].norm_sqr();
-            }
-            (lattice.time_of(x), w * C64::new(acc, 0.0))
-        })
-        .collect();
-    let mut corr = vec![C64::zero(); nt];
-    for (t, v) in per_site {
-        corr[(t + nt - t0) % nt] += v;
-    }
-    corr
+    timeslice_sum(lattice, prop.source_time, C64::zero(), |x| {
+        let c = lattice.coords(x);
+        let mut phase = 0.0f64;
+        for (k, &n) in n_mom.iter().enumerate() {
+            phase += 2.0 * std::f64::consts::PI * n as f64 * c[k] as f64 / dims[k] as f64;
+        }
+        let w = C64::new(phase.cos(), -phase.sin());
+        let mut acc = 0.0;
+        for col in &prop.columns {
+            acc += col.data[x].norm_sqr();
+        }
+        (lattice.time_of(x), w * C64::new(acc, 0.0))
+    })
 }
 
 /// Effective mass `m_eff(t) = ln[C(t) / C(t+1)]` of a decaying correlator.

@@ -17,7 +17,6 @@ use crate::gamma::GAMMAS;
 use crate::lattice::{Lattice, Parity, ND};
 use crate::real::Real;
 use crate::spinor::Spinor;
-use rayon::prelude::*;
 
 /// Flops per site of one full hopping application (8 directions, half-spinor
 /// form): the standard Wilson-dslash figure.
@@ -116,14 +115,11 @@ impl<'a, R: Real, G: GaugeLinks<R>> HoppingKernel<'a, R, G> {
         assert_eq!(out.len(), v);
         assert_eq!(inp.len(), v);
         let fetch = |i: usize| inp[i];
-        out.par_chunks_mut(grain.max(1))
-            .enumerate()
-            .for_each(|(chunk_idx, chunk)| {
-                let base = chunk_idx * grain.max(1);
-                for (k, o) in chunk.iter_mut().enumerate() {
-                    *o = self.site_hop(base + k, &fetch);
-                }
-            });
+        rayon::for_each_chunk_mut(out, grain, |base, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = self.site_hop(base + k, &fetch);
+            }
+        });
     }
 
     /// `out = H_{po,pi} inp`: checkerboarded hop from parity `pi = !po` onto
@@ -140,15 +136,12 @@ impl<'a, R: Real, G: GaugeLinks<R>> HoppingKernel<'a, R, G> {
         assert_eq!(inp.len(), hv);
         let sites = self.lattice.sites_with_parity(out_parity);
         let fetch = |lex: usize| inp[self.lattice.cb_index(lex)];
-        out.par_chunks_mut(grain.max(1))
-            .enumerate()
-            .for_each(|(chunk_idx, chunk)| {
-                let base = chunk_idx * grain.max(1);
-                for (k, o) in chunk.iter_mut().enumerate() {
-                    let lex = sites[base + k] as usize;
-                    *o = self.site_hop(lex, &fetch);
-                }
-            });
+        rayon::for_each_chunk_mut(out, grain, |base, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                let lex = sites[base + k] as usize;
+                *o = self.site_hop(lex, &fetch);
+            }
+        });
     }
 
     /// Reference implementation using dense γ-matrices and full 4-spin link

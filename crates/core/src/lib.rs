@@ -51,6 +51,7 @@ pub mod solver;
 pub mod spinor;
 pub mod su3;
 pub mod su3exp;
+pub mod threads;
 pub mod topology;
 pub mod tune;
 

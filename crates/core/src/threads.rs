@@ -1,0 +1,89 @@
+//! Thread-pool ↔ observability glue.
+//!
+//! `vendor/rayon` cannot depend on `obs` (the vendor layer sits below it),
+//! so the pool exports raw counters via [`rayon::pool_stats`] and this
+//! module publishes them into the current [`obs::Registry`]. Publishing is
+//! explicit — never triggered from inside a kernel — because the pool
+//! numbers (width, busy time, steal counts) legitimately vary with
+//! `RAYON_NUM_THREADS`, while the registries captured by the committed
+//! goldens must stay bit-identical at any width.
+
+use obs::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Record the pool width in the current registry (`pool.threads`), as seen
+/// at init time. Call once after the pool is configured.
+pub fn init_pool_metrics() {
+    Registry::current()
+        .gauge("pool.threads")
+        .set(rayon::current_num_threads() as f64);
+}
+
+// Counter snapshots already published, so repeated `publish_pool_stats`
+// calls add only the delta (obs counters are monotonic).
+static PUBLISHED_JOBS: AtomicU64 = AtomicU64::new(0);
+static PUBLISHED_SEQ_JOBS: AtomicU64 = AtomicU64::new(0);
+static PUBLISHED_CHUNKS: AtomicU64 = AtomicU64::new(0);
+static PUBLISHED_STOLEN: AtomicU64 = AtomicU64::new(0);
+
+fn add_delta(reg: &Registry, name: &str, total: u64, published: &AtomicU64) {
+    let prev = published.swap(total, Ordering::Relaxed);
+    reg.counter(name).add(total.saturating_sub(prev));
+}
+
+/// Publish a cumulative snapshot of pool activity into the current
+/// registry: `pool.threads` / `pool.workers_spawned` gauges, `pool.jobs` /
+/// `pool.jobs_sequential` / `pool.chunks` / `pool.chunks_stolen` counters,
+/// and a `pool.worker_busy_seconds` histogram with one sample per worker
+/// (plus the submitting threads' total as `pool.caller_busy_seconds`).
+pub fn publish_pool_stats() {
+    let s = rayon::pool_stats();
+    let reg = Registry::current();
+    reg.gauge("pool.threads").set(s.threads as f64);
+    reg.gauge("pool.workers_spawned")
+        .set(s.workers_spawned as f64);
+    add_delta(&reg, "pool.jobs", s.jobs, &PUBLISHED_JOBS);
+    add_delta(
+        &reg,
+        "pool.jobs_sequential",
+        s.sequential_jobs,
+        &PUBLISHED_SEQ_JOBS,
+    );
+    add_delta(&reg, "pool.chunks", s.chunks, &PUBLISHED_CHUNKS);
+    add_delta(
+        &reg,
+        "pool.chunks_stolen",
+        s.stolen_chunks,
+        &PUBLISHED_STOLEN,
+    );
+    reg.gauge("pool.caller_busy_seconds")
+        .set(s.caller_busy_ns as f64 * 1e-9);
+    // Decade buckets from 1 µs to 10 s of cumulative busy time.
+    const BUSY_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+    let hist = reg.histogram("pool.worker_busy_seconds", &BUSY_BOUNDS);
+    for ns in &s.worker_busy_ns {
+        hist.record(*ns as f64 * 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_metrics_publish_into_scoped_registry() {
+        let reg = Registry::new();
+        let _scope = reg.install_scoped();
+        init_pool_metrics();
+        assert!(reg.gauge("pool.threads").get() >= 1.0);
+
+        // Drive some parallel work, then publish and check the counters
+        // moved (every kernel call lands in either jobs or sequential_jobs).
+        let x = crate::field::FermionField::<f64>::gaussian(8192, 1).data;
+        let _ = crate::blas::norm_sqr(&x);
+        publish_pool_stats();
+        let activity = reg.counter("pool.jobs").get() + reg.counter("pool.jobs_sequential").get();
+        assert!(activity > 0, "pool activity must be visible");
+        assert!(reg.counter("pool.chunks").get() > 0);
+    }
+}

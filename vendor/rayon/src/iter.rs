@@ -1,0 +1,906 @@
+//! Rayon-shaped parallel iterators over index-splittable producers.
+//!
+//! The drivable sources (slices, mutable slices, chunk views, ranges,
+//! vectors) implement [`Producer`]: an exact-length sequence that can be
+//! split at an index. Shape-preserving adapters (`map`, `zip`, `enumerate`,
+//! `cloned`/`copied`) compose producers; terminal operations split the
+//! composed producer into **fixed-shape chunks derived from the input
+//! length only** (never from thread count or timing) and hand the chunk
+//! list to the pool. Reductions (`sum`, `fold`/`reduce`) compute one
+//! partial per chunk — each chunk folded sequentially in index order — and
+//! combine the partials in index order on the calling thread, which makes
+//! every numeric result bit-identical at 1, 2, or N threads.
+//!
+//! Adapters that destroy indexability (`filter`, `filter_map`,
+//! `flat_map_iter`) degrade to [`SeqIter`], a sequential iterator wrapper
+//! with the same method surface — correct, just not parallel. Order-
+//! sensitive searches (`find_map_first`, ...) are sequential for the same
+//! reason.
+
+use crate::pool;
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// Fixed target chunk count for a driven parallel operation. Chosen so a
+/// pool of any realistic width has slack for load balancing; MUST NOT be
+/// derived from the pool width, or results would depend on it.
+const TARGET_CHUNKS: usize = 64;
+
+/// Chunk length for an input of `len` items: `len`-derived only.
+fn fixed_grain(len: usize, min_len: usize) -> usize {
+    len.div_ceil(TARGET_CHUNKS).max(min_len).max(1)
+}
+
+/// An exact-length, index-splittable source of items.
+pub trait Producer: Sized + Send {
+    type Item: Send;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn length(&self) -> usize;
+    /// Split into `[0, mid)` and `[mid, len)`. `mid <= length()`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+/// Split a producer into consecutive chunks of at most `grain` items.
+fn split_chunks<P: Producer>(mut p: P, grain: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(p.length().div_ceil(grain.max(1)).max(1));
+    while p.length() > grain {
+        let (head, rest) = p.split_at(grain);
+        out.push(head);
+        p = rest;
+    }
+    out.push(p);
+    out
+}
+
+/// One-shot per-chunk ownership slots, claimed by chunk index. Sound
+/// because the pool hands out each chunk index exactly once.
+struct Slots<P>(Vec<std::cell::UnsafeCell<Option<P>>>);
+unsafe impl<P: Send> Sync for Slots<P> {}
+
+impl<P> Slots<P> {
+    fn new(chunks: Vec<P>) -> Self {
+        Slots(
+            chunks
+                .into_iter()
+                .map(|c| std::cell::UnsafeCell::new(Some(c)))
+                .collect(),
+        )
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    /// Take chunk `i`. Must be called at most once per index.
+    fn take(&self, i: usize) -> P {
+        unsafe { (*self.0[i].get()).take().expect("chunk executed twice") }
+    }
+}
+
+/// Raw pointer that may cross threads; targets are disjoint per chunk.
+/// Accessed via `get()` so closures capture `&SendPtr` (which is `Sync`)
+/// rather than the raw-pointer field itself.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Run `f` over every item, chunked across the pool.
+fn drive_each<P, F>(p: P, min_len: usize, f: &F)
+where
+    P: Producer,
+    F: Fn(P::Item) + Sync,
+{
+    let grain = fixed_grain(p.length(), min_len);
+    let slots = Slots::new(split_chunks(p, grain));
+    pool::run(slots.len(), &|i| {
+        for item in slots.take(i).into_seq() {
+            f(item);
+        }
+    });
+}
+
+/// Materialize the producer into a `Vec`, preserving index order.
+fn drive_to_vec<P: Producer>(p: P, min_len: usize) -> Vec<P::Item> {
+    let n = p.length();
+    let grain = fixed_grain(n, min_len);
+    let chunks = split_chunks(p, grain);
+    let mut starts = Vec::with_capacity(chunks.len());
+    let mut acc = 0usize;
+    for c in &chunks {
+        starts.push(acc);
+        acc += c.length();
+    }
+    debug_assert_eq!(acc, n);
+    let slots = Slots::new(chunks);
+
+    let mut out: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialization; elements are written
+    // below before the transmute to Vec<Item>.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    let starts = &starts;
+    pool::run(slots.len(), &|i| {
+        let mut w = unsafe { base.get().add(starts[i]) };
+        for item in slots.take(i).into_seq() {
+            unsafe {
+                w.write(MaybeUninit::new(item));
+                w = w.add(1);
+            }
+        }
+    });
+    // SAFETY: every slot was written exactly once (chunks tile 0..n); a
+    // panic in a chunk propagates out of pool::run before reaching here.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, out.len(), out.capacity()) }
+}
+
+/// Map every fixed-shape chunk to one value, returned in chunk-index order.
+fn drive_chunks<P, T, F>(p: P, min_len: usize, per_chunk: &F) -> Vec<T>
+where
+    P: Producer,
+    T: Send,
+    F: Fn(P) -> T + Sync,
+{
+    let grain = fixed_grain(p.length(), min_len);
+    let chunks = split_chunks(p, grain);
+    let n_chunks = chunks.len();
+    let slots = Slots::new(chunks);
+
+    let mut partials: Vec<MaybeUninit<T>> = Vec::with_capacity(n_chunks);
+    // SAFETY: as in `drive_to_vec` — slot `i` is written by chunk `i`.
+    unsafe { partials.set_len(n_chunks) };
+    let base = SendPtr(partials.as_mut_ptr());
+    pool::run(n_chunks, &|i| {
+        let v = per_chunk(slots.take(i));
+        unsafe { base.get().add(i).write(MaybeUninit::new(v)) };
+    });
+    let mut partials = ManuallyDrop::new(partials);
+    unsafe {
+        Vec::from_raw_parts(
+            partials.as_mut_ptr() as *mut T,
+            partials.len(),
+            partials.capacity(),
+        )
+    }
+}
+
+/// One partial per chunk: each chunk folded sequentially from
+/// `identity()`, partials returned in chunk-index order.
+fn drive_fold<P, T, ID, F>(p: P, min_len: usize, identity: &ID, fold_op: &F) -> Vec<T>
+where
+    P: Producer,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, P::Item) -> T + Sync,
+{
+    drive_chunks(p, min_len, &|chunk: P| {
+        let mut acc = identity();
+        for item in chunk.into_seq() {
+            acc = fold_op(acc, item);
+        }
+        acc
+    })
+}
+
+/// A parallel iterator: a producer plus a minimum chunk length.
+pub struct ParIter<P: Producer> {
+    p: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(p: P) -> Self {
+        ParIter { p, min_len: 1 }
+    }
+
+    /// Lower bound on the chunk length used when driving this iterator.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min.max(1));
+        self
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParIter<MapP<P, F>>
+    where
+        U: Send,
+        F: Fn(P::Item) -> U + Sync + Send + Clone,
+    {
+        ParIter {
+            p: MapP { base: self.p, f },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<EnumerateP<P>> {
+        ParIter {
+            p: EnumerateP {
+                base: self.p,
+                offset: 0,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pair with another indexed iterator, truncating to the shorter.
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<ZipP<P, Q>> {
+        let n = self.p.length().min(other.p.length());
+        let (a, _) = self.p.split_at(n);
+        let (b, _) = other.p.split_at(n);
+        ParIter {
+            p: ZipP { a, b },
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+
+    pub fn cloned<'a, T>(self) -> ParIter<ClonedP<P>>
+    where
+        T: 'a + Clone + Send + Sync,
+        P: Producer<Item = &'a T>,
+    {
+        ParIter {
+            p: ClonedP(self.p),
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn copied<'a, T>(self) -> ParIter<ClonedP<P>>
+    where
+        T: 'a + Copy + Send + Sync,
+        P: Producer<Item = &'a T>,
+    {
+        ParIter {
+            p: ClonedP(self.p),
+            min_len: self.min_len,
+        }
+    }
+
+    // ---- indexability-breaking adapters: sequential fallback ----
+
+    pub fn filter<F: FnMut(&P::Item) -> bool>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::Filter<P::IntoIter, F>> {
+        SeqIter(self.p.into_seq().filter(f))
+    }
+
+    pub fn filter_map<U, F: FnMut(P::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::FilterMap<P::IntoIter, F>> {
+        SeqIter(self.p.into_seq().filter_map(f))
+    }
+
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(P::Item) -> U>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::FlatMap<P::IntoIter, U, F>> {
+        SeqIter(self.p.into_seq().flat_map(f))
+    }
+
+    // ---- parallel terminals (fixed-shape, deterministic) ----
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync + Send,
+    {
+        drive_each(self.p, self.min_len, &f);
+    }
+
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        // Parallel materialization in index order, then a (usually
+        // in-place, for C = Vec) sequential conversion.
+        drive_to_vec(self.p, self.min_len).into_iter().collect()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = drive_chunks(self.p, self.min_len, &|chunk| chunk.into_seq().sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// rayon-signature `reduce`: identity closure + associative operation.
+    /// Per-chunk sequential folds, partials combined in index order. A
+    /// single-chunk input reduces to exactly the sequential fold's bits
+    /// (the identity is not re-injected when combining partials).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Sync + Send,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync + Send,
+    {
+        let partials = drive_fold(self.p, self.min_len, &identity, &op);
+        partials.into_iter().reduce(op).unwrap_or_else(identity)
+    }
+
+    /// rayon-signature `fold`: produces one partial accumulator per fixed
+    /// chunk, to be combined with `reduce`.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecP<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, P::Item) -> T + Sync + Send,
+    {
+        ParIter::new(VecP(drive_fold(self.p, self.min_len, &identity, &fold_op)))
+    }
+
+    // ---- order-sensitive / rarely-hot terminals: sequential ----
+
+    pub fn count(self) -> usize {
+        self.p.length()
+    }
+
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.p.into_seq().min()
+    }
+
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.p.into_seq().max()
+    }
+
+    pub fn any<F: FnMut(P::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.p.into_seq();
+        it.any(f)
+    }
+
+    pub fn all<F: FnMut(P::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.p.into_seq();
+        it.all(f)
+    }
+
+    pub fn find_map_first<U, F: FnMut(P::Item) -> Option<U>>(self, f: F) -> Option<U> {
+        let mut it = self.p.into_seq();
+        it.find_map(f)
+    }
+
+    pub fn find_first<F: FnMut(&P::Item) -> bool>(self, f: F) -> Option<P::Item> {
+        let mut it = self.p.into_seq();
+        it.find(f)
+    }
+
+    pub fn position_first<F: FnMut(P::Item) -> bool>(self, f: F) -> Option<usize> {
+        let mut it = self.p.into_seq();
+        it.position(f)
+    }
+}
+
+/// Sequential fallback with the rayon method surface, produced by
+/// adapters that destroy indexability. Runs on the calling thread.
+pub struct SeqIter<I>(pub(crate) I);
+
+impl<I: Iterator> SeqIter<I> {
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+        SeqIter(self.0.filter(f))
+    }
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::FilterMap<I, F>> {
+        SeqIter(self.0.filter_map(f))
+    }
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::FlatMap<I, U, F>> {
+        SeqIter(self.0.flat_map(f))
+    }
+    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
+        SeqIter(self.0.enumerate())
+    }
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> SeqIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        SeqIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.any(f)
+    }
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.all(f)
+    }
+    pub fn find_map_first<U, F: FnMut(I::Item) -> Option<U>>(self, f: F) -> Option<U> {
+        let mut it = self.0;
+        it.find_map(f)
+    }
+    pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut it = self.0;
+        it.find(f)
+    }
+    pub fn position_first<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
+        let mut it = self.0;
+        it.position(f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------------
+
+pub struct SliceP<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceP<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn length(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (SliceP(a), SliceP(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+pub struct SliceMutP<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutP<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn length(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (SliceMutP(a), SliceMutP(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+pub struct ChunksP<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksP<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn length(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.s.len());
+        let (a, b) = self.s.split_at(cut);
+        (
+            ChunksP {
+                s: a,
+                size: self.size,
+            },
+            ChunksP {
+                s: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.s.chunks(self.size)
+    }
+}
+
+pub struct ChunksExactP<'a, T> {
+    /// Pre-truncated to a multiple of `size` (remainder dropped, matching
+    /// `slice::chunks_exact`).
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksExactP<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::ChunksExact<'a, T>;
+    fn length(&self) -> usize {
+        self.s.len() / self.size
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at(mid * self.size);
+        (
+            ChunksExactP {
+                s: a,
+                size: self.size,
+            },
+            ChunksExactP {
+                s: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.s.chunks_exact(self.size)
+    }
+}
+
+pub struct ChunksMutP<'a, T> {
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutP<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn length(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.s.len());
+        let (a, b) = self.s.split_at_mut(cut);
+        (
+            ChunksMutP {
+                s: a,
+                size: self.size,
+            },
+            ChunksMutP {
+                s: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.s.chunks_mut(self.size)
+    }
+}
+
+pub struct ChunksExactMutP<'a, T> {
+    /// Pre-truncated to a multiple of `size`.
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksExactMutP<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksExactMut<'a, T>;
+    fn length(&self) -> usize {
+        self.s.len() / self.size
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at_mut(mid * self.size);
+        (
+            ChunksExactMutP {
+                s: a,
+                size: self.size,
+            },
+            ChunksExactMutP {
+                s: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.s.chunks_exact_mut(self.size)
+    }
+}
+
+pub struct WindowsP<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for WindowsP<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Windows<'a, T>;
+    fn length(&self) -> usize {
+        (self.s.len() + 1).saturating_sub(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        // Windows overlap: the left part needs `mid + size - 1` elements.
+        let left_end = (mid + self.size - 1).min(self.s.len());
+        (
+            WindowsP {
+                s: &self.s[..left_end],
+                size: self.size,
+            },
+            WindowsP {
+                s: &self.s[mid..],
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.s.windows(self.size)
+    }
+}
+
+pub struct RangeP {
+    start: usize,
+    end: usize,
+}
+
+impl Producer for RangeP {
+    type Item = usize;
+    type IntoIter = std::ops::Range<usize>;
+    fn length(&self) -> usize {
+        self.end - self.start
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = self.start + mid;
+        (
+            RangeP {
+                start: self.start,
+                end: cut,
+            },
+            RangeP {
+                start: cut,
+                end: self.end,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.start..self.end
+    }
+}
+
+pub struct VecP<T>(Vec<T>);
+
+impl<T: Send> Producer for VecP<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn length(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.0.split_off(mid);
+        (self, VecP(tail))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+pub struct MapP<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> Producer for MapP<P, F>
+where
+    P: Producer,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync + Send + Clone,
+{
+    type Item = U;
+    type IntoIter = std::iter::Map<P::IntoIter, F>;
+    fn length(&self) -> usize {
+        self.base.length()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            MapP {
+                base: a,
+                f: self.f.clone(),
+            },
+            MapP { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+pub struct EnumerateP<P> {
+    base: P,
+    offset: usize,
+}
+
+/// `Enumerate` with a starting offset, so split-off right halves keep
+/// their global indices.
+pub struct OffsetEnumerate<I> {
+    it: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for OffsetEnumerate<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.it.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<P: Producer> Producer for EnumerateP<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = OffsetEnumerate<P::IntoIter>;
+    fn length(&self) -> usize {
+        self.base.length()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            EnumerateP {
+                base: a,
+                offset: self.offset,
+            },
+            EnumerateP {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        OffsetEnumerate {
+            it: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+pub struct ZipP<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipP<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn length(&self) -> usize {
+        self.a.length().min(self.b.length())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (ZipP { a: a1, b: b1 }, ZipP { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+pub struct ClonedP<P>(P);
+
+impl<'a, T, P> Producer for ClonedP<P>
+where
+    T: 'a + Clone + Send + Sync,
+    P: Producer<Item = &'a T>,
+{
+    type Item = T;
+    type IntoIter = std::iter::Cloned<P::IntoIter>;
+    fn length(&self) -> usize {
+        self.0.length()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (ClonedP(a), ClonedP(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_seq().cloned()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Producer: Producer<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Producer = RangeP;
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<RangeP> {
+        ParIter::new(RangeP {
+            start: self.start,
+            end: self.end.max(self.start),
+        })
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Producer = VecP<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<VecP<T>> {
+        ParIter::new(VecP(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Producer = SliceP<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<SliceP<'a, T>> {
+        ParIter::new(SliceP(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Producer = SliceP<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<SliceP<'a, T>> {
+        ParIter::new(SliceP(self))
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<SliceP<'_, T>>;
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksP<'_, T>>;
+    fn par_chunks_exact(&self, size: usize) -> ParIter<ChunksExactP<'_, T>>;
+    fn par_windows(&self, size: usize) -> ParIter<WindowsP<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceP<'_, T>> {
+        ParIter::new(SliceP(self))
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksP<'_, T>> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ParIter::new(ChunksP { s: self, size })
+    }
+    fn par_chunks_exact(&self, size: usize) -> ParIter<ChunksExactP<'_, T>> {
+        assert!(size > 0, "chunk size must be nonzero");
+        let n = self.len() / size * size;
+        ParIter::new(ChunksExactP {
+            s: &self[..n],
+            size,
+        })
+    }
+    fn par_windows(&self, size: usize) -> ParIter<WindowsP<'_, T>> {
+        assert!(size > 0, "window size must be nonzero");
+        ParIter::new(WindowsP { s: self, size })
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutP<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutP<'_, T>>;
+    fn par_chunks_exact_mut(&mut self, size: usize) -> ParIter<ChunksExactMutP<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutP<'_, T>> {
+        ParIter::new(SliceMutP(self))
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutP<'_, T>> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ParIter::new(ChunksMutP { s: self, size })
+    }
+    fn par_chunks_exact_mut(&mut self, size: usize) -> ParIter<ChunksExactMutP<'_, T>> {
+        assert!(size > 0, "chunk size must be nonzero");
+        let n = self.len() / size * size;
+        ParIter::new(ChunksExactMutP {
+            s: &mut self[..n],
+            size,
+        })
+    }
+}

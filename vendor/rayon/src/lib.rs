@@ -1,199 +1,195 @@
-//! Offline typecheck stub mirroring the subset of the `rayon 1.x` API this
-//! workspace uses. Everything runs sequentially; the point is that the
-//! *types* line up with rayon's (identity-closure `fold`/`reduce`,
-//! `flat_map_iter`, `find_map_first`, ...), so `cargo check` against this
-//! stub validates the same source that compiles against real rayon.
+//! In-tree `rayon` with a real executor.
+//!
+//! This crate mirrors the subset of the `rayon 1.x` API the workspace uses
+//! (identity-closure `fold`/`reduce`, `flat_map_iter`, `find_map_first`,
+//! `par_chunks_mut`, ...) so call sites compile unchanged against either
+//! this vendored crate or upstream rayon — but unlike the earlier
+//! sequential shim, `par_iter`/`par_chunks`/`into_par_iter` now execute on
+//! a persistent work-sharing thread pool ([`mod@pool`]).
+//!
+//! Determinism contract (relied on by the committed goldens): every
+//! parallel operation is split into fixed-shape chunks derived from the
+//! input length only, each chunk is reduced sequentially, and per-chunk
+//! partials are combined in index order on the calling thread. Numeric
+//! results are therefore bit-identical at `RAYON_NUM_THREADS=1, 2, ..., N`.
+//! See `iter.rs` for the chunking rules and `pool.rs` for the engine.
 
-pub mod iter {
-    /// Sequential stand-in for rayon's parallel iterator. A wrapper type
-    /// (rather than a re-used `std` iterator) so that rayon-signature
-    /// inherent methods like `fold(|| init, f)` win method resolution.
-    pub struct ParIter<I>(pub(crate) I);
+mod pool;
 
-    pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn into_par_iter(self) -> ParIter<Self::Iter>;
-    }
+pub mod iter;
 
-    impl<T: IntoIterator> IntoParallelIterator for T {
-        type Iter = T::IntoIter;
-        type Item = T::Item;
-        fn into_par_iter(self) -> ParIter<T::IntoIter> {
-            ParIter(self.into_iter())
-        }
-    }
-
-    impl<I: Iterator> ParIter<I> {
-        pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-            ParIter(self.0.map(f))
-        }
-        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-            ParIter(self.0.filter(f))
-        }
-        pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FilterMap<I, F>> {
-            ParIter(self.0.filter_map(f))
-        }
-        pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-            ParIter(self.0.flat_map(f))
-        }
-        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-            ParIter(self.0.enumerate())
-        }
-        pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
-            ParIter(self.0.zip(other.0))
-        }
-        pub fn chain<J: Iterator<Item = I::Item>>(
-            self,
-            other: ParIter<J>,
-        ) -> ParIter<std::iter::Chain<I, J>> {
-            ParIter(self.0.chain(other.0))
-        }
-        pub fn cloned<'a, T: 'a + Clone>(self) -> ParIter<std::iter::Cloned<I>>
-        where
-            I: Iterator<Item = &'a T>,
-        {
-            ParIter(self.0.cloned())
-        }
-        pub fn copied<'a, T: 'a + Copy>(self) -> ParIter<std::iter::Copied<I>>
-        where
-            I: Iterator<Item = &'a T>,
-        {
-            ParIter(self.0.copied())
-        }
-        pub fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-            self.0.for_each(f)
-        }
-        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-            self.0.collect()
-        }
-        pub fn count(self) -> usize {
-            self.0.count()
-        }
-        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-            self.0.sum()
-        }
-        pub fn min(self) -> Option<I::Item>
-        where
-            I::Item: Ord,
-        {
-            self.0.min()
-        }
-        pub fn max(self) -> Option<I::Item>
-        where
-            I::Item: Ord,
-        {
-            self.0.max()
-        }
-        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-            let mut it = self.0;
-            it.any(f)
-        }
-        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-            let mut it = self.0;
-            it.all(f)
-        }
-        /// rayon-signature `reduce`: identity closure + associative op.
-        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-        where
-            ID: Fn() -> I::Item,
-            OP: FnMut(I::Item, I::Item) -> I::Item,
-        {
-            self.0.fold(identity(), op)
-        }
-        /// rayon-signature `fold`: produces a (single-element) iterator of
-        /// partial accumulators, to be combined with `reduce`.
-        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
-        where
-            ID: Fn() -> T,
-            F: FnMut(T, I::Item) -> T,
-        {
-            ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
-        }
-        pub fn find_map_first<U, F: FnMut(I::Item) -> Option<U>>(self, f: F) -> Option<U> {
-            let mut it = self.0;
-            it.find_map(f)
-        }
-        pub fn find_first<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
-            let mut it = self.0;
-            it.find(f)
-        }
-        pub fn position_first<F: FnMut(I::Item) -> bool>(self, f: F) -> Option<usize> {
-            let mut it = self.0;
-            it.position(f)
-        }
-    }
-
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-        fn par_chunks_exact(&self, size: usize) -> ParIter<std::slice::ChunksExact<'_, T>>;
-        fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-            ParIter(self.iter())
-        }
-        fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-            ParIter(self.chunks(size))
-        }
-        fn par_chunks_exact(&self, size: usize) -> ParIter<std::slice::ChunksExact<'_, T>> {
-            ParIter(self.chunks_exact(size))
-        }
-        fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-            ParIter(self.windows(size))
-        }
-    }
-
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-        fn par_chunks_exact_mut(
-            &mut self,
-            size: usize,
-        ) -> ParIter<std::slice::ChunksExactMut<'_, T>>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-            ParIter(self.iter_mut())
-        }
-        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-            ParIter(self.chunks_mut(size))
-        }
-        fn par_chunks_exact_mut(
-            &mut self,
-            size: usize,
-        ) -> ParIter<std::slice::ChunksExactMut<'_, T>> {
-            ParIter(self.chunks_exact_mut(size))
-        }
-    }
-}
+pub use pool::{stats as pool_stats, PoolStats};
 
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
 }
 
-/// Iterator adapters above run on the calling thread, so this is 1. The
-/// bit-stable numeric results that implies are relied on by the
-/// observability goldens (see vendor/README.md).
+/// Width of the global pool as seen from this thread: the `install` cap if
+/// one is active, else `RAYON_NUM_THREADS` / `build_global` /
+/// `available_parallelism`, in that precedence order.
 pub fn current_num_threads() -> usize {
-    1
+    pool::effective_width()
 }
 
-/// Structured task scope backed by real OS threads (`std::thread::scope`),
-/// so tests exercising concurrent data structures get genuine parallelism
-/// even though the iterator adapters are sequential.
+// ---------------------------------------------------------------------
+// Chunked-indexed entry points (not part of upstream rayon's API)
+// ---------------------------------------------------------------------
+//
+// The hot kernels want "run this closure over explicit chunk ranges"
+// without iterator plumbing. All three preserve the determinism contract:
+// chunk boundaries come from `len`/`grain` only.
+
+/// Run `f(start..end)` over consecutive ranges of at most `grain` indices
+/// covering `0..len`, in parallel.
+pub fn for_each_chunk<F>(len: usize, grain: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync + Send,
+{
+    let g = grain.max(1);
+    let n_chunks = len.div_ceil(g);
+    pool::run(n_chunks, &|i| {
+        let start = i * g;
+        f(start..(start + g).min(len));
+    });
+}
+
+/// Split `data` into consecutive chunks of at most `grain` elements and run
+/// `f(base_index, chunk)` over each in parallel.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    use crate::prelude::*;
+    let g = grain.max(1);
+    data.par_chunks_mut(g)
+        .enumerate()
+        .for_each(|(ci, chunk)| f(ci * g, chunk));
+}
+
+/// Deterministic chunked reduction over `0..len`: each chunk of at most
+/// `grain` indices is folded sequentially from `identity()`, and the
+/// per-chunk partials are combined with `combine` in index order. With a
+/// single chunk (`len <= grain`) the result is bit-identical to the plain
+/// sequential fold.
+pub fn reduce_chunks<T, ID, F, OP>(
+    len: usize,
+    grain: usize,
+    identity: ID,
+    fold_chunk: F,
+    combine: OP,
+) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync + Send,
+    F: Fn(T, std::ops::Range<usize>) -> T + Sync + Send,
+    OP: Fn(T, T) -> T + Sync + Send,
+{
+    use crate::prelude::*;
+    let g = grain.max(1);
+    let n_chunks = len.div_ceil(g);
+    let identity = &identity;
+    let fold_chunk = &fold_chunk;
+    (0..n_chunks)
+        .into_par_iter()
+        .map(move |ci| {
+            let start = ci * g;
+            fold_chunk(identity(), start..(start + g).min(len))
+        })
+        .reduce(identity, &combine)
+}
+
+// ---------------------------------------------------------------------
+// Pool configuration
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Desired width; 0 (the default) means "choose automatically"
+    /// (`RAYON_NUM_THREADS`, else available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Set the width of the global pool. `RAYON_NUM_THREADS` still takes
+    /// precedence (matching our CI contract, where the env var pins the
+    /// width of an entire test run). Fails if the global pool already
+    /// initialized at a different width.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if self.num_threads == 0 {
+            return Ok(());
+        }
+        pool::configure_global(self.num_threads).map_err(|w| ThreadPoolBuildError {
+            msg: format!("global thread pool already initialized with {w} threads"),
+        })
+    }
+
+    /// A width handle for `install` scopes. All handles share the one
+    /// global worker set; the width is applied as a per-scope cap, so
+    /// building a pool is cheap and cannot fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A view of the global pool at a fixed width. `install` runs a closure
+/// with that width in effect on the calling thread: parallel calls made
+/// inside fan out across at most `width` threads (workers grow on demand,
+/// so an `install(8)` works even if the ambient width is 1), and
+/// [`current_num_threads`] reports it. This is how the determinism tests
+/// and `repro bench` compare widths within one process.
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        pool::with_width_cap(self.width, op)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structured concurrency (scope / join)
+// ---------------------------------------------------------------------
+
+/// Structured task scope backed by real OS threads (`std::thread::scope`).
+/// Used for coarse task parallelism (I/O overlap, concurrent test
+/// harnesses), not for the chunked kernels above.
 pub struct Scope<'scope, 'env: 'scope> {
     inner: &'scope std::thread::Scope<'scope, 'env>,
 }
@@ -232,6 +228,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    use super::prelude::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -251,5 +248,114 @@ mod tests {
     fn join_returns_both_results() {
         let (a, b) = crate::join(|| 1 + 1, || "two");
         assert_eq!((a, b), (2, "two"));
+    }
+
+    fn at_width<R: Send>(w: usize, op: impl FnOnce() -> R + Send) -> R {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(w)
+            .build()
+            .unwrap()
+            .install(op)
+    }
+
+    #[test]
+    fn install_caps_reported_width() {
+        assert_eq!(at_width(3, crate::current_num_threads), 3);
+        assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_execute_exactly_once_under_contention() {
+        // Real-thread stress: many jobs of many chunks, each chunk adds
+        // its index once. Any drop or double-execution breaks the sum.
+        at_width(8, || {
+            for round in 0..200 {
+                let n = 64 + (round % 7) * 13;
+                let hits = (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+                let total = AtomicUsize::new(0);
+                (0..n).into_par_iter().for_each(|i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                    total.fetch_add(i, Ordering::SeqCst);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+                assert_eq!(total.load(Ordering::SeqCst), n * (n - 1) / 2);
+            }
+        });
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_widths() {
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 * 1e-3 - 0.5)
+            .collect();
+        let dot = |v: &[f64]| {
+            v.par_iter()
+                .map(|x| x * x * 1.000000119 - 0.25)
+                .fold(|| 0.0f64, |a, b| a + b)
+                .reduce(|| 0.0f64, |a, b| a + b)
+        };
+        let r1 = at_width(1, || dot(&xs));
+        let r2 = at_width(2, || dot(&xs));
+        let r8 = at_width(8, || dot(&xs));
+        assert_eq!(r1.to_bits(), r2.to_bits());
+        assert_eq!(r1.to_bits(), r8.to_bits());
+    }
+
+    #[test]
+    fn collect_preserves_index_order_in_parallel() {
+        let v: Vec<usize> = at_width(8, || (0..10_000).into_par_iter().map(|i| i * 3).collect());
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        let out: Vec<usize> = at_width(4, || {
+            (0..64)
+                .into_par_iter()
+                .map(|i| (0..100).into_par_iter().map(|j| i + j).sum::<usize>())
+                .collect()
+        });
+        assert_eq!(out[3], (0..100).map(|j| 3 + j).sum::<usize>());
+    }
+
+    #[test]
+    fn reduce_chunks_single_chunk_matches_sequential_fold() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let seq: f64 = xs.iter().fold(0.0, |a, x| a + x * x);
+        let one = crate::reduce_chunks(
+            xs.len(),
+            xs.len(),
+            || 0.0f64,
+            |acc, r| r.fold(acc, |a, i| a + xs[i] * xs[i]),
+            |a, b| a + b,
+        );
+        assert_eq!(seq.to_bits(), one.to_bits());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_all_elements() {
+        let mut v = vec![0u32; 4097];
+        at_width(8, || {
+            crate::for_each_chunk_mut(&mut v, 64, |base, chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = (base + k) as u32;
+                }
+            });
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn panics_propagate_from_chunks() {
+        let caught = std::panic::catch_unwind(|| {
+            at_width(4, || {
+                (0..1000).into_par_iter().for_each(|i| {
+                    if i == 777 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err());
     }
 }

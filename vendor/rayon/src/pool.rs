@@ -1,0 +1,330 @@
+//! The execution engine: a persistent work-sharing thread pool.
+//!
+//! One global pool of `std::thread` workers serves every parallel call in
+//! the process. A parallel call ("job") is a function over *chunk indices*
+//! `0..n_chunks`; the submitting thread pushes the job onto a shared queue,
+//! wakes the workers, and then participates itself. Chunk indices are handed
+//! out by a single atomic cursor (`fetch_add`), so each index is executed
+//! exactly once, by whichever thread gets to it first — crossbeam-style
+//! work sharing without per-thread deques.
+//!
+//! Determinism contract: the pool decides only *who* runs a chunk and
+//! *when*, never *what* the chunks are. Chunk boundaries are chosen by the
+//! caller (see `crate::iter` and the `*_chunk` entry points) from input
+//! length alone, and reductions combine per-chunk partials in index order
+//! on the submitting thread. Results are therefore bit-identical at any
+//! pool width, including the inline sequential path used for single-chunk
+//! jobs and nested calls.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Snapshot of cumulative pool activity, for observability exports.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Configured pool width (what [`crate::current_num_threads`] reports
+    /// outside any [`crate::ThreadPool::install`] scope).
+    pub threads: usize,
+    /// Worker threads actually spawned so far (lazy, grows on demand).
+    pub workers_spawned: usize,
+    /// Jobs executed through the shared queue.
+    pub jobs: u64,
+    /// Jobs that ran inline on the calling thread (single chunk, width 1,
+    /// or nested inside another parallel chunk).
+    pub sequential_jobs: u64,
+    /// Chunks executed, across all threads.
+    pub chunks: u64,
+    /// Chunks executed by a pool worker rather than the submitting thread.
+    pub stolen_chunks: u64,
+    /// Busy nanoseconds accumulated by submitting threads inside chunks.
+    pub caller_busy_ns: u64,
+    /// Busy nanoseconds per spawned worker.
+    pub worker_busy_ns: Vec<u64>,
+}
+
+/// Type-erased chunk function. The pointer is only dereferenced while the
+/// submitting thread is blocked in [`run`], which keeps the borrow alive.
+struct FuncPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for FuncPtr {}
+unsafe impl Sync for FuncPtr {}
+
+struct Job {
+    func: FuncPtr,
+    n_chunks: usize,
+    /// Next chunk index to hand out.
+    cursor: AtomicUsize,
+    /// Chunks whose function call has returned.
+    completed: AtomicUsize,
+    /// Worker participation slots: effective width minus the caller. A
+    /// worker must claim a slot before touching the job, so an
+    /// `install(k)` scope never fans out wider than `k` threads.
+    worker_slots: AtomicI64,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.n_chunks
+    }
+
+    fn try_claim_slot(&self) -> bool {
+        if self.worker_slots.fetch_sub(1, Ordering::AcqRel) > 0 {
+            true
+        } else {
+            self.worker_slots.fetch_add(1, Ordering::AcqRel);
+            false
+        }
+    }
+}
+
+struct Shared {
+    /// Configured width (threads the pool presents, caller included).
+    width: usize,
+    /// FIFO of live jobs; exhausted jobs are pruned by workers.
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+    /// Workers spawned so far; grown under `spawn_lock` up to demand.
+    workers_spawned: AtomicUsize,
+    spawn_lock: Mutex<()>,
+    jobs: AtomicU64,
+    sequential_jobs: AtomicU64,
+    chunks: AtomicU64,
+    stolen_chunks: AtomicU64,
+    caller_busy_ns: AtomicU64,
+    worker_busy_ns: Mutex<Vec<Arc<AtomicU64>>>,
+}
+
+static SHARED: OnceLock<Arc<Shared>> = OnceLock::new();
+/// Width requested by `ThreadPoolBuilder::build_global` before first use.
+static CONFIGURED_WIDTH: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is executing a chunk: nested parallel calls
+    /// run inline instead of deadlocking or oversubscribing.
+    static IN_CHUNK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Width cap installed by `ThreadPool::install` on this thread.
+    static WIDTH_CAP: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn default_width() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    let configured = CONFIGURED_WIDTH.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn shared() -> &'static Arc<Shared> {
+    SHARED.get_or_init(|| {
+        Arc::new(Shared {
+            width: default_width(),
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            workers_spawned: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+            jobs: AtomicU64::new(0),
+            sequential_jobs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            stolen_chunks: AtomicU64::new(0),
+            caller_busy_ns: AtomicU64::new(0),
+            worker_busy_ns: Mutex::new(Vec::new()),
+        })
+    })
+}
+
+/// The pool's configured width (ignores any `install` cap).
+pub(crate) fn base_width() -> usize {
+    shared().width
+}
+
+/// Width in effect on this thread: an `install` cap if one is active,
+/// otherwise the pool's configured width.
+pub(crate) fn effective_width() -> usize {
+    WIDTH_CAP
+        .with(|c| c.get())
+        .unwrap_or_else(base_width)
+        .max(1)
+}
+
+/// Record the width requested by `ThreadPoolBuilder::build_global`.
+/// Fails once the global pool has initialized with a different width.
+pub(crate) fn configure_global(width: usize) -> Result<(), usize> {
+    CONFIGURED_WIDTH.store(width, Ordering::Relaxed);
+    match SHARED.get() {
+        Some(s) if s.width != width => Err(s.width),
+        _ => Ok(()),
+    }
+}
+
+/// Run `op` with this thread's width cap set to `width`.
+pub(crate) fn with_width_cap<R>(width: usize, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WIDTH_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WIDTH_CAP.with(|c| c.replace(Some(width.max(1)))));
+    op()
+}
+
+/// Ensure at least `n` workers exist (the caller provides one more thread).
+fn ensure_workers(sh: &'static Arc<Shared>, n: usize) {
+    if sh.workers_spawned.load(Ordering::Acquire) >= n {
+        return;
+    }
+    let _g = sh.spawn_lock.lock().unwrap();
+    let mut spawned = sh.workers_spawned.load(Ordering::Acquire);
+    while spawned < n {
+        let busy = Arc::new(AtomicU64::new(0));
+        sh.worker_busy_ns.lock().unwrap().push(busy.clone());
+        let shc = Arc::clone(sh);
+        std::thread::Builder::new()
+            .name(format!("rayon-worker-{spawned}"))
+            .spawn(move || worker_loop(shc, busy))
+            .expect("spawn rayon worker");
+        spawned += 1;
+    }
+    sh.workers_spawned.store(spawned, Ordering::Release);
+}
+
+fn worker_loop(sh: Arc<Shared>, busy: Arc<AtomicU64>) {
+    loop {
+        let job: Arc<Job> = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                q.retain(|j| !j.exhausted());
+                if let Some(j) = q.iter().find(|j| j.try_claim_slot()) {
+                    break Arc::clone(j);
+                }
+                q = sh.work_cv.wait(q).unwrap();
+            }
+        };
+        work_on(&job, &sh, Some(&busy));
+    }
+}
+
+/// Pull chunk indices off `job`'s cursor and execute them until exhausted.
+fn work_on(job: &Job, sh: &Shared, worker_busy: Option<&AtomicU64>) {
+    loop {
+        let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_chunks {
+            return;
+        }
+        let t0 = Instant::now();
+        IN_CHUNK.with(|c| c.set(true));
+        let func = unsafe { &*job.func.0 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(i)));
+        IN_CHUNK.with(|c| c.set(false));
+        let ns = t0.elapsed().as_nanos() as u64;
+        if result.is_err() {
+            job.panicked.store(true, Ordering::Release);
+        }
+        sh.chunks.fetch_add(1, Ordering::Relaxed);
+        match worker_busy {
+            Some(b) => {
+                sh.stolen_chunks.fetch_add(1, Ordering::Relaxed);
+                b.fetch_add(ns, Ordering::Relaxed);
+            }
+            None => {
+                sh.caller_busy_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        }
+        if job.completed.fetch_add(1, Ordering::AcqRel) + 1 == job.n_chunks {
+            let mut d = job.done.lock().unwrap();
+            *d = true;
+            job.done_cv.notify_all();
+        }
+    }
+}
+
+/// Execute `f(0), f(1), ..., f(n_chunks - 1)`, each exactly once, across
+/// the pool; returns when every call has completed. The distribution of
+/// chunks over threads is racy, but since `f` receives only the chunk
+/// index, results cannot depend on it.
+pub(crate) fn run(n_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_chunks == 0 {
+        return;
+    }
+    let width = effective_width();
+    let nested = IN_CHUNK.with(|c| c.get());
+    if n_chunks == 1 || width <= 1 || nested {
+        // Inline path: same chunk structure, executed in index order on
+        // this thread — bit-identical to the pooled path by construction.
+        let sh = shared();
+        sh.sequential_jobs.fetch_add(1, Ordering::Relaxed);
+        sh.chunks.fetch_add(n_chunks as u64, Ordering::Relaxed);
+        for i in 0..n_chunks {
+            f(i);
+        }
+        return;
+    }
+
+    let sh = shared();
+    ensure_workers(sh, (width - 1).min(n_chunks - 1));
+    sh.jobs.fetch_add(1, Ordering::Relaxed);
+    // SAFETY: erase the borrow's lifetime. The pointer is dereferenced
+    // only by threads executing this job's chunks, and this function does
+    // not return until all chunks have completed (`done_cv` wait below),
+    // so the borrow outlives every dereference.
+    let func = FuncPtr(unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(f)
+    });
+    let job = Arc::new(Job {
+        func,
+        n_chunks,
+        cursor: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        worker_slots: AtomicI64::new(width as i64 - 1),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    sh.queue.lock().unwrap().push_back(Arc::clone(&job));
+    sh.work_cv.notify_all();
+
+    // The caller is a full participant in its own job.
+    work_on(&job, sh, None);
+
+    // Wait for any chunks still running on workers.
+    let mut d = job.done.lock().unwrap();
+    while !*d {
+        d = job.done_cv.wait(d).unwrap();
+    }
+    drop(d);
+    if job.panicked.load(Ordering::Acquire) {
+        panic!("rayon: a parallel chunk panicked");
+    }
+}
+
+/// Cumulative activity counters of the global pool.
+pub fn stats() -> PoolStats {
+    let sh = shared();
+    PoolStats {
+        threads: sh.width,
+        workers_spawned: sh.workers_spawned.load(Ordering::Acquire),
+        jobs: sh.jobs.load(Ordering::Relaxed),
+        sequential_jobs: sh.sequential_jobs.load(Ordering::Relaxed),
+        chunks: sh.chunks.load(Ordering::Relaxed),
+        stolen_chunks: sh.stolen_chunks.load(Ordering::Relaxed),
+        caller_busy_ns: sh.caller_busy_ns.load(Ordering::Relaxed),
+        worker_busy_ns: sh
+            .worker_busy_ns
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
