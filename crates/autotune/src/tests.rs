@@ -177,6 +177,47 @@ fn wall_clock_harness_runs_each_candidate() {
 }
 
 #[test]
+fn manual_clock_makes_wall_clock_sweeps_deterministic() {
+    use obs::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    // Each run advances the injected clock by a policy-dependent amount, so
+    // the "wall clock" sweep is fully scripted: policy 1 is fastest.
+    struct Scripted {
+        clock: Arc<ManualClock>,
+    }
+    impl Tunable for Scripted {
+        fn key(&self) -> TuneKey {
+            TuneKey::new("scripted", "v", "")
+        }
+        fn param_space(&self) -> ParamSpace {
+            ParamSpace::policies(3)
+        }
+        fn run(&mut self, p: TuneParam) {
+            self.clock.advance(match p.policy {
+                1 => 0.25,
+                _ => 1.0,
+            });
+        }
+        fn harness(&self) -> TimingHarness {
+            TimingHarness::WallClock { reps: 2 }
+        }
+    }
+
+    let clock = ManualClock::new(100.0);
+    let tuner = Tuner::with_clock(clock.clone());
+    let mut t = Scripted {
+        clock: clock.clone(),
+    };
+    let best = tuner.tune(&mut t);
+    assert_eq!(best.policy, 1, "scripted fastest candidate must win");
+    let e = tuner.lookup(&t.key()).expect("entry cached");
+    assert_eq!(e.seconds, 0.25, "best time is exactly the scripted advance");
+    // 3 candidates x 2 reps, each advancing the manual clock.
+    assert_eq!(clock.now(), 100.0 + 2.0 * (1.0 + 0.25 + 1.0));
+}
+
+#[test]
 fn grain_ladder_space_is_bounded_and_nonempty() {
     let space = ParamSpace::grain_ladder(100_000);
     assert!(!space.is_empty());

@@ -1,5 +1,5 @@
 use crate::{ParamSpace, TuneKey, TuneParam};
-use std::time::Instant;
+use obs::Clock;
 
 /// How a candidate is timed during the sweep.
 ///
@@ -8,7 +8,7 @@ use std::time::Instant;
 /// deterministic cost instead, so sweeps are reproducible.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TimingHarness {
-    /// Time `Tunable::run` with `Instant` around `reps` repetitions.
+    /// Time `Tunable::run` with the tuner's [`Clock`] around `reps` repetitions.
     WallClock {
         /// Repetitions per candidate; best (minimum) time is kept, matching
         /// QUDA's policy of ignoring warm-up noise.
@@ -62,15 +62,23 @@ pub trait Tunable {
 }
 
 /// Time one candidate under the given harness, returning seconds.
-pub(crate) fn time_candidate<T: Tunable + ?Sized>(tunable: &mut T, param: TuneParam) -> f64 {
+///
+/// Wall-clock timing reads the injected [`Clock`], not `Instant::now()`
+/// directly, so tests can drive sweeps with `obs::ManualClock` and the
+/// timing path stays deterministic under test.
+pub(crate) fn time_candidate<T: Tunable + ?Sized>(
+    tunable: &mut T,
+    param: TuneParam,
+    clock: &dyn Clock,
+) -> f64 {
     match tunable.harness() {
         TimingHarness::WallClock { reps } => {
             let reps = reps.max(1);
             let mut best = f64::INFINITY;
             for _ in 0..reps {
-                let t0 = Instant::now();
+                let t0 = clock.now();
                 tunable.run(param);
-                let dt = t0.elapsed().as_secs_f64();
+                let dt = clock.now() - t0;
                 if dt < best {
                     best = dt;
                 }

@@ -1,10 +1,11 @@
 use crate::tunable::time_candidate;
 use crate::{Tunable, TuneKey, TuneParam};
-use obs::{Json, JsonError, Registry};
+use obs::{Clock, Json, JsonError, Registry, WallClock};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Cached optimum for one [`TuneKey`], with performance metadata.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,15 +60,32 @@ struct Inner {
 /// assert_eq!(tuner.tune(&mut Kernel).policy, 2); // cache hit thereafter
 /// assert_eq!(tuner.stats().hits, 1);
 /// ```
-#[derive(Default)]
 pub struct Tuner {
     inner: RwLock<Inner>,
+    /// Time source for wall-clock candidate sweeps. Real runs use
+    /// [`WallClock`]; tests inject [`obs::ManualClock`] so sweep timing is
+    /// deterministic.
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for Tuner {
+    fn default() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
 }
 
 impl Tuner {
-    /// Empty tuner with no cached entries.
+    /// Empty tuner with no cached entries, timing against the wall clock.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty tuner that times candidate sweeps against `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            inner: RwLock::default(),
+            clock,
+        }
     }
 
     /// Return the optimum launch parameters for `tunable`, sweeping its
@@ -92,7 +110,7 @@ impl Tuner {
         let mut best_param = space.candidates()[0];
         let mut best_time = f64::INFINITY;
         for &candidate in space.candidates() {
-            let seconds = time_candidate(tunable, candidate);
+            let seconds = time_candidate(tunable, candidate, self.clock.as_ref());
             candidate_seconds.record(seconds);
             if seconds < best_time {
                 best_time = seconds;

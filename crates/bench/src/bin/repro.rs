@@ -24,16 +24,24 @@
 //!   bench     threaded kernel benchmarks at 1 and N pool threads
 //!             (--quick for CI smoke, --check-schema FILE to diff a
 //!             committed BENCH_kernels.json against this build's schema)
+//!   lint      workspace static analysis (determinism/safety/layering
+//!             rules R1-R5; --check gates on the committed
+//!             lint-baseline.json, --update-baseline regenerates it)
 //!   all       everything above except bench (timings are machine-specific)
 //! ```
 
 use bench::experiments::{
-    ablation, faults, fig1, fig3, fig5, jobs, kernels, metrics, pipeline, tables,
+    ablation, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics, pipeline, tables,
 };
 use bench::output::ExperimentOutput;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `lint` has its own flags and exit-code contract; handle it before the
+    // generic experiment machinery.
+    if args.first().map(String::as_str) == Some("lint") {
+        std::process::exit(lint::run_lint(&args[1..]));
+    }
     let mut experiment = None;
     let mut results_dir = "results".to_string();
     let mut quick = false;

@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod jobs;
 pub mod kernels;
+pub mod lint;
 pub mod metrics;
 pub mod pipeline;
 pub mod tables;

@@ -1,0 +1,71 @@
+//! Exit-code contract of `repro lint`: 0 on a clean (baselined) tree,
+//! 1 on fresh findings or stale suppressions, and 0 again right after
+//! `--update-baseline`.
+
+use bench::experiments::lint::run_lint;
+use std::path::Path;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn fixture_ws() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../srclint/tests/fixtures/ws")
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn repo_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn fixture_violations_exit_nonzero_without_a_baseline() {
+    // Under the default repo Config the fixture tree still trips the
+    // path-independent rules (R1/R2/R5) and the unused-dep check, and has
+    // no baseline file, so both plain and --check runs must fail.
+    let ws = fixture_ws();
+    assert_eq!(run_lint(&args(&["--root", &ws])), 1);
+    assert_eq!(run_lint(&args(&["--root", &ws, "--check"])), 1);
+}
+
+#[test]
+fn update_baseline_then_check_exits_zero() {
+    let ws = fixture_ws();
+    let dir = std::env::temp_dir().join("srclint_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json").to_string_lossy().into_owned();
+
+    assert_eq!(
+        run_lint(&args(&[
+            "--root",
+            &ws,
+            "--baseline",
+            &baseline,
+            "--update-baseline"
+        ])),
+        0
+    );
+    assert_eq!(
+        run_lint(&args(&["--root", &ws, "--baseline", &baseline, "--check"])),
+        0
+    );
+    std::fs::remove_file(&baseline).ok();
+}
+
+#[test]
+fn whole_repo_check_is_clean_against_committed_baseline() {
+    // The gate CI runs: the tree as committed must pass --check with the
+    // committed lint-baseline.json (no fresh findings, no stale entries).
+    assert_eq!(run_lint(&args(&["--root", &repo_root(), "--check"])), 0);
+}
+
+#[test]
+fn bad_flags_exit_with_usage_error() {
+    assert_eq!(run_lint(&args(&["--format", "xml"])), 2);
+    assert_eq!(run_lint(&args(&["--bogus"])), 2);
+}

@@ -22,6 +22,15 @@ use std::path::Path;
 /// File magic.
 pub const MAGIC: [u8; 8] = *b"LQIO\x01\0\0\n";
 
+/// Copy the first `N` bytes of a slice into an array. Callers guarantee
+/// `b.len() >= N` (via `chunks_exact` or an explicit bounds check), which
+/// keeps the decode paths free of `unwrap`/`expect` panic sites.
+fn le_array<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(&b[..N]);
+    a
+}
+
 /// Default chunk payload size.
 pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 
@@ -147,7 +156,7 @@ impl Container {
         Ok(self
             .payload
             .par_chunks_exact(8)
-            .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .map(|b| f64::from_le_bytes(le_array(b)))
             .collect())
     }
 
@@ -165,7 +174,7 @@ impl Container {
         Ok(self
             .payload
             .par_chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .map(|b| f32::from_le_bytes(le_array(b)))
             .collect())
     }
 
@@ -274,7 +283,7 @@ fn parse_header_bytes(bytes: &[u8]) -> Result<(Header, usize), IoError> {
     if bytes[..8] != MAGIC {
         return Err(IoError::Format("bad magic".into()));
     }
-    let hlen = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let hlen = u32::from_le_bytes(le_array(&bytes[8..12])) as usize;
     let hend = 12usize
         .checked_add(hlen)
         .filter(|&e| e <= bytes.len())
@@ -295,7 +304,7 @@ fn carve_chunks<'a>(bytes: &'a [u8], header: &Header, start: usize) -> Vec<(&'a 
         let Some(len_end) = off.checked_add(8).filter(|&e| e <= bytes.len()) else {
             break;
         };
-        let clen = u64::from_le_bytes(bytes[off..len_end].try_into().expect("8 bytes")) as usize;
+        let clen = u64::from_le_bytes(le_array(&bytes[off..len_end])) as usize;
         let Some(crc_end) = len_end
             .checked_add(clen)
             .and_then(|p| p.checked_add(4))
@@ -304,7 +313,7 @@ fn carve_chunks<'a>(bytes: &'a [u8], header: &Header, start: usize) -> Vec<(&'a 
             break;
         };
         let payload = &bytes[len_end..len_end + clen];
-        let crc = u32::from_le_bytes(bytes[len_end + clen..crc_end].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(le_array(&bytes[len_end + clen..crc_end]));
         out.push((payload, crc));
         off = crc_end;
     }
@@ -712,6 +721,37 @@ mod tests {
         assert_eq!(s.lost_bytes(), 0);
         let back = s.into_container().unwrap();
         assert_eq!(back.to_f64().unwrap(), vals);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_structural_boundary_returns_err() {
+        let n = (DEFAULT_CHUNK_BYTES * 3 / 2) / 8;
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let c = Container::from_f64("cut", vec![n], &vals, BTreeMap::new());
+        let path = tmp("cut.lqio");
+        write_container(&path, &c).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+
+        // Cuts landing mid-magic, mid-header-length, mid-header-JSON,
+        // mid-chunk-length, mid-payload, and mid-CRC must all surface as a
+        // structured error — never a panic.
+        let chunk0 = 12 + header_len;
+        for cut in [
+            4,                                    // inside the magic
+            10,                                   // inside the header length field
+            12 + header_len / 2,                  // inside the header JSON
+            chunk0 + 4,                           // inside the first chunk's length
+            chunk0 + 8 + 100,                     // inside the first payload
+            chunk0 + 8 + DEFAULT_CHUNK_BYTES + 2, // inside the first CRC
+            bytes.len() - 2,                      // inside the final CRC
+        ] {
+            let err = parse_container(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} must fail, got {err:?}");
+        }
+        // …and an untruncated image still parses.
+        assert_eq!(parse_container(&bytes).unwrap().to_f64().unwrap(), vals);
         std::fs::remove_file(&path).ok();
     }
 

@@ -425,7 +425,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is &str so this is valid).
+                // SAFETY: `b` is the byte view of a `&str` and `*pos` only
+                // ever advances by whole scalar widths (`len_utf8` below),
+                // so the suffix is valid UTF-8.
                 let s = unsafe { std::str::from_utf8_unchecked(&b[*pos..]) };
                 let c = s.chars().next().unwrap();
                 out.push(c);

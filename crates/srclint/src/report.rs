@@ -1,0 +1,120 @@
+//! Text and JSON reporters for lint results.
+
+use crate::baseline::Applied;
+use crate::{rule_ids, Finding};
+use obs::Json;
+
+/// Human-readable report: per-rule totals, then every fresh finding with
+/// location and message, then stale suppressions (if any). Deterministic:
+/// findings arrive sorted from `scan_workspace`.
+pub fn render_text(applied: &Applied) -> String {
+    let mut out = String::new();
+    out.push_str("repro lint — workspace static analysis\n\n");
+    out.push_str(&format!(
+        "{:<30} {:>6} {:>11}\n",
+        "rule", "fresh", "baselined"
+    ));
+    for rule in rule_ids::ALL {
+        let fresh = applied.fresh.iter().filter(|f| f.rule == rule).count();
+        let sup = applied.suppressed.iter().filter(|f| f.rule == rule).count();
+        out.push_str(&format!("{rule:<30} {fresh:>6} {sup:>11}\n"));
+    }
+    out.push('\n');
+    if applied.fresh.is_empty() {
+        out.push_str("no fresh findings\n");
+    } else {
+        out.push_str(&format!("{} fresh finding(s):\n", applied.fresh.len()));
+        for f in &applied.fresh {
+            out.push_str(&format!(
+                "  {}:{} [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+    }
+    if !applied.stale.is_empty() {
+        out.push_str(&format!(
+            "\n{} stale suppression(s) — the violation was fixed; shrink the baseline \
+             with --update-baseline:\n",
+            applied.stale.len()
+        ));
+        for s in &applied.stale {
+            out.push_str(&format!(
+                "  {}:{} [{}] {}\n",
+                s.path, s.line, s.rule, s.content_hash
+            ));
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::obj(vec![
+        ("rule", Json::from(f.rule)),
+        ("path", Json::from(f.path.as_str())),
+        ("line", Json::from(f.line as u64)),
+        ("message", Json::from(f.message.as_str())),
+        ("hash", Json::from(f.content_hash.as_str())),
+    ])
+}
+
+/// Machine-readable report (pretty JSON with a trailing newline).
+pub fn render_json(applied: &Applied) -> String {
+    Json::obj(vec![
+        (
+            "fresh",
+            Json::Arr(applied.fresh.iter().map(finding_json).collect()),
+        ),
+        (
+            "suppressed",
+            Json::Arr(applied.suppressed.iter().map(finding_json).collect()),
+        ),
+        (
+            "stale",
+            Json::Arr(
+                applied
+                    .stale
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("rule", Json::from(s.rule.as_str())),
+                            ("path", Json::from(s.path.as_str())),
+                            ("line", Json::from(s.line as u64)),
+                            ("hash", Json::from(s.content_hash.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ok",
+            Json::from(applied.fresh.is_empty() && applied.stale.is_empty()),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    #[test]
+    fn text_report_lists_fresh_findings_and_counts() {
+        let applied = Applied {
+            fresh: vec![Finding {
+                rule: rule_ids::NONDETERMINISM,
+                path: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "raw `Instant::now()`".into(),
+                content_hash: "abc".into(),
+            }],
+            suppressed: vec![],
+            stale: vec![],
+        };
+        let text = render_text(&applied);
+        assert!(text.contains("crates/x/src/lib.rs:7"));
+        assert!(text.contains("1 fresh finding"));
+        let json = render_json(&applied);
+        assert!(json.contains("\"ok\": false"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixture crate carrying exactly one violation of every file-scoped rule
+//! (R1, R2, R3, R5) plus a justified `unsafe` and a test module that must
+//! both stay clean. Never compiled — the lint lexes it as text.
+
+pub use fixio::read_all;
+
+/// R1: `unsafe` without a SAFETY comment.
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Justified `unsafe`: must NOT be flagged.
+pub fn checked_read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// R2: raw wall-clock time outside the sanctioned clock module.
+pub fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+/// R3: lexical panic site in library code.
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+/// R5: direct float reduction on a parallel chain — the closure's internal
+/// statement must not hide the chain from the checker.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.par_iter()
+        .map(|x| {
+            let y = x * x;
+            y
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    // Violations inside a test module are exempt from R2/R3/R5.
+    #[test]
+    fn exempt() {
+        let t = std::time::Instant::now();
+        let _ = t.elapsed().as_secs_f64();
+        let v: Vec<f64> = vec![1.0];
+        let _ = v.first().unwrap();
+    }
+}

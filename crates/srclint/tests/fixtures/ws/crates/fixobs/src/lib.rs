@@ -1,0 +1,6 @@
+//! Fixture crate whose `clock` module is on the test Config's sanctioned
+//! list: the raw `Instant::now()` there must not be flagged.
+
+pub mod clock;
+
+pub use fixio::read_all;

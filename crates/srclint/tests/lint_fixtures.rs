@@ -1,0 +1,131 @@
+//! Golden-file tests for the lexer + rule engine over the fixture
+//! workspace in `tests/fixtures/ws`, plus byte-identity of the committed
+//! repo baseline through the hand-rolled JSON emitter.
+//!
+//! Regenerate the goldens after an intentional report change with:
+//! `UPDATE_GOLDENS=1 cargo test -p srclint --test lint_fixtures`
+
+use srclint::baseline::{baseline_with_content, Baseline};
+use srclint::{report, rule_ids, scan_workspace, Config};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// The layer policy for the fixture workspace (mirrors the shape of the
+/// real repo policy, over the `fix*` packages).
+fn fixture_config() -> Config {
+    Config {
+        sanctioned_nondet: vec!["crates/fixobs/src/clock.rs".into()],
+        panic_scope: vec!["crates/fixcore/src/".into()],
+        float_reduce_exempt: vec![],
+        forbidden_deps: vec![("fixcore".into(), vec!["fixio".into()])],
+        isolated_packages: vec!["fixobs".into()],
+        skip_dirs: vec![".git".into(), "target".into()],
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, golden,
+        "{name} diverged from golden; rerun with UPDATE_GOLDENS=1 if intentional"
+    );
+}
+
+#[test]
+fn fixture_scan_fires_every_rule_exactly_as_planted() {
+    let findings = scan_workspace(&fixture_root(), &fixture_config()).unwrap();
+    let count = |rule| findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(count(rule_ids::UNSAFE_NO_SAFETY), 1, "{findings:#?}");
+    assert_eq!(count(rule_ids::NONDETERMINISM), 1, "{findings:#?}");
+    assert_eq!(count(rule_ids::PANIC_SITE), 1, "{findings:#?}");
+    // Forbidden edge (fixcore -> fixio), unused dep (fixextra), isolation
+    // breach (fixobs -> fixio).
+    assert_eq!(count(rule_ids::LAYERING), 3, "{findings:#?}");
+    assert_eq!(count(rule_ids::FLOAT_REDUCE), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 7);
+    // The justified unsafe, the sanctioned clock module, and the test
+    // module must all stay clean: nothing outside fixcore's lib and the
+    // three manifests.
+    for f in &findings {
+        assert!(
+            f.path == "crates/fixcore/src/lib.rs" || f.path.ends_with("Cargo.toml"),
+            "unexpected finding location: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_reports_match_goldens() {
+    let findings = scan_workspace(&fixture_root(), &fixture_config()).unwrap();
+    let applied = Baseline::default().apply(findings);
+    check_golden("fixtures_report.txt", &report::render_text(&applied));
+    check_golden("fixtures_report.json", &report::render_json(&applied));
+}
+
+#[test]
+fn fixture_baseline_suppresses_everything_then_goes_stale() {
+    let root = fixture_root();
+    let cfg = fixture_config();
+    let findings = scan_workspace(&root, &cfg).unwrap();
+    let base = baseline_with_content(&findings, &root);
+    // Baseline entries carry the violating source line for reviewability.
+    assert!(base
+        .suppressions
+        .iter()
+        .any(|s| s.content.contains("unsafe")));
+
+    let applied = base.apply(scan_workspace(&root, &cfg).unwrap());
+    assert!(applied.fresh.is_empty(), "{:#?}", applied.fresh);
+    assert!(applied.stale.is_empty());
+    assert_eq!(applied.suppressed.len(), 7);
+
+    // Dropping a finding from the scan (as if it were fixed) leaves its
+    // suppression stale — the signal --check uses to demand a baseline
+    // shrink.
+    let fixed: Vec<_> = scan_workspace(&root, &cfg)
+        .unwrap()
+        .into_iter()
+        .filter(|f| f.rule != rule_ids::NONDETERMINISM)
+        .collect();
+    let applied = base.apply(fixed);
+    assert_eq!(applied.stale.len(), 1);
+    assert_eq!(applied.stale[0].rule, rule_ids::NONDETERMINISM);
+}
+
+#[test]
+fn committed_repo_baseline_round_trips_byte_identically() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint-baseline.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {} failed: {e}", path.display()));
+    let base = Baseline::parse(&text).expect("committed baseline must parse");
+    assert!(
+        !base.suppressions.is_empty(),
+        "committed baseline should carry the pre-existing violations"
+    );
+    assert_eq!(
+        base.to_json_string(),
+        text,
+        "baseline must round-trip byte-identically through the obs::Json emitter"
+    );
+}

@@ -55,6 +55,9 @@ fn split_chunks<P: Producer>(mut p: P, grain: usize) -> Vec<P> {
 /// One-shot per-chunk ownership slots, claimed by chunk index. Sound
 /// because the pool hands out each chunk index exactly once.
 struct Slots<P>(Vec<std::cell::UnsafeCell<Option<P>>>);
+// SAFETY: each `UnsafeCell` slot is accessed by exactly one thread (the one
+// the pool hands chunk index `i` to), so shared `&Slots` never aliases a
+// mutable access; `P: Send` lets that single access happen off-thread.
 unsafe impl<P: Send> Sync for Slots<P> {}
 
 impl<P> Slots<P> {
@@ -71,6 +74,9 @@ impl<P> Slots<P> {
     }
     /// Take chunk `i`. Must be called at most once per index.
     fn take(&self, i: usize) -> P {
+        // SAFETY: the pool's cursor hands out each chunk index exactly once,
+        // so no other thread holds a reference into slot `i`; the `expect`
+        // backstops that invariant.
         unsafe { (*self.0[i].get()).take().expect("chunk executed twice") }
     }
 }
@@ -79,7 +85,12 @@ impl<P> Slots<P> {
 /// Accessed via `get()` so closures capture `&SendPtr` (which is `Sync`)
 /// rather than the raw-pointer field itself.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only ever offset into per-chunk regions that are
+// disjoint by construction (chunk `i` writes `starts[i]..starts[i+1]`), so
+// moving it across threads cannot create overlapping access.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr` only exposes the raw pointer via `get()`; all writes
+// through it target the disjoint per-chunk regions above.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -124,8 +135,14 @@ fn drive_to_vec<P: Producer>(p: P, min_len: usize) -> Vec<P::Item> {
     let base = SendPtr(out.as_mut_ptr());
     let starts = &starts;
     pool::run(slots.len(), &|i| {
+        // SAFETY: `starts[i] <= n` and chunk `i` owns exactly the region
+        // `starts[i] .. starts[i] + chunk_len`, disjoint from every other
+        // chunk, so this offset and the writes below stay in bounds and
+        // never alias another thread's writes.
         let mut w = unsafe { base.get().add(starts[i]) };
         for item in slots.take(i).into_seq() {
+            // SAFETY: chunk lengths tile `0..n`, so `w` walks only this
+            // chunk's owned region of the `n`-capacity allocation.
             unsafe {
                 w.write(MaybeUninit::new(item));
                 w = w.add(1);
@@ -156,9 +173,15 @@ where
     let base = SendPtr(partials.as_mut_ptr());
     pool::run(n_chunks, &|i| {
         let v = per_chunk(slots.take(i));
+        // SAFETY: `i < n_chunks` (the pool's cursor stops there) and each
+        // chunk writes only its own slot, so the write is in bounds and
+        // race-free.
         unsafe { base.get().add(i).write(MaybeUninit::new(v)) };
     });
     let mut partials = ManuallyDrop::new(partials);
+    // SAFETY: every slot `0..n_chunks` was written exactly once above, so
+    // the buffer is fully initialized; `MaybeUninit<T>` has `T`'s layout,
+    // and `ManuallyDrop` keeps the allocation from double-freeing.
     unsafe {
         Vec::from_raw_parts(
             partials.as_mut_ptr() as *mut T,

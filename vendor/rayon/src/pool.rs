@@ -47,7 +47,12 @@ pub struct PoolStats {
 /// Type-erased chunk function. The pointer is only dereferenced while the
 /// submitting thread is blocked in [`run`], which keeps the borrow alive.
 struct FuncPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (callable from any thread through a shared
+// reference) and outlives every worker access — `run` blocks the submitting
+// thread until all chunks finish, keeping the borrow alive.
 unsafe impl Send for FuncPtr {}
+// SAFETY: same argument; sharing `&FuncPtr` across workers only ever yields
+// `&dyn Fn`, which the `Sync` bound on the pointee makes safe.
 unsafe impl Sync for FuncPtr {}
 
 struct Job {
@@ -224,6 +229,9 @@ fn work_on(job: &Job, sh: &Shared, worker_busy: Option<&AtomicU64>) {
         }
         let t0 = Instant::now();
         IN_CHUNK.with(|c| c.set(true));
+        // SAFETY: the submitting thread constructed this pointer from a live
+        // `&(dyn Fn(usize) + Sync)` and is blocked in `run` until the job's
+        // `remaining` count drains, so the pointee is valid for this borrow.
         let func = unsafe { &*job.func.0 };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(i)));
         IN_CHUNK.with(|c| c.set(false));
