@@ -24,14 +24,19 @@
 //!   bench     threaded kernel benchmarks at 1 and N pool threads
 //!             (--quick for CI smoke, --check-schema FILE to diff a
 //!             committed BENCH_kernels.json against this build's schema)
+//!   comms     execute the halo-exchange policies on the sharded dslash
+//!             and write measured-vs-analytic columns to comms.csv
+//!             (--quick for CI smoke, --check-schema FILE to verify a
+//!             committed comms.csv still has this build's columns)
 //!   lint      workspace static analysis (determinism/safety/layering
 //!             rules R1-R5; --check gates on the committed
 //!             lint-baseline.json, --update-baseline regenerates it)
-//!   all       everything above except bench (timings are machine-specific)
+//!   all       everything above except bench and comms (timings are
+//!             machine-specific)
 //! ```
 
 use bench::experiments::{
-    ablation, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics, pipeline, tables,
+    ablation, comms, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics, pipeline, tables,
 };
 use bench::output::ExperimentOutput;
 
@@ -74,7 +79,7 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|all> [--results DIR] [--quick] [--check-schema FILE]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|all> [--results DIR] [--quick] [--check-schema FILE]"
         );
         std::process::exit(2);
     };
@@ -129,6 +134,12 @@ fn main() {
             kernels::run_bench(out, &kernels::BenchOpts { quick });
             if let Some(file) = &check_schema {
                 kernels::check_schema(out, file);
+            }
+        }
+        "comms" => {
+            comms::run_comms(out, &comms::CommsOpts { quick });
+            if let Some(file) = &check_schema {
+                comms::check_schema(file);
             }
         }
         other => {

@@ -1,0 +1,364 @@
+//! Rank-decomposed lattice geometry: local sublattices, ghost zones, and
+//! face pack/unpack index maps.
+//!
+//! [`DomainDecomposition`] maps a `machine::decomp` rank grid onto the real
+//! [`Lattice`]: each rank owns a block-local sublattice and an *extended*
+//! index space whose tail holds ghost sites — copies of the neighbor ranks'
+//! faces. The per-site [`Neighbors`] tables are rebuilt against that
+//! extended space, with wrap flags computed from **global** coordinates so
+//! antiperiodic-t boundary signs land on exactly the same hops as in the
+//! single-domain kernel, at any rank grid.
+//!
+//! Pack and unpack share one canonical face ordering (reduced-lexicographic,
+//! x-fastest over the non-face dimensions). Because every rank has the same
+//! local extents, the sender's pack order *is* the receiver's unpack order —
+//! no permutation map travels with the message.
+
+use crate::lattice::{Lattice, Neighbors, ND};
+use coral_machine::decomp::Decomposition;
+
+/// Everything one rank needs to exchange halos in one partitioned direction.
+#[derive(Clone, Debug)]
+pub struct DimExchange {
+    /// The partitioned direction.
+    pub mu: usize,
+    /// Sites per face (4D; multiply by `L5` for message spinor counts).
+    pub face_len: usize,
+    /// Local sites of the low face (`c_mu = 0`), reduced-lex order. Sent
+    /// backward: the backward neighbor stores them in its forward ghost zone.
+    pub low_face: Vec<u32>,
+    /// Local sites of the high face (`c_mu = ld_mu − 1`), reduced-lex order.
+    /// Sent forward: the forward neighbor stores them in its backward ghost
+    /// zone.
+    pub high_face: Vec<u32>,
+    /// Ghost-region offset of the block receiving the forward neighbor's low
+    /// face (the sites at `c_mu = ld_mu`, one step past the high face).
+    pub fwd_ghost_base: usize,
+    /// Ghost-region offset of the block receiving the backward neighbor's
+    /// high face (the sites at `c_mu = −1`).
+    pub bwd_ghost_base: usize,
+    /// Rank one step forward in `mu` (periodic).
+    pub fwd_rank: usize,
+    /// Rank one step backward in `mu` (periodic).
+    pub bwd_rank: usize,
+}
+
+/// One rank's view of the decomposition.
+#[derive(Clone, Debug)]
+pub struct RankDomain {
+    /// Position in the rank grid.
+    pub coords: [usize; ND],
+    /// Global coordinates of the local origin.
+    pub origin: [usize; ND],
+    /// Extended neighbor table for the local sites: indices `< v_loc` are
+    /// local, indices `>= v_loc` point into the ghost region.
+    pub neighbors: Vec<Neighbors>,
+    /// Extended index → global lexicographic index, for locals *and* ghosts
+    /// (`v_loc + ghost_len` entries). Used to scatter fields and to gather
+    /// gauge links bit-identically to the single-domain kernel.
+    pub local_to_global: Vec<u32>,
+    /// Per partitioned direction, in ascending `mu` order.
+    pub exchanges: Vec<DimExchange>,
+    /// Local sites whose stencil touches no ghost.
+    pub interior: Vec<u32>,
+    /// `boundary[k]`: sites whose highest ghost-needing direction is
+    /// `exchanges[k].mu` — ready to compute once directions `0..=k` have
+    /// been unpacked (the fine-grained pipeline order).
+    pub boundary: Vec<Vec<u32>>,
+}
+
+/// A rank grid mapped onto a concrete lattice.
+#[derive(Clone, Debug)]
+pub struct DomainDecomposition {
+    lattice: Lattice,
+    decomp: Decomposition,
+    v_loc: usize,
+    ghost_len: usize,
+    ranks: Vec<RankDomain>,
+}
+
+/// Reduced-lexicographic position of local coords `c` on the face
+/// orthogonal to `mu` (x-fastest over the remaining dimensions).
+fn face_pos(ld: [usize; ND], mu: usize, c: [usize; ND]) -> usize {
+    let mut pos = 0;
+    let mut mult = 1;
+    for n in 0..ND {
+        if n != mu {
+            pos += c[n] * mult;
+            mult *= ld[n];
+        }
+    }
+    pos
+}
+
+/// Visit every face coordinate tuple (with `c[mu]` preset to `fixed`) in
+/// reduced-lex order — the canonical pack/unpack ordering.
+fn for_each_face_site(ld: [usize; ND], mu: usize, fixed: usize, mut f: impl FnMut([usize; ND])) {
+    let count: usize = (0..ND).filter(|&n| n != mu).map(|n| ld[n]).product();
+    for j in 0..count {
+        let mut c = [0usize; ND];
+        c[mu] = fixed;
+        let mut t = j;
+        for n in 0..ND {
+            if n != mu {
+                c[n] = t % ld[n];
+                t /= ld[n];
+            }
+        }
+        f(c);
+    }
+}
+
+fn local_index(ld: [usize; ND], c: [usize; ND]) -> usize {
+    ((c[3] * ld[2] + c[2]) * ld[1] + c[1]) * ld[0] + c[0]
+}
+
+fn local_coords(ld: [usize; ND], mut idx: usize) -> [usize; ND] {
+    let mut c = [0usize; ND];
+    for mu in 0..ND {
+        c[mu] = idx % ld[mu];
+        idx /= ld[mu];
+    }
+    c
+}
+
+impl DomainDecomposition {
+    /// Map `grid` onto `lattice`. Returns `None` exactly when
+    /// [`Decomposition::with_grid`] does: an extent not divisible by its
+    /// grid factor, or a partitioned local extent below the stencil radius.
+    ///
+    /// `l5` and `gpus_per_node` feed the analytic [`Decomposition`] (halo
+    /// byte accounting, intra/inter-node classification); they do not change
+    /// the execution geometry.
+    pub fn new(
+        lattice: &Lattice,
+        grid: [usize; ND],
+        l5: usize,
+        gpus_per_node: usize,
+    ) -> Option<Self> {
+        let dims = lattice.dims();
+        let decomp = Decomposition::with_grid(dims, l5, grid, gpus_per_node)?;
+        let ld = decomp.local_dims;
+        let v_loc: usize = ld.iter().product();
+        let pdims: Vec<usize> = (0..ND).filter(|&mu| grid[mu] > 1).collect();
+
+        // Ghost-region layout: per partitioned direction (ascending), the
+        // forward block then the backward block.
+        let mut fwd_base = [0usize; ND];
+        let mut bwd_base = [0usize; ND];
+        let mut ghost_len = 0usize;
+        for &mu in &pdims {
+            let face_len = v_loc / ld[mu];
+            fwd_base[mu] = ghost_len;
+            ghost_len += face_len;
+            bwd_base[mu] = ghost_len;
+            ghost_len += face_len;
+        }
+
+        let n_ranks: usize = grid.iter().product();
+        let rank_index = |rc: [usize; ND]| -> usize {
+            ((rc[3] * grid[2] + rc[2]) * grid[1] + rc[1]) * grid[0] + rc[0]
+        };
+
+        let mut ranks = Vec::with_capacity(n_ranks);
+        for r in 0..n_ranks {
+            let coords = local_coords(grid, r);
+            let mut origin = [0usize; ND];
+            for mu in 0..ND {
+                origin[mu] = coords[mu] * ld[mu];
+            }
+
+            // Extended index → global site.
+            let mut local_to_global = Vec::with_capacity(v_loc + ghost_len);
+            for lx in 0..v_loc {
+                let c = local_coords(ld, lx);
+                let mut g = [0usize; ND];
+                for mu in 0..ND {
+                    g[mu] = origin[mu] + c[mu];
+                }
+                local_to_global.push(lattice.index(g) as u32);
+            }
+            for &mu in &pdims {
+                // Forward ghosts: global c_mu = origin + ld (periodic).
+                for_each_face_site(ld, mu, 0, |c| {
+                    let mut g = [0usize; ND];
+                    for n in 0..ND {
+                        g[n] = origin[n] + c[n];
+                    }
+                    g[mu] = (origin[mu] + ld[mu]) % dims[mu];
+                    local_to_global.push(lattice.index(g) as u32);
+                });
+                // Backward ghosts: global c_mu = origin − 1 (periodic).
+                for_each_face_site(ld, mu, 0, |c| {
+                    let mut g = [0usize; ND];
+                    for n in 0..ND {
+                        g[n] = origin[n] + c[n];
+                    }
+                    g[mu] = (origin[mu] + dims[mu] - 1) % dims[mu];
+                    local_to_global.push(lattice.index(g) as u32);
+                });
+            }
+            assert_eq!(local_to_global.len(), v_loc + ghost_len);
+
+            // Extended neighbor table with global wrap flags.
+            let mut neighbors = Vec::with_capacity(v_loc);
+            for lx in 0..v_loc {
+                let c = local_coords(ld, lx);
+                let mut rec = Neighbors::default();
+                for mu in 0..ND {
+                    let g_mu = origin[mu] + c[mu];
+                    // Forward hop.
+                    if c[mu] + 1 < ld[mu] {
+                        let mut up = c;
+                        up[mu] += 1;
+                        rec.fwd[mu] = local_index(ld, up) as u32;
+                    } else if grid[mu] == 1 {
+                        let mut up = c;
+                        up[mu] = 0;
+                        rec.fwd[mu] = local_index(ld, up) as u32;
+                        rec.fwd_wrap |= 1 << mu;
+                    } else {
+                        rec.fwd[mu] = (v_loc + fwd_base[mu] + face_pos(ld, mu, c)) as u32;
+                        if g_mu + 1 == dims[mu] {
+                            rec.fwd_wrap |= 1 << mu;
+                        }
+                    }
+                    // Backward hop.
+                    if c[mu] > 0 {
+                        let mut dn = c;
+                        dn[mu] -= 1;
+                        rec.bwd[mu] = local_index(ld, dn) as u32;
+                    } else if grid[mu] == 1 {
+                        let mut dn = c;
+                        dn[mu] = ld[mu] - 1;
+                        rec.bwd[mu] = local_index(ld, dn) as u32;
+                        rec.bwd_wrap |= 1 << mu;
+                    } else {
+                        rec.bwd[mu] = (v_loc + bwd_base[mu] + face_pos(ld, mu, c)) as u32;
+                        if g_mu == 0 {
+                            rec.bwd_wrap |= 1 << mu;
+                        }
+                    }
+                }
+                neighbors.push(rec);
+            }
+
+            // Faces and neighbor ranks per partitioned direction.
+            let mut exchanges = Vec::with_capacity(pdims.len());
+            for &mu in &pdims {
+                let face_len = v_loc / ld[mu];
+                let mut low_face = Vec::with_capacity(face_len);
+                for_each_face_site(ld, mu, 0, |c| low_face.push(local_index(ld, c) as u32));
+                let mut high_face = Vec::with_capacity(face_len);
+                for_each_face_site(ld, mu, ld[mu] - 1, |c| {
+                    high_face.push(local_index(ld, c) as u32)
+                });
+                let mut up = coords;
+                up[mu] = (coords[mu] + 1) % grid[mu];
+                let mut dn = coords;
+                dn[mu] = (coords[mu] + grid[mu] - 1) % grid[mu];
+                exchanges.push(DimExchange {
+                    mu,
+                    face_len,
+                    low_face,
+                    high_face,
+                    fwd_ghost_base: fwd_base[mu],
+                    bwd_ghost_base: bwd_base[mu],
+                    fwd_rank: rank_index(up),
+                    bwd_rank: rank_index(dn),
+                });
+            }
+
+            // Interior / per-direction boundary split for the fine-grained
+            // pipeline: a site joins the group of its *highest* ghost-needing
+            // direction, so after unpacking directions 0..=k every site in
+            // `boundary[k]` has all its ghosts.
+            let mut interior = Vec::new();
+            let mut boundary = vec![Vec::new(); pdims.len()];
+            for lx in 0..v_loc {
+                let c = local_coords(ld, lx);
+                let mut last: Option<usize> = None;
+                for (k, &mu) in pdims.iter().enumerate() {
+                    if c[mu] == 0 || c[mu] + 1 == ld[mu] {
+                        last = Some(k);
+                    }
+                }
+                match last {
+                    None => interior.push(lx as u32),
+                    Some(k) => boundary[k].push(lx as u32),
+                }
+            }
+            let split: usize = interior.len() + boundary.iter().map(Vec::len).sum::<usize>();
+            assert_eq!(
+                split, v_loc,
+                "interior/boundary groups must tile the sublattice"
+            );
+
+            ranks.push(RankDomain {
+                coords,
+                origin,
+                neighbors,
+                local_to_global,
+                exchanges,
+                interior,
+                boundary,
+            });
+        }
+
+        Some(Self {
+            lattice: lattice.clone(),
+            decomp,
+            v_loc,
+            ghost_len,
+            ranks,
+        })
+    }
+
+    /// The global lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The analytic decomposition (grid, halo traffic, byte model).
+    pub fn decomp(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// Rank grid.
+    pub fn grid(&self) -> [usize; ND] {
+        self.decomp.grid
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Local 4D sites per rank.
+    pub fn local_volume(&self) -> usize {
+        self.v_loc
+    }
+
+    /// Ghost sites per rank (all partitioned directions, both sides).
+    pub fn ghost_len(&self) -> usize {
+        self.ghost_len
+    }
+
+    /// Per-rank views.
+    pub fn ranks(&self) -> &[RankDomain] {
+        &self.ranks
+    }
+
+    /// Messages one operator application exchanges across all ranks: two
+    /// faces per partitioned direction per rank — `n_ranks ×` the analytic
+    /// per-GPU [`Decomposition::messages_per_apply`].
+    pub fn total_messages_per_apply(&self) -> usize {
+        self.n_ranks() * self.decomp.messages_per_apply()
+    }
+
+    /// Grid as a tune-key string, e.g. `"2x2x1x1"`.
+    pub fn grid_string(&self) -> String {
+        let g = self.grid();
+        format!("{}x{}x{}x{}", g[0], g[1], g[2], g[3])
+    }
+}

@@ -1,0 +1,581 @@
+//! The sharded halo-exchange dslash: the communication policies *executed*,
+//! not just modeled.
+//!
+//! [`ShardedHopping`] runs the Wilson hopping stencil over a
+//! [`DomainDecomposition`], exchanging face buffers between ranks through
+//! the in-memory [`Mailboxes`] transport. The per-site arithmetic is
+//! [`hop_site`] — the same function the single-domain [`HoppingKernel`]
+//! calls — applied to ghost spinors and gauge links gathered bit-exactly
+//! from the global field, so the output is bit-identical to the
+//! single-domain kernel at any rank grid, thread width, and precision.
+//!
+//! The [`CommPolicy`] knobs change execution, not just a cost formula:
+//!
+//! - `Coarse` exchanges every direction, unpacks everything, then runs one
+//!   fused pass over all sites (no overlap window).
+//! - `Fine` posts all sends, computes the interior while messages are "in
+//!   flight" (the measured overlap window), then pipelines per direction:
+//!   unpack `mu`, compute the sites whose last missing ghosts were `mu`'s.
+//! - `StagedDma` copies pack → staging → wire → ghost (3 copies/message),
+//!   `ZeroCopy` packs straight into the wire buffer (2), and `GdrDirect`
+//!   skips the channel: the receiver gathers the remote face in place (1).
+//!
+//! Every apply cross-checks its actual pack/unpack event counts against the
+//! analytic expectation (exactly-once delivery) and accumulates
+//! [`CommStats`], published to the `obs` registry as `comms.*` metrics.
+
+use super::domain::DomainDecomposition;
+use super::transport::{CommStats, Mailboxes, BOX_BWD, BOX_FWD};
+use crate::dirac::{hop_site, MobiusDirac, MobiusParams, HOPPING_FLOPS_PER_SITE};
+use crate::field::GaugeLinks;
+use crate::lattice::{volume_string, Lattice, ND};
+use crate::real::Real;
+use crate::spinor::Spinor;
+use crate::su3::Su3;
+use autotune::{ParamSpace, TimingHarness, Tunable, TuneKey, TuneParam, Tuner};
+use coral_machine::commpolicy::{CommGranularity, CommPolicy, CommTransport};
+use obs::{Clock, Registry, WallClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A 5D fermion vector sharded over the ranks of a decomposition: per-rank
+/// local storage (s-major, like the global layout) plus a ghost region
+/// refreshed by each halo exchange.
+#[derive(Clone, Debug)]
+pub struct ShardedField<R: Real> {
+    l5: usize,
+    v_loc: usize,
+    ghost_len: usize,
+    /// `locals[r][s * v_loc + lx]`: rank `r`'s spinor at local site `lx`,
+    /// fifth-dimension slice `s`.
+    locals: Vec<Vec<Spinor<R>>>,
+    /// `ghosts[r][s * ghost_len + e]`: ghost slot `e` of slice `s`.
+    ghosts: Vec<Vec<Spinor<R>>>,
+}
+
+impl<R: Real> ShardedField<R> {
+    /// All-zero field over `domain` with `l5` fifth-dimension slices.
+    pub fn zeros(domain: &DomainDecomposition, l5: usize) -> Self {
+        let v_loc = domain.local_volume();
+        let ghost_len = domain.ghost_len();
+        Self {
+            l5,
+            v_loc,
+            ghost_len,
+            locals: vec![vec![Spinor::zero(); l5 * v_loc]; domain.n_ranks()],
+            ghosts: vec![vec![Spinor::zero(); l5 * ghost_len]; domain.n_ranks()],
+        }
+    }
+
+    /// Shard a global s-major 5D vector (`l5 × volume` spinors) onto ranks.
+    pub fn scatter(domain: &DomainDecomposition, global: &[Spinor<R>], l5: usize) -> Self {
+        let v = domain.lattice().volume();
+        assert_eq!(global.len(), l5 * v, "global vector length mismatch");
+        let mut f = Self::zeros(domain, l5);
+        let v_loc = f.v_loc;
+        for (r, rank) in domain.ranks().iter().enumerate() {
+            let local = &mut f.locals[r];
+            for s in 0..l5 {
+                for lx in 0..v_loc {
+                    local[s * v_loc + lx] = global[s * v + rank.local_to_global[lx] as usize];
+                }
+            }
+        }
+        f
+    }
+
+    /// Reassemble the global s-major 5D vector from the rank locals.
+    pub fn gather_into(&self, domain: &DomainDecomposition, global: &mut [Spinor<R>]) {
+        let v = domain.lattice().volume();
+        assert_eq!(global.len(), self.l5 * v, "global vector length mismatch");
+        for (r, rank) in domain.ranks().iter().enumerate() {
+            let local = &self.locals[r];
+            for s in 0..self.l5 {
+                for lx in 0..self.v_loc {
+                    global[s * v + rank.local_to_global[lx] as usize] = local[s * self.v_loc + lx];
+                }
+            }
+        }
+    }
+
+    /// Fifth-dimension extent.
+    pub fn l5(&self) -> usize {
+        self.l5
+    }
+}
+
+/// The decomposed hopping kernel.
+pub struct ShardedHopping<R: Real> {
+    domain: Arc<DomainDecomposition>,
+    /// Per rank: gauge links over the *extended* index space,
+    /// `links[r][e * ND + mu]`, gathered from the global field at
+    /// construction (bit-identical to single-domain link fetches, including
+    /// half-precision decode).
+    links: Vec<Vec<Su3<R>>>,
+    antiperiodic_t: bool,
+    policy: CommPolicy,
+    mail: Mailboxes<R>,
+    clock: Arc<dyn Clock>,
+    stats: CommStats,
+}
+
+impl<R: Real> ShardedHopping<R> {
+    /// Bind the kernel to a decomposition and gauge field under `policy`.
+    pub fn new(
+        domain: Arc<DomainDecomposition>,
+        gauge: &impl GaugeLinks<R>,
+        antiperiodic_t: bool,
+        policy: CommPolicy,
+    ) -> Self {
+        assert_eq!(
+            gauge.volume(),
+            domain.lattice().volume(),
+            "gauge/lattice mismatch"
+        );
+        let links = domain
+            .ranks()
+            .iter()
+            .map(|rank| {
+                let mut tbl = Vec::with_capacity(rank.local_to_global.len() * ND);
+                for &g in &rank.local_to_global {
+                    for mu in 0..ND {
+                        tbl.push(gauge.link(g as usize, mu));
+                    }
+                }
+                tbl
+            })
+            .collect();
+        let mail = Mailboxes::new(domain.n_ranks());
+        Self {
+            domain,
+            links,
+            antiperiodic_t,
+            policy,
+            mail,
+            clock: Arc::new(WallClock::new()),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// The decomposition.
+    pub fn domain(&self) -> &Arc<DomainDecomposition> {
+        &self.domain
+    }
+
+    /// Current communication policy.
+    pub fn policy(&self) -> CommPolicy {
+        self.policy
+    }
+
+    /// Switch communication policy (the autotuner's knob).
+    pub fn set_policy(&mut self, policy: CommPolicy) {
+        self.policy = policy;
+    }
+
+    /// Inject a time source for the overlap-window measurement (tests use
+    /// `obs::ManualClock`).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Zero the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CommStats::default();
+    }
+
+    /// Send-side copies into intermediate buffers per message (before the
+    /// wire) and total copies per message including the ghost unpack.
+    fn copy_profile(&self) -> (u64, u64) {
+        match self.policy.transport {
+            CommTransport::StagedDma => (2, 3),
+            CommTransport::ZeroCopy => (1, 2),
+            CommTransport::GdrDirect => (0, 1),
+        }
+    }
+
+    /// Pack and post both faces of partitioned direction `k` for every rank.
+    /// No-op for GPU-Direct (the receiver gathers in [`Self::deliver_dim`]).
+    fn send_dim(&self, inp: &ShardedField<R>, k: usize, packs: &AtomicU64) {
+        if self.policy.transport == CommTransport::GdrDirect {
+            return;
+        }
+        let staged = self.policy.transport == CommTransport::StagedDma;
+        let domain = &self.domain;
+        let mail = &self.mail;
+        let l5 = inp.l5;
+        let v_loc = inp.v_loc;
+        let locals = &inp.locals;
+        rayon::for_each_chunk(domain.n_ranks(), 1, |ranks| {
+            for r in ranks {
+                let ex = &domain.ranks()[r].exchanges[k];
+                let local = &locals[r];
+                let post = |face: &[u32], dest: usize, side: usize| {
+                    let mut buf = Vec::with_capacity(l5 * ex.face_len);
+                    for s in 0..l5 {
+                        for &lx in face {
+                            buf.push(local[s * v_loc + lx as usize]);
+                        }
+                    }
+                    let wire = if staged {
+                        // Stage through a second buffer: the DMA-to-CPU copy
+                        // the staged transport pays before MPI sees the data.
+                        buf.clone()
+                    } else {
+                        buf
+                    };
+                    mail.send(dest, ex.mu, side, wire);
+                    packs.fetch_add(1, Ordering::Relaxed);
+                };
+                // Low face backward: fills the backward neighbor's forward
+                // ghost zone. High face forward: the converse.
+                post(&ex.low_face, ex.bwd_rank, BOX_FWD);
+                post(&ex.high_face, ex.fwd_rank, BOX_BWD);
+            }
+        });
+    }
+
+    /// Fill every rank's ghost zones for partitioned direction `k`: unpack
+    /// the two waiting messages, or (GPU-Direct) gather the neighbor faces
+    /// straight out of their local storage.
+    fn deliver_dim(&self, inp: &mut ShardedField<R>, k: usize, unpacks: &AtomicU64) {
+        let gdr = self.policy.transport == CommTransport::GdrDirect;
+        let domain = &self.domain;
+        let mail = &self.mail;
+        let l5 = inp.l5;
+        let v_loc = inp.v_loc;
+        let ghost_len = inp.ghost_len;
+        let locals = &inp.locals;
+        rayon::for_each_chunk_mut(&mut inp.ghosts, 1, |r, chunk| {
+            let ghosts = &mut chunk[0];
+            let ex = &domain.ranks()[r].exchanges[k];
+            if gdr {
+                let mut gather = |src_rank: usize, face: &[u32], base: usize| {
+                    let src = &locals[src_rank];
+                    for s in 0..l5 {
+                        for (j, &lx) in face.iter().enumerate() {
+                            ghosts[s * ghost_len + base + j] = src[s * v_loc + lx as usize];
+                        }
+                    }
+                    unpacks.fetch_add(1, Ordering::Relaxed);
+                };
+                // Forward ghosts are the forward neighbor's low face.
+                let fwd = &domain.ranks()[ex.fwd_rank].exchanges[k];
+                gather(ex.fwd_rank, &fwd.low_face, ex.fwd_ghost_base);
+                let bwd = &domain.ranks()[ex.bwd_rank].exchanges[k];
+                gather(ex.bwd_rank, &bwd.high_face, ex.bwd_ghost_base);
+            } else {
+                let mut unpack = |side: usize, base: usize| {
+                    let buf = mail.recv(r, ex.mu, side);
+                    assert_eq!(buf.len(), l5 * ex.face_len, "halo payload size");
+                    for s in 0..l5 {
+                        for j in 0..ex.face_len {
+                            ghosts[s * ghost_len + base + j] = buf[s * ex.face_len + j];
+                        }
+                    }
+                    unpacks.fetch_add(1, Ordering::Relaxed);
+                };
+                unpack(BOX_FWD, ex.fwd_ghost_base);
+                unpack(BOX_BWD, ex.bwd_ghost_base);
+            }
+        });
+    }
+
+    /// Compute `out = H inp` on a per-rank list of local sites (`None`: all
+    /// sites). Each output site is written exactly once by shared
+    /// [`hop_site`] arithmetic, so results are bit-identical at any thread
+    /// width and for any site-list schedule.
+    fn compute(&self, out: &mut ShardedField<R>, inp: &ShardedField<R>, which: SiteSet) -> u64 {
+        let domain = &self.domain;
+        let links = &self.links;
+        let apbc = self.antiperiodic_t;
+        let l5 = inp.l5;
+        let v_loc = inp.v_loc;
+        let ghost_len = inp.ghost_len;
+        let in_locals = &inp.locals;
+        let in_ghosts = &inp.ghosts;
+        let counted = AtomicU64::new(0);
+        rayon::for_each_chunk_mut(&mut out.locals, 1, |r, chunk| {
+            let o = &mut chunk[0];
+            let rank = &domain.ranks()[r];
+            let lk = &links[r];
+            let loc = &in_locals[r];
+            let gh = &in_ghosts[r];
+            let link = |site: usize, mu: usize| lk[site * ND + mu];
+            let mut run_list = |sites: &mut dyn Iterator<Item = usize>| {
+                let mut n = 0u64;
+                for lx in sites {
+                    let nb = &rank.neighbors[lx];
+                    for s in 0..l5 {
+                        let base_l = s * v_loc;
+                        let base_g = s * ghost_len;
+                        let fetch = |e: usize| {
+                            if e < v_loc {
+                                loc[base_l + e]
+                            } else {
+                                gh[base_g + e - v_loc]
+                            }
+                        };
+                        o[base_l + lx] = hop_site(nb, lx, apbc, &fetch, &link);
+                    }
+                    n += l5 as u64;
+                }
+                counted.fetch_add(n, Ordering::Relaxed);
+            };
+            match which {
+                SiteSet::All => run_list(&mut (0..v_loc)),
+                SiteSet::Interior => run_list(&mut rank.interior.iter().map(|&x| x as usize)),
+                SiteSet::Boundary(k) => run_list(&mut rank.boundary[k].iter().map(|&x| x as usize)),
+            }
+        });
+        counted.load(Ordering::Relaxed)
+    }
+
+    /// `out = H inp` over every rank, exchanging halos under the current
+    /// policy. `inp` is mutable because the exchange refreshes its ghost
+    /// zones; local (owned) input sites are never written.
+    pub fn apply(&mut self, out: &mut ShardedField<R>, inp: &mut ShardedField<R>) {
+        let l5 = inp.l5;
+        assert_eq!(out.l5, l5, "l5 mismatch");
+        assert_eq!(inp.v_loc, self.domain.local_volume(), "input shape");
+        assert_eq!(out.v_loc, self.domain.local_volume(), "output shape");
+        let n_dims = self.domain.decomp().halos.len();
+        let packs = AtomicU64::new(0);
+        let unpacks = AtomicU64::new(0);
+        let mut overlap = 0.0;
+        let (interior_sites, boundary_sites);
+
+        match self.policy.granularity {
+            CommGranularity::Coarse => {
+                // Exchange everything, then one fused pass over all sites.
+                for k in 0..n_dims {
+                    self.send_dim(inp, k, &packs);
+                }
+                for k in 0..n_dims {
+                    self.deliver_dim(inp, k, &unpacks);
+                }
+                interior_sites = 0;
+                boundary_sites = self.compute(out, inp, SiteSet::All);
+            }
+            CommGranularity::Fine => {
+                // Post all sends, overlap interior compute with the
+                // "in-flight" messages, then pipeline per direction.
+                for k in 0..n_dims {
+                    self.send_dim(inp, k, &packs);
+                }
+                let t0 = self.clock.now();
+                interior_sites = self.compute(out, inp, SiteSet::Interior);
+                overlap = self.clock.now() - t0;
+                let mut boundary = 0;
+                for k in 0..n_dims {
+                    self.deliver_dim(inp, k, &unpacks);
+                    boundary += self.compute(out, inp, SiteSet::Boundary(k));
+                }
+                boundary_sites = boundary;
+            }
+        }
+
+        // Exactly-once delivery, cross-checked against the analytic message
+        // count every apply.
+        let expected_msgs = self.domain.total_messages_per_apply() as u64;
+        let gdr = self.policy.transport == CommTransport::GdrDirect;
+        assert_eq!(
+            packs.load(Ordering::Relaxed),
+            if gdr { 0 } else { expected_msgs },
+            "every face must be packed exactly once"
+        );
+        assert_eq!(
+            unpacks.load(Ordering::Relaxed),
+            expected_msgs,
+            "every ghost zone must be filled exactly once"
+        );
+        let total_sites = (self.domain.n_ranks() * self.domain.local_volume() * l5) as u64;
+        assert_eq!(
+            interior_sites + boundary_sites,
+            total_sites,
+            "interior/boundary passes must tile the lattice"
+        );
+
+        // Halo spinors delivered: both faces of every partitioned direction,
+        // per rank, l5-fat messages.
+        let halo_sites: u64 = self
+            .domain
+            .ranks()
+            .iter()
+            .flat_map(|rank| rank.exchanges.iter())
+            .map(|ex| 2 * (ex.face_len * l5) as u64)
+            .sum();
+        let spinor_bytes = std::mem::size_of::<Spinor<R>>() as u64;
+        let (pack_copies, total_copies) = self.copy_profile();
+        let d = CommStats {
+            applies: 1,
+            messages: expected_msgs,
+            halo_sites,
+            bytes_packed: pack_copies * halo_sites * spinor_bytes,
+            bytes_sent: halo_sites * spinor_bytes,
+            copies: total_copies * expected_msgs,
+            sites_interior: interior_sites,
+            sites_boundary: boundary_sites,
+            overlap_seconds: overlap,
+        };
+        self.stats.applies += d.applies;
+        self.stats.messages += d.messages;
+        self.stats.halo_sites += d.halo_sites;
+        self.stats.bytes_packed += d.bytes_packed;
+        self.stats.bytes_sent += d.bytes_sent;
+        self.stats.copies += d.copies;
+        self.stats.sites_interior += d.sites_interior;
+        self.stats.sites_boundary += d.sites_boundary;
+        self.stats.overlap_seconds += d.overlap_seconds;
+        publish(&d);
+    }
+
+    /// Flops of one apply (the standard Wilson-dslash figure over all
+    /// ranks).
+    pub fn flops_per_apply(&self, l5: usize) -> f64 {
+        (self.domain.n_ranks() * self.domain.local_volume() * l5) as f64 * HOPPING_FLOPS_PER_SITE
+    }
+}
+
+/// Which sites a compute pass covers.
+#[derive(Clone, Copy)]
+enum SiteSet {
+    All,
+    Interior,
+    Boundary(usize),
+}
+
+/// Publish one apply's stat deltas as `comms.*` metrics.
+fn publish(d: &CommStats) {
+    let reg = Registry::current();
+    reg.counter("comms.messages").add(d.messages);
+    reg.counter("comms.halo_sites").add(d.halo_sites);
+    reg.counter("comms.bytes_packed").add(d.bytes_packed);
+    reg.counter("comms.bytes_sent").add(d.bytes_sent);
+    reg.counter("comms.copies").add(d.copies);
+    reg.counter("comms.sites_interior").add(d.sites_interior);
+    reg.counter("comms.sites_boundary").add(d.sites_boundary);
+    reg.float_counter("comms.overlap_seconds")
+        .add(d.overlap_seconds);
+}
+
+/// Autotune adapter: sweeps the policy index over [`CommPolicy::all`] with
+/// measured (injected-clock) timings, per (geometry, precision, rank grid).
+struct PolicySweep<'a, R: Real> {
+    kernel: &'a mut ShardedHopping<R>,
+    out: &'a mut ShardedField<R>,
+    inp: &'a mut ShardedField<R>,
+}
+
+impl<'a, R: Real> Tunable for PolicySweep<'a, R> {
+    fn key(&self) -> TuneKey {
+        TuneKey::new(
+            "comms_dslash",
+            format!(
+                "{}x{}",
+                volume_string(self.kernel.domain.lattice().dims()),
+                self.inp.l5
+            ),
+            format!("prec={},grid={}", R::NAME, self.kernel.domain.grid_string()),
+        )
+    }
+
+    fn param_space(&self) -> ParamSpace {
+        ParamSpace::policies(CommPolicy::all().len())
+    }
+
+    fn run(&mut self, param: TuneParam) {
+        self.kernel.set_policy(policy_from_index(param.policy));
+        self.kernel.apply(self.out, self.inp);
+    }
+
+    fn harness(&self) -> TimingHarness {
+        TimingHarness::WallClock { reps: 2 }
+    }
+
+    fn flops(&self) -> f64 {
+        self.kernel.flops_per_apply(self.inp.l5)
+    }
+}
+
+/// Stable policy-index decoding shared by the sweep and its consumers.
+pub fn policy_from_index(idx: usize) -> CommPolicy {
+    let all = CommPolicy::all();
+    all[idx % all.len()]
+}
+
+/// Sweep every communication policy on `kernel` through `tuner` (measured
+/// timings via the tuner's injected clock), leave the winner installed, and
+/// return it. Cached per (geometry, L5, precision, rank grid).
+pub fn tune_comm_policy<R: Real>(
+    tuner: &Tuner,
+    kernel: &mut ShardedHopping<R>,
+    out: &mut ShardedField<R>,
+    inp: &mut ShardedField<R>,
+) -> CommPolicy {
+    let param = tuner.tune(&mut PolicySweep { kernel, out, inp });
+    let best = policy_from_index(param.policy);
+    kernel.set_policy(best);
+    best
+}
+
+/// The Möbius domain-wall operator with its 4D hopping term executed by the
+/// sharded halo-exchange kernel. The fifth-dimension algebra is
+/// [`MobiusDirac`]'s own, so the full apply is bit-identical to the
+/// single-domain operator.
+pub struct ShardedMobius<'a, R: Real, G: GaugeLinks<R>> {
+    mobius: MobiusDirac<'a, R, G>,
+    hop: ShardedHopping<R>,
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> ShardedMobius<'a, R, G> {
+    /// Bind the operator. `domain` must decompose `lattice`.
+    pub fn new(
+        lattice: &'a Lattice,
+        gauge: &'a G,
+        params: MobiusParams,
+        domain: Arc<DomainDecomposition>,
+        policy: CommPolicy,
+    ) -> Self {
+        assert_eq!(
+            domain.lattice().volume(),
+            lattice.volume(),
+            "domain/lattice mismatch"
+        );
+        // Antiperiodic-t matches MobiusDirac::new (the physical choice).
+        let hop = ShardedHopping::new(domain, gauge, true, policy);
+        Self {
+            mobius: MobiusDirac::new(lattice, gauge, params),
+            hop,
+        }
+    }
+
+    /// The sharded hopping kernel (policy knob, stats, clock injection).
+    pub fn hopping_mut(&mut self) -> &mut ShardedHopping<R> {
+        &mut self.hop
+    }
+
+    /// Vector length of the operator (`L5 × volume`).
+    pub fn vec_len(&self) -> usize {
+        self.mobius.params().l5 * self.mobius.lattice().volume()
+    }
+
+    /// `out = D inp` on global s-major 5D vectors: scatter the hopping
+    /// operand, run the decomposed dslash, gather — fifth-dimension algebra
+    /// untouched.
+    pub fn apply(&mut self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let Self { mobius, hop } = self;
+        let l5 = mobius.params().l5;
+        let domain = hop.domain().clone();
+        mobius.apply_with_hop(out, inp, &mut |o, i| {
+            let mut si = ShardedField::scatter(&domain, i, l5);
+            let mut so = ShardedField::zeros(&domain, l5);
+            hop.apply(&mut so, &mut si);
+            so.gather_into(&domain, o);
+        });
+    }
+}

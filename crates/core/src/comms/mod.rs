@@ -1,0 +1,25 @@
+//! Rank-decomposed execution: the communication layer the cost models in
+//! `coral-machine` describe, actually run.
+//!
+//! The module maps a `coral_machine::decomp` rank grid onto the real
+//! [`crate::lattice::Lattice`] ([`DomainDecomposition`]), exchanges halo
+//! faces between ranks through an in-memory channel transport
+//! ([`transport`]), and executes the hopping/Möbius stencils over the shards
+//! ([`ShardedHopping`], [`ShardedMobius`]) with output bit-identical to the
+//! single-domain kernels at any rank grid, thread width, and precision.
+//!
+//! Both layers speak the same `CommPolicy` type: `perfmodel`/`commpolicy`
+//! predict exchange cost from a policy, and this module *executes* that
+//! policy — [`tune_comm_policy`] closes the loop by sweeping the policies
+//! with measured timings and the `repro comms` experiment commits
+//! measured-vs-analytic columns side by side.
+
+mod domain;
+mod kernel;
+mod transport;
+
+pub use domain::{DimExchange, DomainDecomposition, RankDomain};
+pub use kernel::{
+    policy_from_index, tune_comm_policy, ShardedField, ShardedHopping, ShardedMobius,
+};
+pub use transport::{CommStats, Mailboxes, BOX_BWD, BOX_FWD};

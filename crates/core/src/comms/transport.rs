@@ -1,0 +1,125 @@
+//! In-memory multi-rank transport: one mailbox per (rank, direction, side).
+//!
+//! Ranks exchange face buffers through `mpsc` channels, mirroring the
+//! point-to-point structure of the MPI halo exchange: a message is addressed
+//! by (destination rank, direction `mu`, which ghost zone it fills), so no
+//! tags travel with the payload and delivery is exactly-once by
+//! construction — [`Mailboxes::recv`] asserts that precisely one message is
+//! waiting per box per exchange.
+//!
+//! The transport policies differ in how many buffer copies a payload makes
+//! on its way into the ghost zone (the "real copy counts" the analytic
+//! [`coral_machine::commpolicy::CommPolicy`] model charges for):
+//! staged-DMA packs, stages, sends, and unpacks; zero-copy packs straight
+//! into the wire buffer; GPU-Direct skips the channel entirely and the
+//! receiver gathers the remote face in place.
+
+use crate::lattice::ND;
+use crate::real::Real;
+use crate::spinor::Spinor;
+use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Side index of a mailbox: which ghost zone of the destination the message
+/// fills.
+pub const BOX_FWD: usize = 0;
+/// See [`BOX_FWD`].
+pub const BOX_BWD: usize = 1;
+
+type Payload<R> = Vec<Spinor<R>>;
+/// Both mailboxes of one (rank, direction): `[BOX_FWD, BOX_BWD]`.
+type TxBoxes<R> = [Sender<Payload<R>>; 2];
+type RxBoxes<R> = [Mutex<Receiver<Payload<R>>>; 2];
+
+/// Per-rank, per-direction, per-side channels. Senders are shared (`Sync`
+/// since any rank may post to any neighbor concurrently); each receiver is
+/// only ever drained by its owning rank, behind an uncontended mutex.
+pub struct Mailboxes<R: Real> {
+    tx: Vec<[TxBoxes<R>; ND]>,
+    rx: Vec<[RxBoxes<R>; ND]>,
+}
+
+impl<R: Real> Mailboxes<R> {
+    /// Wire up `n_ranks × ND × 2` channels.
+    pub fn new(n_ranks: usize) -> Self {
+        let mut tx = Vec::with_capacity(n_ranks);
+        let mut rx = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let mut pair: (Vec<TxBoxes<R>>, Vec<RxBoxes<R>>) =
+                (Vec::with_capacity(ND), Vec::with_capacity(ND));
+            for _ in 0..ND {
+                let (t0, r0) = channel();
+                let (t1, r1) = channel();
+                pair.0.push([t0, t1]);
+                pair.1.push([Mutex::new(r0), Mutex::new(r1)]);
+            }
+            let Ok(t) = <[_; ND]>::try_from(pair.0) else {
+                unreachable!("built exactly ND sender pairs");
+            };
+            let Ok(r) = <[_; ND]>::try_from(pair.1) else {
+                unreachable!("built exactly ND receiver pairs");
+            };
+            tx.push(t);
+            rx.push(r);
+        }
+        Self { tx, rx }
+    }
+
+    /// Post a face buffer to `(dest, mu, side)`.
+    pub fn send(&self, dest: usize, mu: usize, side: usize, buf: Payload<R>) {
+        let ok = self.tx[dest][mu][side].send(buf).is_ok();
+        assert!(
+            ok,
+            "halo mailbox (rank {dest}, dim {mu}, side {side}) closed"
+        );
+    }
+
+    /// Drain the single message waiting at `(rank, mu, side)`.
+    ///
+    /// The exchange discipline posts exactly one message per box per
+    /// operator application before any unpack runs; both under- and
+    /// over-delivery are hard errors.
+    pub fn recv(&self, rank: usize, mu: usize, side: usize) -> Payload<R> {
+        let guard = self.rx[rank][mu][side].lock();
+        let Ok(buf) = guard.try_recv() else {
+            unreachable!("missing halo message at (rank {rank}, dim {mu}, side {side})");
+        };
+        assert!(
+            guard.try_recv().is_err(),
+            "duplicate halo message at (rank {rank}, dim {mu}, side {side})"
+        );
+        buf
+    }
+}
+
+/// Cumulative execution statistics of a sharded kernel, for
+/// measured-vs-analytic cross-checks and obs metrics. All fields except the
+/// overlap window are deterministic functions of (geometry, policy, applies)
+/// and are asserted against actual pack/unpack event counts on every apply.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Operator applications executed.
+    pub applies: u64,
+    /// Logical neighbor messages (two per partitioned direction per rank per
+    /// apply, for every transport — GPU-Direct still *exchanges*, it just
+    /// does not stage).
+    pub messages: u64,
+    /// 5D halo spinors delivered into ghost zones.
+    pub halo_sites: u64,
+    /// Bytes written into intermediate send-side buffers (staged-DMA copies
+    /// twice before the wire, zero-copy once, GPU-Direct none).
+    pub bytes_packed: u64,
+    /// Payload bytes delivered across rank boundaries.
+    pub bytes_sent: u64,
+    /// Total buffer copies including the ghost-zone unpack (3, 2, or 1 per
+    /// message by transport).
+    pub copies: u64,
+    /// 5D site updates computed inside the overlap window (fine granularity
+    /// only).
+    pub sites_interior: u64,
+    /// 5D site updates computed after halo arrival.
+    pub sites_boundary: u64,
+    /// Measured interior-compute time between posting sends and the first
+    /// unpack — the communication/computation overlap window.
+    pub overlap_seconds: f64,
+}

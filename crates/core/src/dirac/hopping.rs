@@ -14,13 +14,83 @@
 use crate::complex::Complex;
 use crate::field::GaugeLinks;
 use crate::gamma::GAMMAS;
-use crate::lattice::{Lattice, Parity, ND};
+use crate::lattice::{Lattice, Neighbors, Parity, ND};
 use crate::real::Real;
 use crate::spinor::Spinor;
+use crate::su3::Su3;
 
 /// Flops per site of one full hopping application (8 directions, half-spinor
 /// form): the standard Wilson-dslash figure.
 pub const HOPPING_FLOPS_PER_SITE: f64 = 1320.0;
+
+/// One site of `H ψ` in half-spinor form, with all geometry abstracted out:
+/// neighbor indices come from `nb`, spinors from `fetch`, links from
+/// `link(site, mu)`. The single-domain kernel resolves these against the
+/// full lattice; the sharded halo-exchange kernel resolves them against
+/// extended local tables whose wrap flags were computed from *global*
+/// coordinates. Both paths share this one function, so their outputs are
+/// bit-identical by construction.
+#[inline]
+pub fn hop_site<R: Real>(
+    nb: &Neighbors,
+    x: usize,
+    antiperiodic_t: bool,
+    fetch: &impl Fn(usize) -> Spinor<R>,
+    link: &impl Fn(usize, usize) -> Su3<R>,
+) -> Spinor<R> {
+    let mut r = Spinor::zero();
+    for mu in 0..ND {
+        let g = &GAMMAS[mu];
+        let p0 = g.perm[0];
+        let p1 = g.perm[1];
+        let phi0: Complex<R> = g.phase[0].cast();
+        let phi1: Complex<R> = g.phase[1].cast();
+        // Reconstruction phases: result_s = ∓φ_s t_{p(s)} for s = 2, 3.
+        let phi2: Complex<R> = g.phase[2].cast();
+        let phi3: Complex<R> = g.phase[3].cast();
+        let p2 = g.perm[2];
+        let p3 = g.perm[3];
+
+        // Forward hop: (1 − γμ) Uμ(x) ψ(x+μ̂).
+        {
+            let nbr = nb.fwd[mu] as usize;
+            let flip = antiperiodic_t && mu == 3 && (nb.fwd_wrap >> mu) & 1 == 1;
+            let psi = fetch(nbr);
+            let u = link(x, mu);
+            let h0 = psi.s[0] - psi.s[p0].scale_c(phi0);
+            let h1 = psi.s[1] - psi.s[p1].scale_c(phi1);
+            let mut t = [u.mul_vec(&h0), u.mul_vec(&h1)];
+            if flip {
+                t[0] = -t[0];
+                t[1] = -t[1];
+            }
+            r.s[0] += t[0];
+            r.s[1] += t[1];
+            r.s[2] += -(t[p2].scale_c(phi2));
+            r.s[3] += -(t[p3].scale_c(phi3));
+        }
+
+        // Backward hop: (1 + γμ) U†μ(x−μ̂) ψ(x−μ̂).
+        {
+            let nbr = nb.bwd[mu] as usize;
+            let flip = antiperiodic_t && mu == 3 && (nb.bwd_wrap >> mu) & 1 == 1;
+            let psi = fetch(nbr);
+            let u = link(nbr, mu);
+            let h0 = psi.s[0] + psi.s[p0].scale_c(phi0);
+            let h1 = psi.s[1] + psi.s[p1].scale_c(phi1);
+            let mut t = [u.dagger_mul_vec(&h0), u.dagger_mul_vec(&h1)];
+            if flip {
+                t[0] = -t[0];
+                t[1] = -t[1];
+            }
+            r.s[0] += t[0];
+            r.s[1] += t[1];
+            r.s[2] += t[p2].scale_c(phi2);
+            r.s[3] += t[p3].scale_c(phi3);
+        }
+    }
+    r
+}
 
 /// Hopping-term kernel bound to a lattice and a gauge field.
 pub struct HoppingKernel<'a, R: Real, G: GaugeLinks<R>> {
@@ -54,58 +124,9 @@ impl<'a, R: Real, G: GaugeLinks<R>> HoppingKernel<'a, R, G> {
     #[inline]
     fn site_hop(&self, x: usize, fetch: &impl Fn(usize) -> Spinor<R>) -> Spinor<R> {
         let nb = self.lattice.neighbors(x);
-        let mut r = Spinor::zero();
-        for mu in 0..ND {
-            let g = &GAMMAS[mu];
-            let p0 = g.perm[0];
-            let p1 = g.perm[1];
-            let phi0: Complex<R> = g.phase[0].cast();
-            let phi1: Complex<R> = g.phase[1].cast();
-            // Reconstruction phases: result_s = ∓φ_s t_{p(s)} for s = 2, 3.
-            let phi2: Complex<R> = g.phase[2].cast();
-            let phi3: Complex<R> = g.phase[3].cast();
-            let p2 = g.perm[2];
-            let p3 = g.perm[3];
-
-            // Forward hop: (1 − γμ) Uμ(x) ψ(x+μ̂).
-            {
-                let nbr = nb.fwd[mu] as usize;
-                let flip = self.antiperiodic_t && mu == 3 && (nb.fwd_wrap >> mu) & 1 == 1;
-                let psi = fetch(nbr);
-                let u = self.gauge.link(x, mu);
-                let h0 = psi.s[0] - psi.s[p0].scale_c(phi0);
-                let h1 = psi.s[1] - psi.s[p1].scale_c(phi1);
-                let mut t = [u.mul_vec(&h0), u.mul_vec(&h1)];
-                if flip {
-                    t[0] = -t[0];
-                    t[1] = -t[1];
-                }
-                r.s[0] += t[0];
-                r.s[1] += t[1];
-                r.s[2] += -(t[p2].scale_c(phi2));
-                r.s[3] += -(t[p3].scale_c(phi3));
-            }
-
-            // Backward hop: (1 + γμ) U†μ(x−μ̂) ψ(x−μ̂).
-            {
-                let nbr = nb.bwd[mu] as usize;
-                let flip = self.antiperiodic_t && mu == 3 && (nb.bwd_wrap >> mu) & 1 == 1;
-                let psi = fetch(nbr);
-                let u = self.gauge.link(nbr, mu);
-                let h0 = psi.s[0] + psi.s[p0].scale_c(phi0);
-                let h1 = psi.s[1] + psi.s[p1].scale_c(phi1);
-                let mut t = [u.dagger_mul_vec(&h0), u.dagger_mul_vec(&h1)];
-                if flip {
-                    t[0] = -t[0];
-                    t[1] = -t[1];
-                }
-                r.s[0] += t[0];
-                r.s[1] += t[1];
-                r.s[2] += t[p2].scale_c(phi2);
-                r.s[3] += t[p3].scale_c(phi3);
-            }
-        }
-        r
+        hop_site(nb, x, self.antiperiodic_t, fetch, &|site, mu| {
+            self.gauge.link(site, mu)
+        })
     }
 
     /// `out = H inp` on the full lattice; vectors are lexicographic,

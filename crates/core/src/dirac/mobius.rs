@@ -312,12 +312,19 @@ impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
     }
 }
 
-impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
-    fn vec_len(&self) -> usize {
-        self.l5() * self.lattice.volume()
-    }
+/// Caller-supplied 4D hopping term acting on full 5D (`L5 × V`, s-major)
+/// vectors: `hop(out, inp)`.
+pub type Hop5d<'h, R> = dyn FnMut(&mut [Spinor<R>], &[Spinor<R>]) + 'h;
 
-    fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
+    /// `out = A(inp) − ½ hop(ρ(inp))` with the 4D hopping term supplied by
+    /// the caller: `hop(out, inp)` receives full 5D (`L5 × V`, s-major)
+    /// vectors. The fifth-dimension algebra (`ρ`, `A`, the halving) is
+    /// applied identically to [`LinearOp::apply`], so any `hop` that is
+    /// bit-identical to the bound single-domain kernel — e.g. the sharded
+    /// halo-exchange dslash in [`crate::comms`] — yields a bit-identical
+    /// Möbius application.
+    pub fn apply_with_hop(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], hop: &mut Hop5d<'_, R>) {
         let v = self.lattice.volume();
         let p = &self.fifth.params;
         let n = self.vec_len();
@@ -328,7 +335,7 @@ impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
         let mut rho = vec![Spinor::zero(); n];
         self.fifth.affine_shift(&mut rho, inp, v, p.b5, p.c5, false);
         let mut hrho = vec![Spinor::zero(); n];
-        self.hop_5d(&mut hrho, &rho);
+        hop(&mut hrho, &rho);
 
         // A(ψ) − ½ H ρ(ψ).
         self.fifth
@@ -337,6 +344,16 @@ impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
         out.par_iter_mut().zip(hrho.par_iter()).for_each(|(o, h)| {
             *o = *o - h.scale(half);
         });
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
+    fn vec_len(&self) -> usize {
+        self.l5() * self.lattice.volume()
+    }
+
+    fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        self.apply_with_hop(out, inp, &mut |o, i| self.hop_5d(o, i));
     }
 
     fn flops_per_apply(&self) -> f64 {

@@ -4,7 +4,7 @@ mod hopping;
 mod mobius;
 mod wilson;
 
-pub use hopping::HoppingKernel;
+pub use hopping::{hop_site, HoppingKernel, HOPPING_FLOPS_PER_SITE};
 pub use mobius::{MobiusDirac, MobiusParams, PrecMobius};
 pub use wilson::{PrecWilson, WilsonDirac};
 

@@ -32,6 +32,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod blas;
+pub mod comms;
 pub mod complex;
 pub mod contract;
 pub mod dirac;
@@ -58,6 +59,10 @@ pub mod tune;
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::blas;
+    pub use crate::comms::{
+        tune_comm_policy, CommStats, DomainDecomposition, ShardedField, ShardedHopping,
+        ShardedMobius,
+    };
     pub use crate::complex::{Complex, C32, C64};
     pub use crate::contract::{
         effective_mass, meson_correlator, pion_correlator, pion_correlator_momentum,

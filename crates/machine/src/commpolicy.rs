@@ -15,7 +15,7 @@
 //! the available policies per (machine, decomposition) exactly as the
 //! paper's communication-policy tuning does.
 
-use crate::decomp::Decomposition;
+use crate::decomp::{Decomposition, HALO_BYTES_PER_SITE};
 use crate::specs::MachineSpec;
 use serde::{Deserialize, Serialize};
 
@@ -149,26 +149,33 @@ impl CommPolicy {
 
     /// Time for one operator application's halo exchange under this policy,
     /// seconds: intra-node over NVLink (CUDA IPC), inter-node over the NIC
-    /// with message-size derating, plus per-message latencies.
+    /// with message-size derating, plus per-message latencies. Every
+    /// partitioned direction exchanges two face messages (forward and
+    /// backward), and each message pays its own software latency and is
+    /// derated by its own size — faces of an asymmetric decomposition differ
+    /// by large factors, so an average-size model misprices the sum.
     pub fn exchange_time(&self, machine: &MachineSpec, decomp: &Decomposition) -> f64 {
-        let (intra_bytes, inter_bytes) = decomp.halo_bytes();
         let mut t = 0.0;
 
+        // CUDA IPC over NVLink; small residual software latency per message
+        // after the paper's dense-node optimization removed CPU
+        // synchronization — charged per message, like the inter-node path.
+        let (intra_bytes, _) = decomp.halo_bytes();
+        let n_intra_msgs = 2 * decomp.halos.iter().filter(|h| h.intra_node).count();
         if intra_bytes > 0.0 {
-            // CUDA IPC over NVLink; negligible software latency after the
-            // paper's dense-node optimization removed CPU synchronization.
-            t += intra_bytes / (machine.nvlink_bw_gbs * 1e9) + 2e-6;
+            t += intra_bytes / (machine.nvlink_bw_gbs * 1e9) + n_intra_msgs as f64 * 2e-6;
         }
 
-        if inter_bytes > 0.0 {
-            let inter_dirs: Vec<_> = decomp.halos.iter().filter(|h| !h.intra_node).collect();
-            let n_msgs = 2 * inter_dirs.len();
-            // Average face message size for derating.
-            let avg_msg = inter_bytes / n_msgs as f64;
+        // Inter-node over the NIC, per direction: each of the two face
+        // messages carries half the direction's halo sites and is derated by
+        // that actual message size.
+        for h in decomp.halos.iter().filter(|h| !h.intra_node) {
+            let dir_bytes = h.sites * HALO_BYTES_PER_SITE;
+            let msg_bytes = dir_bytes / 2.0;
             let half = self.half_saturation_bytes();
-            let utilization = avg_msg / (avg_msg + half);
+            let utilization = msg_bytes / (msg_bytes + half);
             let bw = self.base_inter_bw(machine) * 1e9 * utilization.max(1e-3);
-            t += inter_bytes / bw + n_msgs as f64 * self.message_latency(machine);
+            t += dir_bytes / bw + 2.0 * self.message_latency(machine);
         }
 
         t
@@ -241,6 +248,120 @@ mod tests {
             granularity: CommGranularity::Coarse,
         };
         assert!(p.exchange_time(&titan(), &d_t) > p.exchange_time(&sierra(), &d_s));
+    }
+
+    #[test]
+    fn intra_node_latency_is_charged_per_message() {
+        // Build two all-intra decompositions by hand that move the same
+        // total bytes through a different number of messages: one partitioned
+        // direction (2 messages) versus two (4 messages). The bandwidth term
+        // is byte-count-only, so the times must differ by exactly the extra
+        // two IPC latencies.
+        use crate::decomp::HaloTraffic;
+        let m = sierra();
+        let one_dir = Decomposition {
+            grid: [4, 1, 1, 1],
+            local_dims: [12, 48, 48, 64],
+            l5: 12,
+            halos: vec![HaloTraffic {
+                dir: 0,
+                sites: 4000.0,
+                intra_node: true,
+            }],
+        };
+        let two_dirs = Decomposition {
+            grid: [2, 2, 1, 1],
+            local_dims: [24, 24, 48, 64],
+            l5: 12,
+            halos: vec![
+                HaloTraffic {
+                    dir: 0,
+                    sites: 2000.0,
+                    intra_node: true,
+                },
+                HaloTraffic {
+                    dir: 1,
+                    sites: 2000.0,
+                    intra_node: true,
+                },
+            ],
+        };
+        let p = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Coarse,
+        };
+        let t1 = p.exchange_time(&m, &one_dir);
+        let t2 = p.exchange_time(&m, &two_dirs);
+        assert!(
+            ((t2 - t1) - 2.0 * 2e-6).abs() < 1e-12,
+            "two extra intra-node messages must cost exactly two IPC latencies: {t1} vs {t2}"
+        );
+    }
+
+    #[test]
+    fn inter_node_derating_uses_each_faces_actual_size() {
+        // Asymmetric halos: one huge direction (near peak bandwidth) and one
+        // tiny one whose messages sit below the utilization floor, where the
+        // transfer is latency-bound rather than bandwidth-bound. Because
+        // `bytes/util(msg)` is affine in the message size above the floor,
+        // averaging is harmless there — but a face in the floor regime crawls
+        // at 0.1% utilization while the average-size model lets it borrow the
+        // big face's ~92%, provably mispredicting the per-face sum.
+        use crate::decomp::HaloTraffic;
+        let m = sierra();
+        let p = CommPolicy {
+            transport: CommTransport::StagedDma,
+            granularity: CommGranularity::Coarse,
+        };
+        let big = 2.0e6; // sites; ~24 MB per face — saturated
+        let tiny = 20.0; // sites; 240 B per face — below the floor
+        let d = Decomposition {
+            grid: [2, 2, 1, 1],
+            local_dims: [24, 24, 48, 64],
+            l5: 12,
+            halos: vec![
+                HaloTraffic {
+                    dir: 0,
+                    sites: big,
+                    intra_node: false,
+                },
+                HaloTraffic {
+                    dir: 1,
+                    sites: tiny,
+                    intra_node: false,
+                },
+            ],
+        };
+
+        // Hand-computed per-direction sum (the fixed model).
+        let bw_peak = {
+            // Mirror base_inter_bw for StagedDma on sierra.
+            (m.nic_bw_gbs * 0.55).min(m.cpu_gpu_bw_gbs * 0.5) / m.gpus_per_node as f64
+        } * 1e9;
+        let half = 1.0e6;
+        let lat = m.net_latency_us * 1e-6 + 8e-6;
+        let per_dir = |sites: f64| {
+            let bytes = sites * HALO_BYTES_PER_SITE;
+            let msg = bytes / 2.0;
+            let util = (msg / (msg + half)).max(1e-3);
+            bytes / (bw_peak * util) + 2.0 * lat
+        };
+        let expect = per_dir(big) + per_dir(tiny);
+        let got = p.exchange_time(&m, &d);
+        assert!(
+            (got - expect).abs() < 1e-12 * expect,
+            "per-direction sum: {got} vs {expect}"
+        );
+
+        // The old average-size model mispredicts this sum.
+        let inter_bytes = (big + tiny) * HALO_BYTES_PER_SITE;
+        let avg_msg = inter_bytes / 4.0;
+        let avg_util = (avg_msg / (avg_msg + half)).max(1e-3);
+        let avg_model = inter_bytes / (bw_peak * avg_util) + 4.0 * lat;
+        assert!(
+            (avg_model - expect).abs() > 0.02 * expect,
+            "average-size model must provably mispredict: avg {avg_model} vs true {expect}"
+        );
     }
 
     #[test]

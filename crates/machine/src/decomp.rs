@@ -50,7 +50,32 @@ impl Decomposition {
         let mut grid = [1usize; 4];
         search(dims, n_gpus, 0, &mut grid, &mut best);
         let (grid, _) = best?;
+        // The search only emits divisible grids; `with_grid` re-validates so
+        // an uneven slicing can never be constructed silently.
+        Self::with_grid(dims, l5, grid, gpus_per_node)
+    }
 
+    /// Build the decomposition for an explicit rank grid.
+    ///
+    /// Returns `None` (never a silently uneven slicing) when any extent is
+    /// not divisible by its rank-grid factor, when a partitioned direction
+    /// would leave a local extent below the stencil radius requirement
+    /// (≥ 2), or when a grid factor is zero.
+    pub fn with_grid(
+        dims: [usize; 4],
+        l5: usize,
+        grid: [usize; 4],
+        gpus_per_node: usize,
+    ) -> Option<Self> {
+        for mu in 0..4 {
+            if grid[mu] == 0 || !dims[mu].is_multiple_of(grid[mu]) {
+                return None;
+            }
+            if grid[mu] > 1 && dims[mu] / grid[mu] < 2 {
+                return None;
+            }
+        }
+        let n_gpus: usize = grid.iter().product();
         let local = [
             dims[0] / grid[0],
             dims[1] / grid[1],
@@ -67,7 +92,7 @@ impl Decomposition {
         // Largest halo first gets the intra-node slots.
         dirs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
 
-        let mut node_budget = gpus_per_node;
+        let mut node_budget = gpus_per_node.max(1);
         let mut halos = Vec::new();
         for (mu, sites) in dirs {
             let g = grid[mu];
@@ -82,12 +107,43 @@ impl Decomposition {
             });
         }
 
-        Some(Self {
+        let d = Self {
             grid,
             local_dims: local,
             l5,
             halos,
-        })
+        };
+        d.assert_consistent();
+        Some(d)
+    }
+
+    /// Structural invariants every constructed decomposition must satisfy:
+    /// the halo list covers exactly the partitioned directions (so
+    /// `messages_per_apply` — two faces per halo — agrees with the number of
+    /// non-self neighbor exchanges), each direction appears once, and each
+    /// halo's site count matches the face geometry.
+    pub fn assert_consistent(&self) {
+        let partitioned: Vec<usize> = (0..4).filter(|&mu| self.grid[mu] > 1).collect();
+        assert_eq!(
+            self.messages_per_apply(),
+            2 * partitioned.len(),
+            "messages_per_apply must be two faces per non-self halo"
+        );
+        let mut dirs: Vec<usize> = self.halos.iter().map(|h| h.dir).collect();
+        dirs.sort_unstable();
+        assert_eq!(
+            dirs, partitioned,
+            "halo list must cover exactly the partitioned directions"
+        );
+        let local_vol: usize = self.local_dims.iter().product();
+        for h in &self.halos {
+            let expect = 2.0 * (local_vol / self.local_dims[h.dir]) as f64 * self.l5 as f64;
+            assert_eq!(
+                h.sites, expect,
+                "halo sites in direction {} must match the face geometry",
+                h.dir
+            );
+        }
     }
 
     /// Local 4D volume per GPU.
@@ -223,6 +279,84 @@ mod tests {
     fn impossible_decomposition_returns_none() {
         // 7 GPUs cannot divide a 48³×64 lattice evenly in any direction.
         assert!(Decomposition::best([48, 48, 48, 64], 12, 7, 4).is_none());
+    }
+
+    #[test]
+    fn with_grid_rejects_indivisible_dims() {
+        // 48 is not divisible by 5; 64/32 = 2 is fine but 48/32 is not.
+        assert!(Decomposition::with_grid([48, 48, 48, 64], 12, [5, 1, 1, 1], 4).is_none());
+        assert!(Decomposition::with_grid([48, 48, 48, 64], 12, [32, 1, 1, 1], 4).is_none());
+        // Divisible but local extent would drop below the stencil radius.
+        assert!(Decomposition::with_grid([4, 4, 4, 8], 12, [4, 1, 1, 1], 4).is_none());
+        // Zero factors can never slice anything.
+        assert!(Decomposition::with_grid([48, 48, 48, 64], 12, [0, 1, 1, 1], 4).is_none());
+    }
+
+    #[test]
+    fn with_grid_matches_best_for_its_grid() {
+        let b = Decomposition::best([48, 48, 48, 64], 12, 16, 4).expect("fits");
+        let w = Decomposition::with_grid([48, 48, 48, 64], 12, b.grid, 4).expect("same grid fits");
+        assert_eq!(b.local_dims, w.local_dims);
+        assert_eq!(b.halo_bytes(), w.halo_bytes());
+        assert_eq!(b.messages_per_apply(), w.messages_per_apply());
+    }
+
+    proptest::proptest! {
+        /// Random dims × grids: `with_grid` either refuses or produces a
+        /// decomposition whose invariants all hold and whose message count
+        /// agrees with its non-self halo list.
+        #[test]
+        fn with_grid_is_total_and_consistent(
+            d0 in 1usize..=32, d1 in 1usize..=32, d2 in 1usize..=32, d3 in 1usize..=32,
+            g0 in 0usize..=8, g1 in 0usize..=8, g2 in 0usize..=8, g3 in 0usize..=8,
+            l5 in 1usize..=16,
+            gpn in 1usize..=8,
+        ) {
+            let dims = [d0, d1, d2, d3];
+            let grid = [g0, g1, g2, g3];
+            let divisible = (0..4).all(|mu| {
+                grid[mu] >= 1
+                    && dims[mu].is_multiple_of(grid[mu])
+                    && (grid[mu] == 1 || dims[mu] / grid[mu] >= 2)
+            });
+            match Decomposition::with_grid(dims, l5, grid, gpn) {
+                None => proptest::prop_assert!(!divisible),
+                Some(d) => {
+                    proptest::prop_assert!(divisible);
+                    d.assert_consistent();
+                    let partitioned = (0..4).filter(|&mu| grid[mu] > 1).count();
+                    proptest::prop_assert_eq!(d.messages_per_apply(), 2 * partitioned);
+                    proptest::prop_assert_eq!(d.messages_per_apply(), 2 * d.halos.len());
+                    for mu in 0..4 {
+                        proptest::prop_assert_eq!(d.local_dims[mu] * grid[mu], dims[mu]);
+                    }
+                    // halo_bytes splits, never invents, traffic.
+                    let (intra, inter) = d.halo_bytes();
+                    let total: f64 = d
+                        .halos
+                        .iter()
+                        .map(|h| h.sites * HALO_BYTES_PER_SITE)
+                        .sum();
+                    proptest::prop_assert!((intra + inter - total).abs() < 1e-9);
+                }
+            }
+        }
+
+        /// `best` never emits an uneven slicing for any GPU count.
+        #[test]
+        fn best_is_always_divisible(
+            n_gpus in 1usize..=64,
+            gpn in 1usize..=8,
+        ) {
+            if let Some(d) = Decomposition::best([48, 48, 48, 64], 12, n_gpus, gpn) {
+                d.assert_consistent();
+                proptest::prop_assert_eq!(d.grid.iter().product::<usize>(), n_gpus);
+                for mu in 0..4 {
+                    proptest::prop_assert_eq!(d.local_dims[mu] * d.grid[mu], [48, 48, 48, 64][mu]);
+                    proptest::prop_assert!(d.local_dims[mu] >= 2);
+                }
+            }
+        }
     }
 
     #[test]
