@@ -28,15 +28,20 @@
 //!             and write measured-vs-analytic columns to comms.csv
 //!             (--quick for CI smoke, --check-schema FILE to verify a
 //!             committed comms.csv still has this build's columns)
+//!   chaos     fault-injection sweep: wire-fault intensity x comm policy
+//!             x {checkpointing on, off} through the fault-tolerant CG
+//!             (--quick for CI smoke, --check-schema FILE to verify a
+//!             committed chaos.csv still has this build's columns)
 //!   lint      workspace static analysis (determinism/safety/layering
 //!             rules R1-R5; --check gates on the committed
 //!             lint-baseline.json, --update-baseline regenerates it)
-//!   all       everything above except bench and comms (timings are
-//!             machine-specific)
+//!   all       everything above except bench, comms, and chaos (timings
+//!             are machine-specific)
 //! ```
 
 use bench::experiments::{
-    ablation, comms, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics, pipeline, tables,
+    ablation, chaos, comms, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics, pipeline,
+    tables,
 };
 use bench::output::ExperimentOutput;
 
@@ -79,12 +84,19 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|all> [--results DIR] [--quick] [--check-schema FILE]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|chaos|all> [--results DIR] [--quick] [--check-schema FILE]"
         );
         std::process::exit(2);
     };
 
-    let out = ExperimentOutput::new(&results_dir).expect("create results dir");
+    let out = ExperimentOutput::new(&results_dir).unwrap_or_else(|e| {
+        eprintln!("repro: cannot create results directory {results_dir}: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = out.ensure_writable() {
+        eprintln!("repro: results directory {results_dir} is not writable: {e}");
+        std::process::exit(1);
+    }
 
     let run_one = |name: &str, out: &ExperimentOutput| match name {
         "table1" => tables::table1(),
@@ -131,15 +143,30 @@ fn main() {
             metrics::run_metrics(out);
         }
         "bench" => {
-            kernels::run_bench(out, &kernels::BenchOpts { quick });
+            if let Err(e) = kernels::run_bench(out, &kernels::BenchOpts { quick }) {
+                eprintln!("repro bench: cannot write results: {e}");
+                std::process::exit(1);
+            }
             if let Some(file) = &check_schema {
                 kernels::check_schema(out, file);
             }
         }
         "comms" => {
-            comms::run_comms(out, &comms::CommsOpts { quick });
+            if let Err(e) = comms::run_comms(out, &comms::CommsOpts { quick }) {
+                eprintln!("repro comms: cannot write results: {e}");
+                std::process::exit(1);
+            }
             if let Some(file) = &check_schema {
                 comms::check_schema(file);
+            }
+        }
+        "chaos" => {
+            if let Err(e) = chaos::run_chaos(out, &chaos::ChaosOpts { quick }) {
+                eprintln!("repro chaos: cannot write results: {e}");
+                std::process::exit(1);
+            }
+            if let Some(file) = &check_schema {
+                chaos::check_schema(file);
             }
         }
         other => {

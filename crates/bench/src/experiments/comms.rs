@@ -47,18 +47,22 @@ fn time_best(
     out: &mut ShardedField<f64>,
     inp: &mut ShardedField<f64>,
 ) -> f64 {
-    kernel.apply(out, inp);
+    kernel
+        .apply(out, inp)
+        .expect("comms experiment runs a fault-free transport");
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let t0 = clock.now();
-        kernel.apply(out, inp);
+        kernel
+            .apply(out, inp)
+            .expect("comms experiment runs a fault-free transport");
         best = best.min(clock.now() - t0);
     }
     best
 }
 
 /// Run the experiment and write `comms.csv` + a console table.
-pub fn run_comms(out: &ExperimentOutput, opts: &CommsOpts) {
+pub fn run_comms(out: &ExperimentOutput, opts: &CommsOpts) -> std::io::Result<()> {
     let (dims, l5, reps) = if opts.quick {
         ([4usize, 4, 4, 8], 4usize, 2usize)
     } else {
@@ -172,9 +176,7 @@ pub fn run_comms(out: &ExperimentOutput, opts: &CommsOpts) {
         }
     }
 
-    let path = out
-        .csv("comms.csv", CSV_HEADER, &rows)
-        .expect("write comms.csv");
+    let path = out.csv("comms.csv", CSV_HEADER, &rows)?;
     print_table(
         "halo exchange: measured vs analytic",
         &[
@@ -191,12 +193,16 @@ pub fn run_comms(out: &ExperimentOutput, opts: &CommsOpts) {
         &table,
     );
     println!("wrote {}", path.display());
+    Ok(())
 }
 
 /// `--check-schema FILE`: verify a committed `comms.csv` still has the
 /// column layout this build writes. Exits non-zero on mismatch.
 pub fn check_schema(file: &str) {
-    let committed = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+    let committed = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("repro comms --check-schema: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
     let header = committed.lines().next().unwrap_or("");
     if header == CSV_HEADER {
         println!("schema check OK: {file} matches the current comms.csv columns");
@@ -227,7 +233,7 @@ mod tests {
     fn quick_run_writes_csv_with_all_policies() {
         let dir = std::env::temp_dir().join("repro_comms_test");
         let out = ExperimentOutput::new(&dir).unwrap();
-        run_comms(&out, &CommsOpts { quick: true });
+        run_comms(&out, &CommsOpts { quick: true }).unwrap();
         let content = std::fs::read_to_string(out.path("comms.csv")).unwrap();
         let mut lines = content.lines();
         assert_eq!(lines.next(), Some(CSV_HEADER));

@@ -99,7 +99,7 @@ fn run_kernels(widths: &[usize], kernels: &mut [Kernel<'_>]) -> Vec<Timed> {
 }
 
 /// Run the benchmark suite and write `BENCH_kernels.json` + `bench.md`.
-pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) {
+pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()> {
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let hi = avail.max(4);
     let widths = [1usize, hi];
@@ -274,7 +274,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) {
         ("kernels", Json::Arr(kernel_json)),
     ]);
     let json_path = out.path("BENCH_kernels.json");
-    std::fs::write(&json_path, json.to_string_pretty() + "\n").expect("write BENCH_kernels.json");
+    std::fs::write(&json_path, json.to_string_pretty() + "\n")?;
 
     // --- emit markdown + console table ---
     let mut md = String::new();
@@ -311,7 +311,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) {
         row.extend(cells);
         rows.push(row);
     }
-    std::fs::write(out.path("bench.md"), md).expect("write bench.md");
+    std::fs::write(out.path("bench.md"), md)?;
     print_table(
         "kernel benchmarks",
         &[
@@ -325,6 +325,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) {
         &rows,
     );
     println!("wrote {} and bench.md", json_path.display());
+    Ok(())
 }
 
 fn gib_per_s(bytes: f64, secs: f64) -> f64 {
@@ -386,14 +387,18 @@ pub fn schema_diff(committed: &Json, fresh: &Json) -> Vec<String> {
 /// `--check-schema FILE`: verify that a committed benchmark JSON still has
 /// the schema this build produces. Exits non-zero on mismatch.
 pub fn check_schema(out: &ExperimentOutput, file: &str) {
-    let committed = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+    let committed = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("repro bench --check-schema: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
     let committed = Json::parse(&committed).expect("parse committed benchmark JSON");
     let fresh_path = out.path("BENCH_kernels.json");
     let fresh = std::fs::read_to_string(&fresh_path).unwrap_or_else(|e| {
-        panic!(
-            "read {}: {e} (run `repro bench` first)",
+        eprintln!(
+            "repro bench --check-schema: cannot read {}: {e} (run `repro bench` first)",
             fresh_path.display()
-        )
+        );
+        std::process::exit(1);
     });
     let fresh = Json::parse(&fresh).expect("parse fresh benchmark JSON");
     let diff = schema_diff(&committed, &fresh);

@@ -1,6 +1,7 @@
 //! One module per reproduced experiment.
 
 pub mod ablation;
+pub mod chaos;
 pub mod comms;
 pub mod faults;
 pub mod fig1;

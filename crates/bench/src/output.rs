@@ -26,6 +26,18 @@ impl ExperimentOutput {
         self.dir.join(name)
     }
 
+    /// Probe that the results directory actually accepts writes.
+    ///
+    /// `create_dir_all` succeeding is not enough — the directory may exist
+    /// but be read-only, or the path may pass through a regular file. This
+    /// writes and removes a probe file so the harness can fail with one
+    /// clear error up front instead of panicking mid-experiment.
+    pub fn ensure_writable(&self) -> std::io::Result<()> {
+        let probe = self.dir.join(".write-probe");
+        std::fs::write(&probe, b"probe")?;
+        std::fs::remove_file(&probe)
+    }
+
     /// Write rows as CSV with a header line.
     pub fn csv(&self, name: &str, header: &str, rows: &[Vec<f64>]) -> std::io::Result<PathBuf> {
         let path = self.path(name);

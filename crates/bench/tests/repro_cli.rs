@@ -1,0 +1,80 @@
+//! Exit-code contract of the `repro` binary's error paths.
+//!
+//! The harness must fail with a clear one-line error (not a panic/abort)
+//! when the results directory cannot be created or written, and with usage
+//! errors for bad arguments — these are the paths CI and scripted callers
+//! branch on.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A results path routed *through a regular file* cannot be created — even
+/// running as root (where read-only directory bits are bypassed), `mkdir
+/// a/b` with `a` a file fails with `NotADirectory`.
+fn blocked_results_dir(tag: &str) -> std::path::PathBuf {
+    let file = std::env::temp_dir().join(format!("repro-cli-block-{tag}-{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").unwrap();
+    file.join("results")
+}
+
+#[test]
+fn uncreatable_results_dir_is_a_clean_error() {
+    let dir = blocked_results_dir("create");
+    let out = repro()
+        .args(["chaos", "--quick", "--results"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // A clean error exit, not a panic abort.
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create results directory"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic on a bad results dir: {stderr}"
+    );
+    std::fs::remove_file(dir.parent().unwrap()).ok();
+}
+
+#[test]
+fn unknown_experiment_is_a_usage_error() {
+    let out = repro().arg("no-such-experiment").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_experiment_prints_usage() {
+    let out = repro().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: repro"), "stderr: {stderr}");
+    assert!(stderr.contains("chaos"), "usage must list chaos: {stderr}");
+}
+
+#[test]
+fn unwritable_results_dir_is_a_clean_error() {
+    // The directory exists but rejects the write probe: running as root
+    // bypasses mode bits, so instead occupy the probe's own path with a
+    // directory — `fs::write(".write-probe")` then fails for any uid.
+    let results = std::env::temp_dir().join(format!("repro-cli-unwritable-{}", std::process::id()));
+    std::fs::create_dir_all(results.join(".write-probe")).unwrap();
+    let out = repro()
+        .args(["chaos", "--quick", "--results"])
+        .arg(&results)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not writable"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&results).ok();
+}

@@ -362,3 +362,42 @@ impl DomainDecomposition {
         format!("{}x{}x{}x{}", g[0], g[1], g[2], g[3])
     }
 }
+
+/// The rank grid a job degrades to after a permanent rank loss: halve the
+/// largest even grid factor, so the surviving ranks still tile the lattice
+/// (e.g. `2x2x1x1` → `2x1x1x1` → `1x1x1x1`). `None` once the grid is a
+/// single rank — or none of its factors can be halved — meaning there is no
+/// smaller grid to retreat to and the job must fail.
+pub fn surviving_grid(grid: [usize; ND]) -> Option<[usize; ND]> {
+    let mut best: Option<usize> = None;
+    for mu in 0..ND {
+        if grid[mu] > 1 && grid[mu].is_multiple_of(2) {
+            match best {
+                Some(b) if grid[b] >= grid[mu] => {}
+                _ => best = Some(mu),
+            }
+        }
+    }
+    let mu = best?;
+    let mut g = grid;
+    g[mu] /= 2;
+    Some(g)
+}
+
+#[cfg(test)]
+mod degrade_tests {
+    use super::*;
+
+    #[test]
+    fn surviving_grid_halves_the_largest_even_factor() {
+        assert_eq!(surviving_grid([2, 2, 1, 1]), Some([1, 2, 1, 1]));
+        assert_eq!(surviving_grid([1, 2, 1, 1]), Some([1, 1, 1, 1]));
+        assert_eq!(surviving_grid([2, 1, 1, 4]), Some([2, 1, 1, 2]));
+        assert_eq!(surviving_grid([1, 1, 1, 1]), None);
+        assert_eq!(
+            surviving_grid([3, 1, 1, 1]),
+            None,
+            "odd factors cannot halve"
+        );
+    }
+}

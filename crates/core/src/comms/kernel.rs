@@ -23,18 +23,33 @@
 //! Every apply cross-checks its actual pack/unpack event counts against the
 //! analytic expectation (exactly-once delivery) and accumulates
 //! [`CommStats`], published to the `obs` registry as `comms.*` metrics.
+//!
+//! Halo messages travel through the CRC-framed [`FaultyTransport`], so
+//! `apply` is fallible: with the (default) disabled fault profile every
+//! exchange succeeds on the first attempt and results are bit-identical to
+//! the fault-free kernel; with faults injected, recovered exchanges are
+//! still bit-exact (the retransmit path redelivers the clean frame) and
+//! unrecoverable ones surface as typed [`CommError`]s for the solver's
+//! checkpoint-restart machinery ([`crate::solver::cg_ft`]). Injection and
+//! recovery tallies are published post-parallel in a fixed order
+//! (`comms.retries`, `comms.crc_failures`, `comms.timeouts`, plus
+//! `comms.fault_injected`/`comms.crc_reject`/`comms.retry`/`comms.timeout`
+//! events), so obs timelines are deterministic at any thread width.
 
-use super::domain::DomainDecomposition;
-use super::transport::{CommStats, Mailboxes, BOX_BWD, BOX_FWD};
+use super::domain::{surviving_grid, DomainDecomposition};
+use super::fault::{CommError, CommFaultProfile, CommRetryPolicy};
+use super::transport::{CommFaultStats, CommStats, FaultyTransport, BOX_BWD, BOX_FWD};
 use crate::dirac::{hop_site, MobiusDirac, MobiusParams, HOPPING_FLOPS_PER_SITE};
 use crate::field::GaugeLinks;
 use crate::lattice::{volume_string, Lattice, ND};
 use crate::real::Real;
+use crate::solver::FallibleOp;
 use crate::spinor::Spinor;
 use crate::su3::Su3;
 use autotune::{ParamSpace, TimingHarness, Tunable, TuneKey, TuneParam, Tuner};
 use coral_machine::commpolicy::{CommGranularity, CommPolicy, CommTransport};
-use obs::{Clock, Registry, WallClock};
+use obs::{Clock, Json, Registry, WallClock};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -114,9 +129,16 @@ pub struct ShardedHopping<R: Real> {
     links: Vec<Vec<Su3<R>>>,
     antiperiodic_t: bool,
     policy: CommPolicy,
-    mail: Mailboxes<R>,
+    transport: FaultyTransport<R>,
     clock: Arc<dyn Clock>,
     stats: CommStats,
+    /// Exchange sequence number: incremented on every apply *attempt*
+    /// (successful or not), so frames stranded by a failed apply are stale
+    /// by sequence number and deduped, never unpacked, on later applies.
+    seq: u64,
+    /// Transport fault-stat snapshot at the end of the previous apply, for
+    /// per-apply delta publication.
+    fault_base: CommFaultStats,
 }
 
 impl<R: Real> ShardedHopping<R> {
@@ -145,15 +167,17 @@ impl<R: Real> ShardedHopping<R> {
                 tbl
             })
             .collect();
-        let mail = Mailboxes::new(domain.n_ranks());
+        let transport = FaultyTransport::new(domain.n_ranks());
         Self {
             domain,
             links,
             antiperiodic_t,
             policy,
-            mail,
+            transport,
             clock: Arc::new(WallClock::new()),
             stats: CommStats::default(),
+            seq: 0,
+            fault_base: CommFaultStats::default(),
         }
     }
 
@@ -188,6 +212,26 @@ impl<R: Real> ShardedHopping<R> {
         self.stats = CommStats::default();
     }
 
+    /// Install a message-fault profile and retry policy on the transport.
+    pub fn set_fault_profile(&mut self, profile: CommFaultProfile, retry: CommRetryPolicy) {
+        self.transport.set_faults(profile, retry);
+    }
+
+    /// The transport's active fault profile.
+    pub fn fault_profile(&self) -> &CommFaultProfile {
+        self.transport.profile()
+    }
+
+    /// Cumulative transport injection/recovery statistics.
+    pub fn fault_stats(&self) -> CommFaultStats {
+        self.transport.fault_stats()
+    }
+
+    /// The next exchange sequence number (== apply attempts so far).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Send-side copies into intermediate buffers per message (before the
     /// wire) and total copies per message including the ghost unpack.
     fn copy_profile(&self) -> (u64, u64) {
@@ -200,21 +244,33 @@ impl<R: Real> ShardedHopping<R> {
 
     /// Pack and post both faces of partitioned direction `k` for every rank.
     /// No-op for GPU-Direct (the receiver gathers in [`Self::deliver_dim`]).
-    fn send_dim(&self, inp: &ShardedField<R>, k: usize, packs: &AtomicU64) {
+    ///
+    /// Every rank attempts both its posts regardless of other ranks'
+    /// failures, so the set of transmissions — and hence the deterministic
+    /// injection draws — is independent of thread schedule; the surfaced
+    /// error is the canonical minimum over all failures ([`merge_err`]).
+    fn send_dim(
+        &self,
+        inp: &ShardedField<R>,
+        k: usize,
+        seq: u64,
+        packs: &AtomicU64,
+    ) -> Result<(), CommError> {
         if self.policy.transport == CommTransport::GdrDirect {
-            return;
+            return Ok(());
         }
         let staged = self.policy.transport == CommTransport::StagedDma;
         let domain = &self.domain;
-        let mail = &self.mail;
+        let transport = &self.transport;
         let l5 = inp.l5;
         let v_loc = inp.v_loc;
         let locals = &inp.locals;
+        let first_err: Mutex<Option<CommError>> = Mutex::new(None);
         rayon::for_each_chunk(domain.n_ranks(), 1, |ranks| {
             for r in ranks {
                 let ex = &domain.ranks()[r].exchanges[k];
                 let local = &locals[r];
-                let post = |face: &[u32], dest: usize, side: usize| {
+                let post = |face: &[u32], dest: usize, side: usize| -> Result<(), CommError> {
                     let mut buf = Vec::with_capacity(l5 * ex.face_len);
                     for s in 0..l5 {
                         for &lx in face {
@@ -228,32 +284,57 @@ impl<R: Real> ShardedHopping<R> {
                     } else {
                         buf
                     };
-                    mail.send(dest, ex.mu, side, wire);
+                    transport.send(r, dest, ex.mu, side, wire, seq)?;
                     packs.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
                 };
                 // Low face backward: fills the backward neighbor's forward
                 // ghost zone. High face forward: the converse.
-                post(&ex.low_face, ex.bwd_rank, BOX_FWD);
-                post(&ex.high_face, ex.fwd_rank, BOX_BWD);
+                if let Err(e) = post(&ex.low_face, ex.bwd_rank, BOX_FWD) {
+                    merge_err(&first_err, e);
+                }
+                if let Err(e) = post(&ex.high_face, ex.fwd_rank, BOX_BWD) {
+                    merge_err(&first_err, e);
+                }
             }
         });
+        let taken = first_err.lock().take();
+        match taken {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Fill every rank's ghost zones for partitioned direction `k`: unpack
-    /// the two waiting messages, or (GPU-Direct) gather the neighbor faces
-    /// straight out of their local storage.
-    fn deliver_dim(&self, inp: &mut ShardedField<R>, k: usize, unpacks: &AtomicU64) {
+    /// Fill every rank's ghost zones for partitioned direction `k`: receive
+    /// and unpack the two expected frames (CRC-verified, retried, deduped by
+    /// the transport), or (GPU-Direct) gather the neighbor faces straight
+    /// out of their local storage — no wire, so immune to message faults,
+    /// but a dead peer still surfaces as [`CommError::RankLost`].
+    fn deliver_dim(
+        &self,
+        inp: &mut ShardedField<R>,
+        k: usize,
+        seq: u64,
+        unpacks: &AtomicU64,
+    ) -> Result<(), CommError> {
         let gdr = self.policy.transport == CommTransport::GdrDirect;
         let domain = &self.domain;
-        let mail = &self.mail;
+        let transport = &self.transport;
         let l5 = inp.l5;
         let v_loc = inp.v_loc;
         let ghost_len = inp.ghost_len;
         let locals = &inp.locals;
+        let first_err: Mutex<Option<CommError>> = Mutex::new(None);
         rayon::for_each_chunk_mut(&mut inp.ghosts, 1, |r, chunk| {
             let ghosts = &mut chunk[0];
             let ex = &domain.ranks()[r].exchanges[k];
             if gdr {
+                for rank in [r, ex.fwd_rank, ex.bwd_rank] {
+                    if !transport.rank_alive(rank, seq) {
+                        merge_err(&first_err, CommError::RankLost { rank });
+                        return;
+                    }
+                }
                 let mut gather = |src_rank: usize, face: &[u32], base: usize| {
                     let src = &locals[src_rank];
                     for s in 0..l5 {
@@ -269,20 +350,29 @@ impl<R: Real> ShardedHopping<R> {
                 let bwd = &domain.ranks()[ex.bwd_rank].exchanges[k];
                 gather(ex.bwd_rank, &bwd.high_face, ex.bwd_ghost_base);
             } else {
-                let mut unpack = |side: usize, base: usize| {
-                    let buf = mail.recv(r, ex.mu, side);
-                    assert_eq!(buf.len(), l5 * ex.face_len, "halo payload size");
+                let mut unpack = |side: usize, src: usize, base: usize| -> Result<(), CommError> {
+                    let buf = transport.recv(r, ex.mu, side, src, seq, l5 * ex.face_len)?;
                     for s in 0..l5 {
                         for j in 0..ex.face_len {
                             ghosts[s * ghost_len + base + j] = buf[s * ex.face_len + j];
                         }
                     }
                     unpacks.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
                 };
-                unpack(BOX_FWD, ex.fwd_ghost_base);
-                unpack(BOX_BWD, ex.bwd_ghost_base);
+                // Forward ghost zone holds the forward neighbor's low face.
+                let res = unpack(BOX_FWD, ex.fwd_rank, ex.fwd_ghost_base)
+                    .and_then(|()| unpack(BOX_BWD, ex.bwd_rank, ex.bwd_ghost_base));
+                if let Err(e) = res {
+                    merge_err(&first_err, e);
+                }
             }
         });
+        let taken = first_err.lock().take();
+        match taken {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Compute `out = H inp` on a per-rank list of local sites (`None`: all
@@ -335,49 +425,81 @@ impl<R: Real> ShardedHopping<R> {
         counted.load(Ordering::Relaxed)
     }
 
-    /// `out = H inp` over every rank, exchanging halos under the current
-    /// policy. `inp` is mutable because the exchange refreshes its ghost
-    /// zones; local (owned) input sites are never written.
-    pub fn apply(&mut self, out: &mut ShardedField<R>, inp: &mut ShardedField<R>) {
-        let l5 = inp.l5;
-        assert_eq!(out.l5, l5, "l5 mismatch");
-        assert_eq!(inp.v_loc, self.domain.local_volume(), "input shape");
-        assert_eq!(out.v_loc, self.domain.local_volume(), "output shape");
+    /// The exchange + compute phases of one apply attempt under sequence
+    /// number `seq`. Stops at the first failing direction.
+    fn exchange(
+        &self,
+        out: &mut ShardedField<R>,
+        inp: &mut ShardedField<R>,
+        seq: u64,
+        packs: &AtomicU64,
+        unpacks: &AtomicU64,
+        overlap: &mut f64,
+    ) -> Result<(u64, u64), CommError> {
         let n_dims = self.domain.decomp().halos.len();
-        let packs = AtomicU64::new(0);
-        let unpacks = AtomicU64::new(0);
-        let mut overlap = 0.0;
-        let (interior_sites, boundary_sites);
-
         match self.policy.granularity {
             CommGranularity::Coarse => {
                 // Exchange everything, then one fused pass over all sites.
                 for k in 0..n_dims {
-                    self.send_dim(inp, k, &packs);
+                    self.send_dim(inp, k, seq, packs)?;
                 }
                 for k in 0..n_dims {
-                    self.deliver_dim(inp, k, &unpacks);
+                    self.deliver_dim(inp, k, seq, unpacks)?;
                 }
-                interior_sites = 0;
-                boundary_sites = self.compute(out, inp, SiteSet::All);
+                Ok((0, self.compute(out, inp, SiteSet::All)))
             }
             CommGranularity::Fine => {
                 // Post all sends, overlap interior compute with the
                 // "in-flight" messages, then pipeline per direction.
                 for k in 0..n_dims {
-                    self.send_dim(inp, k, &packs);
+                    self.send_dim(inp, k, seq, packs)?;
                 }
                 let t0 = self.clock.now();
-                interior_sites = self.compute(out, inp, SiteSet::Interior);
-                overlap = self.clock.now() - t0;
+                let interior = self.compute(out, inp, SiteSet::Interior);
+                *overlap = self.clock.now() - t0;
                 let mut boundary = 0;
                 for k in 0..n_dims {
-                    self.deliver_dim(inp, k, &unpacks);
+                    self.deliver_dim(inp, k, seq, unpacks)?;
                     boundary += self.compute(out, inp, SiteSet::Boundary(k));
                 }
-                boundary_sites = boundary;
+                Ok((interior, boundary))
             }
         }
+    }
+
+    /// `out = H inp` over every rank, exchanging halos under the current
+    /// policy. `inp` is mutable because the exchange refreshes its ghost
+    /// zones; local (owned) input sites are never written.
+    ///
+    /// Fallible: an exchange the transport could not heal within its retry
+    /// budget — or one touching a lost rank — surfaces as a typed
+    /// [`CommError`], with `out`'s contents unspecified. Fault-stat deltas
+    /// are published to obs on *every* attempt (a failed apply still leaves
+    /// its forensic trail); [`CommStats`] only advance on success.
+    pub fn apply(
+        &mut self,
+        out: &mut ShardedField<R>,
+        inp: &mut ShardedField<R>,
+    ) -> Result<(), CommError> {
+        let l5 = inp.l5;
+        assert_eq!(out.l5, l5, "l5 mismatch");
+        assert_eq!(inp.v_loc, self.domain.local_volume(), "input shape");
+        assert_eq!(out.v_loc, self.domain.local_volume(), "output shape");
+        let seq = self.seq;
+        self.seq += 1;
+        let packs = AtomicU64::new(0);
+        let unpacks = AtomicU64::new(0);
+        let mut overlap = 0.0;
+        let outcome = self.exchange(out, inp, seq, &packs, &unpacks, &mut overlap);
+
+        // Injection/recovery deltas go out before any error does, in fixed
+        // post-parallel order — deterministic timelines at any thread width.
+        let fault_now = self.transport.fault_stats();
+        let fault_delta = fault_now.delta(&self.fault_base);
+        self.fault_base = fault_now;
+        publish_faults(&fault_delta);
+
+        let (interior_sites, boundary_sites) = outcome?;
 
         // Exactly-once delivery, cross-checked against the analytic message
         // count every apply.
@@ -432,6 +554,7 @@ impl<R: Real> ShardedHopping<R> {
         self.stats.sites_boundary += d.sites_boundary;
         self.stats.overlap_seconds += d.overlap_seconds;
         publish(&d);
+        Ok(())
     }
 
     /// Flops of one apply (the standard Wilson-dslash figure over all
@@ -447,6 +570,77 @@ enum SiteSet {
     All,
     Interior,
     Boundary(usize),
+}
+
+/// Keep the canonical error of a parallel exchange pass: [`CommError::RankLost`]
+/// beats wire faults, then lowest (rank, mu, side) wins — so the surfaced
+/// error is independent of thread schedule.
+fn merge_err(slot: &Mutex<Option<CommError>>, e: CommError) {
+    fn key(e: &CommError) -> (u8, usize, usize, usize) {
+        match *e {
+            CommError::RankLost { rank } => (0, rank, 0, 0),
+            CommError::ChannelClosed { rank, mu, side } => (1, rank, mu, side),
+            CommError::Corrupt { rank, mu, side, .. } => (1, rank, mu, side),
+            CommError::Missing { rank, mu, side, .. } => (1, rank, mu, side),
+            CommError::SizeMismatch { rank, mu, side } => (1, rank, mu, side),
+        }
+    }
+    let mut g = slot.lock();
+    match &*g {
+        Some(cur) if key(cur) <= key(&e) => {}
+        _ => *g = Some(e),
+    }
+}
+
+/// Publish one apply's injection/recovery deltas: the `comms.retries` /
+/// `comms.crc_failures` / `comms.timeouts` counters plus fixed-order events
+/// for golden timelines. A fault-free apply publishes nothing, so existing
+/// metric goldens are untouched.
+fn publish_faults(d: &CommFaultStats) {
+    if *d == CommFaultStats::default() {
+        return;
+    }
+    let reg = Registry::current();
+    reg.counter("comms.crc_failures").add(d.crc_failures);
+    reg.counter("comms.timeouts").add(d.timeouts);
+    reg.counter("comms.retries").add(d.retries);
+    reg.counter("comms.duplicates_dropped")
+        .add(d.duplicates_dropped);
+    reg.float_counter("comms.backoff_seconds")
+        .add(d.backoff_seconds);
+    let injected = [
+        ("corrupt", d.injected_corruptions),
+        ("drop", d.injected_drops),
+        ("duplicate", d.injected_duplicates),
+        ("reorder", d.injected_reorders),
+        ("delay", d.injected_delays),
+    ];
+    for (kind, n) in injected {
+        if n > 0 {
+            reg.event(
+                "comms.fault_injected",
+                vec![("kind", Json::from(kind)), ("count", Json::from(n))],
+            );
+        }
+    }
+    if d.crc_failures > 0 {
+        reg.event(
+            "comms.crc_reject",
+            vec![("count", Json::from(d.crc_failures))],
+        );
+    }
+    if d.timeouts > 0 {
+        reg.event("comms.timeout", vec![("count", Json::from(d.timeouts))]);
+    }
+    if d.retries > 0 {
+        reg.event(
+            "comms.retry",
+            vec![
+                ("count", Json::from(d.retries)),
+                ("backoff_seconds", Json::from(d.backoff_seconds)),
+            ],
+        );
+    }
 }
 
 /// Publish one apply's stat deltas as `comms.*` metrics.
@@ -490,7 +684,9 @@ impl<'a, R: Real> Tunable for PolicySweep<'a, R> {
 
     fn run(&mut self, param: TuneParam) {
         self.kernel.set_policy(policy_from_index(param.policy));
-        self.kernel.apply(self.out, self.inp);
+        if let Err(e) = self.kernel.apply(self.out, self.inp) {
+            unreachable!("autotune sweeps require a fault-free transport: {e}");
+        }
     }
 
     fn harness(&self) -> TimingHarness {
@@ -517,6 +713,10 @@ pub fn tune_comm_policy<R: Real>(
     out: &mut ShardedField<R>,
     inp: &mut ShardedField<R>,
 ) -> CommPolicy {
+    assert!(
+        !kernel.fault_profile().enabled(),
+        "policy tuning must run on a fault-free transport"
+    );
     let param = tuner.tune(&mut PolicySweep { kernel, out, inp });
     let best = policy_from_index(param.policy);
     kernel.set_policy(best);
@@ -566,16 +766,204 @@ impl<'a, R: Real, G: GaugeLinks<R>> ShardedMobius<'a, R, G> {
 
     /// `out = D inp` on global s-major 5D vectors: scatter the hopping
     /// operand, run the decomposed dslash, gather — fifth-dimension algebra
-    /// untouched.
-    pub fn apply(&mut self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+    /// untouched. On a comm failure, `out` is unspecified and the error is
+    /// surfaced for the solver's recovery machinery.
+    pub fn apply(&mut self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) -> Result<(), CommError> {
         let Self { mobius, hop } = self;
         let l5 = mobius.params().l5;
         let domain = hop.domain().clone();
+        let mut err = None;
         mobius.apply_with_hop(out, inp, &mut |o, i| {
+            if err.is_some() {
+                return;
+            }
             let mut si = ShardedField::scatter(&domain, i, l5);
             let mut so = ShardedField::zeros(&domain, l5);
-            hop.apply(&mut so, &mut si);
-            so.gather_into(&domain, o);
+            match hop.apply(&mut so, &mut si) {
+                Ok(()) => so.gather_into(&domain, o),
+                Err(e) => err = Some(e),
+            }
         });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
+
+    /// Fifth-dimension extent × volume geometry parameters.
+    pub fn params(&self) -> &MobiusParams {
+        self.mobius.params()
+    }
+
+    /// `out = D† inp` with the sharded hopping term (`H† = γ5 H γ5`),
+    /// fallible like [`Self::apply`].
+    pub fn apply_dagger(
+        &mut self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+    ) -> Result<(), CommError> {
+        let Self { mobius, hop } = self;
+        let l5 = mobius.params().l5;
+        let domain = hop.domain().clone();
+        let mut err = None;
+        mobius.apply_dagger_with_hop(out, inp, &mut |o, i| {
+            if err.is_some() {
+                return;
+            }
+            let mut si = ShardedField::scatter(&domain, i, l5);
+            let mut so = ShardedField::zeros(&domain, l5);
+            match hop.apply(&mut so, &mut si) {
+                Ok(()) => so.gather_into(&domain, o),
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The fallible Möbius normal operator `D†D` over a sharded halo exchange,
+/// with graceful rank-loss degradation: the operator [`crate::solver::cg_ft`]
+/// drives through checkpoint-restart.
+///
+/// On a transient [`CommError`] (corruption/drop retries exhausted),
+/// [`FallibleOp::recover`] is a no-op — the transport is still usable and
+/// the solver simply restores its last checkpoint. On
+/// [`CommError::RankLost`], recovery re-runs [`DomainDecomposition`] on the
+/// surviving rank grid ([`surviving_grid`]), regathers the extended link
+/// tables from the global gauge field, and clears the dead rank from the
+/// fault profile; because the sharded apply is bit-identical at *any* rank
+/// grid, the restored CG recurrence continues the exact bit sequence of the
+/// no-fault run.
+pub struct ShardedNormal<'a, R: Real, G: GaugeLinks<R>> {
+    lattice: &'a Lattice,
+    gauge: &'a G,
+    params: MobiusParams,
+    gpus_per_node: usize,
+    policy: CommPolicy,
+    retry: CommRetryPolicy,
+    grid: [usize; ND],
+    op: ShardedMobius<'a, R, G>,
+    degradations: usize,
+    tmp: Vec<Spinor<R>>,
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> ShardedNormal<'a, R, G> {
+    /// Bind the operator on `grid`. `None` if the grid does not decompose
+    /// the lattice.
+    pub fn new(
+        lattice: &'a Lattice,
+        gauge: &'a G,
+        params: MobiusParams,
+        grid: [usize; ND],
+        gpus_per_node: usize,
+        policy: CommPolicy,
+    ) -> Option<Self> {
+        let domain = DomainDecomposition::new(lattice, grid, params.l5, gpus_per_node)?;
+        let op = ShardedMobius::new(lattice, gauge, params, Arc::new(domain), policy);
+        let n = op.vec_len();
+        Some(Self {
+            lattice,
+            gauge,
+            params,
+            gpus_per_node,
+            policy,
+            retry: CommRetryPolicy::default(),
+            grid,
+            op,
+            degradations: 0,
+            tmp: vec![Spinor::zero(); n],
+        })
+    }
+
+    /// Install a message-fault profile and retry policy.
+    pub fn set_fault_profile(&mut self, profile: CommFaultProfile, retry: CommRetryPolicy) {
+        self.retry = retry;
+        self.op.hopping_mut().set_fault_profile(profile, retry);
+    }
+
+    /// The rank grid currently executing (shrinks on degradation).
+    pub fn grid(&self) -> [usize; ND] {
+        self.grid
+    }
+
+    /// How many times the operator has degraded to a smaller grid.
+    pub fn degradations(&self) -> usize {
+        self.degradations
+    }
+
+    /// Cumulative transport injection/recovery statistics (reset on
+    /// degradation — the transport is rebuilt).
+    pub fn fault_stats(&self) -> CommFaultStats {
+        self.op.hop.fault_stats()
+    }
+
+    /// The inner sharded operator (policy knob, clock injection).
+    pub fn mobius_mut(&mut self) -> &mut ShardedMobius<'a, R, G> {
+        &mut self.op
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> FallibleOp<R> for ShardedNormal<'a, R, G> {
+    fn vec_len(&self) -> usize {
+        self.op.vec_len()
+    }
+
+    fn apply(&mut self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) -> Result<(), CommError> {
+        self.op.apply(&mut self.tmp, inp)?;
+        self.op.apply_dagger(out, &self.tmp)
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        // D then D†: twice the Möbius figure (hopping + ~250 affine flops
+        // per 5D site, matching `MobiusDirac::flops_per_apply`).
+        2.0 * self.op.vec_len() as f64 * (HOPPING_FLOPS_PER_SITE + 250.0)
+    }
+
+    fn recover(&mut self, err: &CommError) -> Result<(), CommError> {
+        let CommError::RankLost { rank } = *err else {
+            // Transient wire failure: the transport survives; the solver
+            // restores from checkpoint and the next apply redraws its fates.
+            return Ok(());
+        };
+        let from = self.grid;
+        let to = surviving_grid(from).ok_or(*err)?;
+        let domain = DomainDecomposition::new(self.lattice, to, self.params.l5, self.gpus_per_node)
+            .ok_or(*err)?;
+        // Rebuild the operator on the shrunken grid: fresh transport, link
+        // tables regathered from the global gauge field. The dead rank no
+        // longer exists, so it leaves the fault profile; wire-fault rates
+        // stay active.
+        let mut profile = *self.op.hop.fault_profile();
+        profile.lost_rank = None;
+        self.op = ShardedMobius::new(
+            self.lattice,
+            self.gauge,
+            self.params,
+            Arc::new(domain),
+            self.policy,
+        );
+        self.op.hopping_mut().set_fault_profile(profile, self.retry);
+        self.grid = to;
+        self.degradations += 1;
+        let reg = Registry::current();
+        reg.counter("comms.rank_losses").add(1);
+        reg.event(
+            "comms.degrade",
+            vec![
+                ("rank", Json::from(rank)),
+                ("from", Json::from(grid_label(from))),
+                ("to", Json::from(grid_label(to))),
+            ],
+        );
+        Ok(())
+    }
+}
+
+/// `[2,2,1,1]` → `"2x2x1x1"` (free-function twin of
+/// [`DomainDecomposition::grid_string`] for grids not yet decomposed).
+pub fn grid_label(g: [usize; ND]) -> String {
+    format!("{}x{}x{}x{}", g[0], g[1], g[2], g[3])
 }

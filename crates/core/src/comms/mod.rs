@@ -14,12 +14,24 @@
 //! with measured timings and the `repro comms` experiment commits
 //! measured-vs-analytic columns side by side.
 
+//! Messages travel CRC-framed through [`FaultyTransport`], which can
+//! deterministically inject corruption, drops, duplicates, reordering, and
+//! latency spikes ([`CommFaultProfile`]) and heals them with
+//! NACK/retransmit + capped backoff ([`CommRetryPolicy`]); unrecoverable
+//! failures surface as typed [`CommError`]s that drive the solver layer's
+//! checkpoint-restart and rank-loss degradation ([`ShardedNormal`]).
+
 mod domain;
+mod fault;
 mod kernel;
 mod transport;
 
-pub use domain::{DimExchange, DomainDecomposition, RankDomain};
+pub use domain::{surviving_grid, DimExchange, DomainDecomposition, RankDomain};
+pub use fault::{splitmix64, CommError, CommFaultProfile, CommRetryPolicy, WireFault};
 pub use kernel::{
-    policy_from_index, tune_comm_policy, ShardedField, ShardedHopping, ShardedMobius,
+    grid_label, policy_from_index, tune_comm_policy, ShardedField, ShardedHopping, ShardedMobius,
+    ShardedNormal,
 };
-pub use transport::{CommStats, Mailboxes, BOX_BWD, BOX_FWD};
+pub use transport::{
+    CommFaultStats, CommStats, FaultyTransport, Frame, Mailboxes, Payload, BOX_BWD, BOX_FWD,
+};

@@ -1,11 +1,29 @@
-//! In-memory multi-rank transport: one mailbox per (rank, direction, side).
+//! In-memory multi-rank transport: CRC-framed mailboxes with deterministic
+//! fault injection, NACK/re-request retries, and dedup-by-sequence.
 //!
 //! Ranks exchange face buffers through `mpsc` channels, mirroring the
 //! point-to-point structure of the MPI halo exchange: a message is addressed
-//! by (destination rank, direction `mu`, which ghost zone it fills), so no
-//! tags travel with the payload and delivery is exactly-once by
-//! construction — [`Mailboxes::recv`] asserts that precisely one message is
-//! waiting per box per exchange.
+//! by (destination rank, direction `mu`, which ghost zone it fills). Two
+//! layers live here:
+//!
+//! - [`Mailboxes`] — the raw channels. `send`/`recv` return typed
+//!   [`CommError`]s instead of panicking, so a closed or empty box is a
+//!   recoverable condition the caller decides about.
+//! - [`FaultyTransport`] — the framed protocol over the mailboxes. Every
+//!   payload travels inside a [`Frame`] envelope (sequence number, source
+//!   rank × dim × side, FNV-1a checksum over the payload bits). The send
+//!   path keeps the last clean frame per box in a retransmit buffer and
+//!   runs each transmission attempt through the seeded
+//!   [`CommFaultProfile`] injector; the receive path verifies the
+//!   checksum, discards stale sequence numbers (dedup), and on a missing
+//!   or corrupt frame NACKs — re-requests from the retransmit buffer with
+//!   capped exponential backoff — until the [`CommRetryPolicy`] budget is
+//!   exhausted. Rank loss short-circuits every exchange touching the dead
+//!   rank into [`CommError::RankLost`].
+//!
+//! With the default (disabled) fault profile the framed path degenerates to
+//! exactly-once delivery on first attempt, so the sharded kernels remain
+//! bit-identical to their fault-free behaviour.
 //!
 //! The transport policies differ in how many buffer copies a payload makes
 //! on its way into the ghost zone (the "real copy counts" the analytic
@@ -14,10 +32,12 @@
 //! into the wire buffer; GPU-Direct skips the channel entirely and the
 //! receiver gathers the remote face in place.
 
+use super::fault::{CommError, CommFaultProfile, CommRetryPolicy, WireFault};
 use crate::lattice::ND;
 use crate::real::Real;
 use crate::spinor::Spinor;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Side index of a mailbox: which ghost zone of the destination the message
@@ -26,26 +46,29 @@ pub const BOX_FWD: usize = 0;
 /// See [`BOX_FWD`].
 pub const BOX_BWD: usize = 1;
 
-type Payload<R> = Vec<Spinor<R>>;
-/// Both mailboxes of one (rank, direction): `[BOX_FWD, BOX_BWD]`.
-type TxBoxes<R> = [Sender<Payload<R>>; 2];
-type RxBoxes<R> = [Mutex<Receiver<Payload<R>>>; 2];
+/// A face buffer: `l5 × face_len` spinors in canonical reduced-lex order.
+pub type Payload<R> = Vec<Spinor<R>>;
 
-/// Per-rank, per-direction, per-side channels. Senders are shared (`Sync`
-/// since any rank may post to any neighbor concurrently); each receiver is
-/// only ever drained by its owning rank, behind an uncontended mutex.
-pub struct Mailboxes<R: Real> {
-    tx: Vec<[TxBoxes<R>; ND]>,
-    rx: Vec<[RxBoxes<R>; ND]>,
+/// Both mailboxes of one (rank, direction): `[BOX_FWD, BOX_BWD]`.
+type TxBoxes<T> = [Sender<T>; 2];
+type RxBoxes<T> = [Mutex<Receiver<T>>; 2];
+
+/// Per-rank, per-direction, per-side channels carrying messages of type
+/// `T`. Senders are shared (`Sync` since any rank may post to any neighbor
+/// concurrently); each receiver is only ever drained by its owning rank,
+/// behind an uncontended mutex.
+pub struct Mailboxes<T> {
+    tx: Vec<[TxBoxes<T>; ND]>,
+    rx: Vec<[RxBoxes<T>; ND]>,
 }
 
-impl<R: Real> Mailboxes<R> {
+impl<T> Mailboxes<T> {
     /// Wire up `n_ranks × ND × 2` channels.
     pub fn new(n_ranks: usize) -> Self {
         let mut tx = Vec::with_capacity(n_ranks);
         let mut rx = Vec::with_capacity(n_ranks);
         for _ in 0..n_ranks {
-            let mut pair: (Vec<TxBoxes<R>>, Vec<RxBoxes<R>>) =
+            let mut pair: (Vec<TxBoxes<T>>, Vec<RxBoxes<T>>) =
                 (Vec::with_capacity(ND), Vec::with_capacity(ND));
             for _ in 0..ND {
                 let (t0, r0) = channel();
@@ -65,37 +88,435 @@ impl<R: Real> Mailboxes<R> {
         Self { tx, rx }
     }
 
-    /// Post a face buffer to `(dest, mu, side)`.
-    pub fn send(&self, dest: usize, mu: usize, side: usize, buf: Payload<R>) {
-        let ok = self.tx[dest][mu][side].send(buf).is_ok();
-        assert!(
-            ok,
-            "halo mailbox (rank {dest}, dim {mu}, side {side}) closed"
-        );
+    /// Post a message to `(dest, mu, side)`. A closed box is a typed error,
+    /// not a panic: the caller owns the decision to retry, degrade, or die.
+    pub fn send(&self, dest: usize, mu: usize, side: usize, msg: T) -> Result<(), CommError> {
+        self.tx[dest][mu][side]
+            .send(msg)
+            .map_err(|_| CommError::ChannelClosed {
+                rank: dest,
+                mu,
+                side,
+            })
+    }
+
+    /// Drain one waiting message at `(rank, mu, side)`, if any.
+    pub fn try_recv(&self, rank: usize, mu: usize, side: usize) -> Option<T> {
+        self.rx[rank][mu][side].lock().try_recv().ok()
     }
 
     /// Drain the single message waiting at `(rank, mu, side)`.
     ///
-    /// The exchange discipline posts exactly one message per box per
-    /// operator application before any unpack runs; both under- and
-    /// over-delivery are hard errors.
-    pub fn recv(&self, rank: usize, mu: usize, side: usize) -> Payload<R> {
-        let guard = self.rx[rank][mu][side].lock();
-        let Ok(buf) = guard.try_recv() else {
-            unreachable!("missing halo message at (rank {rank}, dim {mu}, side {side})");
+    /// The fault-free exchange discipline posts exactly one message per box
+    /// per operator application before any unpack runs; an empty box is
+    /// reported as [`CommError::Missing`] after zero retries (the raw
+    /// mailbox layer has no retransmit machinery — that lives in
+    /// [`FaultyTransport`]).
+    pub fn recv(&self, rank: usize, mu: usize, side: usize) -> Result<T, CommError> {
+        self.try_recv(rank, mu, side).ok_or(CommError::Missing {
+            rank,
+            mu,
+            side,
+            attempts: 1,
+        })
+    }
+}
+
+/// The framed envelope one halo payload travels in.
+#[derive(Clone, Debug)]
+pub struct Frame<R: Real> {
+    /// Exchange sequence number (the kernel's apply counter): the dedup and
+    /// staleness key.
+    pub seq: u64,
+    /// Sending rank.
+    pub src: u32,
+    /// Partitioned direction.
+    pub mu: u8,
+    /// Ghost-zone side the payload fills.
+    pub side: u8,
+    /// FNV-1a-64 over (seq, src, mu, side) and every payload component's
+    /// bit pattern.
+    pub checksum: u64,
+    /// The face buffer.
+    pub payload: Payload<R>,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
+    for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+        h ^= (word >> shift) & 0xFF;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl<R: Real> Frame<R> {
+    /// Seal `payload` into a checksummed frame.
+    pub fn new(seq: u64, src: usize, mu: usize, side: usize, payload: Payload<R>) -> Self {
+        let mut f = Self {
+            seq,
+            src: src as u32,
+            mu: mu as u8,
+            side: side as u8,
+            checksum: 0,
+            payload,
         };
-        assert!(
-            guard.try_recv().is_err(),
-            "duplicate halo message at (rank {rank}, dim {mu}, side {side})"
-        );
-        buf
+        f.checksum = f.compute_checksum();
+        f
+    }
+
+    /// FNV-1a-64 over the header fields and the payload component bits.
+    /// Component bits go through `to_f64` — exact for both supported
+    /// precisions, so the checksum is stable under the precision the wire
+    /// actually carries.
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = fnv1a_u64(FNV_OFFSET, self.seq);
+        h = fnv1a_u64(h, u64::from(self.src));
+        h = fnv1a_u64(h, (u64::from(self.mu) << 8) | u64::from(self.side));
+        for sp in &self.payload {
+            for cv in &sp.s {
+                for z in &cv.c {
+                    h = fnv1a_u64(h, z.re.to_f64().to_bits());
+                    h = fnv1a_u64(h, z.im.to_f64().to_bits());
+                }
+            }
+        }
+        h
+    }
+
+    /// Whether the payload still matches the checksum sealed at send time.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+}
+
+/// Cumulative fault-injection and recovery counts of one transport, the
+/// source of the `comms.retries` / `comms.crc_failures` / `comms.timeouts`
+/// obs metrics. Injection counts say what the (simulated) wire did;
+/// recovery counts say what the receive path observed and repaired.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommFaultStats {
+    /// Frames delivered with a flipped payload bit.
+    pub injected_corruptions: u64,
+    /// Frames never delivered on an attempt.
+    pub injected_drops: u64,
+    /// Frames delivered twice.
+    pub injected_duplicates: u64,
+    /// Stale frames delivered ahead of the real one.
+    pub injected_reorders: u64,
+    /// Frames held back past one receiver timeout.
+    pub injected_delays: u64,
+    /// Checksum verification failures on the receive path.
+    pub crc_failures: u64,
+    /// Receive attempts that found an empty box (drop, delay, or loss).
+    pub timeouts: u64,
+    /// NACK/re-request rounds (each pays one backoff).
+    pub retries: u64,
+    /// Frames discarded by sequence-number dedup.
+    pub duplicates_dropped: u64,
+    /// Simulated seconds spent in retry backoff and latency spikes — the
+    /// recovery-latency numerator of the chaos sweep.
+    pub backoff_seconds: f64,
+}
+
+impl CommFaultStats {
+    /// Field-wise difference of two cumulative snapshots (`self − base`),
+    /// the per-apply delta the kernel publishes.
+    pub fn delta(&self, base: &CommFaultStats) -> CommFaultStats {
+        CommFaultStats {
+            injected_corruptions: self.injected_corruptions - base.injected_corruptions,
+            injected_drops: self.injected_drops - base.injected_drops,
+            injected_duplicates: self.injected_duplicates - base.injected_duplicates,
+            injected_reorders: self.injected_reorders - base.injected_reorders,
+            injected_delays: self.injected_delays - base.injected_delays,
+            crc_failures: self.crc_failures - base.crc_failures,
+            timeouts: self.timeouts - base.timeouts,
+            retries: self.retries - base.retries,
+            duplicates_dropped: self.duplicates_dropped - base.duplicates_dropped,
+            backoff_seconds: self.backoff_seconds - base.backoff_seconds,
+        }
+    }
+}
+
+/// Atomic accumulator behind [`CommFaultStats`] (the receive path runs
+/// inside the rank-parallel unpack loop).
+#[derive(Default)]
+struct FaultCounters {
+    injected_corruptions: AtomicU64,
+    injected_drops: AtomicU64,
+    injected_duplicates: AtomicU64,
+    injected_reorders: AtomicU64,
+    injected_delays: AtomicU64,
+    crc_failures: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    /// Backoff in femtoseconds to keep the accumulator atomic; converted on
+    /// read. (Deterministic: integer addition commutes.)
+    backoff_femtos: AtomicU64,
+}
+
+const FEMTO: f64 = 1e15;
+
+impl FaultCounters {
+    fn snapshot(&self) -> CommFaultStats {
+        CommFaultStats {
+            injected_corruptions: self.injected_corruptions.load(Ordering::Relaxed),
+            injected_drops: self.injected_drops.load(Ordering::Relaxed),
+            injected_duplicates: self.injected_duplicates.load(Ordering::Relaxed),
+            injected_reorders: self.injected_reorders.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+            crc_failures: self.crc_failures.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            backoff_seconds: self.backoff_femtos.load(Ordering::Relaxed) as f64 / FEMTO,
+        }
+    }
+
+    fn add_backoff(&self, seconds: f64) {
+        self.backoff_femtos
+            .fetch_add((seconds * FEMTO).round() as u64, Ordering::Relaxed);
+    }
+}
+
+/// One retransmit slot: the last clean frame posted to a box, so a NACK can
+/// be served without the sender re-packing.
+type ResendSlot<R> = Mutex<Option<Frame<R>>>;
+
+/// The framed, fault-injecting, self-healing transport decorating
+/// [`Mailboxes`]. See the module docs for the protocol.
+pub struct FaultyTransport<R: Real> {
+    mail: Mailboxes<Frame<R>>,
+    /// `resend[dest][mu][side]`: last clean frame addressed to that box.
+    resend: Vec<[[ResendSlot<R>; 2]; ND]>,
+    profile: CommFaultProfile,
+    retry: CommRetryPolicy,
+    counters: FaultCounters,
+}
+
+impl<R: Real> FaultyTransport<R> {
+    /// A transport for `n_ranks` with fault injection disabled.
+    pub fn new(n_ranks: usize) -> Self {
+        Self {
+            mail: Mailboxes::new(n_ranks),
+            resend: (0..n_ranks)
+                .map(|_| std::array::from_fn(|_| std::array::from_fn(|_| Mutex::new(None))))
+                .collect(),
+            profile: CommFaultProfile::default(),
+            retry: CommRetryPolicy::default(),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Install a fault profile and retry policy.
+    pub fn set_faults(&mut self, profile: CommFaultProfile, retry: CommRetryPolicy) {
+        self.profile = profile;
+        self.retry = retry;
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> &CommFaultProfile {
+        &self.profile
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &CommRetryPolicy {
+        &self.retry
+    }
+
+    /// Cumulative injection/recovery statistics.
+    pub fn fault_stats(&self) -> CommFaultStats {
+        self.counters.snapshot()
+    }
+
+    /// Whether `rank` is alive at sequence number `seq`.
+    pub fn rank_alive(&self, rank: usize, seq: u64) -> bool {
+        !self.profile.rank_dead(rank, seq)
+    }
+
+    /// Frame and post one face buffer from `src` to `(dest, mu, side)` under
+    /// sequence number `seq`, park a clean copy in the retransmit buffer,
+    /// and run the first transmission attempt through the injector.
+    pub fn send(
+        &self,
+        src: usize,
+        dest: usize,
+        mu: usize,
+        side: usize,
+        payload: Payload<R>,
+        seq: u64,
+    ) -> Result<(), CommError> {
+        if self.profile.rank_dead(src, seq) {
+            return Err(CommError::RankLost { rank: src });
+        }
+        if self.profile.rank_dead(dest, seq) {
+            return Err(CommError::RankLost { rank: dest });
+        }
+        let frame = Frame::new(seq, src, mu, side, payload);
+        *self.resend[dest][mu][side].lock() = Some(frame.clone());
+        self.transmit(dest, mu, side, &frame, 0)
+    }
+
+    /// One transmission attempt: consult the injector, then deliver (or
+    /// not) accordingly. Retransmissions redraw with their attempt index.
+    fn transmit(
+        &self,
+        dest: usize,
+        mu: usize,
+        side: usize,
+        frame: &Frame<R>,
+        attempt: u64,
+    ) -> Result<(), CommError> {
+        let c = &self.counters;
+        match self.profile.draw(dest, mu, side, frame.seq, attempt) {
+            WireFault::Clean => self.mail.send(dest, mu, side, frame.clone()),
+            WireFault::Corrupt => {
+                c.injected_corruptions.fetch_add(1, Ordering::Relaxed);
+                let mut bad = frame.clone();
+                if !bad.payload.is_empty() {
+                    // Flip one mantissa bit of a deterministically chosen
+                    // component; the sealed checksum no longer matches.
+                    let bits = self
+                        .profile
+                        .decision_bits(dest, mu, side, frame.seq, attempt);
+                    let k = (bits as usize) % bad.payload.len();
+                    let z = &mut bad.payload[k].s[0].c[0];
+                    z.re = R::from_f64(f64::from_bits(z.re.to_f64().to_bits() ^ (1 << 17)));
+                }
+                self.mail.send(dest, mu, side, bad)
+            }
+            WireFault::Drop => {
+                c.injected_drops.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            WireFault::Duplicate => {
+                c.injected_duplicates.fetch_add(1, Ordering::Relaxed);
+                self.mail.send(dest, mu, side, frame.clone())?;
+                self.mail.send(dest, mu, side, frame.clone())
+            }
+            WireFault::Reorder => {
+                c.injected_reorders.fetch_add(1, Ordering::Relaxed);
+                // An old packet finally arrives just ahead of the real one:
+                // a stale-sequence frame with a valid checksum, which the
+                // receiver must discard by seq alone.
+                let mut stale = frame.clone();
+                stale.seq = frame.seq.wrapping_sub(1);
+                stale.checksum = stale.compute_checksum();
+                self.mail.send(dest, mu, side, stale)?;
+                self.mail.send(dest, mu, side, frame.clone())
+            }
+            WireFault::Delay => {
+                c.injected_delays.fetch_add(1, Ordering::Relaxed);
+                // Held back past one receiver timeout: not posted now; the
+                // re-request serves it from the retransmit buffer.
+                Ok(())
+            }
+        }
+    }
+
+    /// Receive the payload for `(rank, mu, side)` at sequence number `seq`,
+    /// sent by `src`: verify the checksum, dedup stale frames, and on a
+    /// missing or corrupt frame re-request from the sender's retransmit
+    /// buffer with capped exponential backoff, until the retry budget is
+    /// spent.
+    pub fn recv(
+        &self,
+        rank: usize,
+        mu: usize,
+        side: usize,
+        src: usize,
+        seq: u64,
+        expected_len: usize,
+    ) -> Result<Payload<R>, CommError> {
+        if self.profile.rank_dead(rank, seq) {
+            return Err(CommError::RankLost { rank });
+        }
+        if self.profile.rank_dead(src, seq) {
+            return Err(CommError::RankLost { rank: src });
+        }
+        let c = &self.counters;
+        let mut attempts = 1usize; // the original transmission
+        let mut saw_corrupt = false;
+        loop {
+            match self.mail.try_recv(rank, mu, side) {
+                Some(frame) => {
+                    if frame.seq != seq {
+                        // Stale duplicate or reordered leftover — discard by
+                        // sequence number without burning a retry.
+                        c.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if !frame.verify() {
+                        saw_corrupt = true;
+                        c.crc_failures.fetch_add(1, Ordering::Relaxed);
+                        self.nack(rank, mu, side, seq, &mut attempts, saw_corrupt)?;
+                        continue;
+                    }
+                    if frame.payload.len() != expected_len {
+                        return Err(CommError::SizeMismatch { rank, mu, side });
+                    }
+                    return Ok(frame.payload);
+                }
+                None => {
+                    c.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.nack(rank, mu, side, seq, &mut attempts, saw_corrupt)?;
+                }
+            }
+        }
+    }
+
+    /// One NACK/re-request round: charge the backoff, then have the sender
+    /// retransmit the parked frame (running the injector again with the new
+    /// attempt index). Fails typed once the attempt budget is gone.
+    fn nack(
+        &self,
+        rank: usize,
+        mu: usize,
+        side: usize,
+        seq: u64,
+        attempts: &mut usize,
+        saw_corrupt: bool,
+    ) -> Result<(), CommError> {
+        if *attempts >= self.retry.max_attempts {
+            return Err(if saw_corrupt {
+                CommError::Corrupt {
+                    rank,
+                    mu,
+                    side,
+                    attempts: *attempts,
+                }
+            } else {
+                CommError::Missing {
+                    rank,
+                    mu,
+                    side,
+                    attempts: *attempts,
+                }
+            });
+        }
+        let c = &self.counters;
+        c.retries.fetch_add(1, Ordering::Relaxed);
+        c.add_backoff(self.retry.backoff_seconds(*attempts) + self.profile.delay_seconds);
+        let parked = self.resend[rank][mu][side].lock().clone();
+        let attempt = *attempts as u64;
+        *attempts += 1;
+        match parked {
+            Some(f) if f.seq == seq => self.transmit(rank, mu, side, &f, attempt),
+            // Nothing (current) to retransmit: the next try_recv finds the
+            // box empty again and the budget runs down to a typed Missing.
+            _ => Ok(()),
+        }
     }
 }
 
 /// Cumulative execution statistics of a sharded kernel, for
 /// measured-vs-analytic cross-checks and obs metrics. All fields except the
 /// overlap window are deterministic functions of (geometry, policy, applies)
-/// and are asserted against actual pack/unpack event counts on every apply.
+/// and are asserted against actual pack/unpack event counts on every
+/// successful apply.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
     /// Operator applications executed.
@@ -122,4 +543,241 @@ pub struct CommStats {
     /// Measured interior-compute time between posting sends and the first
     /// unpack — the communication/computation overlap window.
     pub overlap_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(vals: &[f64]) -> Payload<f64> {
+        vals.iter()
+            .map(|&v| {
+                let mut s = Spinor::<f64>::zero();
+                s.s[0].c[0].re = v;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mailbox_send_recv_round_trips_typed() {
+        let mail: Mailboxes<u32> = Mailboxes::new(2);
+        mail.send(1, 0, BOX_FWD, 7).unwrap();
+        assert_eq!(mail.recv(1, 0, BOX_FWD).unwrap(), 7);
+        // Empty box is a typed Missing, not a panic.
+        assert_eq!(
+            mail.recv(1, 0, BOX_FWD),
+            Err(CommError::Missing {
+                rank: 1,
+                mu: 0,
+                side: BOX_FWD,
+                attempts: 1
+            })
+        );
+    }
+
+    #[test]
+    fn frame_checksum_catches_any_component_flip() {
+        let f = Frame::new(3, 1, 2, BOX_BWD, payload(&[1.0, -2.5, 3.25]));
+        assert!(f.verify());
+        let mut bad = f.clone();
+        bad.payload[1].s[2].c[1].im = 1e-300;
+        assert!(!bad.verify(), "payload tamper must fail verification");
+        let mut bad2 = f.clone();
+        bad2.seq += 1;
+        assert!(!bad2.verify(), "header tamper must fail verification");
+    }
+
+    #[test]
+    fn clean_transport_delivers_exactly_once() {
+        let t: FaultyTransport<f64> = FaultyTransport::new(2);
+        t.send(0, 1, 2, BOX_FWD, payload(&[4.0, 5.0]), 0).unwrap();
+        let got = t.recv(1, 2, BOX_FWD, 0, 0, 2).unwrap();
+        assert_eq!(got, payload(&[4.0, 5.0]));
+        assert_eq!(t.fault_stats(), CommFaultStats::default());
+    }
+
+    #[test]
+    fn corruption_is_detected_and_healed_by_retransmit() {
+        let mut t: FaultyTransport<f64> = FaultyTransport::new(2);
+        // Find a seed whose first attempt corrupts and second is clean.
+        let seed = (0..5000u64)
+            .find(|&s| {
+                let p = CommFaultProfile {
+                    corrupt_prob: 0.5,
+                    seed: s,
+                    ..CommFaultProfile::default()
+                };
+                p.draw(1, 0, BOX_FWD, 0, 0) == WireFault::Corrupt
+                    && p.draw(1, 0, BOX_FWD, 0, 1) == WireFault::Clean
+            })
+            .expect("seed exists");
+        t.set_faults(
+            CommFaultProfile {
+                corrupt_prob: 0.5,
+                seed,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy::default(),
+        );
+        let want = payload(&[1.0, 2.0, 3.0]);
+        t.send(0, 1, 0, BOX_FWD, want.clone(), 0).unwrap();
+        let got = t.recv(1, 0, BOX_FWD, 0, 0, 3).unwrap();
+        assert_eq!(got, want, "recovered payload must be the clean one");
+        let s = t.fault_stats();
+        assert_eq!(s.injected_corruptions, 1);
+        assert_eq!(s.crc_failures, 1);
+        assert_eq!(s.retries, 1);
+        assert!(s.backoff_seconds > 0.0);
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_retries_typed() {
+        let mut t: FaultyTransport<f64> = FaultyTransport::new(2);
+        t.set_faults(
+            CommFaultProfile {
+                corrupt_prob: 1.0,
+                seed: 11,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy {
+                max_attempts: 3,
+                ..CommRetryPolicy::default()
+            },
+        );
+        t.send(0, 1, 0, BOX_FWD, payload(&[9.0]), 0).unwrap();
+        match t.recv(1, 0, BOX_FWD, 0, 0, 1) {
+            Err(CommError::Corrupt { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("want Corrupt after retry exhaustion, got {other:?}"),
+        }
+        assert_eq!(t.fault_stats().crc_failures, 3);
+    }
+
+    #[test]
+    fn total_drop_exhausts_retries_as_missing() {
+        let mut t: FaultyTransport<f64> = FaultyTransport::new(2);
+        t.set_faults(
+            CommFaultProfile {
+                drop_prob: 1.0,
+                seed: 13,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy {
+                max_attempts: 4,
+                ..CommRetryPolicy::default()
+            },
+        );
+        t.send(0, 1, 1, BOX_BWD, payload(&[1.0]), 5).unwrap();
+        match t.recv(1, 1, BOX_BWD, 0, 5, 1) {
+            Err(CommError::Missing { attempts, .. }) => assert_eq!(attempts, 4),
+            other => panic!("want Missing, got {other:?}"),
+        }
+        let s = t.fault_stats();
+        assert_eq!(s.injected_drops, 4, "initial + 3 retransmissions");
+        assert_eq!(s.timeouts, 4);
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_deduped_by_seq() {
+        let mut t: FaultyTransport<f64> = FaultyTransport::new(2);
+        t.set_faults(
+            CommFaultProfile {
+                duplicate_prob: 1.0,
+                seed: 17,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy::default(),
+        );
+        let want = payload(&[6.0, 7.0]);
+        t.send(0, 1, 0, BOX_FWD, want.clone(), 0).unwrap();
+        assert_eq!(t.recv(1, 0, BOX_FWD, 0, 0, 2).unwrap(), want);
+        // The duplicate is still in the box; the next exchange discards it
+        // by stale seq and receives its own frame.
+        let want2 = payload(&[8.0]);
+        t.send(0, 1, 0, BOX_FWD, want2.clone(), 1).unwrap();
+        assert_eq!(t.recv(1, 0, BOX_FWD, 0, 1, 1).unwrap(), want2);
+        assert!(t.fault_stats().duplicates_dropped >= 1);
+
+        let mut t2: FaultyTransport<f64> = FaultyTransport::new(2);
+        t2.set_faults(
+            CommFaultProfile {
+                reorder_prob: 1.0,
+                seed: 19,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy::default(),
+        );
+        let want3 = payload(&[1.5]);
+        t2.send(0, 1, 0, BOX_FWD, want3.clone(), 4).unwrap();
+        assert_eq!(t2.recv(1, 0, BOX_FWD, 0, 4, 1).unwrap(), want3);
+        let s2 = t2.fault_stats();
+        assert_eq!(s2.injected_reorders, 1);
+        assert_eq!(s2.duplicates_dropped, 1, "the stale frame was discarded");
+    }
+
+    #[test]
+    fn delay_costs_one_timeout_then_recovers() {
+        let mut t: FaultyTransport<f64> = FaultyTransport::new(2);
+        // delay on attempt 0; find a seed where attempt 1 is clean.
+        let seed = (0..5000u64)
+            .find(|&s| {
+                let p = CommFaultProfile {
+                    delay_prob: 0.5,
+                    seed: s,
+                    ..CommFaultProfile::default()
+                };
+                p.draw(1, 0, BOX_FWD, 0, 0) == WireFault::Delay
+                    && p.draw(1, 0, BOX_FWD, 0, 1) == WireFault::Clean
+            })
+            .expect("seed exists");
+        t.set_faults(
+            CommFaultProfile {
+                delay_prob: 0.5,
+                delay_seconds: 1e-3,
+                seed,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy::default(),
+        );
+        let want = payload(&[2.0]);
+        t.send(0, 1, 0, BOX_FWD, want.clone(), 0).unwrap();
+        assert_eq!(t.recv(1, 0, BOX_FWD, 0, 0, 1).unwrap(), want);
+        let s = t.fault_stats();
+        assert_eq!(s.injected_delays, 1);
+        assert_eq!(s.timeouts, 1);
+        assert!(s.backoff_seconds >= 1e-3, "latency spike charged");
+    }
+
+    #[test]
+    fn rank_loss_surfaces_on_both_sides() {
+        let mut t: FaultyTransport<f64> = FaultyTransport::new(4);
+        t.set_faults(
+            CommFaultProfile {
+                lost_rank: Some(2),
+                lost_at_apply: 3,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy::default(),
+        );
+        // Before the death apply everything works.
+        t.send(2, 1, 0, BOX_FWD, payload(&[1.0]), 2).unwrap();
+        assert!(t.recv(1, 0, BOX_FWD, 2, 2, 1).is_ok());
+        // From the death apply on: typed RankLost from all four directions.
+        assert_eq!(
+            t.send(2, 1, 0, BOX_FWD, payload(&[1.0]), 3),
+            Err(CommError::RankLost { rank: 2 })
+        );
+        assert_eq!(
+            t.send(1, 2, 0, BOX_FWD, payload(&[1.0]), 3),
+            Err(CommError::RankLost { rank: 2 })
+        );
+        assert_eq!(
+            t.recv(1, 0, BOX_FWD, 2, 3, 1),
+            Err(CommError::RankLost { rank: 2 })
+        );
+        assert_eq!(
+            t.recv(2, 0, BOX_FWD, 1, 3, 1),
+            Err(CommError::RankLost { rank: 2 })
+        );
+    }
 }

@@ -345,6 +345,43 @@ impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
             *o = *o - h.scale(half);
         });
     }
+
+    /// Adjoint application with a caller-supplied 4D hopping term:
+    /// `out = A†(inp) − ½ ρ†(γ5 hop(γ5 inp))`, using `H† = γ5 H γ5`. The
+    /// fifth-dimension algebra matches [`DiracOp::apply_dagger`] exactly, so
+    /// a `hop` bit-identical to the bound kernel yields a bit-identical
+    /// adjoint — the sharded normal operator [`crate::comms::ShardedNormal`]
+    /// relies on this for checkpoint-exact restarts.
+    pub fn apply_dagger_with_hop(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        hop: &mut Hop5d<'_, R>,
+    ) {
+        let v = self.lattice.volume();
+        let p = &self.fifth.params;
+        let n = self.vec_len();
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+
+        // h = γ5 H γ5 ψ.
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        let mut h = vec![Spinor::zero(); n];
+        hop(&mut h, &g5in);
+        h.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+
+        // ρ† h.
+        let mut rho_h = vec![Spinor::zero(); n];
+        self.fifth.affine_shift(&mut rho_h, &h, v, p.b5, p.c5, true);
+
+        // A† ψ − ½ ρ† h.
+        self.fifth
+            .affine_shift(out, inp, v, p.alpha(), p.beta(), true);
+        let half = R::from_f64(0.5);
+        out.par_iter_mut().zip(rho_h.par_iter()).for_each(|(o, r)| {
+            *o = *o - r.scale(half);
+        });
+    }
 }
 
 impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
@@ -369,29 +406,7 @@ impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for MobiusDirac<'a, R, G> {
         // hopping does not commute with the chirality-projected s-shift), so
         // — like QUDA's Mdag — the adjoint is applied explicitly:
         // D† = A† − ½ ρ† H† with H† = γ5 H γ5.
-        let v = self.lattice.volume();
-        let p = &self.fifth.params;
-        let n = self.vec_len();
-        assert_eq!(out.len(), n);
-        assert_eq!(inp.len(), n);
-
-        // h = γ5 H γ5 ψ.
-        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
-        let mut h = vec![Spinor::zero(); n];
-        self.hop_5d(&mut h, &g5in);
-        h.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
-
-        // ρ† h.
-        let mut rho_h = vec![Spinor::zero(); n];
-        self.fifth.affine_shift(&mut rho_h, &h, v, p.b5, p.c5, true);
-
-        // A† ψ − ½ ρ† h.
-        self.fifth
-            .affine_shift(out, inp, v, p.alpha(), p.beta(), true);
-        let half = R::from_f64(0.5);
-        out.par_iter_mut().zip(rho_h.par_iter()).for_each(|(o, r)| {
-            *o = *o - r.scale(half);
-        });
+        self.apply_dagger_with_hop(out, inp, &mut |o, i| self.hop_5d(o, i));
     }
 }
 

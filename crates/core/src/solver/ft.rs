@@ -1,0 +1,663 @@
+//! Fault-tolerant CG: checkpoint-restart over a fallible operator.
+//!
+//! [`cg_ft`] runs the exact conjugate-gradient recurrence of [`super::cg`]
+//! against a [`FallibleOp`] — an operator whose apply can fail with a typed
+//! [`CommError`] (the sharded halo-exchange dslash under fault injection).
+//! Every `checkpoint_every` iterations it snapshots the full recurrence
+//! state `(k, x, r, p, ρ)` — which determines the entire remaining
+//! iteration sequence bit-for-bit — in memory, and optionally through a
+//! [`CheckpointSink`] for durable CRC-protected storage. When an apply
+//! fails:
+//!
+//! 1. the operator is asked to [`FallibleOp::recover`] — a no-op for
+//!    transient wire faults, a grid degradation (rebuild on the surviving
+//!    ranks) for [`CommError::RankLost`];
+//! 2. the recurrence state is restored from the last checkpoint (or
+//!    re-initialized from the starting guess if none was taken), and
+//!    iteration resumes.
+//!
+//! Because the sharded apply is bit-identical at every rank grid and thread
+//! width, the restored recurrence continues the *exact* bit sequence of an
+//! undisturbed run: final residuals match the no-fault solve bit-for-bit,
+//! checkpointing on or off, grid shrunk or not. The only cost of a fault is
+//! the replayed iterations — `stats.iterations` counts total work (replays
+//! included), so the wasted-work overhead of a fault schedule is directly
+//! measurable against a clean run.
+//!
+//! Recovery publishes `solver.checkpoints` / `solver.restarts` counters and
+//! `solver.checkpoint` / `solver.restore` events through obs, mirroring the
+//! `comms.*` fault metrics one layer down.
+
+use super::{record_solve, CgParams, SolveStats, SolverOutcome};
+use crate::blas;
+use crate::comms::CommError;
+use crate::dirac::LinearOp;
+use crate::real::Real;
+use crate::spinor::Spinor;
+use obs::{Json, Registry};
+
+/// A linear operator whose application may fail with a typed communication
+/// error and which may be able to repair itself afterwards.
+pub trait FallibleOp<R: Real> {
+    /// Vector length the operator acts on.
+    fn vec_len(&self) -> usize;
+
+    /// `out = A inp`, or a typed failure (in which case `out` is
+    /// unspecified).
+    fn apply(&mut self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) -> Result<(), CommError>;
+
+    /// Flops of one successful apply.
+    fn flops_per_apply(&self) -> f64;
+
+    /// Attempt to repair the operator after `err`. `Ok(())` means a retry
+    /// can make progress (possibly on a degraded configuration); `Err`
+    /// means the failure is terminal. The default treats every error as
+    /// terminal.
+    fn recover(&mut self, err: &CommError) -> Result<(), CommError> {
+        Err(*err)
+    }
+}
+
+/// Adapter making any infallible [`LinearOp`] a [`FallibleOp`], so the
+/// checkpointed solver can be validated against the plain one.
+pub struct Reliable<'a, R: Real, A: LinearOp<R> + ?Sized> {
+    op: &'a A,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<'a, R: Real, A: LinearOp<R> + ?Sized> Reliable<'a, R, A> {
+    /// Wrap `op`.
+    pub fn new(op: &'a A) -> Self {
+        Self {
+            op,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, R: Real, A: LinearOp<R> + ?Sized> FallibleOp<R> for Reliable<'a, R, A> {
+    fn vec_len(&self) -> usize {
+        self.op.vec_len()
+    }
+
+    fn apply(&mut self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) -> Result<(), CommError> {
+        self.op.apply(out, inp);
+        Ok(())
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        self.op.flops_per_apply()
+    }
+}
+
+/// One CG recurrence snapshot: everything needed to continue the iteration
+/// sequence bit-exactly from iteration `iteration`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CgCheckpoint<R: Real> {
+    /// Iteration count at snapshot time.
+    pub iteration: usize,
+    /// Residual norm-squared `ρ = ‖r‖²` (the recurrence scalar).
+    pub rho: f64,
+    /// Current solution estimate.
+    pub x: Vec<Spinor<R>>,
+    /// Current residual.
+    pub r: Vec<Spinor<R>>,
+    /// Current search direction.
+    pub p: Vec<Spinor<R>>,
+}
+
+/// f64 components per spinor in the flat serialization (4 spins × 3 colors
+/// × re/im).
+pub const CKPT_SPINOR_F64: usize = 24;
+
+impl<R: Real> CgCheckpoint<R> {
+    /// Flatten to `[iteration, rho, n, x…, r…, p…]` (each spinor as
+    /// [`CKPT_SPINOR_F64`] f64 components), the payload the io checkpoint
+    /// container stores under CRC.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        let n = self.x.len();
+        let mut out = Vec::with_capacity(3 + 3 * n * CKPT_SPINOR_F64);
+        out.push(self.iteration as f64);
+        out.push(self.rho);
+        out.push(n as f64);
+        for field in [&self.x, &self.r, &self.p] {
+            for sp in field.iter() {
+                for cv in &sp.s {
+                    for z in &cv.c {
+                        out.push(z.re.to_f64());
+                        out.push(z.im.to_f64());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild from the flat layout; `None` on any shape violation.
+    pub fn from_f64_vec(data: &[f64]) -> Option<Self> {
+        let n = *data.get(2)? as usize;
+        if data.len() != 3 + 3 * n * CKPT_SPINOR_F64 {
+            return None;
+        }
+        let iteration = data[0] as usize;
+        let rho = data[1];
+        let mut fields: [Vec<Spinor<R>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut at = 3;
+        for field in fields.iter_mut() {
+            field.reserve(n);
+            for _ in 0..n {
+                let mut sp = Spinor::<R>::zero();
+                for cv in sp.s.iter_mut() {
+                    for z in cv.c.iter_mut() {
+                        z.re = R::from_f64(data[at]);
+                        z.im = R::from_f64(data[at + 1]);
+                        at += 2;
+                    }
+                }
+                field.push(sp);
+            }
+        }
+        let [x, r, p] = fields;
+        Some(Self {
+            iteration,
+            rho,
+            x,
+            r,
+            p,
+        })
+    }
+}
+
+/// Durable checkpoint storage the solver writes through (the io crate's
+/// CRC-framed container on disk, or a test double). The solver always keeps
+/// its latest checkpoint in memory; the sink is the layer that survives a
+/// process death, which the in-memory fault simulation does not model — so
+/// sink failures are reported but never abort the solve.
+pub trait CheckpointSink<R: Real> {
+    /// Persist `ckpt`. Errors are counted (`solver.checkpoint_sink_errors`)
+    /// and otherwise ignored.
+    fn store(&mut self, ckpt: &CgCheckpoint<R>) -> Result<(), String>;
+}
+
+/// Knobs of the fault-tolerant solve.
+#[derive(Clone, Copy, Debug)]
+pub struct FtParams {
+    /// Inner CG stopping criteria (tolerance, recurrence-iteration budget).
+    pub cg: CgParams,
+    /// Snapshot the recurrence every this many iterations (0 disables
+    /// checkpointing: every restart re-runs from the starting guess).
+    pub checkpoint_every: usize,
+    /// Comm-failure restarts tolerated before the solve is declared failed.
+    pub max_comm_restarts: usize,
+    /// Budget on *total* operator applications including replayed
+    /// iterations (0 = unlimited) — the wasted-work ceiling the chaos sweep
+    /// charges against. Exhausting it yields
+    /// [`SolverOutcome::MaxIterations`].
+    pub max_total_iters: usize,
+}
+
+impl Default for FtParams {
+    fn default() -> Self {
+        Self {
+            cg: CgParams::default(),
+            checkpoint_every: 25,
+            max_comm_restarts: 8,
+            max_total_iters: 0,
+        }
+    }
+}
+
+/// Checkpoint-restart CG for a Hermitian positive-definite [`FallibleOp`].
+///
+/// Runs the bit-exact recurrence of [`super::cg`] (same operation order,
+/// same BLAS calls), so with a fault-free operator the iterates — and the
+/// final residual — are identical to the plain solver's. See the module
+/// docs for the recovery protocol.
+pub fn cg_ft<R: Real, A: FallibleOp<R> + ?Sized>(
+    op: &mut A,
+    x: &mut [Spinor<R>],
+    b: &[Spinor<R>],
+    params: &FtParams,
+    mut sink: Option<&mut dyn CheckpointSink<R>>,
+) -> SolverOutcome {
+    let n = op.vec_len();
+    assert_eq!(x.len(), n);
+    assert_eq!(b.len(), n);
+    let mut stats = SolveStats::new();
+    let mut restarts = 0usize;
+
+    let b_norm2 = blas::norm_sqr(b);
+    if b_norm2 == 0.0 {
+        blas::zero(x);
+        stats.converged = true;
+        stats.final_rel_residual = 0.0;
+        record_solve("cg_ft", &stats);
+        return SolverOutcome::Converged {
+            stats,
+            restarts,
+            escalated: false,
+        };
+    }
+    if !b_norm2.is_finite() {
+        stats.breakdown = true;
+        record_solve("cg_ft", &stats);
+        return SolverOutcome::Failed {
+            stats,
+            restarts,
+            reason: "non-finite source",
+        };
+    }
+
+    let target = params.cg.tol * params.cg.tol * b_norm2;
+    let blas_flops = 6.0 * 24.0 * n as f64; // as in `cg`
+    let x0: Vec<Spinor<R>> = x.to_vec();
+    let mut ap = vec![Spinor::zero(); n];
+    let mut last_ckpt: Option<CgCheckpoint<R>> = None;
+
+    // One pass of the outer loop = one solve attempt segment: establish the
+    // recurrence state (fresh or from checkpoint), iterate until done or a
+    // comm failure forces recovery + restore.
+    'solve: loop {
+        let (mut k, mut r, mut p, mut r2) = match &last_ckpt {
+            Some(c) => {
+                x.copy_from_slice(&c.x);
+                (c.iteration, c.r.clone(), c.p.clone(), c.rho)
+            }
+            None => {
+                // r = b − A x₀ (re-derived on restart when no checkpoint
+                // exists: the whole history is replayed).
+                x.copy_from_slice(&x0);
+                let mut r = vec![Spinor::zero(); n];
+                if let Err(e) = op.apply(&mut r, x) {
+                    match handle_failure(op, &e, &mut restarts, &mut stats, params, 0) {
+                        Ok(()) => continue 'solve,
+                        Err(reason) => {
+                            record_solve("cg_ft", &stats);
+                            return SolverOutcome::Failed {
+                                stats,
+                                restarts,
+                                reason,
+                            };
+                        }
+                    }
+                }
+                stats.flops += op.flops_per_apply();
+                for (ri, bi) in r.iter_mut().zip(b.iter()) {
+                    *ri = *bi - *ri;
+                }
+                let r2 = blas::norm_sqr(&r);
+                let p = r.clone();
+                (0, r, p, r2)
+            }
+        };
+
+        while k < params.cg.max_iter && r2 > target {
+            if !r2.is_finite() {
+                stats.breakdown = true;
+                break;
+            }
+            if params.max_total_iters > 0 && stats.iterations >= params.max_total_iters {
+                break;
+            }
+            // Snapshot on schedule, *before* the apply that might fail, so a
+            // failure at iteration k replays at most `checkpoint_every − 1`
+            // healthy iterations.
+            if params.checkpoint_every > 0 && k % params.checkpoint_every == 0 {
+                let ckpt = CgCheckpoint {
+                    iteration: k,
+                    rho: r2,
+                    x: x.to_vec(),
+                    r: r.clone(),
+                    p: p.clone(),
+                };
+                stats.checkpoints += 1;
+                let reg = Registry::current();
+                reg.counter("solver.checkpoints").inc();
+                reg.event("solver.checkpoint", vec![("iteration", Json::from(k))]);
+                if let Some(s) = sink.as_deref_mut() {
+                    if let Err(msg) = s.store(&ckpt) {
+                        reg.counter("solver.checkpoint_sink_errors").inc();
+                        reg.event(
+                            "solver.checkpoint_sink_error",
+                            vec![("error", Json::from(msg))],
+                        );
+                    }
+                }
+                last_ckpt = Some(ckpt);
+            }
+
+            if let Err(e) = op.apply(&mut ap, &p) {
+                match handle_failure(op, &e, &mut restarts, &mut stats, params, k) {
+                    Ok(()) => continue 'solve,
+                    Err(reason) => {
+                        record_solve("cg_ft", &stats);
+                        return SolverOutcome::Failed {
+                            stats,
+                            restarts,
+                            reason,
+                        };
+                    }
+                }
+            }
+            k += 1;
+            stats.iterations += 1;
+            stats.flops += op.flops_per_apply() + blas_flops;
+
+            let pap = blas::dot(&p, &ap).re;
+            if !pap.is_finite() || pap <= 0.0 {
+                stats.breakdown = true;
+                break;
+            }
+            let alpha = r2 / pap;
+            blas::axpy(alpha, &p, x);
+            blas::axpy(-alpha, &ap, &mut r);
+            let r2_new = blas::norm_sqr(&r);
+            let beta = r2_new / r2;
+            blas::xpby(&r, beta, &mut p);
+            r2 = r2_new;
+        }
+
+        if !r2.is_finite() {
+            stats.breakdown = true;
+        }
+        stats.final_rel_residual = if r2.is_finite() {
+            (r2 / b_norm2).sqrt()
+        } else {
+            f64::INFINITY
+        };
+        stats.converged = r2.is_finite() && r2 <= target;
+        record_solve("cg_ft", &stats);
+        return if stats.converged {
+            SolverOutcome::Converged {
+                stats,
+                restarts,
+                escalated: false,
+            }
+        } else if stats.breakdown {
+            SolverOutcome::Failed {
+                stats,
+                restarts,
+                reason: "breakdown",
+            }
+        } else {
+            SolverOutcome::MaxIterations { stats, restarts }
+        };
+    }
+}
+
+/// Shared failure path of `cg_ft`: spend one comm restart, let the operator
+/// repair itself, and record the recovery. `Ok(())` means "restore and
+/// resume"; `Err(reason)` is terminal.
+fn handle_failure<R: Real, A: FallibleOp<R> + ?Sized>(
+    op: &mut A,
+    err: &CommError,
+    restarts: &mut usize,
+    stats: &mut SolveStats,
+    params: &FtParams,
+    at_iteration: usize,
+) -> Result<(), &'static str> {
+    if *restarts >= params.max_comm_restarts {
+        return Err("comm-restart budget exhausted");
+    }
+    op.recover(err).map_err(|_| "unrecoverable comm failure")?;
+    *restarts += 1;
+    stats.comm_restarts += 1;
+    let reg = Registry::current();
+    reg.counter("solver.restarts").inc();
+    reg.event(
+        "solver.restore",
+        vec![
+            ("restart", Json::from(*restarts)),
+            ("iteration", Json::from(at_iteration)),
+            ("error", Json::from(err.to_string())),
+        ],
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirac::{NormalOp, WilsonDirac};
+    use crate::field::{FermionField, GaugeField};
+    use crate::lattice::Lattice;
+    use crate::solver::cg;
+
+    struct CountingSink {
+        stored: Vec<usize>,
+    }
+
+    impl CheckpointSink<f64> for CountingSink {
+        fn store(&mut self, ckpt: &CgCheckpoint<f64>) -> Result<(), String> {
+            self.stored.push(ckpt.iteration);
+            Ok(())
+        }
+    }
+
+    /// A fallible wrapper that fails the apply at scripted call indices.
+    struct Flaky<'a, A: LinearOp<f64>> {
+        op: &'a A,
+        calls: usize,
+        fail_at: Vec<usize>,
+    }
+
+    impl<'a, A: LinearOp<f64>> FallibleOp<f64> for Flaky<'a, A> {
+        fn vec_len(&self) -> usize {
+            self.op.vec_len()
+        }
+
+        fn apply(&mut self, out: &mut [Spinor<f64>], inp: &[Spinor<f64>]) -> Result<(), CommError> {
+            let idx = self.calls;
+            self.calls += 1;
+            if self.fail_at.contains(&idx) {
+                return Err(CommError::Missing {
+                    rank: 0,
+                    mu: 0,
+                    side: 0,
+                    attempts: 4,
+                });
+            }
+            self.op.apply(out, inp);
+            Ok(())
+        }
+
+        fn flops_per_apply(&self) -> f64 {
+            self.op.flops_per_apply()
+        }
+
+        fn recover(&mut self, _err: &CommError) -> Result<(), CommError> {
+            Ok(())
+        }
+    }
+
+    fn wilson_problem() -> (Lattice, GaugeField<f64>, Vec<Spinor<f64>>) {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 61);
+        let b = FermionField::<f64>::gaussian(lat.volume(), 11).data;
+        (lat, gauge, b)
+    }
+
+    #[test]
+    fn cg_ft_matches_plain_cg_bit_for_bit_when_fault_free() {
+        let (lat, gauge, b) = wilson_problem();
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+
+        let mut x_plain = vec![Spinor::zero(); lat.volume()];
+        let s_plain = cg(&normal, &mut x_plain, &b, CgParams::default());
+
+        let mut x_ft = vec![Spinor::zero(); lat.volume()];
+        let mut rel = Reliable::new(&normal);
+        let out = cg_ft(&mut rel, &mut x_ft, &b, &FtParams::default(), None);
+
+        assert!(out.is_converged(), "{out:?}");
+        assert_eq!(out.stats().iterations, s_plain.iterations);
+        assert_eq!(
+            out.stats().final_rel_residual.to_bits(),
+            s_plain.final_rel_residual.to_bits(),
+            "identical recurrence must give identical residual"
+        );
+        assert_eq!(
+            x_ft, x_plain,
+            "identical recurrence must give identical iterates"
+        );
+    }
+
+    #[test]
+    fn checkpointed_restart_reaches_identical_residual_with_bounded_waste() {
+        let (lat, gauge, b) = wilson_problem();
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+
+        let mut x_clean = vec![Spinor::zero(); lat.volume()];
+        let mut rel = Reliable::new(&normal);
+        let clean = cg_ft(&mut rel, &mut x_clean, &b, &FtParams::default(), None);
+        let clean_iters = clean.stats().iterations;
+
+        let params = FtParams {
+            checkpoint_every: 10,
+            ..FtParams::default()
+        };
+        let mut flaky = Flaky {
+            op: &normal,
+            calls: 0,
+            fail_at: vec![18, 35],
+        };
+        let mut x_faulty = vec![Spinor::zero(); lat.volume()];
+        let mut sink = CountingSink { stored: Vec::new() };
+        let out = cg_ft(&mut flaky, &mut x_faulty, &b, &params, Some(&mut sink));
+
+        assert!(out.is_converged(), "{out:?}");
+        let SolverOutcome::Converged {
+            stats, restarts, ..
+        } = out
+        else {
+            unreachable!()
+        };
+        assert_eq!(restarts, 2);
+        assert_eq!(stats.comm_restarts, 2);
+        assert_eq!(
+            stats.final_rel_residual.to_bits(),
+            clean.stats().final_rel_residual.to_bits(),
+            "restored recurrence must finish bit-identically"
+        );
+        assert_eq!(x_faulty, x_clean);
+        // Replay cost is bounded by the checkpoint interval per failure.
+        assert!(stats.iterations > clean_iters);
+        assert!(
+            stats.iterations <= clean_iters + 2 * params.checkpoint_every,
+            "waste {} vs interval bound {}",
+            stats.iterations - clean_iters,
+            2 * params.checkpoint_every
+        );
+        assert_eq!(
+            stats.checkpoints,
+            sink.stored.len(),
+            "every snapshot reaches the sink"
+        );
+        assert!(!sink.stored.is_empty());
+    }
+
+    #[test]
+    fn no_checkpointing_restarts_from_scratch() {
+        let (lat, gauge, b) = wilson_problem();
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+
+        let mut x_clean = vec![Spinor::zero(); lat.volume()];
+        let mut rel = Reliable::new(&normal);
+        let clean = cg_ft(&mut rel, &mut x_clean, &b, &FtParams::default(), None);
+        let clean_iters = clean.stats().iterations;
+
+        let params = FtParams {
+            checkpoint_every: 0,
+            ..FtParams::default()
+        };
+        let mut flaky = Flaky {
+            op: &normal,
+            calls: 0,
+            fail_at: vec![30],
+        };
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        let out = cg_ft(&mut flaky, &mut x, &b, &params, None);
+        assert!(out.is_converged(), "{out:?}");
+        // The 29 pre-failure iterations are all wasted.
+        assert!(
+            out.stats().iterations >= clean_iters + 25,
+            "{} vs clean {clean_iters}",
+            out.stats().iterations
+        );
+        assert_eq!(
+            out.stats().final_rel_residual.to_bits(),
+            clean.stats().final_rel_residual.to_bits()
+        );
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_a_typed_failure() {
+        let (lat, gauge, b) = wilson_problem();
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+        let params = FtParams {
+            max_comm_restarts: 2,
+            ..FtParams::default()
+        };
+        let mut flaky = Flaky {
+            op: &normal,
+            calls: 0,
+            fail_at: (0..1000).collect(), // every apply fails
+        };
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        match cg_ft(&mut flaky, &mut x, &b, &params, None) {
+            SolverOutcome::Failed {
+                restarts, reason, ..
+            } => {
+                assert_eq!(restarts, 2);
+                assert_eq!(reason, "comm-restart budget exhausted");
+            }
+            other => panic!("want Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_iteration_budget_caps_wasted_work() {
+        let (lat, gauge, b) = wilson_problem();
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+        let params = FtParams {
+            checkpoint_every: 0,
+            max_total_iters: 40,
+            ..FtParams::default()
+        };
+        // Repeated failure with no checkpointing: only ~35 productive
+        // iterations fit the budget, so the solve must give up.
+        let mut flaky = Flaky {
+            op: &normal,
+            calls: 0,
+            fail_at: vec![20, 41],
+        };
+        let mut x = vec![Spinor::zero(); lat.volume()];
+        match cg_ft(&mut flaky, &mut x, &b, &params, None) {
+            SolverOutcome::MaxIterations { stats, .. } => {
+                assert!(stats.iterations <= 40, "{}", stats.iterations);
+            }
+            other => panic!("want MaxIterations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_f64() {
+        let ckpt = CgCheckpoint::<f64> {
+            iteration: 17,
+            rho: 0.125,
+            x: FermionField::<f64>::gaussian(6, 1).data,
+            r: FermionField::<f64>::gaussian(6, 2).data,
+            p: FermionField::<f64>::gaussian(6, 3).data,
+        };
+        let flat = ckpt.to_f64_vec();
+        assert_eq!(flat.len(), 3 + 3 * 6 * CKPT_SPINOR_F64);
+        let back = CgCheckpoint::<f64>::from_f64_vec(&flat).unwrap();
+        assert_eq!(back, ckpt);
+        assert!(CgCheckpoint::<f64>::from_f64_vec(&flat[..flat.len() - 1]).is_none());
+    }
+}

@@ -257,6 +257,10 @@ pub fn mixed_cg_robust<L: Real, AH: LinearOp<f64> + ?Sized, AL: LinearOp<L> + ?S
             restarts += 1;
             mixed_params.delta *= params.delta_shrink;
             reg.counter("solver.robust.restarts").inc();
+            // Shared restart tally across the whole recovery ladder —
+            // precision escalation here, comm-failure checkpoint restores in
+            // `cg_ft` — so dashboards see one `solver.restarts` stream.
+            reg.counter("solver.restarts").inc();
             reg.event(
                 "solver.restart",
                 vec![

@@ -10,12 +10,16 @@
 mod bicgstab;
 mod cg;
 mod eig;
+mod ft;
 mod mixed;
 mod multishift;
 
 pub use bicgstab::bicgstab;
 pub use cg::{cg, cgne, CgParams};
 pub use eig::{deflated_cg, lanczos_lowest, EigenPair};
+pub use ft::{
+    cg_ft, CgCheckpoint, CheckpointSink, FallibleOp, FtParams, Reliable, CKPT_SPINOR_F64,
+};
 pub use mixed::{mixed_cg, mixed_cg_robust, MixedParams, RobustParams};
 pub use multishift::multishift_cg;
 
@@ -37,6 +41,11 @@ pub struct SolveStats {
     /// corrupted field or overflow) or loss of positive-definiteness — and
     /// the solve terminated early rather than iterating on garbage.
     pub breakdown: bool,
+    /// Recurrence snapshots taken (fault-tolerant solver only).
+    pub checkpoints: usize,
+    /// Restarts forced by communication failures (fault-tolerant solver
+    /// only; `iterations` includes the replayed work they cost).
+    pub comm_restarts: usize,
 }
 
 impl SolveStats {
@@ -48,6 +57,8 @@ impl SolveStats {
             reliable_updates: 0,
             flops: 0.0,
             breakdown: false,
+            checkpoints: 0,
+            comm_restarts: 0,
         }
     }
 }

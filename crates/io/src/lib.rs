@@ -21,9 +21,12 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod bundle;
+pub mod checkpoint;
 pub mod container;
 pub mod crc32c;
 pub mod fields;
+
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointStore};
 
 pub use bundle::{
     read_propagator, read_propagator_salvaged, write_propagator, BundlePrecision,

@@ -144,8 +144,12 @@ pub enum AttemptFate {
     },
 }
 
-/// splitmix64 — cheap, well-mixed per-entity seed derivation.
-fn splitmix64(mut z: u64) -> u64 {
+/// splitmix64 — cheap, well-mixed per-entity seed derivation. Public so
+/// seed chains can thread from the scheduler fault model into other layers
+/// (the comms fault injector keeps an identical copy — the layering rules
+/// forbid it depending on this crate — pinned to these constants by golden
+/// tests on both sides).
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -29,7 +29,9 @@ pub mod timeline;
 pub mod weak;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use fault::{AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy};
+pub use fault::{
+    splitmix64, AttemptFate, FaultConfig, FaultInjector, FaultStats, RecoveryState, RetryPolicy,
+};
 pub use metaq::MetaqScheduler;
 pub use mpijm::{MpiJmConfig, MpiJmScheduler};
 pub use naive::NaiveBundler;

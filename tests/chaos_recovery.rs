@@ -1,0 +1,305 @@
+//! End-to-end fault-injection recovery: the CRC-framed transport, the
+//! checkpoint-restart CG, and graceful rank-loss degradation, exercised
+//! together over the sharded Möbius normal operator.
+//!
+//! The load-bearing claims:
+//!
+//! - wire faults (corruption, drops, duplicates, reordering, latency) are
+//!   healed below the solver — the converged solution is **bit-identical**
+//!   to the fault-free solve, for every communication policy;
+//! - a permanent rank loss degrades the 2×2×1×1 grid to 1×2×1×1, resumes
+//!   from the last checkpoint, and still produces the bit-identical answer;
+//! - the recovery pipeline leaves a deterministic observability trail:
+//!   a scripted chaos run under a [`ManualClock`] renders the same event
+//!   timeline every time (golden in `tests/goldens/chaos_timeline.txt`).
+//!
+//! Regenerate the golden after an intentional behaviour change with:
+//! `UPDATE_GOLDENS=1 cargo test --test chaos_recovery`
+
+use lqcd::core::comms::{policy_from_index, CommFaultProfile, CommRetryPolicy, ShardedNormal};
+use lqcd::core::prelude::*;
+use lqcd::core::solver::{cg_ft, CgParams, FallibleOp, FtParams, SolverOutcome};
+use lqcd::obs::ManualClock;
+use obs::{assert_counter, assert_event_count, Registry};
+use std::path::PathBuf;
+
+const DIMS: [usize; 4] = [4, 4, 4, 4];
+const L5: usize = 2;
+const GPUS_PER_NODE: usize = 4;
+
+fn setup() -> (Lattice, GaugeField<f64>, MobiusParams, Vec<Spinor<f64>>) {
+    let lat = Lattice::new(DIMS);
+    let gauge = GaugeField::<f64>::hot(&lat, 7);
+    let params = MobiusParams::standard(L5, 0.08);
+    let b = FermionField::<f64>::gaussian(L5 * lat.volume(), 8).data;
+    (lat, gauge, params, b)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    lat: &Lattice,
+    gauge: &GaugeField<f64>,
+    params: MobiusParams,
+    b: &[Spinor<f64>],
+    grid: [usize; 4],
+    policy_idx: usize,
+    profile: CommFaultProfile,
+    checkpoint_every: usize,
+) -> (SolverOutcome, Vec<Spinor<f64>>, [usize; 4], usize) {
+    let mut op = ShardedNormal::new(
+        lat,
+        gauge,
+        params,
+        grid,
+        GPUS_PER_NODE,
+        policy_from_index(policy_idx),
+    )
+    .expect("grid divides the lattice");
+    op.set_fault_profile(profile, CommRetryPolicy::default());
+    let ft = FtParams {
+        cg: CgParams {
+            tol: 1e-6,
+            max_iter: 400,
+        },
+        checkpoint_every,
+        max_comm_restarts: 32,
+        max_total_iters: 2000,
+    };
+    let mut x = vec![Spinor::zero(); op.vec_len()];
+    let outcome = cg_ft(&mut op, &mut x, b, &ft, None);
+    let grid_after = op.grid();
+    let degradations = op.degradations();
+    (outcome, x, grid_after, degradations)
+}
+
+fn mild_profile() -> CommFaultProfile {
+    CommFaultProfile {
+        corrupt_prob: 0.03,
+        drop_prob: 0.03,
+        duplicate_prob: 0.025,
+        reorder_prob: 0.025,
+        delay_prob: 0.05,
+        ..CommFaultProfile::default()
+    }
+}
+
+/// Wire faults at mild intensity are healed entirely below the solver:
+/// every policy converges to the bit-identical solution of its fault-free
+/// twin, with zero comm restarts reaching the solver layer or not — either
+/// way, the answer must not change by a single bit.
+#[test]
+fn wire_faults_preserve_bit_identical_solutions() {
+    let (lat, gauge, params, b) = setup();
+    let grid = [2, 2, 1, 1];
+    let (clean_outcome, clean_x, _, _) = solve(
+        &lat,
+        &gauge,
+        params,
+        &b,
+        grid,
+        0,
+        CommFaultProfile::default(),
+        10,
+    );
+    assert!(clean_outcome.is_converged(), "clean solve must converge");
+    let clean_res = clean_outcome.stats().final_rel_residual;
+
+    for policy_idx in 0..6 {
+        let (outcome, x, _, degradations) = solve(
+            &lat,
+            &gauge,
+            params,
+            &b,
+            grid,
+            policy_idx,
+            mild_profile(),
+            10,
+        );
+        assert!(
+            outcome.is_converged(),
+            "policy {policy_idx} under mild faults must converge: {outcome:?}"
+        );
+        assert_eq!(degradations, 0, "mild faults must not degrade the grid");
+        assert_eq!(
+            outcome.stats().final_rel_residual.to_bits(),
+            clean_res.to_bits(),
+            "policy {policy_idx}: residual must be bit-identical to the clean solve"
+        );
+        assert_eq!(
+            x, clean_x,
+            "policy {policy_idx}: solution must be bit-identical to the clean solve"
+        );
+    }
+}
+
+/// A permanent rank loss mid-solve: the operator rebuilds on the surviving
+/// 1×2×1×1 grid, the solver restores from its last checkpoint, and the
+/// final solution is still bit-identical to the fault-free 4-rank solve.
+#[test]
+fn rank_loss_degrades_and_resumes_bit_identically() {
+    let (lat, gauge, params, b) = setup();
+    let grid = [2, 2, 1, 1];
+    let (clean_outcome, clean_x, _, _) = solve(
+        &lat,
+        &gauge,
+        params,
+        &b,
+        grid,
+        0,
+        CommFaultProfile::default(),
+        10,
+    );
+    assert!(clean_outcome.is_converged());
+
+    let profile = CommFaultProfile {
+        lost_rank: Some(3),
+        lost_at_apply: 30,
+        ..mild_profile()
+    };
+
+    let reg = Registry::new();
+    let (outcome, x, grid_after, degradations) = {
+        let _guard = reg.install_scoped();
+        solve(&lat, &gauge, params, &b, grid, 0, profile, 10)
+    };
+    assert!(
+        outcome.is_converged(),
+        "solve must survive the rank loss: {outcome:?}"
+    );
+    assert_eq!(degradations, 1, "exactly one graceful degradation");
+    assert_eq!(grid_after, [1, 2, 1, 1], "largest even factor halves first");
+    assert_eq!(
+        outcome.stats().final_rel_residual.to_bits(),
+        clean_outcome.stats().final_rel_residual.to_bits(),
+        "residual must survive the 4→2 degradation bit-identically"
+    );
+    assert_eq!(
+        x, clean_x,
+        "solution must be bit-identical after degradation"
+    );
+    assert_counter!(reg, "comms.rank_losses", 1);
+    assert_event_count!(reg, "comms.degrade", 1);
+    assert!(
+        outcome.stats().comm_restarts >= 1,
+        "the rank loss must have forced at least one checkpoint restore"
+    );
+}
+
+/// Without checkpoints the same rank-loss scenario still completes (it
+/// restarts from scratch on the surviving grid) but pays for the full
+/// replay: strictly more iterations than the checkpointed run.
+#[test]
+fn checkpoints_bound_the_replay_cost() {
+    let (lat, gauge, params, b) = setup();
+    let grid = [2, 2, 1, 1];
+    let profile = CommFaultProfile {
+        lost_rank: Some(3),
+        lost_at_apply: 30,
+        ..CommFaultProfile::default()
+    };
+
+    let (with_ckpt, _, _, _) = solve(&lat, &gauge, params, &b, grid, 0, profile, 10);
+    let (without_ckpt, _, _, _) = solve(&lat, &gauge, params, &b, grid, 0, profile, 0);
+    assert!(with_ckpt.is_converged() && without_ckpt.is_converged());
+    assert!(
+        with_ckpt.stats().iterations < without_ckpt.stats().iterations,
+        "checkpointing must replay less: {} vs {}",
+        with_ckpt.stats().iterations,
+        without_ckpt.stats().iterations
+    );
+}
+
+/// Scripted chaos run under a manual clock: heavy corruption forces CRC
+/// rejects, retries, retransmissions, and checkpoint restores, and the
+/// whole recovery pipeline leaves a deterministic event timeline.
+#[test]
+fn chaos_timeline_matches_golden() {
+    let (lat, gauge, params, b) = setup();
+    let reg = Registry::new();
+    reg.set_clock(ManualClock::new(0.0));
+
+    let (outcome, stats) = {
+        let _guard = reg.install_scoped();
+        let mut op = ShardedNormal::new(
+            &lat,
+            &gauge,
+            params,
+            [2, 1, 1, 1],
+            GPUS_PER_NODE,
+            policy_from_index(0),
+        )
+        .expect("2x1x1x1 divides the lattice");
+        op.set_fault_profile(
+            CommFaultProfile {
+                corrupt_prob: 0.35,
+                drop_prob: 0.05,
+                ..CommFaultProfile::default()
+            },
+            CommRetryPolicy::default(),
+        );
+        let ft = FtParams {
+            cg: CgParams {
+                tol: 1e-30, // unreachable: run the full scripted window
+                max_iter: 12,
+            },
+            checkpoint_every: 4,
+            max_comm_restarts: 64,
+            max_total_iters: 200,
+        };
+        let mut x = vec![Spinor::zero(); op.vec_len()];
+        let outcome = cg_ft(&mut op, &mut x, &b, &ft, None);
+        let stats = *outcome.stats();
+        (outcome, stats)
+    };
+    assert!(
+        matches!(outcome, SolverOutcome::MaxIterations { .. }),
+        "the scripted window must exhaust its 12 recurrence iterations: {outcome:?}"
+    );
+
+    // The recovery machinery must actually have fired, and its counters
+    // must agree with the event stream.
+    assert!(stats.comm_restarts >= 1, "scripted run must restore");
+    assert_counter!(reg, "solver.restarts", stats.comm_restarts as u64);
+    assert_counter!(reg, "solver.checkpoints", stats.checkpoints as u64);
+    assert_event_count!(reg, "solver.restore", stats.comm_restarts as u64);
+    assert_event_count!(reg, "solver.checkpoint", stats.checkpoints as u64);
+    assert!(
+        reg.counter("comms.crc_failures").get() >= 1,
+        "corruption must be caught by the frame CRC"
+    );
+    assert!(
+        reg.counter("comms.retries").get() >= reg.counter("comms.crc_failures").get(),
+        "every CRC reject NACKs a retry (plus drop/delay timeouts)"
+    );
+    let timeline = reg.events().render_timeline();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/chaos_timeline.txt");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &timeline).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    if timeline != golden {
+        let first_diff = timeline
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| timeline.lines().count().min(golden.lines().count()));
+        panic!(
+            "chaos timeline diverged from golden at line {} \
+             (got {} lines, golden {}):\n  got:    {:?}\n  golden: {:?}\n\
+             rerun with UPDATE_GOLDENS=1 if the change is intentional",
+            first_diff + 1,
+            timeline.lines().count(),
+            golden.lines().count(),
+            timeline.lines().nth(first_diff).unwrap_or("<eof>"),
+            golden.lines().nth(first_diff).unwrap_or("<eof>"),
+        );
+    }
+}

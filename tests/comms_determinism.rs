@@ -58,7 +58,9 @@ fn sharded_hop<R: Real, G: GaugeLinks<R>>(
     let mut kernel = ShardedHopping::new(domain.clone(), gauge, true, policy);
     let mut si = ShardedField::scatter(&domain, inp, l5);
     let mut so = ShardedField::zeros(&domain, l5);
-    kernel.apply(&mut so, &mut si);
+    kernel
+        .apply(&mut so, &mut si)
+        .expect("fault-free transport");
     let mut out = vec![Spinor::zero(); l5 * lat.volume()];
     so.gather_into(&domain, &mut out);
     (out, kernel.stats())
@@ -149,7 +151,9 @@ fn sharded_mobius_bit_identical_to_single_domain() {
                 );
                 let mut op = ShardedMobius::new(&lat, &gauge, params, domain, policy);
                 let mut got = vec![Spinor::zero(); op.vec_len()];
-                at_width(w, || op.apply(&mut got, &inp));
+                at_width(w, || {
+                    op.apply(&mut got, &inp).expect("fault-free transport")
+                });
                 assert_eq!(
                     got,
                     reference,
@@ -190,7 +194,9 @@ fn exactly_once_pack_unpack_under_repeated_threaded_applies() {
             let mut si = ShardedField::scatter(&domain, &inp, L5);
             let mut so = ShardedField::zeros(&domain, L5);
             for _ in 0..n_applies {
-                kernel.apply(&mut so, &mut si);
+                kernel
+                    .apply(&mut so, &mut si)
+                    .expect("fault-free transport");
             }
         });
         let s = kernel.stats();
@@ -275,7 +281,9 @@ fn fine_granularity_reports_overlap_window_with_manual_clock() {
         let mut si = ShardedField::scatter(&domain, &inp, L5);
         let mut so = ShardedField::zeros(&domain, L5);
         clock.advance(1.0);
-        kernel.apply(&mut so, &mut si);
+        kernel
+            .apply(&mut so, &mut si)
+            .expect("fault-free transport");
         let s = kernel.stats();
         match policy.granularity {
             // The manual clock never advances during the apply, so a fine
