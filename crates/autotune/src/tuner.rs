@@ -185,7 +185,12 @@ impl Tuner {
         let inner = self.inner.read();
         let mut entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
         entries.sort_by(|a, b| {
-            (&a.0.name, &a.0.volume, &a.0.aux).cmp(&(&b.0.name, &b.0.volume, &b.0.aux))
+            (&a.0.name, &a.0.volume, &a.0.aux, a.0.nrhs).cmp(&(
+                &b.0.name,
+                &b.0.volume,
+                &b.0.aux,
+                b.0.nrhs,
+            ))
         });
         Json::Arr(
             entries
@@ -195,6 +200,7 @@ impl Tuner {
                         ("name", Json::from(k.name.as_str())),
                         ("volume", Json::from(k.volume.as_str())),
                         ("aux", Json::from(k.aux.as_str())),
+                        ("nrhs", Json::from(k.nrhs)),
                         ("grain", Json::from(e.param.grain)),
                         ("block", Json::from(e.param.block)),
                         ("policy", Json::from(e.param.policy)),
@@ -238,8 +244,10 @@ impl Tuner {
                     .and_then(Json::as_f64)
                     .ok_or_else(|| bad(&format!("tune cache: missing {f}")))
             };
+            // Pre-batching cache files have no `nrhs`; they are single-RHS.
+            let nrhs = item.get("nrhs").and_then(Json::as_u64).unwrap_or(1) as usize;
             entries.push((
-                TuneKey::new(s("name")?, s("volume")?, s("aux")?),
+                TuneKey::new(s("name")?, s("volume")?, s("aux")?).with_nrhs(nrhs),
                 TuneEntry {
                     param: TuneParam {
                         grain: u("grain")?,
@@ -266,7 +274,12 @@ impl Tuner {
         let inner = self.inner.read();
         let mut entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
         entries.sort_by(|a, b| {
-            (&a.0.name, &a.0.volume, &a.0.aux).cmp(&(&b.0.name, &b.0.volume, &b.0.aux))
+            (&a.0.name, &a.0.volume, &a.0.aux, a.0.nrhs).cmp(&(
+                &b.0.name,
+                &b.0.volume,
+                &b.0.aux,
+                b.0.nrhs,
+            ))
         });
         let mut out = String::new();
         for (k, e) in entries {

@@ -32,16 +32,21 @@
 //!             x {checkpointing on, off} through the fault-tolerant CG
 //!             (--quick for CI smoke, --check-schema FILE to verify a
 //!             committed chaos.csv still has this build's columns)
+//!   deflation batched multi-RHS solves vs the 1-RHS baseline, with and
+//!             without the Lanczos low-mode deflation guess; asserts the
+//!             block path bit-identical to sequential CG
+//!             (--quick for CI smoke, --check-schema FILE to verify a
+//!             committed deflation.csv still has this build's columns)
 //!   lint      workspace static analysis (determinism/safety/layering
 //!             rules R1-R5; --check gates on the committed
 //!             lint-baseline.json, --update-baseline regenerates it)
-//!   all       everything above except bench, comms, and chaos (timings
-//!             are machine-specific)
+//!   all       everything above except bench, comms, chaos, and deflation
+//!             (timings are machine-specific)
 //! ```
 
 use bench::experiments::{
-    ablation, chaos, comms, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics, pipeline,
-    tables,
+    ablation, chaos, comms, deflation, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics,
+    pipeline, tables,
 };
 use bench::output::ExperimentOutput;
 
@@ -84,7 +89,7 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|chaos|all> [--results DIR] [--quick] [--check-schema FILE]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|chaos|deflation|all> [--results DIR] [--quick] [--check-schema FILE]"
         );
         std::process::exit(2);
     };
@@ -167,6 +172,15 @@ fn main() {
             }
             if let Some(file) = &check_schema {
                 chaos::check_schema(file);
+            }
+        }
+        "deflation" => {
+            if let Err(e) = deflation::run_deflation(out, &deflation::DeflationOpts { quick }) {
+                eprintln!("repro deflation: cannot write results: {e}");
+                std::process::exit(1);
+            }
+            if let Some(file) = &check_schema {
+                deflation::check_schema(file);
             }
         }
         other => {

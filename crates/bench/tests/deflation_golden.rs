@@ -1,0 +1,64 @@
+//! Golden test for `repro deflation --quick`: driven by a [`ManualClock`],
+//! the experiment's CSV is a pure function of the committed solver code, so
+//! the whole quick run — Lanczos subspace, sequential/block/deflated
+//! iteration counts, link-traffic accounting — is pinned byte for byte.
+//!
+//! Regenerate after an intentional numerical change with
+//! `UPDATE_GOLDENS=1 cargo test -p bench --test deflation_golden`.
+
+use bench::experiments::deflation::{run_deflation_with_clock, DeflationOpts};
+use bench::output::ExperimentOutput;
+use obs::ManualClock;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join("deflation_quick.csv")
+}
+
+#[test]
+fn quick_deflation_csv_matches_golden() {
+    let dir = std::env::temp_dir().join("repro_deflation_golden");
+    let out = ExperimentOutput::new(&dir).expect("temp results dir");
+    // Frozen time: the seconds and eff_gib_per_s columns are exactly zero,
+    // every other column is deterministic arithmetic.
+    let clock = ManualClock::new(0.0);
+    run_deflation_with_clock(&out, &DeflationOpts { quick: true }, &*clock)
+        .expect("quick deflation run");
+    let got = std::fs::read_to_string(out.path("deflation.csv")).expect("csv written");
+    std::fs::remove_file(out.path("deflation.csv")).ok();
+    std::fs::remove_file(out.path("deflation.md")).ok();
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir goldens");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    if got != want {
+        let diff = got
+            .lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w);
+        match diff {
+            Some((i, (g, w))) => panic!(
+                "deflation_quick.csv drifted at line {}:\n  got:    {g}\n  golden: {w}\n\
+                 (UPDATE_GOLDENS=1 regenerates after an intentional change)",
+                i + 1
+            ),
+            None => panic!(
+                "deflation_quick.csv drifted in length: got {} lines, golden {} lines",
+                got.lines().count(),
+                want.lines().count()
+            ),
+        }
+    }
+}

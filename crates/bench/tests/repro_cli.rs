@@ -58,6 +58,33 @@ fn missing_experiment_prints_usage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage: repro"), "stderr: {stderr}");
     assert!(stderr.contains("chaos"), "usage must list chaos: {stderr}");
+    assert!(
+        stderr.contains("deflation"),
+        "usage must list deflation: {stderr}"
+    );
+}
+
+/// `repro deflation --check-schema` against a stale header must run the
+/// experiment, then fail the schema diff with exit code 1 — the branch CI
+/// takes when a committed `deflation.csv` no longer matches this build.
+#[test]
+fn deflation_schema_mismatch_is_a_clean_error() {
+    let results = std::env::temp_dir().join(format!("repro-cli-deflation-{}", std::process::id()));
+    std::fs::create_dir_all(&results).unwrap();
+    let stale = results.join("stale.csv");
+    std::fs::write(&stale, "mass_id,not_the_real_columns\n").unwrap();
+    let out = repro()
+        .args(["deflation", "--quick", "--results"])
+        .arg(&results)
+        .arg("--check-schema")
+        .arg(&stale)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema mismatch"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&results).ok();
 }
 
 #[test]

@@ -20,7 +20,7 @@ const PAR_THRESHOLD: usize = 1 << 12;
 /// loop); above it, fixed chunks split the work across the pool. Derived
 /// from `len` only, so the chunk shape — and therefore every reduction's
 /// bits — is independent of the pool width.
-fn grain_for(len: usize) -> usize {
+pub(crate) fn grain_for(len: usize) -> usize {
     if len < PAR_THRESHOLD {
         len.max(1)
     } else {

@@ -4,10 +4,14 @@
 //! [`ShardedHopping`] runs the Wilson hopping stencil over a
 //! [`DomainDecomposition`], exchanging face buffers between ranks through
 //! the in-memory [`Mailboxes`] transport. The per-site arithmetic is
-//! [`hop_site`] — the same function the single-domain [`HoppingKernel`]
-//! calls — applied to ghost spinors and gauge links gathered bit-exactly
-//! from the global field, so the output is bit-identical to the
-//! single-domain kernel at any rank grid, thread width, and precision.
+//! [`hop_site_block`] — the same per-column `hop_site` the single-domain
+//! [`HoppingKernel`] calls, with the site's eight links fetched once —
+//! applied to ghost spinors and gauge links gathered bit-exactly from the
+//! global field, so the output is bit-identical to the single-domain kernel
+//! at any rank grid, thread width, precision, and RHS block size. Batched
+//! ([`ShardedField::zeros_block`]) fields carry all N right-hand-sides in
+//! each halo frame: the message *count* is that of a single solve, frames
+//! just grow N× fatter.
 //!
 //! The [`CommPolicy`] knobs change execution, not just a cost formula:
 //!
@@ -39,7 +43,7 @@
 use super::domain::{surviving_grid, DomainDecomposition};
 use super::fault::{CommError, CommFaultProfile, CommRetryPolicy};
 use super::transport::{CommFaultStats, CommStats, FaultyTransport, BOX_BWD, BOX_FWD};
-use crate::dirac::{hop_site, MobiusDirac, MobiusParams, HOPPING_FLOPS_PER_SITE};
+use crate::dirac::{hop_site_block, MobiusDirac, MobiusParams, HOPPING_FLOPS_PER_SITE};
 use crate::field::GaugeLinks;
 use crate::lattice::{volume_string, Lattice, ND};
 use crate::real::Real;
@@ -53,61 +57,94 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A 5D fermion vector sharded over the ranks of a decomposition: per-rank
-/// local storage (s-major, like the global layout) plus a ghost region
-/// refreshed by each halo exchange.
+/// A 5D fermion vector — or an interleaved multi-RHS block of them —
+/// sharded over the ranks of a decomposition: per-rank local storage
+/// (s-major, RHS-innermost like [`crate::block::BlockSpinor`]) plus a ghost
+/// region refreshed by each halo exchange. With `nrhs > 1` every halo frame
+/// carries all columns of each face site, so N right-hand-sides ride one
+/// exchange's worth of messages.
 #[derive(Clone, Debug)]
 pub struct ShardedField<R: Real> {
     l5: usize,
+    nrhs: usize,
     v_loc: usize,
     ghost_len: usize,
-    /// `locals[r][s * v_loc + lx]`: rank `r`'s spinor at local site `lx`,
-    /// fifth-dimension slice `s`.
+    /// `locals[r][(s * v_loc + lx) * nrhs + j]`: rank `r`'s spinor at local
+    /// site `lx`, fifth-dimension slice `s`, column `j`.
     locals: Vec<Vec<Spinor<R>>>,
-    /// `ghosts[r][s * ghost_len + e]`: ghost slot `e` of slice `s`.
+    /// `ghosts[r][(s * ghost_len + e) * nrhs + j]`: ghost slot `e`.
     ghosts: Vec<Vec<Spinor<R>>>,
 }
 
 impl<R: Real> ShardedField<R> {
     /// All-zero field over `domain` with `l5` fifth-dimension slices.
     pub fn zeros(domain: &DomainDecomposition, l5: usize) -> Self {
+        Self::zeros_block(domain, l5, 1)
+    }
+
+    /// All-zero `nrhs`-column block over `domain`.
+    pub fn zeros_block(domain: &DomainDecomposition, l5: usize, nrhs: usize) -> Self {
+        assert!(nrhs > 0, "a sharded block needs at least one column");
         let v_loc = domain.local_volume();
         let ghost_len = domain.ghost_len();
         Self {
             l5,
+            nrhs,
             v_loc,
             ghost_len,
-            locals: vec![vec![Spinor::zero(); l5 * v_loc]; domain.n_ranks()],
-            ghosts: vec![vec![Spinor::zero(); l5 * ghost_len]; domain.n_ranks()],
+            locals: vec![vec![Spinor::zero(); l5 * v_loc * nrhs]; domain.n_ranks()],
+            ghosts: vec![vec![Spinor::zero(); l5 * ghost_len * nrhs]; domain.n_ranks()],
         }
     }
 
     /// Shard a global s-major 5D vector (`l5 × volume` spinors) onto ranks.
     pub fn scatter(domain: &DomainDecomposition, global: &[Spinor<R>], l5: usize) -> Self {
+        Self::scatter_block(domain, global, l5, 1)
+    }
+
+    /// Shard a global s-major, RHS-innermost block
+    /// (`l5 × volume × nrhs` spinors, `global[(s*V + x)*nrhs + j]`).
+    pub fn scatter_block(
+        domain: &DomainDecomposition,
+        global: &[Spinor<R>],
+        l5: usize,
+        nrhs: usize,
+    ) -> Self {
         let v = domain.lattice().volume();
-        assert_eq!(global.len(), l5 * v, "global vector length mismatch");
-        let mut f = Self::zeros(domain, l5);
+        assert_eq!(global.len(), l5 * v * nrhs, "global vector length mismatch");
+        let mut f = Self::zeros_block(domain, l5, nrhs);
         let v_loc = f.v_loc;
         for (r, rank) in domain.ranks().iter().enumerate() {
             let local = &mut f.locals[r];
             for s in 0..l5 {
                 for lx in 0..v_loc {
-                    local[s * v_loc + lx] = global[s * v + rank.local_to_global[lx] as usize];
+                    let g = rank.local_to_global[lx] as usize;
+                    local[(s * v_loc + lx) * nrhs..(s * v_loc + lx + 1) * nrhs]
+                        .copy_from_slice(&global[(s * v + g) * nrhs..(s * v + g + 1) * nrhs]);
                 }
             }
         }
         f
     }
 
-    /// Reassemble the global s-major 5D vector from the rank locals.
+    /// Reassemble the global s-major (RHS-innermost) vector from the rank
+    /// locals.
     pub fn gather_into(&self, domain: &DomainDecomposition, global: &mut [Spinor<R>]) {
         let v = domain.lattice().volume();
-        assert_eq!(global.len(), self.l5 * v, "global vector length mismatch");
+        let nrhs = self.nrhs;
+        assert_eq!(
+            global.len(),
+            self.l5 * v * nrhs,
+            "global vector length mismatch"
+        );
         for (r, rank) in domain.ranks().iter().enumerate() {
             let local = &self.locals[r];
             for s in 0..self.l5 {
                 for lx in 0..self.v_loc {
-                    global[s * v + rank.local_to_global[lx] as usize] = local[s * self.v_loc + lx];
+                    let g = rank.local_to_global[lx] as usize;
+                    global[(s * v + g) * nrhs..(s * v + g + 1) * nrhs].copy_from_slice(
+                        &local[(s * self.v_loc + lx) * nrhs..(s * self.v_loc + lx + 1) * nrhs],
+                    );
                 }
             }
         }
@@ -116,6 +153,11 @@ impl<R: Real> ShardedField<R> {
     /// Fifth-dimension extent.
     pub fn l5(&self) -> usize {
         self.l5
+    }
+
+    /// Number of interleaved right-hand-side columns.
+    pub fn nrhs(&self) -> usize {
+        self.nrhs
     }
 }
 
@@ -263,6 +305,7 @@ impl<R: Real> ShardedHopping<R> {
         let domain = &self.domain;
         let transport = &self.transport;
         let l5 = inp.l5;
+        let nrhs = inp.nrhs;
         let v_loc = inp.v_loc;
         let locals = &inp.locals;
         let first_err: Mutex<Option<CommError>> = Mutex::new(None);
@@ -271,10 +314,13 @@ impl<R: Real> ShardedHopping<R> {
                 let ex = &domain.ranks()[r].exchanges[k];
                 let local = &locals[r];
                 let post = |face: &[u32], dest: usize, side: usize| -> Result<(), CommError> {
-                    let mut buf = Vec::with_capacity(l5 * ex.face_len);
+                    // Batched faces: one frame carries every RHS column of
+                    // each face site (columns innermost, like the storage).
+                    let mut buf = Vec::with_capacity(l5 * ex.face_len * nrhs);
                     for s in 0..l5 {
                         for &lx in face {
-                            buf.push(local[s * v_loc + lx as usize]);
+                            let base = (s * v_loc + lx as usize) * nrhs;
+                            buf.extend_from_slice(&local[base..base + nrhs]);
                         }
                     }
                     let wire = if staged {
@@ -321,6 +367,7 @@ impl<R: Real> ShardedHopping<R> {
         let domain = &self.domain;
         let transport = &self.transport;
         let l5 = inp.l5;
+        let nrhs = inp.nrhs;
         let v_loc = inp.v_loc;
         let ghost_len = inp.ghost_len;
         let locals = &inp.locals;
@@ -338,8 +385,10 @@ impl<R: Real> ShardedHopping<R> {
                 let mut gather = |src_rank: usize, face: &[u32], base: usize| {
                     let src = &locals[src_rank];
                     for s in 0..l5 {
-                        for (j, &lx) in face.iter().enumerate() {
-                            ghosts[s * ghost_len + base + j] = src[s * v_loc + lx as usize];
+                        for (i, &lx) in face.iter().enumerate() {
+                            let dst = (s * ghost_len + base + i) * nrhs;
+                            let from = (s * v_loc + lx as usize) * nrhs;
+                            ghosts[dst..dst + nrhs].copy_from_slice(&src[from..from + nrhs]);
                         }
                     }
                     unpacks.fetch_add(1, Ordering::Relaxed);
@@ -351,10 +400,12 @@ impl<R: Real> ShardedHopping<R> {
                 gather(ex.bwd_rank, &bwd.high_face, ex.bwd_ghost_base);
             } else {
                 let mut unpack = |side: usize, src: usize, base: usize| -> Result<(), CommError> {
-                    let buf = transport.recv(r, ex.mu, side, src, seq, l5 * ex.face_len)?;
+                    let buf = transport.recv(r, ex.mu, side, src, seq, l5 * ex.face_len * nrhs)?;
                     for s in 0..l5 {
-                        for j in 0..ex.face_len {
-                            ghosts[s * ghost_len + base + j] = buf[s * ex.face_len + j];
+                        for i in 0..ex.face_len {
+                            let dst = (s * ghost_len + base + i) * nrhs;
+                            let from = (s * ex.face_len + i) * nrhs;
+                            ghosts[dst..dst + nrhs].copy_from_slice(&buf[from..from + nrhs]);
                         }
                     }
                     unpacks.fetch_add(1, Ordering::Relaxed);
@@ -384,6 +435,7 @@ impl<R: Real> ShardedHopping<R> {
         let links = &self.links;
         let apbc = self.antiperiodic_t;
         let l5 = inp.l5;
+        let nrhs = inp.nrhs;
         let v_loc = inp.v_loc;
         let ghost_len = inp.ghost_len;
         let in_locals = &inp.locals;
@@ -403,14 +455,16 @@ impl<R: Real> ShardedHopping<R> {
                     for s in 0..l5 {
                         let base_l = s * v_loc;
                         let base_g = s * ghost_len;
-                        let fetch = |e: usize| {
+                        let fetch = |e: usize, j: usize| {
                             if e < v_loc {
-                                loc[base_l + e]
+                                loc[(base_l + e) * nrhs + j]
                             } else {
-                                gh[base_g + e - v_loc]
+                                gh[(base_g + e - v_loc) * nrhs + j]
                             }
                         };
-                        o[base_l + lx] = hop_site(nb, lx, apbc, &fetch, &link);
+                        // One link fetch per site feeds every RHS column.
+                        let row = &mut o[(base_l + lx) * nrhs..(base_l + lx + 1) * nrhs];
+                        hop_site_block(nb, lx, apbc, &fetch, &link, row);
                     }
                     n += l5 as u64;
                 }
@@ -483,6 +537,7 @@ impl<R: Real> ShardedHopping<R> {
     ) -> Result<(), CommError> {
         let l5 = inp.l5;
         assert_eq!(out.l5, l5, "l5 mismatch");
+        assert_eq!(out.nrhs, inp.nrhs, "nrhs mismatch");
         assert_eq!(inp.v_loc, self.domain.local_volume(), "input shape");
         assert_eq!(out.v_loc, self.domain.local_volume(), "output shape");
         let seq = self.seq;
@@ -523,13 +578,13 @@ impl<R: Real> ShardedHopping<R> {
         );
 
         // Halo spinors delivered: both faces of every partitioned direction,
-        // per rank, l5-fat messages.
+        // per rank, l5-fat messages, every RHS column per face site.
         let halo_sites: u64 = self
             .domain
             .ranks()
             .iter()
             .flat_map(|rank| rank.exchanges.iter())
-            .map(|ex| 2 * (ex.face_len * l5) as u64)
+            .map(|ex| 2 * (ex.face_len * l5 * inp.nrhs) as u64)
             .sum();
         let spinor_bytes = std::mem::size_of::<Spinor<R>>() as u64;
         let (pack_copies, total_copies) = self.copy_profile();
@@ -676,6 +731,7 @@ impl<'a, R: Real> Tunable for PolicySweep<'a, R> {
             ),
             format!("prec={},grid={}", R::NAME, self.kernel.domain.grid_string()),
         )
+        .with_nrhs(self.inp.nrhs)
     }
 
     fn param_space(&self) -> ParamSpace {
@@ -694,7 +750,7 @@ impl<'a, R: Real> Tunable for PolicySweep<'a, R> {
     }
 
     fn flops(&self) -> f64 {
-        self.kernel.flops_per_apply(self.inp.l5)
+        self.kernel.flops_per_apply(self.inp.l5) * self.inp.nrhs as f64
     }
 }
 
@@ -812,6 +868,64 @@ impl<'a, R: Real, G: GaugeLinks<R>> ShardedMobius<'a, R, G> {
             }
             let mut si = ShardedField::scatter(&domain, i, l5);
             let mut so = ShardedField::zeros(&domain, l5);
+            match hop.apply(&mut so, &mut si) {
+                Ok(()) => so.gather_into(&domain, o),
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Batched [`Self::apply`] on RHS-innermost interleaved vectors: one
+    /// halo exchange's worth of messages serves all `nrhs` columns, and
+    /// column `j` is bit-identical to `apply` on the packed column.
+    pub fn apply_block(
+        &mut self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        nrhs: usize,
+    ) -> Result<(), CommError> {
+        let Self { mobius, hop } = self;
+        let l5 = mobius.params().l5;
+        let domain = hop.domain().clone();
+        let mut err = None;
+        mobius.apply_block_with_hop(out, inp, nrhs, &mut |o, i, n| {
+            if err.is_some() {
+                return;
+            }
+            let mut si = ShardedField::scatter_block(&domain, i, l5, n);
+            let mut so = ShardedField::zeros_block(&domain, l5, n);
+            match hop.apply(&mut so, &mut si) {
+                Ok(()) => so.gather_into(&domain, o),
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Batched [`Self::apply_dagger`], fallible like [`Self::apply_block`].
+    pub fn apply_dagger_block(
+        &mut self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        nrhs: usize,
+    ) -> Result<(), CommError> {
+        let Self { mobius, hop } = self;
+        let l5 = mobius.params().l5;
+        let domain = hop.domain().clone();
+        let mut err = None;
+        mobius.apply_dagger_block_with_hop(out, inp, nrhs, &mut |o, i, n| {
+            if err.is_some() {
+                return;
+            }
+            let mut si = ShardedField::scatter_block(&domain, i, l5, n);
+            let mut so = ShardedField::zeros_block(&domain, l5, n);
             match hop.apply(&mut so, &mut si) {
                 Ok(()) => so.gather_into(&domain, o),
                 Err(e) => err = Some(e),
@@ -959,6 +1073,31 @@ impl<'a, R: Real, G: GaugeLinks<R>> FallibleOp<R> for ShardedNormal<'a, R, G> {
             ],
         );
         Ok(())
+    }
+}
+
+/// Batched analogue of the [`FallibleOp`] impl: the whole interleaved block
+/// rides one exchange per apply, and each column's result is bit-identical
+/// to the single-RHS operator. Rank-loss recovery is shared with the
+/// single-RHS path through [`FallibleOp::recover`].
+impl<'a, R: Real, G: GaugeLinks<R>> crate::solver::BlockOp<R> for ShardedNormal<'a, R, G> {
+    fn vec_len(&self) -> usize {
+        self.op.vec_len()
+    }
+
+    fn apply_block(
+        &mut self,
+        out: &mut crate::block::BlockSpinor<R>,
+        inp: &crate::block::BlockSpinor<R>,
+    ) -> Result<(), CommError> {
+        let nrhs = inp.nrhs();
+        let mut tmp = vec![Spinor::zero(); self.op.vec_len() * nrhs];
+        self.op.apply_block(&mut tmp, inp.data(), nrhs)?;
+        self.op.apply_dagger_block(out.data_mut(), &tmp, nrhs)
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        FallibleOp::flops_per_apply(self)
     }
 }
 

@@ -92,6 +92,35 @@ pub fn hop_site<R: Real>(
     r
 }
 
+/// One site-row of the blocked hop. The eight links of site `x` are
+/// fetched once into locals and every RHS column reuses them — that is the
+/// link-traffic amortization of the batched path. Each column is then
+/// evaluated by the very same [`hop_site`], so column `j` of the output is
+/// bit-identical to a single-RHS application of that column.
+///
+/// `fetch(site, j)` returns column `j` of the neighbor spinor; `out` is the
+/// `nrhs`-long interleaved row at site `x`.
+#[inline]
+pub fn hop_site_block<R: Real>(
+    nb: &Neighbors,
+    x: usize,
+    antiperiodic_t: bool,
+    fetch: &impl Fn(usize, usize) -> Spinor<R>,
+    link: &impl Fn(usize, usize) -> Su3<R>,
+    out: &mut [Spinor<R>],
+) {
+    let fwd: [Su3<R>; ND] = std::array::from_fn(|mu| link(x, mu));
+    let bwd: [Su3<R>; ND] = std::array::from_fn(|mu| link(nb.bwd[mu] as usize, mu));
+    // `hop_site` asks for `link(x, mu)` on forward hops and
+    // `link(nb.bwd[mu], mu)` on backward ones; when a backward neighbor
+    // coincides with `x` (extent-1 direction) the forward cache is the same
+    // link, so the site test is exact.
+    let cached = |site: usize, mu: usize| if site == x { fwd[mu] } else { bwd[mu] };
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = hop_site(nb, x, antiperiodic_t, &|e| fetch(e, j), &cached);
+    }
+}
+
 /// Hopping-term kernel bound to a lattice and a gauge field.
 pub struct HoppingKernel<'a, R: Real, G: GaugeLinks<R>> {
     lattice: &'a Lattice,
@@ -161,6 +190,70 @@ impl<'a, R: Real, G: GaugeLinks<R>> HoppingKernel<'a, R, G> {
             for (k, o) in chunk.iter_mut().enumerate() {
                 let lex = sites[base + k] as usize;
                 *o = self.site_hop(lex, &fetch);
+            }
+        });
+    }
+
+    /// `out = H inp` on the full lattice for an interleaved block of `nrhs`
+    /// right-hand-sides (slices are `volume * nrhs` spinors, RHS-innermost).
+    /// `grain` counts sites as in [`Self::apply_full`]; chunks are aligned
+    /// to whole site-rows so every column reproduces `apply_full` exactly.
+    pub fn apply_full_block(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        nrhs: usize,
+        grain: usize,
+    ) {
+        let v = self.lattice.volume();
+        assert!(nrhs > 0, "a block needs at least one column");
+        assert_eq!(out.len(), v * nrhs);
+        assert_eq!(inp.len(), v * nrhs);
+        let fetch = |i: usize, j: usize| inp[i * nrhs + j];
+        rayon::for_each_chunk_mut(out, grain.max(1) * nrhs, |base, chunk| {
+            for (k, row) in chunk.chunks_mut(nrhs).enumerate() {
+                let x = base / nrhs + k;
+                let nb = self.lattice.neighbors(x);
+                hop_site_block(
+                    nb,
+                    x,
+                    self.antiperiodic_t,
+                    &fetch,
+                    &|site, mu| self.gauge.link(site, mu),
+                    row,
+                );
+            }
+        });
+    }
+
+    /// Blocked checkerboarded hop onto parity `out_parity`; both slices are
+    /// `half_volume * nrhs`, RHS-innermost.
+    pub fn apply_parity_block(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        out_parity: Parity,
+        nrhs: usize,
+        grain: usize,
+    ) {
+        let hv = self.lattice.half_volume();
+        assert!(nrhs > 0, "a block needs at least one column");
+        assert_eq!(out.len(), hv * nrhs);
+        assert_eq!(inp.len(), hv * nrhs);
+        let sites = self.lattice.sites_with_parity(out_parity);
+        let fetch = |lex: usize, j: usize| inp[self.lattice.cb_index(lex) * nrhs + j];
+        rayon::for_each_chunk_mut(out, grain.max(1) * nrhs, |base, chunk| {
+            for (k, row) in chunk.chunks_mut(nrhs).enumerate() {
+                let lex = sites[base / nrhs + k] as usize;
+                let nb = self.lattice.neighbors(lex);
+                hop_site_block(
+                    nb,
+                    lex,
+                    self.antiperiodic_t,
+                    &fetch,
+                    &|site, mu| self.gauge.link(site, mu),
+                    row,
+                );
             }
         });
     }
@@ -285,6 +378,47 @@ mod tests {
                 (got - full[x]).norm_sqr() < 1e-24,
                 "site {x} parity tiling mismatch"
             );
+        }
+    }
+
+    #[test]
+    fn blocked_hop_is_bit_identical_per_column() {
+        let (lat, gauge, _) = setup([4, 4, 2, 6], 17);
+        let v = lat.volume();
+        let hop = HoppingKernel::new(&lat, &gauge, true);
+        for nrhs in [1usize, 3, 4] {
+            let cols: Vec<Vec<Spinor<f64>>> = (0..nrhs)
+                .map(|j| FermionField::gaussian(v, 100 + j as u64).data)
+                .collect();
+            let block = crate::block::BlockSpinor::from_columns(&cols);
+            let mut out = crate::block::BlockSpinor::zeros(v, nrhs);
+            hop.apply_full_block(out.data_mut(), block.data(), nrhs, 64);
+            for (j, c) in cols.iter().enumerate() {
+                let mut single = vec![Spinor::zero(); v];
+                hop.apply_full(&mut single, c, 64);
+                assert_eq!(out.col(j), single, "column {j} of {nrhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_parity_hop_is_bit_identical_per_column() {
+        let (lat, gauge, _) = setup([4, 4, 4, 4], 23);
+        let hv = lat.half_volume();
+        let hop = HoppingKernel::new(&lat, &gauge, true);
+        let nrhs = 3usize;
+        let cols: Vec<Vec<Spinor<f64>>> = (0..nrhs)
+            .map(|j| FermionField::gaussian(hv, 200 + j as u64).data)
+            .collect();
+        let block = crate::block::BlockSpinor::from_columns(&cols);
+        for parity in [Parity::Even, Parity::Odd] {
+            let mut out = crate::block::BlockSpinor::zeros(hv, nrhs);
+            hop.apply_parity_block(out.data_mut(), block.data(), parity, nrhs, 64);
+            for (j, c) in cols.iter().enumerate() {
+                let mut single = vec![Spinor::zero(); hv];
+                hop.apply_parity(&mut single, c, parity, 64);
+                assert_eq!(out.col(j), single, "parity {parity:?} column {j}");
+            }
         }
     }
 

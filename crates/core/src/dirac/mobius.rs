@@ -27,7 +27,7 @@
 //! unchanged.
 
 use super::hopping::{HoppingKernel, HOPPING_FLOPS_PER_SITE};
-use super::{DiracOp, LinearOp};
+use super::{BlockDiracOp, BlockLinearOp, DiracOp, LinearOp};
 use crate::field::GaugeLinks;
 use crate::lattice::{Lattice, Parity};
 use crate::real::Real;
@@ -310,11 +310,25 @@ impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
             self.hopping.apply_full(o, i, self.grain);
         }
     }
+
+    /// Blocked slice-by-slice hopping on interleaved 5D blocks
+    /// (`(s·V + x)·nrhs + j` layout — each s-slice is a contiguous 4D block).
+    fn hop_5d_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let vb = self.lattice.volume() * nrhs;
+        for s in 0..self.l5() {
+            let (o, i) = (&mut out[s * vb..(s + 1) * vb], &inp[s * vb..(s + 1) * vb]);
+            self.hopping.apply_full_block(o, i, nrhs, self.grain);
+        }
+    }
 }
 
 /// Caller-supplied 4D hopping term acting on full 5D (`L5 × V`, s-major)
 /// vectors: `hop(out, inp)`.
 pub type Hop5d<'h, R> = dyn FnMut(&mut [Spinor<R>], &[Spinor<R>]) + 'h;
+
+/// Caller-supplied *blocked* 4D hopping term on interleaved 5D blocks:
+/// `hop(out, inp, nrhs)` with `(s·V + x)·nrhs + j` layout.
+pub type Hop5dBlock<'h, R> = dyn FnMut(&mut [Spinor<R>], &[Spinor<R>], usize) + 'h;
 
 impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
     /// `out = A(inp) − ½ hop(ρ(inp))` with the 4D hopping term supplied by
@@ -381,6 +395,83 @@ impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
         out.par_iter_mut().zip(rho_h.par_iter()).for_each(|(o, r)| {
             *o = *o - r.scale(half);
         });
+    }
+
+    /// Blocked `out = A(inp) − ½ hop(ρ(inp))` on `nrhs` interleaved
+    /// right-hand-sides. The fifth-dimension ops act per `(s, 4D-site)`
+    /// element, so running them with slice length `V·nrhs` on the
+    /// interleaved block applies the identical scalar arithmetic to every
+    /// column — column `j` is bit-identical to [`Self::apply_with_hop`] on
+    /// that column alone (given a `hop` with the same property).
+    pub fn apply_block_with_hop(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        nrhs: usize,
+        hop: &mut Hop5dBlock<'_, R>,
+    ) {
+        let vb = self.lattice.volume() * nrhs;
+        let p = &self.fifth.params;
+        let n = self.vec_len() * nrhs;
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+
+        let mut rho = vec![Spinor::zero(); n];
+        self.fifth
+            .affine_shift(&mut rho, inp, vb, p.b5, p.c5, false);
+        let mut hrho = vec![Spinor::zero(); n];
+        hop(&mut hrho, &rho, nrhs);
+
+        self.fifth
+            .affine_shift(out, inp, vb, p.alpha(), p.beta(), false);
+        let half = R::from_f64(0.5);
+        out.par_iter_mut().zip(hrho.par_iter()).for_each(|(o, h)| {
+            *o = *o - h.scale(half);
+        });
+    }
+
+    /// Blocked adjoint with a caller-supplied blocked hopping term;
+    /// column-wise bit-identical to [`Self::apply_dagger_with_hop`].
+    pub fn apply_dagger_block_with_hop(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        nrhs: usize,
+        hop: &mut Hop5dBlock<'_, R>,
+    ) {
+        let vb = self.lattice.volume() * nrhs;
+        let p = &self.fifth.params;
+        let n = self.vec_len() * nrhs;
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        let mut h = vec![Spinor::zero(); n];
+        hop(&mut h, &g5in, nrhs);
+        h.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+
+        let mut rho_h = vec![Spinor::zero(); n];
+        self.fifth
+            .affine_shift(&mut rho_h, &h, vb, p.b5, p.c5, true);
+
+        self.fifth
+            .affine_shift(out, inp, vb, p.alpha(), p.beta(), true);
+        let half = R::from_f64(0.5);
+        out.par_iter_mut().zip(rho_h.par_iter()).for_each(|(o, r)| {
+            *o = *o - r.scale(half);
+        });
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockLinearOp<R> for MobiusDirac<'a, R, G> {
+    fn apply_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        self.apply_block_with_hop(out, inp, nrhs, &mut |o, i, n| self.hop_5d_block(o, i, n));
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockDiracOp<R> for MobiusDirac<'a, R, G> {
+    fn apply_dagger_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        self.apply_dagger_block_with_hop(out, inp, nrhs, &mut |o, i, n| self.hop_5d_block(o, i, n));
     }
 }
 
@@ -553,6 +644,60 @@ impl<'a, R: Real, G: GaugeLinks<R>> PrecMobius<'a, R, G> {
         self.fifth.apply_a_inverse(&mut out, &rhs, hv, false);
         out
     }
+
+    /// Blocked slice-wise checkerboarded hopping on interleaved 5D blocks.
+    fn hop_5d_parity_block(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        out_parity: Parity,
+        nrhs: usize,
+    ) {
+        let hvb = self.hv() * nrhs;
+        for s in 0..self.l5() {
+            let (o, i) = (
+                &mut out[s * hvb..(s + 1) * hvb],
+                &inp[s * hvb..(s + 1) * hvb],
+            );
+            self.hopping
+                .apply_parity_block(o, i, out_parity, nrhs, self.grain);
+        }
+    }
+
+    /// Blocked `out = −½ H ρ(in)` onto `out_parity`.
+    fn offdiag_block(&self, inp: &[Spinor<R>], out_parity: Parity, nrhs: usize) -> Vec<Spinor<R>> {
+        let hvb = self.hv() * nrhs;
+        let p = &self.fifth.params;
+        let mut rho = vec![Spinor::zero(); inp.len()];
+        self.fifth
+            .affine_shift(&mut rho, inp, hvb, p.b5, p.c5, false);
+        let mut hop = vec![Spinor::zero(); inp.len()];
+        self.hop_5d_parity_block(&mut hop, &rho, out_parity, nrhs);
+        hop.par_iter_mut()
+            .for_each(|s| *s = s.scale(R::from_f64(-0.5)));
+        hop
+    }
+
+    /// Blocked `out = −½ ρ† γ5 H γ5 (in)` onto `out_parity`.
+    fn offdiag_dagger_block(
+        &self,
+        inp: &[Spinor<R>],
+        out_parity: Parity,
+        nrhs: usize,
+    ) -> Vec<Spinor<R>> {
+        let hvb = self.hv() * nrhs;
+        let p = &self.fifth.params;
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        let mut hop = vec![Spinor::zero(); inp.len()];
+        self.hop_5d_parity_block(&mut hop, &g5in, out_parity, nrhs);
+        hop.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+        let mut out = vec![Spinor::zero(); inp.len()];
+        self.fifth
+            .affine_shift(&mut out, &hop, hvb, p.b5, p.c5, true);
+        out.par_iter_mut()
+            .for_each(|s| *s = s.scale(R::from_f64(-0.5)));
+        out
+    }
 }
 
 impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for PrecMobius<'a, R, G> {
@@ -599,6 +744,46 @@ impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for PrecMobius<'a, R, G> {
 
         self.fifth
             .affine_shift(out, inp, hv, p.alpha(), p.beta(), true);
+        out.par_iter_mut()
+            .zip(meo_dag.par_iter())
+            .for_each(|(o, m)| {
+                *o = *o - *m;
+            });
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockLinearOp<R> for PrecMobius<'a, R, G> {
+    fn apply_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let hvb = self.hv() * nrhs;
+        let p = &self.fifth.params;
+        assert_eq!(out.len(), self.vec_len() * nrhs);
+        assert_eq!(inp.len(), self.vec_len() * nrhs);
+
+        let meo = self.offdiag_block(inp, Parity::Even, nrhs);
+        let mut ainv = vec![Spinor::zero(); meo.len()];
+        self.fifth.apply_a_inverse(&mut ainv, &meo, hvb, false);
+        let moe = self.offdiag_block(&ainv, Parity::Odd, nrhs);
+
+        self.fifth
+            .affine_shift(out, inp, hvb, p.alpha(), p.beta(), false);
+        out.par_iter_mut().zip(moe.par_iter()).for_each(|(o, m)| {
+            *o = *o - *m;
+        });
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockDiracOp<R> for PrecMobius<'a, R, G> {
+    fn apply_dagger_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let hvb = self.hv() * nrhs;
+        let p = &self.fifth.params;
+
+        let moe_dag = self.offdiag_dagger_block(inp, Parity::Even, nrhs);
+        let mut ainv = vec![Spinor::zero(); moe_dag.len()];
+        self.fifth.apply_a_inverse(&mut ainv, &moe_dag, hvb, true);
+        let meo_dag = self.offdiag_dagger_block(&ainv, Parity::Odd, nrhs);
+
+        self.fifth
+            .affine_shift(out, inp, hvb, p.alpha(), p.beta(), true);
         out.par_iter_mut()
             .zip(meo_dag.par_iter())
             .for_each(|(o, m)| {

@@ -4,7 +4,7 @@ mod hopping;
 mod mobius;
 mod wilson;
 
-pub use hopping::{hop_site, HoppingKernel, HOPPING_FLOPS_PER_SITE};
+pub use hopping::{hop_site, hop_site_block, HoppingKernel, HOPPING_FLOPS_PER_SITE};
 pub use mobius::{MobiusDirac, MobiusParams, PrecMobius};
 pub use wilson::{PrecWilson, WilsonDirac};
 
@@ -28,6 +28,26 @@ pub trait LinearOp<R: Real>: Sync {
 pub trait DiracOp<R: Real>: LinearOp<R> {
     /// `out = D† · inp`.
     fn apply_dagger(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]);
+}
+
+/// A linear operator with a batched multi-RHS entry point.
+///
+/// Slices hold `vec_len() * nrhs` spinors interleaved RHS-innermost
+/// (`data[i * nrhs + j]`, see [`crate::block::BlockSpinor`]). The contract
+/// is *bit-exactness*: column `j` of `apply_block` must equal `apply` on a
+/// packed copy of column `j`, to the last bit — the blocked kernels reuse
+/// the single-RHS per-site arithmetic and only amortize the gauge-link
+/// loads across columns.
+pub trait BlockLinearOp<R: Real>: LinearOp<R> {
+    /// `out = A · inp` on an interleaved block of `nrhs` right-hand-sides.
+    fn apply_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize);
+}
+
+/// A Dirac-type operator with a batched adjoint, so blocked normal
+/// equations can be formed.
+pub trait BlockDiracOp<R: Real>: BlockLinearOp<R> + DiracOp<R> {
+    /// `out = D† · inp` on an interleaved block of `nrhs` right-hand-sides.
+    fn apply_dagger_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize);
 }
 
 /// `D† D`, the Hermitian positive-definite operator CG actually inverts —
@@ -66,5 +86,13 @@ impl<'a, R: Real, D: DiracOp<R>> LinearOp<R> for NormalOp<'a, R, D> {
 
     fn flops_per_apply(&self) -> f64 {
         2.0 * self.op.flops_per_apply()
+    }
+}
+
+impl<'a, R: Real, D: BlockDiracOp<R>> BlockLinearOp<R> for NormalOp<'a, R, D> {
+    fn apply_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let mut tmp = vec![Spinor::zero(); self.op.vec_len() * nrhs];
+        self.op.apply_block(&mut tmp, inp, nrhs);
+        self.op.apply_dagger_block(out, &tmp, nrhs);
     }
 }

@@ -12,7 +12,7 @@
 //! block is the 5th-dimension structure, see [`super::mobius`]).
 
 use super::hopping::{HoppingKernel, HOPPING_FLOPS_PER_SITE};
-use super::{DiracOp, LinearOp};
+use super::{BlockDiracOp, BlockLinearOp, DiracOp, LinearOp};
 use crate::field::GaugeLinks;
 use crate::lattice::{Lattice, Parity};
 use crate::real::Real;
@@ -81,6 +81,25 @@ impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for WilsonDirac<'a, R, G> {
         // γ5-hermiticity: D† = γ5 D γ5.
         let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
         self.apply(out, &g5in);
+        out.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockLinearOp<R> for WilsonDirac<'a, R, G> {
+    fn apply_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        self.hopping.apply_full_block(out, inp, nrhs, self.grain);
+        let diag = R::from_f64(4.0 + self.mass);
+        let half = R::from_f64(0.5);
+        out.par_iter_mut().zip(inp.par_iter()).for_each(|(o, i)| {
+            *o = i.scale(diag) - o.scale(half);
+        });
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockDiracOp<R> for WilsonDirac<'a, R, G> {
+    fn apply_dagger_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        self.apply_block(out, &g5in, nrhs);
         out.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
     }
 }
@@ -198,6 +217,30 @@ impl<'a, R: Real, G: GaugeLinks<R>> DiracOp<R> for PrecWilson<'a, R, G> {
     fn apply_dagger(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
         let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
         self.apply(out, &g5in);
+        out.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockLinearOp<R> for PrecWilson<'a, R, G> {
+    fn apply_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let hv = self.lattice.half_volume();
+        let mut even = vec![Spinor::zero(); hv * nrhs];
+        self.hopping
+            .apply_parity_block(&mut even, inp, Parity::Even, nrhs, self.grain);
+        self.hopping
+            .apply_parity_block(out, &even, Parity::Odd, nrhs, self.grain);
+        let a = R::from_f64(self.diag());
+        let c = R::from_f64(0.25 / self.diag());
+        out.par_iter_mut().zip(inp.par_iter()).for_each(|(o, i)| {
+            *o = i.scale(a) - o.scale(c);
+        });
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> BlockDiracOp<R> for PrecWilson<'a, R, G> {
+    fn apply_dagger_block(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], nrhs: usize) {
+        let g5in: Vec<Spinor<R>> = inp.par_iter().map(|s| s.apply_gamma5()).collect();
+        self.apply_block(out, &g5in, nrhs);
         out.par_iter_mut().for_each(|s| *s = s.apply_gamma5());
     }
 }

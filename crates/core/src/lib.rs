@@ -32,6 +32,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod blas;
+pub mod block;
 pub mod comms;
 pub mod complex;
 pub mod contract;
@@ -59,6 +60,7 @@ pub mod tune;
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::blas;
+    pub use crate::block::BlockSpinor;
     pub use crate::comms::{
         tune_comm_policy, CommStats, DomainDecomposition, ShardedField, ShardedHopping,
         ShardedMobius,
@@ -69,8 +71,8 @@ pub mod prelude {
         proton_correlator, proton_correlator_general,
     };
     pub use crate::dirac::{
-        DiracOp, HoppingKernel, LinearOp, MobiusDirac, MobiusParams, NormalOp, PrecMobius,
-        PrecWilson, WilsonDirac,
+        BlockDiracOp, BlockLinearOp, DiracOp, HoppingKernel, LinearOp, MobiusDirac, MobiusParams,
+        NormalOp, PrecMobius, PrecWilson, WilsonDirac,
     };
     pub use crate::fh::{effective_ga, fh_nucleon_correlator, FeynmanHellmann};
     pub use crate::field::{FermionField, GaugeField, GaugeLinks};
@@ -86,13 +88,14 @@ pub mod prelude {
     pub use crate::real::Real;
     pub use crate::smear::{ape_smear_spatial, gaussian_smear};
     pub use crate::solver::{
-        bicgstab, cg, cgne, deflated_cg, lanczos_lowest, mixed_cg, multishift_cg, CgParams,
-        EigenPair, MixedParams, SolveStats,
+        bicgstab, cg, cg_block, cgne, deflated_cg, deflated_cg_block, lanczos, lanczos_lowest,
+        mixed_cg, multishift_cg, BlockOp, CgParams, Deflation, EigenPair, LanczosParams,
+        MixedParams, ReliableBlock, SolveStats,
     };
     pub use crate::spinor::Spinor;
     pub use crate::su3::{ColorVec, Su3, NC};
     pub use crate::topology::{action_density, topological_charge};
-    pub use crate::tune::{tune_operator, GrainTunable};
+    pub use crate::tune::{tune_block_operator, tune_operator, GrainTunable};
 }
 
 pub use prelude::*;

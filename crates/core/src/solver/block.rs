@@ -1,0 +1,354 @@
+//! Batched multi-RHS conjugate gradient with per-RHS stopping and
+//! retirement of converged columns.
+//!
+//! [`cg_block`] runs N independent CG recurrences over a shared
+//! [`BlockSpinor`] so every operator application amortizes the gauge-link
+//! loads across all still-active right-hand-sides. Each column replicates
+//! the *exact* control flow and floating-point sequence of [`super::cg`]:
+//! the same early exits on zero/corrupt sources, the same in-loop
+//! breakdown checks, the same scalar recurrence, and the same flop
+//! accounting — so the returned per-column [`SolveStats`] compare equal
+//! (`==`) to N sequential solves, and the solutions are bit-identical.
+//! `tests/block_solver.rs` enforces this across block sizes, precisions,
+//! comm policies, and thread widths.
+//!
+//! **Retirement rule.** A column leaves the active set the moment its
+//! sequential counterpart would exit the CG loop (converged, budget
+//! exhausted, or broken down). From that point its `x`, `r`, and `p`
+//! columns are never written again — the block operator still reads the
+//! whole interleaved block, but retired outputs are discarded — so a
+//! retired solution is bit-stable under continued block iteration.
+
+use super::{CgParams, SolveStats};
+use crate::block::{self, BlockSpinor};
+use crate::comms::CommError;
+use crate::dirac::BlockLinearOp;
+use crate::real::Real;
+use obs::Json;
+
+/// A (possibly fallible, possibly stateful) block operator as seen by the
+/// batched solvers: the multi-RHS analogue of
+/// [`FallibleOp`](super::FallibleOp). `flops_per_apply` is the
+/// *single-column* figure, so per-column flop accounting matches the
+/// unblocked solver exactly.
+pub trait BlockOp<R: Real> {
+    /// Length (in spinors) of each column.
+    fn vec_len(&self) -> usize;
+    /// `out = A · inp` on the whole interleaved block.
+    fn apply_block(
+        &mut self,
+        out: &mut BlockSpinor<R>,
+        inp: &BlockSpinor<R>,
+    ) -> Result<(), CommError>;
+    /// Floating-point operations per apply *per column*.
+    fn flops_per_apply(&self) -> f64;
+}
+
+/// Adapter exposing an infallible single-domain [`BlockLinearOp`] as a
+/// [`BlockOp`] — the batched analogue of [`super::Reliable`].
+pub struct ReliableBlock<'a, R: Real, A: BlockLinearOp<R> + ?Sized> {
+    op: &'a A,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<'a, R: Real, A: BlockLinearOp<R> + ?Sized> ReliableBlock<'a, R, A> {
+    /// Wrap a deterministic in-process block operator.
+    pub fn new(op: &'a A) -> Self {
+        Self {
+            op,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, R: Real, A: BlockLinearOp<R> + ?Sized> BlockOp<R> for ReliableBlock<'a, R, A> {
+    fn vec_len(&self) -> usize {
+        self.op.vec_len()
+    }
+
+    fn apply_block(
+        &mut self,
+        out: &mut BlockSpinor<R>,
+        inp: &BlockSpinor<R>,
+    ) -> Result<(), CommError> {
+        let nrhs = inp.nrhs();
+        self.op.apply_block(out.data_mut(), inp.data(), nrhs);
+        Ok(())
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        self.op.flops_per_apply()
+    }
+}
+
+/// Per-column finalization replicating the post-loop epilogue of
+/// [`super::cg`] bit-for-bit, then retiring the column.
+fn finalize_column(
+    j: usize,
+    stats: &mut [SolveStats],
+    active: &mut [bool],
+    r2: &[f64],
+    b_norm2: &[f64],
+    target: &[f64],
+) {
+    if !r2[j].is_finite() {
+        stats[j].breakdown = true;
+    }
+    stats[j].final_rel_residual = if r2[j].is_finite() {
+        (r2[j] / b_norm2[j]).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    stats[j].converged = r2[j].is_finite() && r2[j] <= target[j];
+    active[j] = false;
+    obs::Registry::current().event(
+        "solver.cg_block.retire",
+        vec![
+            ("rhs", Json::from(j as u64)),
+            ("iterations", Json::from(stats[j].iterations as u64)),
+            ("converged", Json::from(stats[j].converged)),
+        ],
+    );
+}
+
+/// Batched CG over `nrhs` right-hand-sides sharing link traffic.
+///
+/// Solves `A x[:,j] = b[:,j]` for every column, starting from the values
+/// already in `x` (zero them for fresh solves). Column `j` of the result —
+/// solution, residual history, and the returned [`SolveStats`] including
+/// flop counts — is bit-identical to `cg(op, x_j, b_j, params)` on the
+/// packed column. On a communication failure every still-active column is
+/// finalized as a breakdown (the data is intact but the iteration cannot
+/// continue deterministically).
+pub fn cg_block<R: Real, A: BlockOp<R> + ?Sized>(
+    op: &mut A,
+    x: &mut BlockSpinor<R>,
+    b: &BlockSpinor<R>,
+    params: CgParams,
+) -> Vec<SolveStats> {
+    let n = op.vec_len();
+    let nrhs = b.nrhs();
+    assert_eq!(x.len(), n);
+    assert_eq!(b.len(), n);
+    assert_eq!(x.nrhs(), nrhs);
+    let mut stats = vec![SolveStats::new(); nrhs];
+    let mut active = vec![true; nrhs];
+    let mut b_norm2 = vec![0.0f64; nrhs];
+    let mut target = vec![0.0f64; nrhs];
+    let mut r2 = vec![0.0f64; nrhs];
+    let mut block_applies: u64 = 0;
+    let mut comm_failed = false;
+
+    for j in 0..nrhs {
+        b_norm2[j] = block::norm_sqr_col(b, j);
+        if b_norm2[j] == 0.0 {
+            // cg: zero source → zero solution, converged, no applies.
+            block::zero_col(x, j);
+            stats[j].converged = true;
+            stats[j].final_rel_residual = 0.0;
+            active[j] = false;
+        } else if !b_norm2[j].is_finite() {
+            // cg: corrupted source → immediate breakdown, x untouched.
+            stats[j].breakdown = true;
+            active[j] = false;
+        } else {
+            target[j] = params.tol * params.tol * b_norm2[j];
+        }
+    }
+
+    let mut r = BlockSpinor::zeros(n, nrhs);
+    if active.iter().any(|&a| a) {
+        // r = b − A x. The apply spans retired columns too (their outputs
+        // are discarded); each active column's flop ledger charges exactly
+        // one single-column apply, as in `cg`.
+        if op.apply_block(&mut r, x).is_err() {
+            comm_failed = true;
+            for j in 0..nrhs {
+                if active[j] {
+                    r2[j] = f64::NAN;
+                    finalize_column(j, &mut stats, &mut active, &r2, &b_norm2, &target);
+                }
+            }
+        } else {
+            block_applies += 1;
+            let rd = r.data_mut();
+            for j in 0..nrhs {
+                if !active[j] {
+                    continue;
+                }
+                stats[j].flops += op.flops_per_apply();
+                let mut i = j;
+                while i < n * nrhs {
+                    rd[i] = b.data()[i] - rd[i];
+                    i += nrhs;
+                }
+            }
+        }
+    }
+
+    let mut p = r.clone();
+    let mut ap = BlockSpinor::zeros(n, nrhs);
+    for j in 0..nrhs {
+        if active[j] {
+            r2[j] = block::norm_sqr_col(&r, j);
+        }
+    }
+    let blas_flops = 6.0 * 24.0 * n as f64; // three axpys + two reductions per iteration
+
+    loop {
+        // Retire every column whose sequential loop would exit or break
+        // down at this point, before the next shared apply.
+        for j in 0..nrhs {
+            if !active[j] {
+                continue;
+            }
+            if !(stats[j].iterations < params.max_iter && r2[j] > target[j]) {
+                finalize_column(j, &mut stats, &mut active, &r2, &b_norm2, &target);
+            } else if !r2[j].is_finite() {
+                stats[j].breakdown = true;
+                finalize_column(j, &mut stats, &mut active, &r2, &b_norm2, &target);
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+
+        if op.apply_block(&mut ap, &p).is_err() {
+            comm_failed = true;
+            for j in 0..nrhs {
+                if active[j] {
+                    stats[j].breakdown = true;
+                    finalize_column(j, &mut stats, &mut active, &r2, &b_norm2, &target);
+                }
+            }
+            break;
+        }
+        block_applies += 1;
+
+        for j in 0..nrhs {
+            if !active[j] {
+                continue;
+            }
+            stats[j].iterations += 1;
+            stats[j].flops += op.flops_per_apply() + blas_flops;
+
+            let pap = block::dot_cols(&p, &ap, j).re;
+            if !pap.is_finite() || pap <= 0.0 {
+                stats[j].breakdown = true;
+                finalize_column(j, &mut stats, &mut active, &r2, &b_norm2, &target);
+                continue;
+            }
+            let alpha = r2[j] / pap;
+            block::axpy_col(alpha, &p, x, j);
+            block::axpy_col(-alpha, &ap, &mut r, j);
+            let r2_new = block::norm_sqr_col(&r, j);
+            let beta = r2_new / r2[j];
+            block::xpby_col(&r, beta, &mut p, j);
+            r2[j] = r2_new;
+        }
+    }
+
+    let reg = obs::Registry::current();
+    reg.counter("solver.cg_block.block_solves").inc();
+    reg.counter("solver.cg_block.rhs").add(nrhs as u64);
+    reg.counter("solver.cg_block.block_applies")
+        .add(block_applies);
+    if comm_failed {
+        reg.counter("solver.cg_block.comm_failures").inc();
+    }
+    for s in &stats {
+        super::record_solve("cg_block", s);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirac::{NormalOp, PrecWilson, WilsonDirac};
+    use crate::field::{FermionField, GaugeField};
+    use crate::lattice::Lattice;
+    use crate::solver::cg;
+    use crate::spinor::Spinor;
+
+    #[test]
+    fn block_cg_matches_sequential_bitwise() {
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 61);
+        let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+        let normal = NormalOp::new(&d);
+        let v = lat.volume();
+        let nrhs = 3;
+        let cols: Vec<Vec<Spinor<f64>>> = (0..nrhs)
+            .map(|j| FermionField::<f64>::gaussian(v, 40 + j as u64).data)
+            .collect();
+        let bb = BlockSpinor::from_columns(&cols);
+        let mut xb = BlockSpinor::zeros(v, nrhs);
+        let mut rb = ReliableBlock::new(&normal);
+        let block_stats = cg_block(&mut rb, &mut xb, &bb, CgParams::default());
+
+        for (j, c) in cols.iter().enumerate() {
+            let mut xs = vec![Spinor::zero(); v];
+            let seq = cg(&normal, &mut xs, c, CgParams::default());
+            assert_eq!(block_stats[j], seq, "stats of column {j}");
+            assert_eq!(xb.col(j), xs, "solution of column {j}");
+            assert!(seq.converged);
+        }
+    }
+
+    #[test]
+    fn zero_and_corrupt_columns_follow_cg_semantics() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 5);
+        let d = PrecWilson::new(&lat, &gauge, 0.2, true);
+        let normal = NormalOp::new(&d);
+        let hv = lat.half_volume();
+        let mut cols: Vec<Vec<Spinor<f64>>> = vec![
+            vec![Spinor::zero(); hv],
+            FermionField::<f64>::gaussian(hv, 77).data,
+            FermionField::<f64>::gaussian(hv, 78).data,
+        ];
+        cols[2][0].s[0].c[0] = crate::complex::Complex::from_f64(f64::NAN, 0.0);
+        let bb = BlockSpinor::from_columns(&cols);
+        let mut xb = BlockSpinor::zeros(hv, 3);
+        let mut rb = ReliableBlock::new(&normal);
+        let block_stats = cg_block(&mut rb, &mut xb, &bb, CgParams::default());
+
+        for (j, c) in cols.iter().enumerate() {
+            let mut xs = vec![Spinor::zero(); hv];
+            let seq = cg(&normal, &mut xs, c, CgParams::default());
+            assert_eq!(block_stats[j], seq, "stats of column {j}");
+            assert_eq!(xb.col(j), xs, "solution of column {j}");
+        }
+        assert!(block_stats[0].converged && block_stats[0].iterations == 0);
+        assert!(block_stats[2].breakdown);
+    }
+
+    #[test]
+    fn iteration_budget_is_per_column() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 9);
+        let d = WilsonDirac::new(&lat, &gauge, 0.1, true);
+        let normal = NormalOp::new(&d);
+        let v = lat.volume();
+        let cols: Vec<Vec<Spinor<f64>>> = (0..2)
+            .map(|j| FermionField::<f64>::gaussian(v, 90 + j as u64).data)
+            .collect();
+        let bb = BlockSpinor::from_columns(&cols);
+        let mut xb = BlockSpinor::zeros(v, 2);
+        let params = CgParams {
+            tol: 1e-14,
+            max_iter: 4,
+        };
+        let mut rb = ReliableBlock::new(&normal);
+        let block_stats = cg_block(&mut rb, &mut xb, &bb, params);
+        for (j, c) in cols.iter().enumerate() {
+            let mut xs = vec![Spinor::zero(); v];
+            let seq = cg(&normal, &mut xs, c, params);
+            assert_eq!(block_stats[j], seq);
+            assert_eq!(xb.col(j), xs);
+            assert_eq!(seq.iterations, 4);
+            assert!(!seq.converged);
+        }
+    }
+}

@@ -15,6 +15,7 @@ use crate::complex::C64;
 use crate::dirac::LinearOp;
 use crate::field::FermionField;
 use crate::spinor::Spinor;
+use obs::Json;
 
 /// A converged eigenpair of the operator.
 #[derive(Clone)]
@@ -23,6 +24,43 @@ pub struct EigenPair {
     pub value: f64,
     /// Unit-norm eigenvector.
     pub vector: Vec<Spinor<f64>>,
+}
+
+/// Parameters of the restarted shift-invert Lanczos run.
+#[derive(Clone, Copy, Debug)]
+pub struct LanczosParams {
+    /// Number of lowest eigenpairs requested.
+    pub n_eig: usize,
+    /// Krylov subspace dimension per pass.
+    pub krylov_dim: usize,
+    /// Seed of the Gaussian start vector.
+    pub seed: u64,
+    /// Extra passes allowed when the residual bound is unmet; each restart
+    /// re-seeds the Krylov sequence from the current Ritz vectors. `0`
+    /// reproduces the single-pass [`lanczos_lowest`] exactly.
+    pub max_restarts: usize,
+    /// Acceptance bound on `‖A v − λ v‖ / max(λ, 1)` over all pairs.
+    pub resid_tol: f64,
+}
+
+impl LanczosParams {
+    /// Single-pass parameters (no restarts), as [`lanczos_lowest`] uses.
+    pub fn new(n_eig: usize, krylov_dim: usize, seed: u64) -> Self {
+        Self {
+            n_eig,
+            krylov_dim,
+            seed,
+            max_restarts: 0,
+            resid_tol: 1e-4,
+        }
+    }
+
+    /// Enable restarts with an explicit residual bound.
+    pub fn with_restarts(mut self, max_restarts: usize, resid_tol: f64) -> Self {
+        self.max_restarts = max_restarts;
+        self.resid_tol = resid_tol;
+        self
+    }
 }
 
 /// Jacobi eigenvalue iteration for a small real symmetric matrix; returns
@@ -96,6 +134,93 @@ pub fn lanczos_lowest<A: LinearOp<f64> + ?Sized>(
     krylov_dim: usize,
     seed: u64,
 ) -> Vec<EigenPair> {
+    lanczos(op, &LanczosParams::new(n_eig, krylov_dim, seed))
+}
+
+/// Restarted shift-invert Lanczos with observability: runs single passes
+/// ([`lanczos_lowest`]'s algorithm) until every returned pair satisfies the
+/// residual bound `‖A v − λ v‖ ≤ resid_tol · max(λ, 1)` or the restart
+/// budget is spent. Each restart re-seeds the Krylov sequence from the sum
+/// of the current Ritz vectors (rich in exactly the low modes that have not
+/// yet converged). Progress is published to the ambient [`obs::Registry`]:
+/// `solver.eig.runs` / `solver.eig.lanczos_iters` / `solver.eig.restarts`
+/// counters plus `solver.eig.restart` / `solver.eig.done` events.
+pub fn lanczos<A: LinearOp<f64> + ?Sized>(op: &A, params: &LanczosParams) -> Vec<EigenPair> {
+    let reg = obs::Registry::current();
+    reg.counter("solver.eig.runs").inc();
+    let mut start: Option<Vec<Spinor<f64>>> = None;
+    let mut restarts = 0usize;
+    loop {
+        let pairs = lanczos_pass(
+            op,
+            params.n_eig,
+            params.krylov_dim,
+            params.seed,
+            start.take(),
+        );
+        let worst = worst_relative_residual(op, &pairs);
+        if worst <= params.resid_tol || restarts >= params.max_restarts {
+            reg.event(
+                "solver.eig.done",
+                vec![
+                    ("modes", Json::from(pairs.len() as u64)),
+                    ("restarts", Json::from(restarts as u64)),
+                    ("worst_resid", Json::from(worst)),
+                ],
+            );
+            return pairs;
+        }
+        restarts += 1;
+        reg.counter("solver.eig.restarts").inc();
+        reg.event(
+            "solver.eig.restart",
+            vec![
+                ("attempt", Json::from(restarts as u64)),
+                ("worst_resid", Json::from(worst)),
+            ],
+        );
+        // Re-seed from the span of the current approximate low modes.
+        let mut s = vec![Spinor::zero(); op.vec_len()];
+        for p in &pairs {
+            blas::axpy(1.0, &p.vector, &mut s);
+        }
+        let nrm = blas::norm_sqr(&s).sqrt();
+        start = if nrm.is_finite() && nrm > 1e-14 {
+            blas::scal(1.0 / nrm, &mut s);
+            Some(s)
+        } else {
+            None
+        };
+    }
+}
+
+/// Largest relative eigen-equation residual over `pairs`
+/// (`‖A v − λ v‖ / max(λ, 1)`); infinite when any residual is non-finite.
+fn worst_relative_residual<A: LinearOp<f64> + ?Sized>(op: &A, pairs: &[EigenPair]) -> f64 {
+    let n = op.vec_len();
+    let mut worst = 0.0f64;
+    for p in pairs {
+        let mut av = vec![Spinor::zero(); n];
+        op.apply(&mut av, &p.vector);
+        blas::axpy(-p.value, &p.vector, &mut av);
+        let res = blas::norm_sqr(&av).sqrt() / p.value.abs().max(1.0);
+        if !res.is_finite() {
+            return f64::INFINITY;
+        }
+        worst = worst.max(res);
+    }
+    worst
+}
+
+/// One shift-invert Lanczos pass; `start` overrides the Gaussian seed
+/// vector (used by restarts).
+fn lanczos_pass<A: LinearOp<f64> + ?Sized>(
+    op: &A,
+    n_eig: usize,
+    krylov_dim: usize,
+    seed: u64,
+    start: Option<Vec<Spinor<f64>>>,
+) -> Vec<EigenPair> {
     let n = op.vec_len();
     assert!(n_eig >= 1 && krylov_dim > n_eig);
     let m = krylov_dim.min(n * 12);
@@ -114,13 +239,18 @@ pub fn lanczos_lowest<A: LinearOp<f64> + ?Sized>(
     let mut alpha = Vec::with_capacity(m);
     let mut beta = Vec::with_capacity(m);
 
-    let mut q = FermionField::<f64>::gaussian(n, seed).data;
+    let mut q = match start {
+        Some(s) => s,
+        None => FermionField::<f64>::gaussian(n, seed).data,
+    };
     let norm = blas::norm_sqr(&q).sqrt();
     blas::scal(1.0 / norm, &mut q);
     basis.push(q);
 
+    let mut steps = 0u64;
     let mut w = vec![Spinor::zero(); n];
     for j in 0..m {
+        steps += 1;
         apply_inv(&mut w, &basis[j]);
         let a_j = blas::dot(&basis[j], &w).re;
         alpha.push(a_j);
@@ -145,6 +275,9 @@ pub fn lanczos_lowest<A: LinearOp<f64> + ?Sized>(
         blas::scal(1.0 / b_j, &mut next);
         basis.push(next);
     }
+    obs::Registry::current()
+        .counter("solver.eig.lanczos_iters")
+        .add(steps);
 
     // Tridiagonal Rayleigh–Ritz on A⁻¹: its *largest* Ritz values are the
     // lowest modes of A.
@@ -261,11 +394,7 @@ pub fn deflated_cg<A: LinearOp<f64> + ?Sized>(
     assert_eq!(b.len(), n);
 
     // Deflation initial guess.
-    blas::zero(x);
-    for m in modes {
-        let c: C64 = blas::dot(&m.vector, b);
-        blas::caxpy(c * C64::new(1.0 / m.value, 0.0), &m.vector, x);
-    }
+    super::deflate::guess_from(modes, x, b);
     super::cg(op, x, b, params)
 }
 

@@ -8,15 +8,19 @@
 //! plus deflated CG accelerate ill-conditioned light-quark systems.
 
 mod bicgstab;
+mod block;
 mod cg;
+mod deflate;
 mod eig;
 mod ft;
 mod mixed;
 mod multishift;
 
 pub use bicgstab::bicgstab;
+pub use block::{cg_block, BlockOp, ReliableBlock};
 pub use cg::{cg, cgne, CgParams};
-pub use eig::{deflated_cg, lanczos_lowest, EigenPair};
+pub use deflate::{deflated_cg_block, Deflation};
+pub use eig::{deflated_cg, lanczos, lanczos_lowest, EigenPair, LanczosParams};
 pub use ft::{
     cg_ft, CgCheckpoint, CheckpointSink, FallibleOp, FtParams, Reliable, CKPT_SPINOR_F64,
 };

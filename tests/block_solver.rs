@@ -1,0 +1,201 @@
+//! Bit-exactness suite for the batched multi-RHS solver path.
+//!
+//! [`cg_block`] promises that column `j` of a block solve — solution bits,
+//! final residual, per-RHS iteration count, flop ledger — is *identical* to
+//! running [`cg`] on that column alone, at every block size, in both
+//! precisions, at any thread-pool width, and over the sharded halo-exchange
+//! operator under any communication policy. These tests pin that contract;
+//! a single flipped bit anywhere in the blocked dslash, the column BLAS, or
+//! the batched halo frames fails them.
+
+use lqcd::core::comms::{policy_from_index, ShardedNormal};
+use lqcd::core::prelude::*;
+
+fn at_width<R: Send>(w: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(w)
+        .build()
+        .expect("width handle")
+        .install(op)
+}
+
+/// Gaussian sources with per-column seeds so every block size slices the
+/// same underlying set.
+fn sources(n: usize, nrhs: usize, seed0: u64) -> Vec<Vec<Spinor<f64>>> {
+    (0..nrhs)
+        .map(|j| FermionField::<f64>::gaussian(n, seed0 + j as u64).data)
+        .collect()
+}
+
+/// Run `cg_block` at block size `nrhs` over the leading columns and compare
+/// every column against its sequential solve, bit for bit.
+fn assert_block_matches_sequential<R: Real>(
+    normal: &NormalOp<'_, R, impl BlockDiracOp<R>>,
+    cols: &[Vec<Spinor<R>>],
+    params: CgParams,
+) {
+    let bb = BlockSpinor::from_columns(cols);
+    let mut xb = BlockSpinor::zeros(cols[0].len(), cols.len());
+    let mut rb = ReliableBlock::new(normal);
+    let block_stats = cg_block(&mut rb, &mut xb, &bb, params);
+
+    for (j, c) in cols.iter().enumerate() {
+        let mut xs = vec![Spinor::zero(); c.len()];
+        let seq = cg(normal, &mut xs, c, params);
+        assert!(seq.converged, "sequential baseline must converge");
+        assert_eq!(
+            block_stats[j],
+            seq,
+            "nrhs={}: stats of column {j} diverge",
+            cols.len()
+        );
+        assert_eq!(
+            block_stats[j].final_rel_residual.to_bits(),
+            seq.final_rel_residual.to_bits(),
+            "nrhs={}: residual of column {j} is not bit-identical",
+            cols.len()
+        );
+        assert_eq!(
+            xb.col(j),
+            xs,
+            "nrhs={}: solution of column {j} is not bit-identical",
+            cols.len()
+        );
+    }
+}
+
+#[test]
+fn every_block_size_matches_sequential_cg_f64() {
+    let lat = Lattice::new([4, 4, 4, 8]);
+    let gauge = GaugeField::<f64>::hot(&lat, 31);
+    let d = WilsonDirac::new(&lat, &gauge, 0.25, true);
+    let normal = NormalOp::new(&d);
+    let cols = sources(lat.volume(), 12, 300);
+    for nrhs in [1usize, 2, 4, 12] {
+        assert_block_matches_sequential(&normal, &cols[..nrhs], CgParams::default());
+    }
+}
+
+#[test]
+fn every_block_size_matches_sequential_cg_f32() {
+    let lat = Lattice::new([4, 4, 2, 4]);
+    let gauge = GaugeField::<f64>::hot(&lat, 33).cast::<f32>();
+    let d = WilsonDirac::new(&lat, &gauge, 0.3, true);
+    let normal = NormalOp::new(&d);
+    let cols: Vec<Vec<Spinor<f32>>> = (0..4)
+        .map(|j| FermionField::<f32>::gaussian(lat.volume(), 310 + j as u64).data)
+        .collect();
+    // Single precision stalls near its epsilon; stop well above it.
+    let params = CgParams {
+        tol: 1e-4,
+        max_iter: 5_000,
+    };
+    for nrhs in [1usize, 2, 4] {
+        let mut xb = BlockSpinor::zeros(lat.volume(), nrhs);
+        let sub = BlockSpinor::from_columns(&cols[..nrhs]);
+        let mut rb = ReliableBlock::new(&normal);
+        let block_stats = cg_block(&mut rb, &mut xb, &sub, params);
+        for j in 0..nrhs {
+            let mut xs = vec![Spinor::zero(); lat.volume()];
+            let seq = cg(&normal, &mut xs, &cols[j], params);
+            assert!(seq.converged);
+            assert_eq!(block_stats[j], seq, "f32 nrhs={nrhs}: stats of column {j}");
+            assert_eq!(xb.col(j), xs, "f32 nrhs={nrhs}: solution of column {j}");
+        }
+    }
+}
+
+#[test]
+fn thread_width_does_not_change_block_bits() {
+    let lat = Lattice::new([4, 4, 2, 4]);
+    let gauge = GaugeField::<f64>::hot(&lat, 35);
+    let cols = sources(lat.volume(), 4, 350);
+    let bb = BlockSpinor::from_columns(&cols);
+
+    let solve = |w: usize| {
+        at_width(w, || {
+            let d = WilsonDirac::new(&lat, &gauge, 0.2, true);
+            let normal = NormalOp::new(&d);
+            let mut xb = BlockSpinor::zeros(lat.volume(), cols.len());
+            let mut rb = ReliableBlock::new(&normal);
+            let stats = cg_block(&mut rb, &mut xb, &bb, CgParams::default());
+            (stats, xb)
+        })
+    };
+    let (stats1, x1) = solve(1);
+    let (stats4, x4) = solve(4);
+    assert_eq!(
+        stats1, stats4,
+        "per-RHS stats must not depend on pool width"
+    );
+    assert_eq!(
+        x1.data(),
+        x4.data(),
+        "block solutions must not depend on pool width"
+    );
+    assert!(stats1.iter().all(|s| s.converged));
+}
+
+/// The batched halo exchange carries all columns in one frame per face; the
+/// solve over the sharded Möbius normal operator must be bit-identical
+/// across communication policies *and* to the single-domain sequential
+/// baseline, at both tested pool widths.
+#[test]
+fn comm_policies_and_widths_agree_with_single_domain_sequential() {
+    let lat = Lattice::new([4, 4, 4, 8]);
+    let gauge = GaugeField::<f64>::hot(&lat, 37);
+    let params = MobiusParams::standard(4, 0.1);
+    let nrhs = 3;
+    let n = params.l5 * lat.volume();
+    let cols: Vec<Vec<Spinor<f64>>> = (0..nrhs)
+        .map(|j| FermionField::<f64>::gaussian(n, 370 + j as u64).data)
+        .collect();
+    let bb = BlockSpinor::from_columns(&cols);
+    let cg_params = CgParams {
+        tol: 1e-8,
+        max_iter: 2_000,
+    };
+
+    // Sequential single-domain baseline.
+    let d = MobiusDirac::new(&lat, &gauge, params);
+    let normal = NormalOp::new(&d);
+    let mut baseline_stats = Vec::new();
+    let mut baseline_x = Vec::new();
+    for c in &cols {
+        let mut x = vec![Spinor::zero(); n];
+        let seq = cg(&normal, &mut x, c, cg_params);
+        assert!(seq.converged, "Möbius baseline must converge");
+        baseline_stats.push(seq);
+        baseline_x.push(x);
+    }
+
+    for policy_idx in [0usize, 3] {
+        for width in [1usize, 4] {
+            let (stats, xb) = at_width(width, || {
+                let mut op = ShardedNormal::new(
+                    &lat,
+                    &gauge,
+                    params,
+                    [2, 2, 1, 1],
+                    4,
+                    policy_from_index(policy_idx),
+                )
+                .expect("grid divides the lattice");
+                let mut xb = BlockSpinor::zeros(n, nrhs);
+                let stats = cg_block(&mut op, &mut xb, &bb, cg_params);
+                (stats, xb)
+            });
+            for j in 0..nrhs {
+                assert_eq!(
+                    stats[j], baseline_stats[j],
+                    "policy {policy_idx} width {width}: stats of column {j}"
+                );
+                assert_eq!(
+                    xb.col(j),
+                    baseline_x[j],
+                    "policy {policy_idx} width {width}: solution of column {j}"
+                );
+            }
+        }
+    }
+}

@@ -65,7 +65,7 @@ fn solve(
         max_comm_restarts: 32,
         max_total_iters: 2000,
     };
-    let mut x = vec![Spinor::zero(); op.vec_len()];
+    let mut x = vec![Spinor::zero(); FallibleOp::vec_len(&op)];
     let outcome = cg_ft(&mut op, &mut x, b, &ft, None);
     let grid_after = op.grid();
     let degradations = op.degradations();
@@ -246,7 +246,7 @@ fn chaos_timeline_matches_golden() {
             max_comm_restarts: 64,
             max_total_iters: 200,
         };
-        let mut x = vec![Spinor::zero(); op.vec_len()];
+        let mut x = vec![Spinor::zero(); FallibleOp::vec_len(&op)];
         let outcome = cg_ft(&mut op, &mut x, &b, &ft, None);
         let stats = *outcome.stats();
         (outcome, stats)
