@@ -35,6 +35,12 @@ struct Inner {
     stats: TunerStats,
 }
 
+/// Deterministic ordering over every key axis, shared by the JSON dump and
+/// the human-readable summary.
+fn sort_key(k: &TuneKey) -> (&String, &String, &String, usize, &String, &String) {
+    (&k.name, &k.volume, &k.aux, k.nrhs, &k.layout, &k.recon)
+}
+
 /// The autotuner cache.
 ///
 /// `tune` performs QUDA's protocol: look the key up; on a miss, `backup` the
@@ -184,14 +190,7 @@ impl Tuner {
     pub fn to_json(&self) -> String {
         let inner = self.inner.read();
         let mut entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
-        entries.sort_by(|a, b| {
-            (&a.0.name, &a.0.volume, &a.0.aux, a.0.nrhs).cmp(&(
-                &b.0.name,
-                &b.0.volume,
-                &b.0.aux,
-                b.0.nrhs,
-            ))
-        });
+        entries.sort_by(|a, b| sort_key(a.0).cmp(&sort_key(b.0)));
         Json::Arr(
             entries
                 .into_iter()
@@ -201,6 +200,8 @@ impl Tuner {
                         ("volume", Json::from(k.volume.as_str())),
                         ("aux", Json::from(k.aux.as_str())),
                         ("nrhs", Json::from(k.nrhs)),
+                        ("layout", Json::from(k.layout.as_str())),
+                        ("recon", Json::from(k.recon.as_str())),
                         ("grain", Json::from(e.param.grain)),
                         ("block", Json::from(e.param.block)),
                         ("policy", Json::from(e.param.policy)),
@@ -244,10 +245,25 @@ impl Tuner {
                     .and_then(Json::as_f64)
                     .ok_or_else(|| bad(&format!("tune cache: missing {f}")))
             };
-            // Pre-batching cache files have no `nrhs`; they are single-RHS.
+            // Pre-batching cache files have no `nrhs` (single-RHS); files
+            // predating the layout/reconstruction axes likewise read as
+            // AoS-layout, full-storage entries.
             let nrhs = item.get("nrhs").and_then(Json::as_u64).unwrap_or(1) as usize;
+            let layout = item
+                .get("layout")
+                .and_then(Json::as_str)
+                .unwrap_or("aos")
+                .to_string();
+            let recon = item
+                .get("recon")
+                .and_then(Json::as_str)
+                .unwrap_or("full")
+                .to_string();
             entries.push((
-                TuneKey::new(s("name")?, s("volume")?, s("aux")?).with_nrhs(nrhs),
+                TuneKey::new(s("name")?, s("volume")?, s("aux")?)
+                    .with_nrhs(nrhs)
+                    .with_layout(layout)
+                    .with_recon(recon),
                 TuneEntry {
                     param: TuneParam {
                         grain: u("grain")?,
@@ -273,14 +289,7 @@ impl Tuner {
     pub fn summary(&self) -> String {
         let inner = self.inner.read();
         let mut entries: Vec<(&TuneKey, &TuneEntry)> = inner.cache.iter().collect();
-        entries.sort_by(|a, b| {
-            (&a.0.name, &a.0.volume, &a.0.aux, a.0.nrhs).cmp(&(
-                &b.0.name,
-                &b.0.volume,
-                &b.0.aux,
-                b.0.nrhs,
-            ))
-        });
+        entries.sort_by(|a, b| sort_key(a.0).cmp(&sort_key(b.0)));
         let mut out = String::new();
         for (k, e) in entries {
             out.push_str(&format!(

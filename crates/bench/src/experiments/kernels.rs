@@ -14,11 +14,27 @@
 //! operator's own [`LinearOp::flops_per_apply`] accounting or from the
 //! standard per-site BLAS/contraction formulas. Both are documented next to
 //! each kernel below so the derived GiB/s and Gflop/s are auditable.
+//!
+//! Before timing, the dslash operators are run through
+//! [`tune_dslash_variant`], so each dslash row reports the execution
+//! variant (`aos` / `aos_fused` / `soa`) the layout-aware autotuner picked
+//! on this machine. Each row also carries its arithmetic intensity
+//! (flops/byte, from the same traffic model) and its width-1 bandwidth as a
+//! percentage of a STREAM-like triad bound measured by the harness itself,
+//! so compute-bound and bandwidth-bound kernels are distinguishable at a
+//! glance.
 
 use crate::output::{print_table, ExperimentOutput};
+use autotune::Tuner;
 use lqcd_core::prelude::*;
 use obs::Json;
 use std::time::Instant;
+
+/// Bench JSON schema version. Bump whenever `BENCH_kernels.json` gains,
+/// loses, or renames a field, and regenerate the committed file (checked by
+/// `repro bench --check-schema`). v2: per-kernel `variant`,
+/// `arith_intensity`, `pct_stream_w1`; config `stream_gib_s_w1`.
+pub const BENCH_SCHEMA_VERSION: f64 = 2.0;
 
 /// Options for the bench subcommand.
 #[derive(Default)]
@@ -40,6 +56,9 @@ fn link_bytes(real_bytes: f64) -> f64 {
 /// One benchmark kernel: a closure plus its per-iteration traffic/flops.
 struct Kernel<'a> {
     name: &'static str,
+    /// Autotuned execution variant for dslash rows, `"-"` for fixed-path
+    /// kernels (BLAS, contractions).
+    variant: String,
     bytes_per_iter: f64,
     flops_per_iter: f64,
     reps: usize,
@@ -61,9 +80,21 @@ fn time_best(reps: usize, run: &mut (dyn FnMut() + Send)) -> f64 {
 /// Timing of one kernel at each width, in the order of `widths`.
 struct Timed {
     name: &'static str,
+    variant: String,
     bytes_per_iter: f64,
     flops_per_iter: f64,
     seconds: Vec<f64>,
+}
+
+impl Timed {
+    /// Arithmetic intensity (flops per byte of modeled traffic).
+    fn arith_intensity(&self) -> f64 {
+        if self.bytes_per_iter > 0.0 {
+            self.flops_per_iter / self.bytes_per_iter
+        } else {
+            0.0
+        }
+    }
 }
 
 fn run_kernels(widths: &[usize], kernels: &mut [Kernel<'_>]) -> Vec<Timed> {
@@ -71,6 +102,7 @@ fn run_kernels(widths: &[usize], kernels: &mut [Kernel<'_>]) -> Vec<Timed> {
         .iter()
         .map(|k| Timed {
             name: k.name,
+            variant: k.variant.clone(),
             bytes_per_iter: k.bytes_per_iter,
             flops_per_iter: k.flops_per_iter,
             seconds: Vec::new(),
@@ -112,8 +144,8 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
     let vol = lat.volume() as f64;
     let gauge64 = GaugeField::<f64>::hot(&lat, 3);
     let gauge32 = gauge64.cast::<f32>();
-    let d64 = WilsonDirac::new(&lat, &gauge64, 0.1, true);
-    let d32 = WilsonDirac::new(&lat, &gauge32, 0.1, true);
+    let mut d64 = WilsonDirac::new(&lat, &gauge64, 0.1, true);
+    let mut d32 = WilsonDirac::new(&lat, &gauge32, 0.1, true);
     let src64 = FermionField::<f64>::gaussian(lat.volume(), 1).data;
     let src32 = FermionField::<f32>::gaussian(lat.volume(), 1).data;
     let mut out64 = vec![Spinor::<f64>::zero(); lat.volume()];
@@ -121,9 +153,37 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
 
     let lat5 = Lattice::new([8, 8, 8, 8]);
     let gauge5 = GaugeField::<f64>::hot(&lat5, 5);
-    let prec = PrecMobius::new(&lat5, &gauge5, MobiusParams::standard(8, 0.1));
+    let mut prec = PrecMobius::new(&lat5, &gauge5, MobiusParams::standard(8, 0.1));
     let src5 = FermionField::<f64>::gaussian(prec.vec_len(), 2).data;
     let mut out5 = vec![Spinor::<f64>::zero(); prec.vec_len()];
+
+    // Autotune each dslash operator's (variant, grain) at width 1 — the
+    // timed rows below then exercise exactly what the tuner selected, and
+    // the winner's name is attached to the row. Every variant is
+    // bit-identical, so tuning only affects speed.
+    let tuner = Tuner::new();
+    let tune_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("bench tune pool");
+    let (vw64, vw32, vprec) = tune_pool.install(|| {
+        (
+            tune_dslash_variant(&tuner, &mut d64).0,
+            tune_dslash_variant(&tuner, &mut d32).0,
+            tune_dslash_variant(&tuner, &mut prec).0,
+        )
+    });
+    println!(
+        "autotuned variants: wilson_f64={} wilson_f32={} mobius_prec_f64={}",
+        vw64.name(),
+        vw32.name(),
+        vprec.name()
+    );
+    let (d64, d32, prec) = (&d64, &d32, &prec);
+
+    // STREAM-like triad bound at width 1, used for the %STREAM column.
+    let stream_gib_s = measure_stream_w1(reps);
+    println!("stream triad (width 1): {stream_gib_s:.2} GiB/s");
 
     const BLAS_LEN: usize = 32_768;
     let bx = FermionField::<f64>::gaussian(BLAS_LEN, 11).data;
@@ -163,6 +223,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
     let mut kernels = vec![
         Kernel {
             name: "dslash_wilson_f64",
+            variant: vw64.name().to_string(),
             bytes_per_iter: wilson_bytes(8.0),
             flops_per_iter: d64_flops,
             reps,
@@ -170,6 +231,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "dslash_wilson_f32",
+            variant: vw32.name().to_string(),
             bytes_per_iter: wilson_bytes(4.0),
             flops_per_iter: d32_flops,
             reps,
@@ -177,6 +239,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "dslash_mobius_prec_f64",
+            variant: vprec.name().to_string(),
             bytes_per_iter: mobius_bytes,
             flops_per_iter: prec_flops,
             reps,
@@ -184,6 +247,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "blas_axpy_32768",
+            variant: "-".to_string(),
             bytes_per_iter: n * 3.0 * sb,
             flops_per_iter: n * 48.0,
             reps,
@@ -191,6 +255,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "blas_dot_32768",
+            variant: "-".to_string(),
             bytes_per_iter: n * 2.0 * sb,
             flops_per_iter: n * 96.0,
             reps,
@@ -200,6 +265,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "blas_norm2_32768",
+            variant: "-".to_string(),
             bytes_per_iter: n * sb,
             flops_per_iter: n * 48.0,
             reps,
@@ -209,6 +275,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "contract_pion",
+            variant: "-".to_string(),
             bytes_per_iter: vol * 12.0 * sb,
             flops_per_iter: vol * 12.0 * 48.0,
             reps,
@@ -218,6 +285,7 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         },
         Kernel {
             name: "contract_proton",
+            variant: "-".to_string(),
             bytes_per_iter: vol * 3.0 * 12.0 * sb,
             flops_per_iter: 0.0,
             reps: reps_heavy,
@@ -240,14 +308,21 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         .map(|t| {
             let t1 = t.seconds[0];
             let tn = t.seconds[1];
+            let gib1 = gib_per_s(t.bytes_per_iter, t1);
             Json::obj(vec![
                 ("name", Json::Str(t.name.to_string())),
+                ("variant", Json::Str(t.variant.clone())),
                 ("bytes_per_iter", Json::Num(t.bytes_per_iter)),
                 ("flops_per_iter", Json::Num(t.flops_per_iter)),
+                ("arith_intensity", Json::Num(t.arith_intensity())),
                 ("seconds_w1", Json::Num(t1)),
                 ("seconds_wN", Json::Num(tn)),
-                ("gib_per_s_w1", Json::Num(gib_per_s(t.bytes_per_iter, t1))),
+                ("gib_per_s_w1", Json::Num(gib1)),
                 ("gib_per_s_wN", Json::Num(gib_per_s(t.bytes_per_iter, tn))),
+                (
+                    "pct_stream_w1",
+                    Json::Num(100.0 * gib1 / stream_gib_s.max(1e-12)),
+                ),
                 (
                     "gflop_per_s_w1",
                     Json::Num(gflop_per_s(t.flops_per_iter, t1)),
@@ -262,12 +337,14 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         .collect();
     let json = Json::obj(vec![
         ("experiment", Json::Str("bench".to_string())),
+        ("schema_version", Json::Num(BENCH_SCHEMA_VERSION)),
         (
             "config",
             Json::obj(vec![
                 ("width_low", Json::Num(1.0)),
                 ("width_high", Json::Num(hi as f64)),
                 ("available_parallelism", Json::Num(avail as f64)),
+                ("stream_gib_s_w1", Json::Num(stream_gib_s)),
                 ("quick", Json::Bool(opts.quick)),
             ]),
         ),
@@ -294,13 +371,28 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
              multi-core speedup.\n\n"
         ));
     }
-    md.push_str("| kernel | GiB/s @1 | GiB/s @N | Gflop/s @1 | Gflop/s @N | speedup |\n");
-    md.push_str("|---|---:|---:|---:|---:|---:|\n");
+    md.push_str(&format!(
+        "Measured STREAM-like triad bound at width 1: {stream_gib_s:.2} \
+         GiB/s. `AI` is arithmetic intensity (flops per modeled byte); \
+         `%STREAM @1` is the kernel's width-1 bandwidth relative to that \
+         bound; kernels whose working set fits in cache can exceed 100%. \
+         `variant` is the execution path the layout-aware autotuner \
+         selected for each dslash row (`-` for fixed-path kernels).\n\n"
+    ));
+    md.push_str(
+        "| kernel | variant | AI (F/B) | GiB/s @1 | %STREAM @1 | GiB/s @N \
+         | Gflop/s @1 | Gflop/s @N | speedup |\n",
+    );
+    md.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|\n");
     let mut rows = Vec::new();
     for t in &timed {
         let (t1, tn) = (t.seconds[0], t.seconds[1]);
+        let gib1 = gib_per_s(t.bytes_per_iter, t1);
         let cells = [
-            format!("{:.2}", gib_per_s(t.bytes_per_iter, t1)),
+            t.variant.clone(),
+            format!("{:.3}", t.arith_intensity()),
+            format!("{gib1:.2}"),
+            format!("{:.1}%", 100.0 * gib1 / stream_gib_s.max(1e-12)),
             format!("{:.2}", gib_per_s(t.bytes_per_iter, tn)),
             format!("{:.2}", gflop_per_s(t.flops_per_iter, t1)),
             format!("{:.2}", gflop_per_s(t.flops_per_iter, tn)),
@@ -316,7 +408,10 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
         "kernel benchmarks",
         &[
             "kernel",
+            "variant",
+            "AI (F/B)",
             "GiB/s @1",
+            "%STREAM @1",
             "GiB/s @N",
             "Gflop/s @1",
             "Gflop/s @N",
@@ -326,6 +421,23 @@ pub fn run_bench(out: &ExperimentOutput, opts: &BenchOpts) -> std::io::Result<()
     );
     println!("wrote {} and bench.md", json_path.display());
     Ok(())
+}
+
+/// Measure a STREAM-like bandwidth bound at width 1: best-of-`reps` `axpy`
+/// (2 reads + 1 write per element, like STREAM triad) over a working set
+/// several times larger than typical last-level caches, so the figure
+/// reflects memory bandwidth rather than cache throughput.
+fn measure_stream_w1(reps: usize) -> f64 {
+    // 131072 spinors × 192 B ≈ 24 MiB per array, ~72 MiB of traffic/iter.
+    const STREAM_LEN: usize = 1 << 17;
+    let x = FermionField::<f64>::gaussian(STREAM_LEN, 31).data;
+    let mut y = FermionField::<f64>::gaussian(STREAM_LEN, 32).data;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("stream pool");
+    let secs = pool.install(|| time_best(reps, &mut || blas::axpy(1.0000001, &x, &mut y)));
+    gib_per_s(STREAM_LEN as f64 * 3.0 * spinor_bytes(8.0), secs)
 }
 
 fn gib_per_s(bytes: f64, secs: f64) -> f64 {
@@ -437,5 +549,27 @@ mod tests {
     fn throughput_conversions() {
         assert!((gib_per_s(1024.0 * 1024.0 * 1024.0, 2.0) - 0.5).abs() < 1e-12);
         assert!((gflop_per_s(2e9, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arith_intensity_is_flops_over_bytes() {
+        let t = Timed {
+            name: "k",
+            variant: "aos_fused".to_string(),
+            bytes_per_iter: 8.0,
+            flops_per_iter: 12.0,
+            seconds: vec![],
+        };
+        assert!((t.arith_intensity() - 1.5).abs() < 1e-12);
+        let z = Timed {
+            bytes_per_iter: 0.0,
+            ..t
+        };
+        assert_eq!(z.arith_intensity(), 0.0);
+    }
+
+    #[test]
+    fn schema_version_is_bumped_for_variant_columns() {
+        assert!(BENCH_SCHEMA_VERSION >= 2.0);
     }
 }

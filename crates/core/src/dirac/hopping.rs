@@ -16,6 +16,7 @@ use crate::field::GaugeLinks;
 use crate::gamma::GAMMAS;
 use crate::lattice::{Lattice, Neighbors, Parity, ND};
 use crate::real::Real;
+use crate::simd::avx2_detected;
 use crate::spinor::Spinor;
 use crate::su3::Su3;
 
@@ -121,6 +122,27 @@ pub fn hop_site_block<R: Real>(
     }
 }
 
+/// Pointer wrapper that lets disjoint parallel tasks write through a shared
+/// raw pointer. Soundness rests on the call sites writing non-overlapping
+/// element sets; see the `SAFETY` comments there.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (rather than field access)
+    /// makes closures capture the whole `Sync` wrapper instead of the bare
+    /// pointer under edition-2021 disjoint field capture.
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the wrapped pointer is only dereferenced for writes to provably
+// disjoint elements (each (slice, site) pair is written by exactly one rayon
+// task), so sharing it across threads is sound.
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: see the `Send` impl above — tasks never write the same element.
+unsafe impl<T> Sync for SendPtr<T> {}
+
 /// Hopping-term kernel bound to a lattice and a gauge field.
 pub struct HoppingKernel<'a, R: Real, G: GaugeLinks<R>> {
     lattice: &'a Lattice,
@@ -145,6 +167,22 @@ impl<'a, R: Real, G: GaugeLinks<R>> HoppingKernel<'a, R, G> {
     /// The lattice this kernel runs on.
     pub fn lattice(&self) -> &Lattice {
         self.lattice
+    }
+
+    /// The bound gauge-link storage.
+    pub fn gauge(&self) -> &G {
+        self.gauge
+    }
+
+    /// Whether temporal antiperiodic boundary conditions are applied.
+    pub fn antiperiodic_t(&self) -> bool {
+        self.antiperiodic_t
+    }
+
+    /// Storage/reconstruction label of the bound gauge field (autotune and
+    /// bench reporting axis).
+    pub fn recon_name(&self) -> &'static str {
+        self.gauge.recon_name()
     }
 
     /// One site of `H ψ`. `fetch` maps a lexicographic neighbor index to the
@@ -192,6 +230,188 @@ impl<'a, R: Real, G: GaugeLinks<R>> HoppingKernel<'a, R, G> {
                 *o = self.site_hop(lex, &fetch);
             }
         });
+    }
+
+    /// Fused multi-slice hop on the full lattice: the sixteen stencil links
+    /// of every 4D site are fetched once and reused across all `l5` s-slices
+    /// — the 5th-dimension fusion that stops the Möbius operator from
+    /// re-streaming the gauge field per slice. Slice `s`'s hop value is
+    /// computed by the very same [`hop_site`] as [`Self::apply_full`] (the
+    /// cached-link closure reproduces the per-call link fetches bit for
+    /// bit), and `finish(s, x, h)` maps it to the value stored at
+    /// `out[s·V + x]`. With `l5 = 1` this doubles as a fused 4D hop whose
+    /// diagonal/algebra pass is folded into the single output write.
+    pub fn apply_full_fused_5d<F>(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        l5: usize,
+        grain: usize,
+        finish: &F,
+    ) where
+        F: Fn(usize, usize, Spinor<R>) -> Spinor<R> + Sync,
+    {
+        let v = self.lattice.volume();
+        assert_eq!(out.len(), v * l5);
+        assert_eq!(inp.len(), v * l5);
+        // `move` captures the whole `SendPtr` wrapper (edition-2021 disjoint
+        // field capture would otherwise borrow the raw pointer, which is not
+        // `Sync`).
+        let optr = SendPtr(out.as_mut_ptr());
+        let avx2 = avx2_detected();
+        rayon::for_each_chunk(v, grain, move |range| {
+            if avx2 {
+                // SAFETY: `avx2_detected` returned true, so the AVX2-compiled
+                // twin is safe to call on this CPU.
+                #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+                unsafe {
+                    self.full_fused_range_avx2(&optr, inp, range, l5, finish)
+                };
+            } else {
+                self.full_fused_range(&optr, inp, range, l5, finish);
+            }
+        });
+    }
+
+    /// Chunk body of [`Self::apply_full_fused_5d`]: sites `range`, all `l5`
+    /// slices, links cached across the s-extent.
+    #[inline(always)]
+    fn full_fused_range<F>(
+        &self,
+        optr: &SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        range: std::ops::Range<usize>,
+        l5: usize,
+        finish: &F,
+    ) where
+        F: Fn(usize, usize, Spinor<R>) -> Spinor<R> + Sync,
+    {
+        let v = self.lattice.volume();
+        for x in range {
+            let nb = self.lattice.neighbors(x);
+            let fwd: [Su3<R>; ND] = std::array::from_fn(|mu| self.gauge.link(x, mu));
+            let bwd: [Su3<R>; ND] =
+                std::array::from_fn(|mu| self.gauge.link(nb.bwd[mu] as usize, mu));
+            let cached = |site: usize, mu: usize| if site == x { fwd[mu] } else { bwd[mu] };
+            for s in 0..l5 {
+                let slice = &inp[s * v..(s + 1) * v];
+                let h = hop_site(nb, x, self.antiperiodic_t, &|e| slice[e], &cached);
+                // SAFETY: element `s·v + x` is written exactly once — `x`
+                // ranges over disjoint chunks across tasks and `s` is the
+                // task-local loop — so no two tasks alias any element,
+                // and the index stays in bounds (`x < v`, `s < l5`).
+                unsafe { *optr.get().add(s * v + x) = finish(s, x, h) };
+            }
+        }
+    }
+
+    /// AVX2-compiled twin of [`Self::full_fused_range`]. The body is the
+    /// same `#[inline(always)]` code, recompiled with 256-bit vectors
+    /// enabled; only plain IEEE add/sub/mul are emitted (rustc does not
+    /// contract to FMA), so the results are bit-identical to the portable
+    /// compilation.
+    #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    fn full_fused_range_avx2<F>(
+        &self,
+        optr: &SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        range: std::ops::Range<usize>,
+        l5: usize,
+        finish: &F,
+    ) where
+        F: Fn(usize, usize, Spinor<R>) -> Spinor<R> + Sync,
+    {
+        self.full_fused_range(optr, inp, range, l5, finish);
+    }
+
+    /// Checkerboarded counterpart of [`Self::apply_full_fused_5d`]: hops from
+    /// parity `!out_parity` onto `out_parity`, slices are `half_volume` long,
+    /// and `finish(s, cb, h)` maps the slice-`s` hop at checkerboard site
+    /// `cb` to the value stored at `out[s·hv + cb]`.
+    pub fn apply_parity_fused_5d<F>(
+        &self,
+        out: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        out_parity: Parity,
+        l5: usize,
+        grain: usize,
+        finish: &F,
+    ) where
+        F: Fn(usize, usize, Spinor<R>) -> Spinor<R> + Sync,
+    {
+        let hv = self.lattice.half_volume();
+        assert_eq!(out.len(), hv * l5);
+        assert_eq!(inp.len(), hv * l5);
+        let sites = self.lattice.sites_with_parity(out_parity);
+        // `move` captures the whole `SendPtr` wrapper, as above.
+        let optr = SendPtr(out.as_mut_ptr());
+        let avx2 = avx2_detected();
+        rayon::for_each_chunk(hv, grain, move |range| {
+            if avx2 {
+                // SAFETY: `avx2_detected` returned true, so the AVX2-compiled
+                // twin is safe to call on this CPU.
+                #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+                unsafe {
+                    self.parity_fused_range_avx2(&optr, inp, sites, range, l5, finish)
+                };
+            } else {
+                self.parity_fused_range(&optr, inp, sites, range, l5, finish);
+            }
+        });
+    }
+
+    /// Chunk body of [`Self::apply_parity_fused_5d`]: checkerboard sites
+    /// `range`, all `l5` slices, links cached across the s-extent.
+    #[inline(always)]
+    fn parity_fused_range<F>(
+        &self,
+        optr: &SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        sites: &[u32],
+        range: std::ops::Range<usize>,
+        l5: usize,
+        finish: &F,
+    ) where
+        F: Fn(usize, usize, Spinor<R>) -> Spinor<R> + Sync,
+    {
+        let hv = self.lattice.half_volume();
+        for cb in range {
+            let lex = sites[cb] as usize;
+            let nb = self.lattice.neighbors(lex);
+            let fwd: [Su3<R>; ND] = std::array::from_fn(|mu| self.gauge.link(lex, mu));
+            let bwd: [Su3<R>; ND] =
+                std::array::from_fn(|mu| self.gauge.link(nb.bwd[mu] as usize, mu));
+            let cached = |site: usize, mu: usize| if site == lex { fwd[mu] } else { bwd[mu] };
+            for s in 0..l5 {
+                let slice = &inp[s * hv..(s + 1) * hv];
+                let fetch = |e: usize| slice[self.lattice.cb_index(e)];
+                let h = hop_site(nb, lex, self.antiperiodic_t, &fetch, &cached);
+                // SAFETY: element `s·hv + cb` is written exactly once —
+                // `cb` ranges over disjoint chunks across tasks and `s`
+                // is the task-local loop — so no two tasks alias any
+                // element, and the index stays in bounds.
+                unsafe { *optr.get().add(s * hv + cb) = finish(s, cb, h) };
+            }
+        }
+    }
+
+    /// AVX2-compiled twin of [`Self::parity_fused_range`]; see
+    /// [`Self::full_fused_range_avx2`] for the bit-identity argument.
+    #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    fn parity_fused_range_avx2<F>(
+        &self,
+        optr: &SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        sites: &[u32],
+        range: std::ops::Range<usize>,
+        l5: usize,
+        finish: &F,
+    ) where
+        F: Fn(usize, usize, Spinor<R>) -> Spinor<R> + Sync,
+    {
+        self.parity_fused_range(optr, inp, sites, range, l5, finish);
     }
 
     /// `out = H inp` on the full lattice for an interleaved block of `nrhs`

@@ -27,11 +27,12 @@
 //! unchanged.
 
 use super::hopping::{HoppingKernel, HOPPING_FLOPS_PER_SITE};
-use super::{BlockDiracOp, BlockLinearOp, DiracOp, LinearOp};
+use super::{BlockDiracOp, BlockLinearOp, DiracOp, DslashVariant, LinearOp};
 use crate::field::GaugeLinks;
 use crate::lattice::{Lattice, Parity};
 use crate::real::Real;
 use crate::spinor::Spinor;
+use parking_lot::Mutex;
 use rayon::prelude::*;
 
 /// Physical and algorithmic parameters of the Möbius operator.
@@ -211,6 +212,201 @@ impl<R: Real> FifthDim<R> {
             });
     }
 
+    /// One element of [`Self::shift`]: the shifted spinor at 5D index
+    /// `(s, i)`. The per-element operation chain is identical to the slice
+    /// loop in `shift`, so fused callers stay bit-identical to the two-pass
+    /// path.
+    #[inline(always)]
+    fn shift_at(
+        &self,
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        s: usize,
+        i: usize,
+        dagger: bool,
+    ) -> Spinor<R> {
+        let l5 = self.params.l5;
+        let mm = R::from_f64(-self.params.mass);
+        let up = if s + 1 < l5 { s + 1 } else { 0 };
+        let dn = if s > 0 { s - 1 } else { l5 - 1 };
+        let up_scale = if s + 1 < l5 { R::ONE } else { mm };
+        let dn_scale = if s > 0 { R::ONE } else { mm };
+        let u = &inp[up * slice_len + i];
+        let d = &inp[dn * slice_len + i];
+        if dagger {
+            d.chiral_project(false).scale(dn_scale) + u.chiral_project(true).scale(up_scale)
+        } else {
+            u.chiral_project(false).scale(up_scale) + d.chiral_project(true).scale(dn_scale)
+        }
+    }
+
+    /// Column-wise fused precompute of *both* diagonal-sector vectors:
+    /// `rho = b5·ψ + c5·shift(ψ)` and `diag = α·ψ + β·shift(ψ)` in a single
+    /// sweep parallelized over 4D sites. For a fixed site the whole s-column
+    /// of `ψ` stays cache-resident across the inner s-loop, so each element
+    /// is streamed from memory once instead of three times per output (and
+    /// the shifted spinor is computed once and shared by both outputs —
+    /// value-reuse, not reassociation, so both vectors carry the identical
+    /// per-element chains as [`Self::affine_shift`]).
+    fn rho_and_diag(
+        &self,
+        rho: &mut [Spinor<R>],
+        diag: &mut [Spinor<R>],
+        inp: &[Spinor<R>],
+        slice_len: usize,
+    ) {
+        let l5 = self.params.l5;
+        let n = inp.len();
+        assert_eq!(rho.len(), n);
+        assert_eq!(diag.len(), n);
+        assert_eq!(n, l5 * slice_len);
+        let grain = crate::blas::grain_for(slice_len);
+        let rptr = super::hopping::SendPtr(rho.as_mut_ptr());
+        let dptr = super::hopping::SendPtr(diag.as_mut_ptr());
+        let avx2 = crate::simd::avx2_detected();
+        rayon::for_each_chunk(slice_len, grain, |range| {
+            if avx2 {
+                // SAFETY: `avx2_detected` returned true, so the AVX2-compiled
+                // twin is safe to call on this CPU.
+                #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+                unsafe {
+                    self.rho_and_diag_range_avx2(&rptr, &dptr, inp, slice_len, range)
+                };
+            } else {
+                self.rho_and_diag_range(&rptr, &dptr, inp, slice_len, range);
+            }
+        });
+    }
+
+    /// Chunk body of [`Self::rho_and_diag`]: 4D sites `range`, whole
+    /// s-columns.
+    #[inline(always)]
+    fn rho_and_diag_range(
+        &self,
+        rptr: &super::hopping::SendPtr<Spinor<R>>,
+        dptr: &super::hopping::SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        range: std::ops::Range<usize>,
+    ) {
+        let l5 = self.params.l5;
+        let (b5, c5) = (R::from_f64(self.params.b5), R::from_f64(self.params.c5));
+        let (al, be) = (
+            R::from_f64(self.params.alpha()),
+            R::from_f64(self.params.beta()),
+        );
+        for i in range {
+            for s in 0..l5 {
+                let idx = s * slice_len + i;
+                let sh = self.shift_at(inp, slice_len, s, i, false);
+                // SAFETY: each (s, i) pair is written by exactly one task
+                // (`i` ranges over disjoint chunks, `s` is task-local),
+                // and `idx < l5·slice_len` keeps both writes in bounds.
+                unsafe {
+                    *rptr.get().add(idx) = inp[idx].scale(b5) + sh.scale(c5);
+                    *dptr.get().add(idx) = inp[idx].scale(al) + sh.scale(be);
+                }
+            }
+        }
+    }
+
+    /// AVX2-compiled twin of [`Self::rho_and_diag_range`]; same IEEE ops,
+    /// 256-bit codegen, bit-identical results (rustc emits no FMA).
+    #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    fn rho_and_diag_range_avx2(
+        &self,
+        rptr: &super::hopping::SendPtr<Spinor<R>>,
+        dptr: &super::hopping::SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        range: std::ops::Range<usize>,
+    ) {
+        self.rho_and_diag_range(rptr, dptr, inp, slice_len, range);
+    }
+
+    /// Column-wise fused `out = ρ(A⁻¹ in)`: for each 4D site, apply the
+    /// `L5×L5` inverse to the whole s-column (the exact accumulation chain
+    /// of [`Self::apply_a_inverse`], so each input element is read from
+    /// memory once instead of `L5` times), then form
+    /// `b5·(A⁻¹in) + c5·shift(A⁻¹in)` from the still-local column — the
+    /// shift chain is [`Self::shift_at`] on the column itself.
+    fn ainv_then_rho(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>], slice_len: usize) {
+        let l5 = self.params.l5;
+        let n = inp.len();
+        assert_eq!(out.len(), n);
+        assert_eq!(n, l5 * slice_len);
+        let grain = crate::blas::grain_for(slice_len);
+        let optr = super::hopping::SendPtr(out.as_mut_ptr());
+        let avx2 = crate::simd::avx2_detected();
+        rayon::for_each_chunk(slice_len, grain, |range| {
+            if avx2 {
+                // SAFETY: `avx2_detected` returned true, so the AVX2-compiled
+                // twin is safe to call on this CPU.
+                #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+                unsafe {
+                    self.ainv_then_rho_range_avx2(&optr, inp, slice_len, range)
+                };
+            } else {
+                self.ainv_then_rho_range(&optr, inp, slice_len, range);
+            }
+        });
+    }
+
+    /// Chunk body of [`Self::ainv_then_rho`]: 4D sites `range`, whole
+    /// s-columns.
+    #[inline(always)]
+    fn ainv_then_rho_range(
+        &self,
+        optr: &super::hopping::SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        range: std::ops::Range<usize>,
+    ) {
+        let l5 = self.params.l5;
+        let (b5, c5) = (R::from_f64(self.params.b5), R::from_f64(self.params.c5));
+        let (inv_up, inv_dn) = (&self.ainv_plus, &self.ainv_minus);
+        let mut col = vec![Spinor::zero(); l5];
+        for i in range {
+            for (s_out, c) in col.iter_mut().enumerate() {
+                let mut acc = Spinor::zero();
+                for s_in in 0..l5 {
+                    let wp = inv_up[s_out * l5 + s_in];
+                    let wm = inv_dn[s_out * l5 + s_in];
+                    let src = &inp[s_in * slice_len + i];
+                    acc.s[0] += src.s[0].scale(wp);
+                    acc.s[1] += src.s[1].scale(wp);
+                    acc.s[2] += src.s[2].scale(wm);
+                    acc.s[3] += src.s[3].scale(wm);
+                }
+                *c = acc;
+            }
+            for s in 0..l5 {
+                // `shift_at` on the local column: slice length 1, site 0.
+                let sh = self.shift_at(&col, 1, s, 0, false);
+                // SAFETY: each (s, i) is written by exactly one task and
+                // the index stays in bounds, as in `rho_and_diag`.
+                unsafe {
+                    *optr.get().add(s * slice_len + i) = col[s].scale(b5) + sh.scale(c5);
+                }
+            }
+        }
+    }
+
+    /// AVX2-compiled twin of [`Self::ainv_then_rho_range`]; same IEEE ops,
+    /// 256-bit codegen, bit-identical results (rustc emits no FMA).
+    #[cfg(all(feature = "arch-simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    fn ainv_then_rho_range_avx2(
+        &self,
+        optr: &super::hopping::SendPtr<Spinor<R>>,
+        inp: &[Spinor<R>],
+        slice_len: usize,
+        range: std::ops::Range<usize>,
+    ) {
+        self.ainv_then_rho_range(optr, inp, slice_len, range);
+    }
+
     /// `out = a·in + b·shift^(†)(in)`, the shared form of `A` (`a=α, b=β`)
     /// and `ρ` (`a=b5, b=c5`) and their adjoints.
     fn affine_shift(
@@ -267,6 +463,11 @@ impl<R: Real> FifthDim<R> {
     }
 }
 
+/// Two reusable 5D staging buffers (fused-path scratch).
+type Scratch2<R> = Mutex<(Vec<Spinor<R>>, Vec<Spinor<R>>)>;
+/// Three reusable 5D staging buffers (preconditioned fused-path scratch).
+type Scratch3<R> = Mutex<(Vec<Spinor<R>>, Vec<Spinor<R>>, Vec<Spinor<R>>)>;
+
 /// The full-lattice Möbius domain-wall operator on `L5 × V` vectors.
 pub struct MobiusDirac<'a, R: Real, G: GaugeLinks<R>> {
     hopping: HoppingKernel<'a, R, G>,
@@ -274,6 +475,11 @@ pub struct MobiusDirac<'a, R: Real, G: GaugeLinks<R>> {
     fifth: FifthDim<R>,
     /// Parallel chunk size for the 4D stencil, set by the autotuner.
     pub grain: usize,
+    /// Execution strategy of `apply`; every supported variant is bit-identical.
+    pub variant: DslashVariant,
+    /// Reusable 5D staging buffers for the fused path (`ρ(ψ)` and the
+    /// precomputed diagonal `A(ψ)`).
+    scratch: Scratch2<R>,
 }
 
 impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
@@ -285,6 +491,8 @@ impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
             lattice,
             fifth: FifthDim::new(params),
             grain: 1024,
+            variant: DslashVariant::AosFused,
+            scratch: Mutex::new((Vec::new(), Vec::new())),
         }
     }
 
@@ -298,8 +506,45 @@ impl<'a, R: Real, G: GaugeLinks<R>> MobiusDirac<'a, R, G> {
         self.lattice
     }
 
+    /// The bound 4D hopping kernel.
+    pub fn hopping(&self) -> &HoppingKernel<'a, R, G> {
+        &self.hopping
+    }
+
+    /// Variants this operator can execute (SoA needs full-volume 4D
+    /// operators; the 5D s-major layout keeps it off the menu here).
+    pub fn supported_variants(&self) -> Vec<DslashVariant> {
+        vec![DslashVariant::AosScalar, DslashVariant::AosFused]
+    }
+
     fn l5(&self) -> usize {
         self.fifth.params.l5
+    }
+
+    /// Fused apply in two passes: one column-wise sweep producing both
+    /// `ρ = b5·ψ + c5·shift(ψ)` and the diagonal `A(ψ) = α·ψ + β·shift(ψ)`,
+    /// then a single 5D stencil pass that reuses each site's eight gauge
+    /// links across the whole s-extent and folds `A(ψ) − ½ H ρ(ψ)` into the
+    /// output write. Every per-element operation chain matches the
+    /// slice-by-slice path, so the result is bit-identical to
+    /// [`DslashVariant::AosScalar`].
+    fn apply_fused(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let v = self.lattice.volume();
+        let n = self.vec_len();
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+        let half = R::from_f64(0.5);
+
+        let mut guard = self.scratch.lock();
+        let (rho, diag) = &mut *guard;
+        rho.resize(n, Spinor::zero());
+        diag.resize(n, Spinor::zero());
+        self.fifth.rho_and_diag(rho, diag, inp, v);
+        let diag = &*diag;
+        self.hopping
+            .apply_full_fused_5d(out, rho, self.l5(), self.grain, &|s, x, h| {
+                diag[s * v + x] - h.scale(half)
+            });
     }
 
     /// Apply the 4D hopping slice-by-slice on full-volume 5D vectors.
@@ -481,7 +726,14 @@ impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for MobiusDirac<'a, R, G> {
     }
 
     fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
-        self.apply_with_hop(out, inp, &mut |o, i| self.hop_5d(o, i));
+        match self.variant {
+            // SoA is not supported on s-major 5D vectors; fall back to the
+            // reference path (bit-identical anyway).
+            DslashVariant::AosScalar | DslashVariant::Soa => {
+                self.apply_with_hop(out, inp, &mut |o, i| self.hop_5d(o, i));
+            }
+            DslashVariant::AosFused => self.apply_fused(out, inp),
+        }
     }
 
     fn flops_per_apply(&self) -> f64 {
@@ -509,6 +761,11 @@ pub struct PrecMobius<'a, R: Real, G: GaugeLinks<R>> {
     fifth: FifthDim<R>,
     /// Parallel chunk size for the 4D stencil, set by the autotuner.
     pub grain: usize,
+    /// Execution strategy of `apply`; every supported variant is bit-identical.
+    pub variant: DslashVariant,
+    /// Reusable 5D half-volume staging buffers for the fused path
+    /// (`ρ`-stage, hop target, precomputed diagonal).
+    scratch: Scratch3<R>,
 }
 
 impl<'a, R: Real, G: GaugeLinks<R>> PrecMobius<'a, R, G> {
@@ -519,6 +776,8 @@ impl<'a, R: Real, G: GaugeLinks<R>> PrecMobius<'a, R, G> {
             lattice,
             fifth: FifthDim::new(params),
             grain: 1024,
+            variant: DslashVariant::AosFused,
+            scratch: Mutex::new((Vec::new(), Vec::new(), Vec::new())),
         }
     }
 
@@ -532,12 +791,71 @@ impl<'a, R: Real, G: GaugeLinks<R>> PrecMobius<'a, R, G> {
         self.lattice
     }
 
+    /// The bound 4D hopping kernel.
+    pub fn hopping(&self) -> &HoppingKernel<'a, R, G> {
+        &self.hopping
+    }
+
+    /// Variants this operator can execute (SoA needs full-volume 4D
+    /// operators; the checkerboarding strides the x-lines by 2).
+    pub fn supported_variants(&self) -> Vec<DslashVariant> {
+        vec![DslashVariant::AosScalar, DslashVariant::AosFused]
+    }
+
     fn l5(&self) -> usize {
         self.fifth.params.l5
     }
 
     fn hv(&self) -> usize {
         self.lattice.half_volume()
+    }
+
+    /// Fused Schur apply in four passes over reused scratch buffers (the
+    /// reference path makes eleven, allocating six fresh vectors):
+    ///
+    /// 1. `ρ ← b5·ψ + c5·shift(ψ)` and `diag ← α·ψ + β·shift(ψ)` in a single
+    ///    column-wise sweep (the s-shift of `ψ` is read once, feeding both),
+    /// 2. `t ← −½ H_eo ρ` (5D-fused stencil, `−½` folded into the write),
+    /// 3. `ρ ← b5·(A⁻¹t) + c5·shift(A⁻¹t)` column-wise: each s-column of
+    ///    `A⁻¹t` stays register/cache resident through the following affine,
+    /// 4. `out ← diag − (−½ H_oe ρ)` (stencil pass with the precomputed
+    ///    diagonal folded into the output write).
+    ///
+    /// Each fused expression evaluates the identical per-element operation
+    /// chain as the reference path, so the result is bit-identical to
+    /// [`DslashVariant::AosScalar`].
+    fn apply_fused(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        let hv = self.hv();
+        let n = self.vec_len();
+        assert_eq!(out.len(), n);
+        assert_eq!(inp.len(), n);
+        let neg_half = R::from_f64(-0.5);
+
+        let mut guard = self.scratch.lock();
+        let (rho, tmp, diag) = &mut *guard;
+        rho.resize(n, Spinor::zero());
+        tmp.resize(n, Spinor::zero());
+        diag.resize(n, Spinor::zero());
+
+        self.fifth.rho_and_diag(rho, diag, inp, hv);
+        self.hopping.apply_parity_fused_5d(
+            tmp,
+            rho,
+            Parity::Even,
+            self.l5(),
+            self.grain,
+            &|_, _, h| h.scale(neg_half),
+        );
+        self.fifth.ainv_then_rho(rho, tmp, hv);
+        let diag = &*diag;
+        self.hopping.apply_parity_fused_5d(
+            out,
+            rho,
+            Parity::Odd,
+            self.l5(),
+            self.grain,
+            &|s, cb, h| diag[s * hv + cb] - h.scale(neg_half),
+        );
     }
 
     /// Slice-wise checkerboarded hopping on 5D half-volume vectors.
@@ -706,6 +1024,23 @@ impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for PrecMobius<'a, R, G> {
     }
 
     fn apply(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
+        match self.variant {
+            DslashVariant::AosScalar | DslashVariant::Soa => self.apply_reference(out, inp),
+            DslashVariant::AosFused => self.apply_fused(out, inp),
+        }
+    }
+
+    fn flops_per_apply(&self) -> f64 {
+        let sites = self.vec_len() as f64;
+        // Two half-volume hops per 5D site pair + fifth-dimension algebra.
+        sites * (HOPPING_FLOPS_PER_SITE + 250.0 + 48.0 * self.l5() as f64)
+    }
+}
+
+impl<'a, R: Real, G: GaugeLinks<R>> PrecMobius<'a, R, G> {
+    /// Reference Schur apply: slice-by-slice hops with separate algebra
+    /// passes, building each intermediate in a fresh vector.
+    fn apply_reference(&self, out: &mut [Spinor<R>], inp: &[Spinor<R>]) {
         let hv = self.hv();
         let p = &self.fifth.params;
         assert_eq!(out.len(), self.vec_len());
@@ -722,12 +1057,6 @@ impl<'a, R: Real, G: GaugeLinks<R>> LinearOp<R> for PrecMobius<'a, R, G> {
         out.par_iter_mut().zip(moe.par_iter()).for_each(|(o, m)| {
             *o = *o - *m;
         });
-    }
-
-    fn flops_per_apply(&self) -> f64 {
-        let sites = self.vec_len() as f64;
-        // Two half-volume hops per 5D site pair + fifth-dimension algebra.
-        sites * (HOPPING_FLOPS_PER_SITE + 250.0 + 48.0 * self.l5() as f64)
     }
 }
 
@@ -962,6 +1291,118 @@ mod tests {
             }
         }
         assert!(max < 1e-13, "max adjoint violation {max}");
+    }
+
+    #[test]
+    fn shift_at_matches_shift_elementwise() {
+        let params = MobiusParams::standard(6, 0.1);
+        let fifth = FifthDim::<f64>::new(params);
+        let slice_len = 17;
+        let n = params.l5 * slice_len;
+        let x = FermionField::<f64>::gaussian(n, 21).data;
+        for dagger in [false, true] {
+            let mut shifted = vec![Spinor::zero(); n];
+            fifth.shift(&mut shifted, &x, slice_len, dagger);
+            for s in 0..params.l5 {
+                for i in 0..slice_len {
+                    assert_eq!(
+                        fifth.shift_at(&x, slice_len, s, i, dagger),
+                        shifted[s * slice_len + i],
+                        "(s={s}, i={i}, dagger={dagger})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rho_and_diag_is_bit_identical_to_two_affines() {
+        let params = MobiusParams::standard(4, 0.08);
+        let fifth = FifthDim::<f64>::new(params);
+        let slice_len = 64;
+        let n = params.l5 * slice_len;
+        let x = FermionField::<f64>::gaussian(n, 22).data;
+        let mut rho_ref = vec![Spinor::zero(); n];
+        fifth.affine_shift(&mut rho_ref, &x, slice_len, params.b5, params.c5, false);
+        let mut diag_ref = vec![Spinor::zero(); n];
+        fifth.affine_shift(
+            &mut diag_ref,
+            &x,
+            slice_len,
+            params.alpha(),
+            params.beta(),
+            false,
+        );
+        let mut rho = vec![Spinor::zero(); n];
+        let mut diag = vec![Spinor::zero(); n];
+        fifth.rho_and_diag(&mut rho, &mut diag, &x, slice_len);
+        assert_eq!(rho, rho_ref);
+        assert_eq!(diag, diag_ref);
+    }
+
+    #[test]
+    fn ainv_then_rho_is_bit_identical_to_two_passes() {
+        let params = MobiusParams::standard(4, 0.08);
+        let fifth = FifthDim::<f64>::new(params);
+        let slice_len = 64;
+        let n = params.l5 * slice_len;
+        let x = FermionField::<f64>::gaussian(n, 25).data;
+        let mut ainv = vec![Spinor::zero(); n];
+        fifth.apply_a_inverse(&mut ainv, &x, slice_len, false);
+        let mut reference = vec![Spinor::zero(); n];
+        fifth.affine_shift(
+            &mut reference,
+            &ainv,
+            slice_len,
+            params.b5,
+            params.c5,
+            false,
+        );
+        let mut fused = vec![Spinor::zero(); n];
+        fifth.ainv_then_rho(&mut fused, &x, slice_len);
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn mobius_variants_are_bit_identical() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 61);
+        let mut op = MobiusDirac::new(&lat, &gauge, MobiusParams::standard(6, 0.1));
+        let n = op.vec_len();
+        let x = FermionField::<f64>::gaussian(n, 23).data;
+        let mut reference = vec![Spinor::zero(); n];
+        op.variant = DslashVariant::AosScalar;
+        op.apply(&mut reference, &x);
+        for v in op.supported_variants() {
+            op.variant = v;
+            let mut out = vec![Spinor::zero(); n];
+            op.apply(&mut out, &x);
+            assert_eq!(out, reference, "variant {v:?}");
+        }
+    }
+
+    #[test]
+    fn prec_mobius_variants_are_bit_identical() {
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 67);
+        let mut op = PrecMobius::new(&lat, &gauge, MobiusParams::standard(4, 0.1));
+        let n = op.vec_len();
+        let x = FermionField::<f64>::gaussian(n, 24).data;
+        let mut reference = vec![Spinor::zero(); n];
+        op.variant = DslashVariant::AosScalar;
+        op.apply(&mut reference, &x);
+        for v in op.supported_variants() {
+            op.variant = v;
+            let mut out = vec![Spinor::zero(); n];
+            op.apply(&mut out, &x);
+            assert_eq!(out, reference, "variant {v:?}");
+        }
+        // The fused path reuses scratch buffers across calls; a second
+        // application must still be bit-identical.
+        op.variant = DslashVariant::AosFused;
+        let mut again = vec![Spinor::zero(); n];
+        op.apply(&mut again, &x);
+        assert_eq!(again, reference);
     }
 
     #[test]

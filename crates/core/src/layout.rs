@@ -1,0 +1,551 @@
+//! Blocked SoA (structure-of-arrays) field layout.
+//!
+//! The AoS layout (`Vec<Spinor<R>>`, `Vec<Su3<R>>`) interleaves re/im pairs,
+//! which forces the stencil to shuffle components in and out of vector
+//! registers. This module stores the same data in *site blocks* of
+//! [`LANES`] consecutive lexicographic sites with components outermost and
+//! the site lane innermost:
+//!
+//! ```text
+//! AoS  (site-major):  [ s0: re im re im … | s1: re im re im … | … ]
+//! SoA  (blocked):     block b = sites { 4b, 4b+1, 4b+2, 4b+3 }
+//!   [ comp0: re(4b) re(4b+1) re(4b+2) re(4b+3) | comp0: im ×4 | comp1 … ]
+//! ```
+//!
+//! One spinor block is 24 × [`LANES`] reals = 12 cache lines at `f64`; a
+//! vector load of 4 consecutive reals yields one component of 4 sites —
+//! exactly the operand shape of the [`crate::simd`] lane arithmetic. Since
+//! the lane ops reproduce the scalar complex arithmetic bit for bit, the SoA
+//! hop kernel below is bit-identical to the AoS [`crate::dirac::hop_site`]
+//! path site by site (under test).
+//!
+//! Lanes run along `x` (the fastest lexicographic coordinate), so when the
+//! x-extent is a multiple of [`LANES`] every block sits inside one x-line:
+//! y/z/t-neighbors of a block are whole blocks again and the temporal wrap
+//! sign is uniform across the block.
+
+use crate::complex::Complex;
+use crate::field::GaugeLinks;
+use crate::gamma::GAMMAS;
+use crate::lattice::{Lattice, ND};
+use crate::simd::{CVec, CvColor, CvSpinor, CvSu3, LaneReal, LANES};
+use crate::spinor::Spinor;
+use crate::su3::{Su3, NC};
+
+/// Reals per spinor (4 spins × 3 colors × re/im).
+const SPINOR_REALS: usize = 24;
+/// Reals per SU(3) link (3 × 3 complex entries).
+const LINK_REALS: usize = 18;
+
+/// Fermion vector in blocked SoA form. Sites beyond `len` in the last block
+/// are zero padding and never observed.
+#[derive(Clone, Debug)]
+pub struct SoaSpinorField<R> {
+    len: usize,
+    data: Vec<R>,
+}
+
+#[inline(always)]
+fn spinor_comp(sp: usize, c: usize, reim: usize) -> usize {
+    (sp * NC + c) * 2 + reim
+}
+
+impl<R: LaneReal> SoaSpinorField<R> {
+    /// Zero vector holding `len` spinors.
+    pub fn zeros(len: usize) -> Self {
+        let blocks = len.div_ceil(LANES);
+        Self {
+            len,
+            data: vec![R::ZERO; blocks * SPINOR_REALS * LANES],
+        }
+    }
+
+    /// Number of spinors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw blocked storage.
+    pub fn data(&self) -> &[R] {
+        &self.data
+    }
+
+    /// Mutable raw blocked storage (for chunk-parallel kernels).
+    pub fn data_mut(&mut self) -> &mut [R] {
+        &mut self.data
+    }
+
+    /// One complex component of site `i`.
+    #[inline(always)]
+    fn cplx(&self, i: usize, sp: usize, c: usize) -> Complex<R> {
+        let (b, l) = (i / LANES, i % LANES);
+        let base = b * SPINOR_REALS * LANES;
+        Complex::new(
+            self.data[base + spinor_comp(sp, c, 0) * LANES + l],
+            self.data[base + spinor_comp(sp, c, 1) * LANES + l],
+        )
+    }
+
+    /// Read the spinor at site `i` back into AoS form.
+    pub fn get(&self, i: usize) -> Spinor<R> {
+        assert!(i < self.len);
+        let mut s = Spinor::zero();
+        for sp in 0..4 {
+            for c in 0..NC {
+                s.s[sp].c[c] = self.cplx(i, sp, c);
+            }
+        }
+        s
+    }
+
+    /// Write the spinor at site `i`.
+    pub fn set(&mut self, i: usize, s: &Spinor<R>) {
+        assert!(i < self.len);
+        let (b, l) = (i / LANES, i % LANES);
+        let base = b * SPINOR_REALS * LANES;
+        for sp in 0..4 {
+            for c in 0..NC {
+                self.data[base + spinor_comp(sp, c, 0) * LANES + l] = s.s[sp].c[c].re;
+                self.data[base + spinor_comp(sp, c, 1) * LANES + l] = s.s[sp].c[c].im;
+            }
+        }
+    }
+
+    /// Transpose an AoS vector into blocked SoA form.
+    pub fn from_aos(aos: &[Spinor<R>]) -> Self {
+        let mut out = Self::zeros(aos.len());
+        out.fill_from_aos(aos);
+        out
+    }
+
+    /// Overwrite from an AoS vector of the same length.
+    pub fn fill_from_aos(&mut self, aos: &[Spinor<R>]) {
+        assert_eq!(aos.len(), self.len);
+        let blen = SPINOR_REALS * LANES;
+        rayon::for_each_chunk_mut(&mut self.data, blen, |base, chunk| {
+            let b = base / blen;
+            for l in 0..LANES {
+                let i = b * LANES + l;
+                if i >= aos.len() {
+                    break;
+                }
+                let s = &aos[i];
+                for sp in 0..4 {
+                    for c in 0..NC {
+                        chunk[spinor_comp(sp, c, 0) * LANES + l] = s.s[sp].c[c].re;
+                        chunk[spinor_comp(sp, c, 1) * LANES + l] = s.s[sp].c[c].im;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Transpose back to AoS into `out` (same length).
+    pub fn store_to_aos(&self, out: &mut [Spinor<R>]) {
+        assert_eq!(out.len(), self.len);
+        let data = &self.data;
+        rayon::for_each_chunk_mut(out, LANES, |base, chunk| {
+            for (k, s) in chunk.iter_mut().enumerate() {
+                let i = base + k;
+                let (b, l) = (i / LANES, i % LANES);
+                let off = b * SPINOR_REALS * LANES;
+                for sp in 0..4 {
+                    for c in 0..NC {
+                        s.s[sp].c[c] = Complex::new(
+                            data[off + spinor_comp(sp, c, 0) * LANES + l],
+                            data[off + spinor_comp(sp, c, 1) * LANES + l],
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    /// Transpose back to a fresh AoS vector.
+    pub fn to_aos(&self) -> Vec<Spinor<R>> {
+        let mut out = vec![Spinor::zero(); self.len];
+        self.store_to_aos(&mut out);
+        out
+    }
+
+    /// Load a whole aligned block (contiguous vector loads).
+    #[inline(always)]
+    pub fn load_block(&self, b: usize) -> CvSpinor<R> {
+        let base = b * SPINOR_REALS * LANES;
+        let d = &self.data[base..base + SPINOR_REALS * LANES];
+        CvSpinor {
+            s: std::array::from_fn(|sp| CvColor {
+                c: std::array::from_fn(|c| CVec {
+                    re: std::array::from_fn(|l| d[spinor_comp(sp, c, 0) * LANES + l]),
+                    im: std::array::from_fn(|l| d[spinor_comp(sp, c, 1) * LANES + l]),
+                }),
+            }),
+        }
+    }
+
+    /// Gather one spinor per lane from arbitrary site indices (the x-neighbor
+    /// funnel at block boundaries).
+    #[inline(always)]
+    pub fn gather(&self, idx: [usize; LANES]) -> CvSpinor<R> {
+        CvSpinor {
+            s: std::array::from_fn(|sp| CvColor {
+                c: std::array::from_fn(|c| CVec::gather(|l| self.cplx(idx[l], sp, c))),
+            }),
+        }
+    }
+}
+
+/// Write a lane spinor into one block's raw storage chunk
+/// (`SPINOR_REALS × LANES` reals).
+#[inline(always)]
+fn write_spinor_lanes<R: LaneReal>(chunk: &mut [R], v: &CvSpinor<R>) {
+    for sp in 0..4 {
+        for c in 0..NC {
+            let cv = &v.s[sp].c[c];
+            chunk[spinor_comp(sp, c, 0) * LANES..spinor_comp(sp, c, 0) * LANES + LANES]
+                .copy_from_slice(&cv.re);
+            chunk[spinor_comp(sp, c, 1) * LANES..spinor_comp(sp, c, 1) * LANES + LANES]
+                .copy_from_slice(&cv.im);
+        }
+    }
+}
+
+/// Gauge links in blocked SoA form: per block, the four directions'
+/// matrices with component-outermost, lane-innermost storage.
+#[derive(Clone, Debug)]
+pub struct SoaGaugeField<R> {
+    volume: usize,
+    data: Vec<R>,
+}
+
+#[inline(always)]
+fn link_comp(i: usize, j: usize, reim: usize) -> usize {
+    (i * NC + j) * 2 + reim
+}
+
+impl<R: LaneReal> SoaGaugeField<R> {
+    /// Transpose any [`GaugeLinks`] storage into blocked SoA form. Lattice
+    /// volumes are products of four even extents, hence always a multiple of
+    /// [`LANES`].
+    pub fn from_links<G: GaugeLinks<R>>(gauge: &G) -> Self {
+        let volume = gauge.volume();
+        assert_eq!(
+            volume % LANES,
+            0,
+            "volume must be a multiple of the lane width"
+        );
+        let blen = ND * LINK_REALS * LANES;
+        let mut data = vec![R::ZERO; (volume / LANES) * blen];
+        rayon::for_each_chunk_mut(&mut data, blen, |base, chunk| {
+            let b = base / blen;
+            for mu in 0..ND {
+                let m = &mut chunk[mu * LINK_REALS * LANES..(mu + 1) * LINK_REALS * LANES];
+                for l in 0..LANES {
+                    let u = gauge.link(b * LANES + l, mu);
+                    for i in 0..NC {
+                        for j in 0..NC {
+                            m[link_comp(i, j, 0) * LANES + l] = u.m[i][j].re;
+                            m[link_comp(i, j, 1) * LANES + l] = u.m[i][j].im;
+                        }
+                    }
+                }
+            }
+        });
+        Self { volume, data }
+    }
+
+    /// Scalar link read-back (validation, sharded gathers).
+    #[inline]
+    pub fn link_at(&self, site: usize, mu: usize) -> Su3<R> {
+        let (b, l) = (site / LANES, site % LANES);
+        let base = (b * ND + mu) * LINK_REALS * LANES;
+        let mut u = Su3::zero();
+        for i in 0..NC {
+            for j in 0..NC {
+                u.m[i][j] = Complex::new(
+                    self.data[base + link_comp(i, j, 0) * LANES + l],
+                    self.data[base + link_comp(i, j, 1) * LANES + l],
+                );
+            }
+        }
+        u
+    }
+
+    /// Load the direction-`mu` links of a whole aligned block.
+    #[inline(always)]
+    pub fn load_block(&self, b: usize, mu: usize) -> CvSu3<R> {
+        let base = (b * ND + mu) * LINK_REALS * LANES;
+        let d = &self.data[base..base + LINK_REALS * LANES];
+        CvSu3 {
+            m: std::array::from_fn(|i| {
+                std::array::from_fn(|j| CVec {
+                    re: std::array::from_fn(|l| d[link_comp(i, j, 0) * LANES + l]),
+                    im: std::array::from_fn(|l| d[link_comp(i, j, 1) * LANES + l]),
+                })
+            }),
+        }
+    }
+
+    /// Gather one direction-`mu` link per lane from arbitrary sites.
+    #[inline(always)]
+    pub fn gather(&self, idx: [usize; LANES], mu: usize) -> CvSu3<R> {
+        CvSu3 {
+            m: std::array::from_fn(|i| {
+                std::array::from_fn(|j| {
+                    CVec::gather(|l| {
+                        let (b, lane) = (idx[l] / LANES, idx[l] % LANES);
+                        let base = (b * ND + mu) * LINK_REALS * LANES;
+                        Complex::new(
+                            self.data[base + link_comp(i, j, 0) * LANES + lane],
+                            self.data[base + link_comp(i, j, 1) * LANES + lane],
+                        )
+                    })
+                })
+            }),
+        }
+    }
+}
+
+impl<R: LaneReal> GaugeLinks<R> for SoaGaugeField<R> {
+    #[inline(always)]
+    fn link(&self, site: usize, mu: usize) -> Su3<R> {
+        self.link_at(site, mu)
+    }
+    fn volume(&self) -> usize {
+        self.volume
+    }
+}
+
+/// Full-volume Wilson hop over the SoA layout, [`LANES`] sites at a time,
+/// with the diagonal algebra fused into the single output write:
+/// `out = inp·a − hop·b` when `diag = Some((a, b))`, else `out = hop`.
+///
+/// Per lane this evaluates exactly the operation chain of
+/// [`crate::dirac::hop_site`] (same projections, same accumulation order,
+/// links loaded from the same values) followed by the scalar fused write, so
+/// each site's result is bit-identical to the AoS path.
+///
+/// # Panics
+/// If the x-extent is not a multiple of [`LANES`] (blocks must not straddle
+/// x-lines so the temporal wrap sign is block-uniform).
+pub fn hop_full_soa<R: LaneReal>(
+    lattice: &Lattice,
+    gauge: &SoaGaugeField<R>,
+    out: &mut SoaSpinorField<R>,
+    inp: &SoaSpinorField<R>,
+    antiperiodic_t: bool,
+    grain: usize,
+    diag: Option<(R, R)>,
+) {
+    let v = lattice.volume();
+    assert_eq!(inp.len(), v);
+    assert_eq!(out.len(), v);
+    assert_eq!(
+        lattice.dims()[0] % LANES,
+        0,
+        "SoA hop requires the x-extent to be a multiple of the lane width"
+    );
+    let blen = SPINOR_REALS * LANES;
+    let gblocks = (grain.max(1)).div_ceil(LANES);
+    rayon::for_each_chunk_mut(out.data_mut(), gblocks * blen, |base, chunk| {
+        for (k, oblk) in chunk.chunks_exact_mut(blen).enumerate() {
+            let b = base / blen + k;
+            let mut r = hop_block(lattice, gauge, inp, antiperiodic_t, b);
+            if let Some((a, bb)) = diag {
+                r = inp.load_block(b).scale(a) - r.scale(bb);
+            }
+            write_spinor_lanes(oblk, &r);
+        }
+    });
+}
+
+/// The lane-parallel body of [`hop_full_soa`] for one site block.
+#[inline]
+fn hop_block<R: LaneReal>(
+    lattice: &Lattice,
+    gauge: &SoaGaugeField<R>,
+    inp: &SoaSpinorField<R>,
+    antiperiodic_t: bool,
+    b: usize,
+) -> CvSpinor<R> {
+    // Per-lane neighbor indices. Within an x-line block, the y/z/t neighbors
+    // of the lanes are again consecutive sites, but the general gather keeps
+    // the kernel correct for every direction including the x funnel.
+    let nbs: [&crate::lattice::Neighbors; LANES] =
+        std::array::from_fn(|l| lattice.neighbors(b * LANES + l));
+    let mut r = CvSpinor::zero();
+    for mu in 0..ND {
+        let g = &GAMMAS[mu];
+        let (p0, p1, p2, p3) = (g.perm[0], g.perm[1], g.perm[2], g.perm[3]);
+        let phi0 = CVec::splat(g.phase[0].cast::<R>());
+        let phi1 = CVec::splat(g.phase[1].cast::<R>());
+        let phi2 = CVec::splat(g.phase[2].cast::<R>());
+        let phi3 = CVec::splat(g.phase[3].cast::<R>());
+
+        // Forward hop: (1 − γμ) Uμ(x) ψ(x+μ̂).
+        {
+            let fwd_idx: [usize; LANES] = std::array::from_fn(|l| nbs[l].fwd[mu] as usize);
+            // The t-wrap is uniform across an x-line block (all lanes share
+            // y, z, t), so lane 0's wrap bit speaks for the whole block.
+            // Only t matters: x-direction wraps *do* differ across lanes,
+            // but no other direction carries the antiperiodic sign.
+            let flip = antiperiodic_t && mu == 3 && (nbs[0].fwd_wrap >> mu) & 1 == 1;
+            debug_assert!(
+                mu != 3
+                    || (0..LANES).all(|l| ((nbs[l].fwd_wrap >> mu) & 1 == 1)
+                        == ((nbs[0].fwd_wrap >> mu) & 1 == 1))
+            );
+            let psi = inp.gather(fwd_idx);
+            let u = gauge.load_block(b, mu);
+            let h0 = psi.s[0] - psi.s[p0].scale_c(phi0);
+            let h1 = psi.s[1] - psi.s[p1].scale_c(phi1);
+            let mut t = [u.mul_vec(&h0), u.mul_vec(&h1)];
+            if flip {
+                t[0] = -t[0];
+                t[1] = -t[1];
+            }
+            r.s[0] = r.s[0] + t[0];
+            r.s[1] = r.s[1] + t[1];
+            r.s[2] = r.s[2] + (-t[p2].scale_c(phi2));
+            r.s[3] = r.s[3] + (-t[p3].scale_c(phi3));
+        }
+
+        // Backward hop: (1 + γμ) U†μ(x−μ̂) ψ(x−μ̂).
+        {
+            let bwd_idx: [usize; LANES] = std::array::from_fn(|l| nbs[l].bwd[mu] as usize);
+            let flip = antiperiodic_t && mu == 3 && (nbs[0].bwd_wrap >> mu) & 1 == 1;
+            debug_assert!(
+                mu != 3
+                    || (0..LANES).all(|l| ((nbs[l].bwd_wrap >> mu) & 1 == 1)
+                        == ((nbs[0].bwd_wrap >> mu) & 1 == 1))
+            );
+            let psi = inp.gather(bwd_idx);
+            let u = gauge.gather(bwd_idx, mu);
+            let h0 = psi.s[0] + psi.s[p0].scale_c(phi0);
+            let h1 = psi.s[1] + psi.s[p1].scale_c(phi1);
+            let mut t = [u.dagger_mul_vec(&h0), u.dagger_mul_vec(&h1)];
+            if flip {
+                t[0] = -t[0];
+                t[1] = -t[1];
+            }
+            r.s[0] = r.s[0] + t[0];
+            r.s[1] = r.s[1] + t[1];
+            r.s[2] = r.s[2] + t[p2].scale_c(phi2);
+            r.s[3] = r.s[3] + t[p3].scale_c(phi3);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{FermionField, GaugeField};
+
+    #[test]
+    fn spinor_round_trip_is_exact() {
+        for len in [1usize, 3, 4, 17, 64] {
+            let aos = FermionField::<f64>::gaussian(len, 41).data;
+            let soa = SoaSpinorField::from_aos(&aos);
+            assert_eq!(soa.to_aos(), aos, "len {len}");
+            for (i, s) in aos.iter().enumerate() {
+                assert_eq!(&soa.get(i), s, "len {len} site {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn spinor_set_matches_from_aos() {
+        let aos = FermionField::<f32>::gaussian(10, 5).data;
+        let mut soa = SoaSpinorField::zeros(10);
+        for (i, s) in aos.iter().enumerate() {
+            soa.set(i, s);
+        }
+        assert_eq!(soa.to_aos(), aos);
+    }
+
+    #[test]
+    fn gauge_round_trip_is_exact() {
+        let lat = Lattice::new([4, 4, 2, 2]);
+        let gauge = GaugeField::<f64>::hot(&lat, 7);
+        let soa = SoaGaugeField::from_links(&gauge);
+        for site in 0..lat.volume() {
+            for mu in 0..ND {
+                assert_eq!(soa.link_at(site, mu), gauge.link(site, mu));
+            }
+        }
+    }
+
+    #[test]
+    fn soa_hop_is_bit_identical_to_aos() {
+        use crate::dirac::HoppingKernel;
+        let lat = Lattice::new([4, 4, 2, 6]);
+        let gauge = GaugeField::<f64>::hot(&lat, 19);
+        let psi = FermionField::<f64>::gaussian(lat.volume(), 20).data;
+        for apbc in [false, true] {
+            let hop = HoppingKernel::new(&lat, &gauge, apbc);
+            let mut aos_out = vec![Spinor::zero(); lat.volume()];
+            hop.apply_full(&mut aos_out, &psi, 64);
+
+            let sg = SoaGaugeField::from_links(&gauge);
+            let sp = SoaSpinorField::from_aos(&psi);
+            let mut soa_out = SoaSpinorField::zeros(lat.volume());
+            hop_full_soa(&lat, &sg, &mut soa_out, &sp, apbc, 64, None);
+            assert_eq!(soa_out.to_aos(), aos_out, "apbc={apbc}");
+        }
+    }
+
+    proptest::proptest! {
+        /// Random lengths (including non-multiple-of-LANES tails) and
+        /// seeds: AoS → SoA → AoS is exact in f64, both via `to_aos` and
+        /// via per-site `get`.
+        #[test]
+        fn aos_soa_round_trip_is_exact_f64(len in 1usize..=130, seed in 0u64..=1_000_000) {
+            let aos = FermionField::<f64>::gaussian(len, seed).data;
+            let soa = SoaSpinorField::from_aos(&aos);
+            proptest::prop_assert_eq!(soa.to_aos(), aos.clone());
+            for (i, s) in aos.iter().enumerate() {
+                proptest::prop_assert_eq!(&soa.get(i), s);
+            }
+        }
+
+        /// Same round-trip in f32, driving the `set`/`store_to_aos` pair.
+        #[test]
+        fn aos_soa_round_trip_is_exact_f32(len in 1usize..=130, seed in 0u64..=1_000_000) {
+            let aos = FermionField::<f32>::gaussian(len, seed).data;
+            let mut soa = SoaSpinorField::zeros(len);
+            for (i, s) in aos.iter().enumerate() {
+                soa.set(i, s);
+            }
+            let mut back = vec![Spinor::zero(); len];
+            soa.store_to_aos(&mut back);
+            proptest::prop_assert_eq!(back, aos);
+        }
+    }
+
+    #[test]
+    fn soa_hop_fused_diag_matches_scalar_chain() {
+        use crate::dirac::HoppingKernel;
+        let lat = Lattice::new([4, 4, 2, 4]);
+        let gauge = GaugeField::<f64>::hot(&lat, 23);
+        let psi = FermionField::<f64>::gaussian(lat.volume(), 24).data;
+        let hop = HoppingKernel::new(&lat, &gauge, true);
+        let (a, bb) = (4.1f64, 0.5f64);
+        let mut expect = vec![Spinor::zero(); lat.volume()];
+        hop.apply_full(&mut expect, &psi, 64);
+        for (o, i) in expect.iter_mut().zip(&psi) {
+            *o = i.scale(a) - o.scale(bb);
+        }
+
+        let sg = SoaGaugeField::from_links(&gauge);
+        let sp = SoaSpinorField::from_aos(&psi);
+        let mut out = SoaSpinorField::zeros(lat.volume());
+        hop_full_soa(&lat, &sg, &mut out, &sp, true, 128, Some((a, bb)));
+        assert_eq!(out.to_aos(), expect);
+    }
+}

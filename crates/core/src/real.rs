@@ -46,6 +46,41 @@ pub trait Real:
     fn abs(self) -> Self;
     /// Fused multiply-add `self * a + b`.
     fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Sine (used by the 8-real gauge reconstruction's phase decode).
+    fn sin(self) -> Self;
+    /// Cosine (used by the 8-real gauge reconstruction's phase decode).
+    fn cos(self) -> Self;
+    /// Four-quadrant arctangent `atan2(self, x)` (phase extraction in the
+    /// 8-real gauge compression encode).
+    fn atan2(self, x: Self) -> Self;
+
+    // Fixed-width 4-lane elementwise primitives (width = [`crate::simd::LANES`]).
+    // Portable autovectorizable loops: at the baseline ISA they compile to
+    // 128-bit vectors, and inside the `arch-simd` AVX2-recompiled kernel
+    // twins (see [`crate::simd`]) the same loops fill 256-bit registers.
+    // Either codegen performs the same elementwise IEEE operation (no FMA),
+    // so results are bit-identical whichever path runs.
+
+    /// Elementwise `a + b` over one lane group.
+    #[inline(always)]
+    fn l4_add(a: [Self; 4], b: [Self; 4]) -> [Self; 4] {
+        std::array::from_fn(|i| a[i] + b[i])
+    }
+    /// Elementwise `a - b` over one lane group.
+    #[inline(always)]
+    fn l4_sub(a: [Self; 4], b: [Self; 4]) -> [Self; 4] {
+        std::array::from_fn(|i| a[i] - b[i])
+    }
+    /// Elementwise `a * b` over one lane group.
+    #[inline(always)]
+    fn l4_mul(a: [Self; 4], b: [Self; 4]) -> [Self; 4] {
+        std::array::from_fn(|i| a[i] * b[i])
+    }
+    /// Elementwise `-a` over one lane group.
+    #[inline(always)]
+    fn l4_neg(a: [Self; 4]) -> [Self; 4] {
+        std::array::from_fn(|i| -a[i])
+    }
 }
 
 impl Real for f64 {
@@ -73,6 +108,18 @@ impl Real for f64 {
     fn mul_add(self, a: Self, b: Self) -> Self {
         f64::mul_add(self, a, b)
     }
+    #[inline(always)]
+    fn sin(self) -> Self {
+        f64::sin(self)
+    }
+    #[inline(always)]
+    fn cos(self) -> Self {
+        f64::cos(self)
+    }
+    #[inline(always)]
+    fn atan2(self, x: Self) -> Self {
+        f64::atan2(self, x)
+    }
 }
 
 impl Real for f32 {
@@ -99,6 +146,18 @@ impl Real for f32 {
     #[inline(always)]
     fn mul_add(self, a: Self, b: Self) -> Self {
         f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn sin(self) -> Self {
+        f32::sin(self)
+    }
+    #[inline(always)]
+    fn cos(self) -> Self {
+        f32::cos(self)
+    }
+    #[inline(always)]
+    fn atan2(self, x: Self) -> Self {
+        f32::atan2(self, x)
     }
 }
 
