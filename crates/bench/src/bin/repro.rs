@@ -38,15 +38,20 @@
 //!             (--quick for CI smoke, --check-schema FILE to verify a
 //!             committed deflation.csv still has this build's columns)
 //!   lint      workspace static analysis (determinism/safety/layering
-//!             rules R1-R5; --check gates on the committed
+//!             rules R1-R6; --check gates on the committed
 //!             lint-baseline.json, --update-baseline regenerates it)
+//!   verify    concurrency verification: exhaustive schedule exploration
+//!             of the bounded protocol models (mailbox dedup, NACK
+//!             retransmit, checkpoint rotation) plus seeded-defect twins;
+//!             --check gates on results/verify.{json,md} and the
+//!             committed traces, --trace FILE replays one schedule
 //!   all       everything above except bench, comms, chaos, and deflation
 //!             (timings are machine-specific)
 //! ```
 
 use bench::experiments::{
     ablation, chaos, comms, deflation, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics,
-    pipeline, tables,
+    pipeline, tables, verify,
 };
 use bench::output::ExperimentOutput;
 
@@ -56,6 +61,10 @@ fn main() {
     // generic experiment machinery.
     if args.first().map(String::as_str) == Some("lint") {
         std::process::exit(lint::run_lint(&args[1..]));
+    }
+    // So does `verify`: its exit code is the verification verdict.
+    if args.first().map(String::as_str) == Some("verify") {
+        std::process::exit(verify::run_verify(&args[1..]));
     }
     let mut experiment = None;
     let mut results_dir = "results".to_string();

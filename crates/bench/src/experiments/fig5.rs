@@ -36,7 +36,8 @@ pub fn run_fig5(out: &ExperimentOutput) -> Vec<(MpiFlavor, Vec<WeakScalingPoint>
                 3,
                 flavor,
                 11 + groups as u64,
-            );
+            )
+            .expect("16-GPU groups decompose 48^3x64");
             series.push(p);
         }
         all.push((flavor, series));
@@ -92,7 +93,8 @@ pub fn run_fig6(out: &ExperimentOutput) -> Vec<WeakScalingPoint> {
             3,
             MpiFlavor::SpectrumMetaq,
             23 + groups as u64,
-        );
+        )
+        .expect("16-GPU groups decompose 64^3x96");
         series.push(p);
     }
     let rows: Vec<Vec<String>> = series

@@ -14,3 +14,4 @@ pub mod lint;
 pub mod metrics;
 pub mod pipeline;
 pub mod tables;
+pub mod verify;

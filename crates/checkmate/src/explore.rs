@@ -1,0 +1,539 @@
+//! Deterministic bounded schedule exploration.
+//!
+//! A [`System`] is a set of cooperative tasks over shared modeled objects;
+//! each `step` is one atomic transition. [`Explorer::explore`] enumerates
+//! interleavings by stateless depth-first search: every schedule re-executes
+//! a fresh system from scratch following the decision prefix on the DFS
+//! stack, so the harness needs no state snapshotting and any schedule is
+//! trivially replayable from its decision list alone.
+//!
+//! Two classic reductions keep the tree tractable:
+//!
+//! - **Sleep sets** (Flanagan–Godefroid): after exploring task `a` from a
+//!   state, sibling branches put `a` to sleep; it wakes only when a
+//!   dependent step (footprint intersection) executes. This prunes
+//!   Mazurkiewicz-equivalent interleavings without losing safety
+//!   violations.
+//! - **Preemption bound** (CHESS): optionally cap the number of times the
+//!   scheduler switches away from a task that could have continued.
+//!   Unbounded (`None`) exploration is exhaustive; bounded exploration is a
+//!   systematic smoke pass for larger configurations.
+//!
+//! Dependence comes from [`Footprint`]s: `peek` reports the object ids the
+//! next step would read/write. Footprints must *over*-approximate — extra
+//! ids only cost pruning power, while a missing id could prune a real
+//! interleaving. Steps that change another task's enabledness must conflict
+//! with that task's footprint (model the guard object as read by the
+//! blocked task and written by the unblocking step).
+
+/// Object ids read and written by one prospective step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    pub reads: Vec<u64>,
+    pub writes: Vec<u64>,
+}
+
+impl Footprint {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: the step reads object `id`.
+    #[must_use]
+    pub fn read(mut self, id: u64) -> Self {
+        self.reads.push(id);
+        self
+    }
+
+    /// Builder: the step writes object `id`.
+    #[must_use]
+    pub fn write(mut self, id: u64) -> Self {
+        self.writes.push(id);
+        self
+    }
+
+    /// Two steps are independent when neither writes anything the other
+    /// touches — they commute and cannot enable/disable each other.
+    pub fn independent(&self, other: &Footprint) -> bool {
+        let collides = |writes: &[u64], fp: &Footprint| {
+            writes
+                .iter()
+                .any(|w| fp.writes.contains(w) || fp.reads.contains(w))
+        };
+        !collides(&self.writes, other) && !collides(&other.writes, self)
+    }
+}
+
+/// A concurrent protocol modeled as cooperative tasks with atomic steps.
+///
+/// Task indices are `0..n_tasks()` and must keep a fixed meaning for the
+/// lifetime of the system (traces serialize indices). A fresh system built
+/// by the same constructor must behave identically — exploration re-runs
+/// the constructor once per schedule.
+pub trait System {
+    fn n_tasks(&self) -> usize;
+
+    /// Human-readable task name for reports and violation messages.
+    fn task_name(&self, task: usize) -> String;
+
+    /// A done task has finished its program and takes no further steps.
+    fn done(&self, task: usize) -> bool;
+
+    /// An enabled task can step now; not-enabled and not-done means blocked
+    /// (e.g. waiting on a modeled mutex or an empty channel).
+    fn enabled(&self, task: usize) -> bool;
+
+    /// Shared objects the next `step(task)` would touch. Must be
+    /// side-effect free and must over-approximate (see module docs).
+    fn peek(&self, task: usize) -> Footprint;
+
+    /// Execute one atomic step of `task`. Only called when enabled.
+    fn step(&mut self, task: usize);
+
+    /// Safety property over the current state, checked after every step.
+    fn check(&self) -> Result<(), String>;
+
+    /// Property over a terminal state (every task done).
+    fn check_final(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A failing schedule: the decision list that reproduces it plus the
+/// property (or deadlock) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Task index chosen at each step, in order.
+    pub schedule: Vec<usize>,
+    pub message: String,
+}
+
+/// Outcome of one exploration run.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    pub config: String,
+    /// Schedules executed (including the violating one, if any).
+    pub schedules: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+    /// Longest schedule seen, in steps.
+    pub max_depth: usize,
+    /// True when the reduced interleaving space was fully enumerated (no
+    /// cap hit, no violation cut the search short).
+    pub complete: bool,
+    pub violation: Option<Violation>,
+}
+
+impl Exploration {
+    /// Exhaustively verified: every (sleep-set-reduced) interleaving ran
+    /// and none violated a property.
+    pub fn verified(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+/// DFS stack node: one scheduling decision point.
+struct Node {
+    /// Task currently being explored from this state.
+    chosen: usize,
+    /// Footprint `chosen` had at this state (captured at execution).
+    chosen_fp: Footprint,
+    /// Candidate siblings not yet explored.
+    pending: Vec<usize>,
+    /// Tasks asleep on arrival at this state, with the footprints they had
+    /// when put to sleep.
+    sleep: Vec<(usize, Footprint)>,
+    /// Siblings fully explored from this state (they sleep in later ones).
+    explored: Vec<(usize, Footprint)>,
+}
+
+enum ScheduleEnd {
+    /// All tasks done, final check passed.
+    Completed,
+    /// Every enabled task was asleep: subtree covered elsewhere.
+    Pruned,
+    Violated(String),
+}
+
+/// Schedule enumeration parameters.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Max scheduler switches away from a runnable task per schedule;
+    /// `None` explores the full (sleep-set-reduced) space.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on schedules executed; hitting it marks the exploration
+    /// incomplete rather than wedging CI.
+    pub max_schedules: u64,
+    /// Steps per schedule before declaring a livelock violation.
+    pub max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            max_schedules: 2_000_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// Enumerate interleavings of fresh systems built by `new_sys`,
+    /// stopping at the first violation.
+    pub fn explore<S: System>(&self, config: &str, mut new_sys: impl FnMut() -> S) -> Exploration {
+        let mut out = Exploration {
+            config: config.to_string(),
+            schedules: 0,
+            steps: 0,
+            max_depth: 0,
+            complete: true,
+            violation: None,
+        };
+        let mut stack: Vec<Node> = Vec::new();
+        'schedules: loop {
+            if out.schedules >= self.max_schedules {
+                out.complete = false;
+                break;
+            }
+            out.schedules += 1;
+            let mut sys = new_sys();
+            let mut cur_sleep: Vec<(usize, Footprint)> = Vec::new();
+            let mut preemptions = 0usize;
+            let mut last: Option<usize> = None;
+            let mut depth = 0usize;
+            // Replay the stack prefix, then extend at the frontier until the
+            // schedule terminates.
+            let end = loop {
+                if depth >= self.max_steps {
+                    break ScheduleEnd::Violated(format!(
+                        "schedule exceeded max_steps = {} (livelock?)",
+                        self.max_steps
+                    ));
+                }
+                if depth == stack.len() {
+                    match self.open_node(&sys, &cur_sleep, preemptions, last) {
+                        Frontier::Terminal(end) => break end,
+                        Frontier::Node(node) => stack.push(node),
+                    }
+                }
+                let node = &mut stack[depth];
+                let task = node.chosen;
+                let fp = sys.peek(task);
+                // Sleepers stay asleep across independent steps only.
+                let mut next_sleep = Vec::new();
+                for (s, sfp) in node.sleep.iter().chain(node.explored.iter()) {
+                    if *s != task && sfp.independent(&fp) {
+                        next_sleep.push((*s, sfp.clone()));
+                    }
+                }
+                node.chosen_fp = fp;
+                if let Some(l) = last {
+                    if l != task && !sys.done(l) && sys.enabled(l) {
+                        preemptions += 1;
+                    }
+                }
+                sys.step(task);
+                out.steps += 1;
+                cur_sleep = next_sleep;
+                last = Some(task);
+                depth += 1;
+                out.max_depth = out.max_depth.max(depth);
+                if let Err(msg) = sys.check() {
+                    break ScheduleEnd::Violated(format!(
+                        "property failed after a step of {}: {msg}",
+                        sys.task_name(task)
+                    ));
+                }
+            };
+            match end {
+                ScheduleEnd::Violated(message) => {
+                    let schedule = stack[..depth].iter().map(|n| n.chosen).collect();
+                    out.violation = Some(Violation { schedule, message });
+                    out.complete = false;
+                    break 'schedules;
+                }
+                ScheduleEnd::Completed | ScheduleEnd::Pruned => {}
+            }
+            // Backtrack to the deepest decision with an unexplored sibling.
+            loop {
+                let Some(top) = stack.last_mut() else {
+                    break 'schedules;
+                };
+                if let Some(next) = top.pending.pop() {
+                    let fp = std::mem::take(&mut top.chosen_fp);
+                    top.explored.push((top.chosen, fp));
+                    top.chosen = next;
+                    break;
+                }
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Build the decision node for a frontier state, or classify the state
+    /// as terminal.
+    fn open_node<S: System>(
+        &self,
+        sys: &S,
+        cur_sleep: &[(usize, Footprint)],
+        preemptions: usize,
+        last: Option<usize>,
+    ) -> Frontier {
+        let n = sys.n_tasks();
+        let enabled: Vec<usize> = (0..n).filter(|&t| !sys.done(t) && sys.enabled(t)).collect();
+        if enabled.is_empty() {
+            if (0..n).all(|t| sys.done(t)) {
+                return Frontier::Terminal(match sys.check_final() {
+                    Ok(()) => ScheduleEnd::Completed,
+                    Err(msg) => {
+                        ScheduleEnd::Violated(format!("final-state property failed: {msg}"))
+                    }
+                });
+            }
+            let blocked: Vec<String> = (0..n)
+                .filter(|&t| !sys.done(t))
+                .map(|t| sys.task_name(t))
+                .collect();
+            return Frontier::Terminal(ScheduleEnd::Violated(format!(
+                "deadlock: blocked tasks [{}]",
+                blocked.join(", ")
+            )));
+        }
+        let mut cands: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !cur_sleep.iter().any(|(s, _)| s == t))
+            .collect();
+        if cands.is_empty() {
+            // Every enabled task sleeps: every continuation from here is
+            // equivalent to a schedule reached down another branch.
+            return Frontier::Terminal(ScheduleEnd::Pruned);
+        }
+        if let Some(bound) = self.preemption_bound {
+            // Out of preemption budget: if the running task could continue,
+            // it must (a switch away from a blocked task is free).
+            if preemptions >= bound {
+                if let Some(l) = last {
+                    if !sys.done(l) && sys.enabled(l) && cands.contains(&l) {
+                        cands = vec![l];
+                    }
+                }
+            }
+        }
+        // Explore the non-preempting continuation first so the baseline
+        // schedule is the cheapest one.
+        if let Some(l) = last {
+            if let Some(pos) = cands.iter().position(|&c| c == l) {
+                cands.remove(pos);
+                cands.insert(0, l);
+            }
+        }
+        let chosen = cands[0];
+        let pending = cands[1..].to_vec();
+        Frontier::Node(Node {
+            chosen,
+            chosen_fp: Footprint::new(),
+            pending,
+            sleep: cur_sleep.to_vec(),
+            explored: Vec::new(),
+        })
+    }
+}
+
+enum Frontier {
+    Node(Node),
+    Terminal(ScheduleEnd),
+}
+
+/// Re-execute a serialized schedule against a fresh system, reporting the
+/// violation it reproduces (or `Ok` if the schedule runs clean).
+///
+/// Diverging traces — a decision for a task that is done or blocked at
+/// that point — are reported as violations too, so a stale trace fails
+/// loudly instead of silently passing.
+pub fn replay<S: System>(sys: &mut S, schedule: &[usize]) -> Result<(), Violation> {
+    for (i, &task) in schedule.iter().enumerate() {
+        if task >= sys.n_tasks() || sys.done(task) || !sys.enabled(task) {
+            return Err(Violation {
+                schedule: schedule[..=i].to_vec(),
+                message: format!("trace diverged: task {task} not runnable at step {i}"),
+            });
+        }
+        sys.step(task);
+        if let Err(msg) = sys.check() {
+            return Err(Violation {
+                schedule: schedule[..=i].to_vec(),
+                message: format!(
+                    "property failed after a step of {}: {msg}",
+                    sys.task_name(task)
+                ),
+            });
+        }
+    }
+    if (0..sys.n_tasks()).all(|t| sys.done(t)) {
+        if let Err(msg) = sys.check_final() {
+            return Err(Violation {
+                schedule: schedule.to_vec(),
+                message: format!("final-state property failed: {msg}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_independence() {
+        let a = Footprint::new().write(1).read(2);
+        let b = Footprint::new().read(3).write(4);
+        assert!(a.independent(&b));
+        let c = Footprint::new().read(1);
+        assert!(!a.independent(&c), "read of 1 conflicts with write of 1");
+        let d = Footprint::new().write(2);
+        assert!(!a.independent(&d), "write of 2 conflicts with read of 2");
+        let reads_only_a = Footprint::new().read(7);
+        let reads_only_b = Footprint::new().read(7);
+        assert!(reads_only_a.independent(&reads_only_b), "readers commute");
+    }
+
+    /// Two tasks, each takes `len` steps touching only its own object:
+    /// fully independent, so sleep sets collapse the space to one schedule.
+    struct Independent {
+        pc: [usize; 2],
+        len: usize,
+    }
+
+    impl System for Independent {
+        fn n_tasks(&self) -> usize {
+            2
+        }
+        fn task_name(&self, t: usize) -> String {
+            format!("t{t}")
+        }
+        fn done(&self, t: usize) -> bool {
+            self.pc[t] >= self.len
+        }
+        fn enabled(&self, t: usize) -> bool {
+            !self.done(t)
+        }
+        fn peek(&self, t: usize) -> Footprint {
+            Footprint::new().write(t as u64 + 1)
+        }
+        fn step(&mut self, t: usize) {
+            self.pc[t] += 1;
+        }
+        fn check(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sleep_sets_collapse_independent_tasks() {
+        let ex = Explorer::default();
+        let run = ex.explore("independent", || Independent { pc: [0, 0], len: 3 });
+        assert!(run.verified());
+        // Without reduction this space has C(6,3) = 20 interleavings; sleep
+        // sets cut each branch to a short pruned stub, leaving one complete
+        // schedule plus one stub per decision point (3).
+        assert_eq!(run.schedules, 4, "independent steps must be pruned");
+        assert_eq!(run.steps, 18);
+    }
+
+    /// Same shape but both tasks write one shared object: no pruning
+    /// applies and all C(2n, n) interleavings must be visited.
+    struct Conflicting {
+        pc: [usize; 2],
+        len: usize,
+    }
+
+    impl System for Conflicting {
+        fn n_tasks(&self) -> usize {
+            2
+        }
+        fn task_name(&self, t: usize) -> String {
+            format!("t{t}")
+        }
+        fn done(&self, t: usize) -> bool {
+            self.pc[t] >= self.len
+        }
+        fn enabled(&self, t: usize) -> bool {
+            !self.done(t)
+        }
+        fn peek(&self, _t: usize) -> Footprint {
+            Footprint::new().write(1)
+        }
+        fn step(&mut self, t: usize) {
+            self.pc[t] += 1;
+        }
+        fn check(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn conflicting_tasks_visit_all_interleavings() {
+        let ex = Explorer::default();
+        let run = ex.explore("conflicting", || Conflicting { pc: [0, 0], len: 3 });
+        assert!(run.verified());
+        assert_eq!(run.schedules, 20, "C(6,3) interleavings of dependent steps");
+    }
+
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        let unbounded = Explorer::default().explore("c", || Conflicting { pc: [0, 0], len: 3 });
+        let bounded = Explorer {
+            preemption_bound: Some(1),
+            ..Explorer::default()
+        }
+        .explore("c", || Conflicting { pc: [0, 0], len: 3 });
+        assert!(bounded.schedules < unbounded.schedules);
+        assert!(bounded.violation.is_none());
+    }
+
+    /// A task blocked forever behind a guard nobody sets.
+    struct Stuck;
+
+    impl System for Stuck {
+        fn n_tasks(&self) -> usize {
+            1
+        }
+        fn task_name(&self, _t: usize) -> String {
+            "waiter".into()
+        }
+        fn done(&self, _t: usize) -> bool {
+            false
+        }
+        fn enabled(&self, _t: usize) -> bool {
+            false
+        }
+        fn peek(&self, _t: usize) -> Footprint {
+            Footprint::new()
+        }
+        fn step(&mut self, _t: usize) {}
+        fn check(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deadlock_is_a_violation() {
+        let run = Explorer::default().explore("stuck", || Stuck);
+        let v = run.violation.expect("deadlock must be reported");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+        assert!(v.schedule.is_empty());
+    }
+
+    #[test]
+    fn replay_reproduces_and_divergence_fails() {
+        let mut sys = Conflicting { pc: [0, 0], len: 1 };
+        assert!(replay(&mut sys, &[0, 1]).is_ok());
+        let mut sys = Conflicting { pc: [0, 0], len: 1 };
+        let err = replay(&mut sys, &[0, 0]).expect_err("task 0 done after one step");
+        assert!(err.message.contains("diverged"), "{}", err.message);
+    }
+}

@@ -1,0 +1,196 @@
+//! Modeled shared objects for [`crate::explore::System`] adapters.
+//!
+//! These stand in for the real `std`/vendored primitives inside the shadow
+//! execution: a FIFO channel, a mutex, and a plain register, each carrying
+//! a stable FNV-derived object id for [`crate::Footprint`] reporting. The
+//! adapters in [`crate::protocols`] compose them into the protocol cores.
+
+use std::collections::VecDeque;
+
+use crate::fnv1a_64;
+
+/// Stable object id for footprints, derived from a name.
+pub fn obj_id(name: &str) -> u64 {
+    fnv1a_64(name.as_bytes())
+}
+
+/// FIFO channel standing in for `std::sync::mpsc` / the crossbeam shim.
+///
+/// Unlike the real channel the queue is inspectable and mutable in place —
+/// fault adversaries (duplicate / corrupt / drop / reorder) are modeled as
+/// scheduled tasks editing the queue, so every fault timing is just another
+/// interleaving for the explorer to enumerate.
+#[derive(Debug, Clone)]
+pub struct ChanM<T> {
+    id: u64,
+    queue: VecDeque<T>,
+}
+
+impl<T> ChanM<T> {
+    pub fn new(name: &str) -> Self {
+        Self {
+            id: obj_id(name),
+            queue: VecDeque::new(),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn send(&mut self, value: T) {
+        self.queue.push_back(value);
+    }
+
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    pub fn front(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.queue.front_mut()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<T: Clone> ChanM<T> {
+    /// Duplicate the head frame in place (models duplicate delivery).
+    pub fn duplicate_front(&mut self) {
+        if let Some(front) = self.queue.front().cloned() {
+            self.queue.push_front(front);
+        }
+    }
+}
+
+/// Mutex modeled as an ownable token; blocking is expressed through
+/// `System::enabled`, not by spinning.
+#[derive(Debug, Clone)]
+pub struct MutexM {
+    id: u64,
+    holder: Option<usize>,
+}
+
+impl MutexM {
+    pub fn new(name: &str) -> Self {
+        Self {
+            id: obj_id(name),
+            holder: None,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn is_free(&self) -> bool {
+        self.holder.is_none()
+    }
+
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+
+    /// Acquire for `task`. Callers must gate on `is_free` via `enabled`;
+    /// acquiring a held mutex is a model bug surfaced in `check`.
+    pub fn lock(&mut self, task: usize) -> Result<(), String> {
+        match self.holder {
+            Some(h) => Err(format!("task {task} locked a mutex held by task {h}")),
+            None => {
+                self.holder = Some(task);
+                Ok(())
+            }
+        }
+    }
+
+    pub fn unlock(&mut self, task: usize) -> Result<(), String> {
+        match self.holder {
+            Some(h) if h == task => {
+                self.holder = None;
+                Ok(())
+            }
+            other => Err(format!(
+                "task {task} unlocked a mutex it does not hold (holder: {other:?})"
+            )),
+        }
+    }
+}
+
+/// Shared register with an object id, for counters and flags.
+#[derive(Debug, Clone)]
+pub struct RegM<T> {
+    id: u64,
+    value: T,
+}
+
+impl<T> RegM<T> {
+    pub fn new(name: &str, value: T) -> Self {
+        Self {
+            id: obj_id(name),
+            value,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    pub fn set(&mut self, value: T) {
+        self.value = value;
+    }
+}
+
+impl<T: Copy> RegM<T> {
+    pub fn load(&self) -> T {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chan_is_fifo_and_duplicates_in_place() {
+        let mut c = ChanM::new("wire");
+        c.send(1);
+        c.send(2);
+        c.duplicate_front();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.try_recv(), Some(1));
+        assert_eq!(c.try_recv(), Some(1));
+        assert_eq!(c.try_recv(), Some(2));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mutex_tracks_holder_and_rejects_misuse() {
+        let mut m = MutexM::new("store");
+        assert!(m.is_free());
+        m.lock(0).unwrap();
+        assert_eq!(m.holder(), Some(0));
+        assert!(m.lock(1).is_err(), "double-lock is a model bug");
+        assert!(m.unlock(1).is_err(), "non-holder unlock is a model bug");
+        m.unlock(0).unwrap();
+        assert!(m.is_free());
+    }
+
+    #[test]
+    fn object_ids_are_stable_and_distinct() {
+        assert_eq!(obj_id("wire"), obj_id("wire"));
+        assert_ne!(obj_id("wire"), obj_id("nacks"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Model of `CheckpointStore` two-slot rotation with torn writes.
+//!
+//! Mirrors `crates/io/src/checkpoint.rs`: saves rotate between two slots
+//! under a store mutex, a slot write is multi-step (begin → payload →
+//! commit, where only commit marks the slot intact and stamps its seq),
+//! and restore picks the newest slot that passes its CRC. A crash
+//! adversary freezes every writer at an arbitrary step — including mid-
+//! write, leaving a torn slot — after which the restorer runs.
+//!
+//! The crash fires in *every* schedule; firing after all saves complete is
+//! the no-crash scenario, so one exploration covers both. The ghost
+//! variable `committed` records each fully-committed `(seq, payload)`
+//! outside the crash's reach, giving the final property its reference:
+//! restore must return the newest committed snapshot, bit-correct — a torn
+//! newest slot must fall back to the older intact one, never be served.
+//!
+//! The `single_slot` switch removes the rotation (every save overwrites
+//! slot 0), the design defect the two-slot scheme exists to prevent; a
+//! crash mid-overwrite then loses the only intact snapshot and the
+//! explorer must find it.
+
+use crate::explore::{Footprint, System};
+use crate::model::{obj_id, MutexM};
+
+fn payload(seq: u64) -> u64 {
+    crate::fnv1a_64(&seq.to_le_bytes())
+}
+
+#[derive(Debug, Clone, Default)]
+struct SlotM {
+    /// Stamped at commit; `None` while torn/empty.
+    seq: Option<u64>,
+    /// Models the CRC: false from begin until commit.
+    intact: bool,
+    data: u64,
+}
+
+/// Bounded checkpoint configuration (2 writers).
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Saves each writer performs.
+    pub saves_per_writer: u64,
+    /// Seeded defect: no rotation — every save overwrites slot 0.
+    pub single_slot: bool,
+}
+
+impl Default for CheckpointSpec {
+    fn default() -> Self {
+        Self {
+            saves_per_writer: 2,
+            single_slot: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WritePc {
+    Lock,
+    Begin,
+    Payload,
+    Commit,
+    Unlock,
+}
+
+#[derive(Debug, Clone)]
+struct Writer {
+    saves_left: u64,
+    pc: WritePc,
+    /// Slot claimed at Begin (from the store's rotation cursor).
+    slot: usize,
+    /// Seq claimed at Begin (from the store's counter).
+    seq: u64,
+}
+
+/// Task layout: 0,1 writers; 2 crash; 3 restorer.
+pub struct CheckpointSystem {
+    spec: CheckpointSpec,
+    slots: [SlotM; 2],
+    slots_id: u64,
+    store_id: u64,
+    mutex: MutexM,
+    next_seq: u64,
+    next_slot: usize,
+    writers: [Writer; 2],
+    crashed: bool,
+    crash_id: u64,
+    /// Ghost: every fully committed (seq, payload), in commit order.
+    committed: Vec<(u64, u64)>,
+    restored: Option<Option<(u64, u64)>>,
+}
+
+impl CheckpointSystem {
+    pub fn new(spec: CheckpointSpec) -> Self {
+        let writer = |saves: u64| Writer {
+            saves_left: saves,
+            pc: WritePc::Lock,
+            slot: 0,
+            seq: 0,
+        };
+        Self {
+            slots: [SlotM::default(), SlotM::default()],
+            slots_id: obj_id("ckpt.slots"),
+            store_id: obj_id("ckpt.store"),
+            mutex: MutexM::new("ckpt.mutex"),
+            next_seq: 0,
+            next_slot: 0,
+            writers: [writer(spec.saves_per_writer), writer(spec.saves_per_writer)],
+            crashed: false,
+            crash_id: obj_id("ckpt.crashed"),
+            committed: Vec::new(),
+            restored: None,
+            spec,
+        }
+    }
+
+    fn writer_finished(&self, w: usize) -> bool {
+        self.writers[w].saves_left == 0 && self.writers[w].pc == WritePc::Lock
+    }
+
+    fn writers_over(&self) -> bool {
+        self.crashed || (0..2).all(|w| self.writer_finished(w))
+    }
+}
+
+impl System for CheckpointSystem {
+    fn n_tasks(&self) -> usize {
+        4
+    }
+
+    fn task_name(&self, task: usize) -> String {
+        match task {
+            0 | 1 => format!("writer{task}"),
+            2 => "crash".into(),
+            _ => "restorer".into(),
+        }
+    }
+
+    fn done(&self, task: usize) -> bool {
+        match task {
+            0 | 1 => self.crashed || self.writer_finished(task),
+            2 => self.crashed,
+            _ => self.restored.is_some(),
+        }
+    }
+
+    fn enabled(&self, task: usize) -> bool {
+        if self.done(task) {
+            return false;
+        }
+        match task {
+            0 | 1 => self.writers[task].pc != WritePc::Lock || self.mutex.is_free(),
+            2 => true,
+            // Restore is a post-crash (or post-completion) action; the
+            // crash task retiring late models the no-crash run.
+            _ => self.writers_over(),
+        }
+    }
+
+    fn peek(&self, task: usize) -> Footprint {
+        match task {
+            0 | 1 => {
+                // Generous: every writer step reads the crash flag (it
+                // gates enabledness) and touches the store lock state or
+                // the slot being written.
+                let fp = Footprint::new().read(self.crash_id);
+                match self.writers[task].pc {
+                    WritePc::Lock | WritePc::Unlock => fp.write(self.mutex.id()),
+                    WritePc::Begin => fp.read(self.store_id).write(self.slots_id),
+                    WritePc::Payload => fp.write(self.slots_id),
+                    WritePc::Commit => fp.write(self.slots_id).write(self.store_id),
+                }
+            }
+            2 => Footprint::new().write(self.crash_id),
+            _ => Footprint::new()
+                .read(self.crash_id)
+                .read(self.slots_id)
+                .read(self.store_id)
+                .read(self.mutex.id())
+                .write(obj_id("ckpt.restored")),
+        }
+    }
+
+    fn step(&mut self, task: usize) {
+        match task {
+            0 | 1 => {
+                let pc = self.writers[task].pc;
+                match pc {
+                    WritePc::Lock => {
+                        if self.mutex.lock(task).is_err() {
+                            return;
+                        }
+                        self.writers[task].pc = WritePc::Begin;
+                    }
+                    WritePc::Begin => {
+                        let slot = if self.spec.single_slot {
+                            0
+                        } else {
+                            self.next_slot
+                        };
+                        let seq = self.next_seq;
+                        // Begin tears the slot: CRC invalid until commit.
+                        self.slots[slot].intact = false;
+                        self.slots[slot].seq = None;
+                        self.writers[task].slot = slot;
+                        self.writers[task].seq = seq;
+                        self.writers[task].pc = WritePc::Payload;
+                    }
+                    WritePc::Payload => {
+                        let w = &self.writers[task];
+                        self.slots[w.slot].data = payload(w.seq);
+                        self.writers[task].pc = WritePc::Commit;
+                    }
+                    WritePc::Commit => {
+                        let w = self.writers[task].clone();
+                        self.slots[w.slot].seq = Some(w.seq);
+                        self.slots[w.slot].intact = true;
+                        self.committed.push((w.seq, payload(w.seq)));
+                        self.next_seq = w.seq + 1;
+                        self.next_slot = (w.slot + 1) % 2;
+                        self.writers[task].pc = WritePc::Unlock;
+                    }
+                    WritePc::Unlock => {
+                        if self.mutex.unlock(task).is_err() {
+                            return;
+                        }
+                        self.writers[task].saves_left -= 1;
+                        self.writers[task].pc = WritePc::Lock;
+                    }
+                }
+            }
+            2 => {
+                self.crashed = true;
+            }
+            _ => {
+                // load_latest: newest slot whose CRC verifies.
+                let best = self
+                    .slots
+                    .iter()
+                    .filter(|s| s.intact)
+                    .filter_map(|s| s.seq.map(|seq| (seq, s.data)))
+                    .max_by_key(|(seq, _)| *seq);
+                self.restored = Some(best);
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let Some(restored) = self.restored else {
+            return Err("restorer never ran".into());
+        };
+        let newest = self.committed.last().copied();
+        match (restored, newest) {
+            (Some((rs, rd)), Some((cs, cd))) => {
+                if (rs, rd) != (cs, cd) {
+                    return Err(format!(
+                        "restore returned seq {rs} (data {rd:#x}); newest committed \
+                         snapshot is seq {cs} (data {cd:#x})"
+                    ));
+                }
+                Ok(())
+            }
+            (None, None) => Ok(()),
+            (Some((rs, _)), None) => Err(format!(
+                "restore served seq {rs} but nothing ever committed"
+            )),
+            (None, Some((cs, _))) => Err(format!(
+                "restore found no intact slot but seq {cs} was committed"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer};
+
+    #[test]
+    fn two_slot_rotation_survives_a_crash_anywhere() {
+        let run = Explorer::default().explore("checkpoint", || {
+            CheckpointSystem::new(CheckpointSpec::default())
+        });
+        assert!(
+            run.verified(),
+            "exhaustive pass expected, got {:?}",
+            run.violation
+        );
+        assert!(run.schedules > 20, "crash positions should be non-trivial");
+    }
+
+    #[test]
+    fn single_slot_defect_loses_the_snapshot() {
+        let spec = CheckpointSpec {
+            single_slot: true,
+            ..CheckpointSpec::default()
+        };
+        let run = Explorer::default()
+            .explore("checkpoint-defect", || CheckpointSystem::new(spec.clone()));
+        let v = run.violation.expect("single-slot overwrite must be caught");
+        assert!(v.message.contains("committed"), "{}", v.message);
+        let mut sys = CheckpointSystem::new(spec);
+        let replayed = replay(&mut sys, &v.schedule).expect_err("replay must reproduce");
+        assert_eq!(replayed.message, v.message);
+    }
+}

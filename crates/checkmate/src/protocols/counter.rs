@@ -1,0 +1,165 @@
+//! The unsynchronized-counter defect model.
+//!
+//! The canonical lost-update bug: N tasks each add `increments` to one
+//! shared counter. With `atomic: true` every increment is a single
+//! fetch-add step (the pool's chunk-cursor idiom) and the final count is
+//! exact in every interleaving. With `atomic: false` each increment is a
+//! separate load step then store step — the seeded "unsynchronized
+//! counter" defect — and the explorer must find a schedule where two tasks
+//! interleave between load and store, losing an update.
+//!
+//! This model also anchors the trace round-trip proptest: its parameter
+//! space is cheap to sample and produces both verdicts.
+
+use crate::explore::{Footprint, System};
+use crate::model::obj_id;
+
+/// Counter configuration.
+#[derive(Debug, Clone)]
+pub struct CounterSpec {
+    pub tasks: usize,
+    pub increments: u64,
+    /// False = the seeded defect (split load/store increments).
+    pub atomic: bool,
+}
+
+impl Default for CounterSpec {
+    fn default() -> Self {
+        Self {
+            tasks: 2,
+            increments: 2,
+            atomic: false,
+        }
+    }
+}
+
+pub struct CounterSystem {
+    spec: CounterSpec,
+    counter: u64,
+    counter_id: u64,
+    /// Increments still to perform, per task.
+    left: Vec<u64>,
+    /// Loaded-but-not-stored value, per task (`atomic: false` only).
+    staged: Vec<Option<u64>>,
+}
+
+impl CounterSystem {
+    pub fn new(spec: CounterSpec) -> Self {
+        Self {
+            counter: 0,
+            counter_id: obj_id("counter.value"),
+            left: vec![spec.increments; spec.tasks],
+            staged: vec![None; spec.tasks],
+            spec,
+        }
+    }
+}
+
+impl System for CounterSystem {
+    fn n_tasks(&self) -> usize {
+        self.spec.tasks
+    }
+
+    fn task_name(&self, task: usize) -> String {
+        format!("incr{task}")
+    }
+
+    fn done(&self, task: usize) -> bool {
+        self.left[task] == 0 && self.staged[task].is_none()
+    }
+
+    fn enabled(&self, task: usize) -> bool {
+        !self.done(task)
+    }
+
+    fn peek(&self, task: usize) -> Footprint {
+        // Loads conflict with stores, so model every phase as read+write.
+        let _ = task;
+        Footprint::new()
+            .read(self.counter_id)
+            .write(self.counter_id)
+    }
+
+    fn step(&mut self, task: usize) {
+        if self.spec.atomic {
+            self.counter += 1;
+            self.left[task] -= 1;
+            return;
+        }
+        match self.staged[task].take() {
+            // Store phase: publish the stale read + 1.
+            Some(loaded) => {
+                self.counter = loaded + 1;
+                self.left[task] -= 1;
+            }
+            // Load phase.
+            None => self.staged[task] = Some(self.counter),
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let want = self.spec.tasks as u64 * self.spec.increments;
+        if self.counter != want {
+            return Err(format!(
+                "lost update: counter ended at {} after {} increments",
+                self.counter, want
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer};
+
+    #[test]
+    fn atomic_counter_is_exact_in_every_interleaving() {
+        let run = Explorer::default().explore("counter-atomic", || {
+            CounterSystem::new(CounterSpec {
+                atomic: true,
+                ..CounterSpec::default()
+            })
+        });
+        assert!(run.verified(), "got {:?}", run.violation);
+    }
+
+    #[test]
+    fn split_increment_loses_an_update() {
+        let run = Explorer::default().explore("counter-defect", || {
+            CounterSystem::new(CounterSpec::default())
+        });
+        let v = run.violation.expect("lost update must be found");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        let mut sys = CounterSystem::new(CounterSpec::default());
+        let replayed = replay(&mut sys, &v.schedule).expect_err("replay must reproduce");
+        assert_eq!(replayed.message, v.message);
+    }
+
+    #[test]
+    fn preemption_bound_zero_misses_the_bug_bound_two_finds_it() {
+        // With no preemptions each task runs to completion: no lost update.
+        let serial = Explorer {
+            preemption_bound: Some(0),
+            ..Explorer::default()
+        }
+        .explore("counter-serial", || {
+            CounterSystem::new(CounterSpec::default())
+        });
+        assert!(serial.violation.is_none(), "serial schedules are correct");
+        let bounded = Explorer {
+            preemption_bound: Some(2),
+            ..Explorer::default()
+        }
+        .explore("counter-b2", || CounterSystem::new(CounterSpec::default()));
+        assert!(
+            bounded.violation.is_some(),
+            "two preemptions expose the bug"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Shadow models of the repo's concurrent protocol cores.
+//!
+//! Each module ports one real protocol onto [`crate::explore::System`]
+//! through a thin adapter: the shared state becomes modeled objects, the
+//! participants become cooperative tasks, and fault injection becomes
+//! extra adversary tasks whose timing the explorer enumerates like any
+//! other scheduling choice. Every adapter carries seeded-defect switches
+//! (`skip_dedup`, `single_slot`, `atomic: false`) so the harness can prove
+//! it still has teeth: flipping a switch must produce a violating,
+//! replayable schedule.
+//!
+//! Fidelity notes for each adapter live in its module docs; the summary of
+//! what is and is not modeled is in DESIGN.md ("Concurrency verification").
+
+pub mod checkpoint;
+pub mod counter;
+pub mod mailbox;
+pub mod retransmit;

@@ -1,0 +1,325 @@
+//! Happens-before data-race detection with FNV-keyed vector clocks.
+//!
+//! A FastTrack-style detector small enough to vendor: every participating
+//! OS thread gets a vector clock; sync objects (locks, channels, pool job
+//! handoffs) are identified by stable FNV-derived keys and carry the clock
+//! published by their last releasers; shared locations are identified the
+//! same way and remember their last write epoch plus the read epochs since.
+//!
+//! Instrumentation is explicit, not compiler-driven: the vendored
+//! `parking_lot` / `crossbeam` / `rayon` shims call [`acquire`] /
+//! [`release`] at their sync points when built with their `race-detect`
+//! feature, and code under test marks interesting shared accesses with
+//! [`on_read`] / [`on_write`]. A conflicting pair of marked accesses with
+//! no happens-before path through recorded sync edges is reported — by
+//! default with a panic, so an instrumented test fails loudly exactly like
+//! it would under ThreadSanitizer, but on a stable toolchain in ordinary
+//! wall-clock time.
+//!
+//! Soundness note: edges are recorded per sync *object*, joining every
+//! release into the object's clock. This can only over-synchronize (merge
+//! more than the real happens-before order), so the detector may miss
+//! races (like any dynamic detector, it only sees the executed schedule)
+//! but never reports a false one for the edges it models.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::fnv1a_64;
+
+type VClock = Vec<u64>;
+
+/// `a` happened-before the thread owning `clock` iff the epoch is covered.
+fn covered(clock: &VClock, tid: usize, epoch: u64) -> bool {
+    clock.get(tid).copied().unwrap_or(0) >= epoch
+}
+
+fn join_into(dst: &mut VClock, src: &VClock) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// One detected race: two marked accesses to the same key with no
+/// happens-before ordering between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    pub key: u64,
+    /// Registered name for the key, or a hex fallback.
+    pub name: String,
+    /// "write-write", "write-read", or "read-write" (prior access first).
+    pub kind: &'static str,
+    /// (prior thread, current thread) detector ids.
+    pub threads: (usize, usize),
+}
+
+#[derive(Default)]
+struct Location {
+    last_write: Option<(usize, u64)>,
+    /// Read epochs since the last write, one slot per reader thread.
+    reads: Vec<(usize, u64)>,
+}
+
+#[derive(Default)]
+struct Detector {
+    /// Per-thread vector clocks, indexed by detector thread id.
+    threads: Vec<VClock>,
+    /// Sync-object clocks: what the releasers of this key had observed.
+    sync: BTreeMap<u64, VClock>,
+    /// Marked shared locations.
+    locations: BTreeMap<u64, Location>,
+    /// Key → human-readable name, filled by [`key`] / [`keyed`].
+    names: BTreeMap<u64, String>,
+    reports: Vec<RaceReport>,
+}
+
+impl Detector {
+    fn name_of(&self, key: u64) -> String {
+        self.names
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| format!("key:{key:016x}"))
+    }
+
+    fn record(&mut self, key: u64, kind: &'static str, prior: usize, current: usize) -> RaceReport {
+        let report = RaceReport {
+            key,
+            name: self.name_of(key),
+            kind,
+            threads: (prior, current),
+        };
+        self.reports.push(report.clone());
+        report
+    }
+}
+
+fn detector() -> MutexGuard<'static, Detector> {
+    static DETECTOR: OnceLock<Mutex<Detector>> = OnceLock::new();
+    DETECTOR
+        .get_or_init(|| Mutex::new(Detector::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+static PANIC_ON_RACE: AtomicBool = AtomicBool::new(true);
+
+thread_local! {
+    static TID: std::cell::OnceCell<usize> = const { std::cell::OnceCell::new() };
+}
+
+/// Detector id of the calling thread, registering it on first use.
+fn my_tid() -> usize {
+    TID.with(|cell| {
+        *cell.get_or_init(|| {
+            let mut det = detector();
+            let tid = det.threads.len();
+            let mut clock = vec![0; tid + 1];
+            // A thread's own component starts at 1 so its very first access
+            // is never mistaken for the zero epoch other threads trivially
+            // cover.
+            clock[tid] = 1;
+            det.threads.push(clock);
+            tid
+        })
+    })
+}
+
+/// Derive (and register) a sync/location key from a name.
+pub fn key(name: &str) -> u64 {
+    let k = fnv1a_64(name.as_bytes());
+    let mut det = detector();
+    det.names.entry(k).or_insert_with(|| name.to_string());
+    k
+}
+
+/// Derive a key from a name and a numeric discriminator (job ids, chunk
+/// indices, lock addresses) without allocating per call site.
+pub fn keyed(name: &str, salt: u64) -> u64 {
+    let base = fnv1a_64(name.as_bytes());
+    let k = fnv1a_64(&[base.to_le_bytes(), salt.to_le_bytes()].concat());
+    let mut det = detector();
+    det.names
+        .entry(k)
+        .or_insert_with(|| format!("{name}#{salt}"));
+    k
+}
+
+/// Record an acquire edge: the caller now observes everything published to
+/// `key` by prior [`release`] calls.
+pub fn acquire(key: u64) {
+    let tid = my_tid();
+    let mut det = detector();
+    if let Some(obj) = det.sync.get(&key).cloned() {
+        join_into(&mut det.threads[tid], &obj);
+    }
+}
+
+/// Record a release edge: publish the caller's clock to `key` and advance
+/// the caller's epoch.
+pub fn release(key: u64) {
+    let tid = my_tid();
+    let mut det = detector();
+    let mine = det.threads[tid].clone();
+    let obj = det.sync.entry(key).or_default();
+    join_into(obj, &mine);
+    det.threads[tid][tid] += 1;
+}
+
+fn report_race(report: &RaceReport) {
+    if PANIC_ON_RACE.load(Ordering::SeqCst) {
+        panic!(
+            "data race on {}: {} between thread {} and thread {} \
+             (no happens-before edge recorded)",
+            report.name, report.kind, report.threads.0, report.threads.1
+        );
+    }
+}
+
+/// Mark a write to the shared location `key`, reporting any conflicting
+/// unordered prior access.
+pub fn on_write(key: u64) {
+    let tid = my_tid();
+    let pending = {
+        let mut det = detector();
+        let mine = det.threads[tid].clone();
+        let mut found: Option<(&'static str, usize)> = None;
+        let loc = det.locations.entry(key).or_default();
+        if let Some((wt, we)) = loc.last_write {
+            if wt != tid && !covered(&mine, wt, we) {
+                found = Some(("write-write", wt));
+            }
+        }
+        if found.is_none() {
+            for &(rt, re) in &loc.reads {
+                if rt != tid && !covered(&mine, rt, re) {
+                    found = Some(("read-write", rt));
+                    break;
+                }
+            }
+        }
+        let epoch = mine.get(tid).copied().unwrap_or(1);
+        let loc = det.locations.entry(key).or_default();
+        loc.last_write = Some((tid, epoch));
+        loc.reads.clear();
+        found.map(|(kind, prior)| det.record(key, kind, prior, tid))
+    };
+    if let Some(report) = pending {
+        report_race(&report);
+    }
+}
+
+/// Mark a read of the shared location `key`, reporting an unordered prior
+/// write.
+pub fn on_read(key: u64) {
+    let tid = my_tid();
+    let pending = {
+        let mut det = detector();
+        let mine = det.threads[tid].clone();
+        let mut found: Option<usize> = None;
+        let loc = det.locations.entry(key).or_default();
+        if let Some((wt, we)) = loc.last_write {
+            if wt != tid && !covered(&mine, wt, we) {
+                found = Some(wt);
+            }
+        }
+        let epoch = mine.get(tid).copied().unwrap_or(1);
+        match loc.reads.iter_mut().find(|(rt, _)| *rt == tid) {
+            Some(slot) => slot.1 = epoch,
+            None => loc.reads.push((tid, epoch)),
+        }
+        found.map(|prior| det.record(key, "write-read", prior, tid))
+    };
+    if let Some(report) = pending {
+        report_race(&report);
+    }
+}
+
+/// Toggle panic-on-race (default on); returns the previous setting.
+/// Detection keeps accumulating [`RaceReport`]s either way.
+pub fn set_panic_on_race(on: bool) -> bool {
+    PANIC_ON_RACE.swap(on, Ordering::SeqCst)
+}
+
+/// Drain accumulated reports (for tests asserting presence/absence).
+pub fn take_reports() -> Vec<RaceReport> {
+    std::mem::take(&mut detector().reports)
+}
+
+/// Forget all sync-object clocks and marked locations, for isolation
+/// between test phases. Thread registrations and clocks survive (they are
+/// monotone, so stale entries can only add ordering, never fake a race).
+pub fn reset() {
+    let mut det = detector();
+    det.sync.clear();
+    det.locations.clear();
+    det.reports.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The detector state is process-global, so exercise every scenario
+    /// from one test (Rust runs tests in threads within one process).
+    #[test]
+    fn detects_unordered_accesses_and_respects_sync_edges() {
+        let prev = set_panic_on_race(false);
+        reset();
+
+        // Same-thread accesses never race.
+        let solo = key("race.test.solo");
+        on_write(solo);
+        on_read(solo);
+        on_write(solo);
+        assert!(take_reports().is_empty());
+
+        // Unordered cross-thread write/write must be reported.
+        let shared = key("race.test.shared");
+        on_write(shared);
+        std::thread::spawn(move || on_write(shared)).join().unwrap();
+        let reports = take_reports();
+        assert_eq!(reports.len(), 1, "unsynchronized write-write");
+        assert_eq!(reports[0].kind, "write-write");
+        assert_eq!(reports[0].name, "race.test.shared");
+
+        // The same pattern through a release/acquire pair is clean.
+        reset();
+        let guarded = key("race.test.guarded");
+        let lock = key("race.test.lock");
+        on_write(guarded);
+        release(lock);
+        std::thread::spawn(move || {
+            acquire(lock);
+            on_write(guarded);
+        })
+        .join()
+        .unwrap();
+        assert!(
+            take_reports().is_empty(),
+            "release/acquire orders the writes"
+        );
+
+        // Write-read with no edge is reported; keyed() discriminates.
+        reset();
+        let a = keyed("race.test.chunk", 0);
+        let b = keyed("race.test.chunk", 1);
+        assert_ne!(a, b);
+        on_write(a);
+        std::thread::spawn(move || {
+            on_read(a);
+            on_write(b);
+        })
+        .join()
+        .unwrap();
+        let reports = take_reports();
+        assert_eq!(reports.len(), 1, "only the unsynchronized read races");
+        assert_eq!(reports[0].kind, "write-read");
+        assert_eq!(reports[0].name, "race.test.chunk#0");
+
+        set_panic_on_race(prev);
+    }
+}

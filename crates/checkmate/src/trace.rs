@@ -1,0 +1,151 @@
+//! Serialized schedule traces.
+//!
+//! A trace pins one exploration outcome to a replayable artifact: the
+//! config name selects the protocol adapter (and any seeded defect), the
+//! schedule is the exact decision list, and the verdict/message record what
+//! that schedule demonstrated. The format is line-oriented text so traces
+//! diff cleanly in review and survive being committed under `results/`.
+//!
+//! Round-trip stability is load-bearing: `repro verify --trace FILE` must
+//! reproduce the identical verdict byte-for-byte, and a proptest in
+//! `tests/trace_roundtrip.rs` holds `parse(render(t)) == t` and
+//! `render(parse(s)) == s` for every trace the explorer can emit.
+
+use crate::explore::Violation;
+
+const HEADER: &str = "checkmate-trace v1";
+
+/// What the traced schedule demonstrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The schedule runs to completion with every property holding.
+    Pass,
+    /// The schedule reproduces a property violation or deadlock.
+    Violation,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Violation => "violation",
+        }
+    }
+}
+
+/// A serialized schedule: everything needed to re-execute one interleaving
+/// of one named configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Configuration name; `repro verify` maps it back to an adapter.
+    pub config: String,
+    pub verdict: Verdict,
+    /// Violation (or divergence) message; empty for a passing trace.
+    pub message: String,
+    /// Task index chosen at each step.
+    pub schedule: Vec<usize>,
+}
+
+impl Trace {
+    /// Build the trace for a violating schedule.
+    pub fn from_violation(config: &str, v: &Violation) -> Self {
+        Self {
+            config: config.to_string(),
+            verdict: Verdict::Violation,
+            // Newlines would break the line-oriented format; messages are
+            // single-line by construction, but normalize defensively.
+            message: v.message.replace('\n', " "),
+            schedule: v.schedule.clone(),
+        }
+    }
+
+    /// Render to the committed text format (exactly one trailing newline).
+    pub fn render(&self) -> String {
+        let schedule: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+        format!(
+            "{HEADER}\nconfig: {}\nverdict: {}\nmessage: {}\nschedule: {}\n",
+            self.config,
+            self.verdict.as_str(),
+            self.message.replace('\n', " "),
+            schedule.join(" ")
+        )
+    }
+
+    /// Parse the text format; errors name the offending line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            other => return Err(format!("bad trace header: {other:?} (want {HEADER:?})")),
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {name} line"))?;
+            line.strip_prefix(&format!("{name}: "))
+                .or_else(|| line.strip_prefix(&format!("{name}:")))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected {name} line, got {line:?}"))
+        };
+        let config = field("config")?;
+        let verdict = match field("verdict")?.as_str() {
+            "pass" => Verdict::Pass,
+            "violation" => Verdict::Violation,
+            other => return Err(format!("bad verdict {other:?}")),
+        };
+        let message = field("message")?;
+        let schedule_text = field("schedule")?;
+        let mut schedule = Vec::new();
+        for tok in schedule_text.split_whitespace() {
+            let idx: usize = tok
+                .parse()
+                .map_err(|_| format!("bad schedule index {tok:?}"))?;
+            schedule.push(idx);
+        }
+        Ok(Self {
+            config,
+            verdict,
+            message,
+            schedule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let t = Trace {
+            config: "retransmit-dedup".into(),
+            verdict: Verdict::Violation,
+            message: "property failed after a step of receiver: stale frame accepted".into(),
+            schedule: vec![0, 0, 3, 1, 1, 2],
+        };
+        let text = t.render();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.render(), text, "re-render must be byte-identical");
+    }
+
+    #[test]
+    fn empty_schedule_and_message_round_trip() {
+        let t = Trace {
+            config: "c".into(),
+            verdict: Verdict::Pass,
+            message: String::new(),
+            schedule: vec![],
+        };
+        let back = Trace::parse(&t.render()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(Trace::parse("").is_err());
+        assert!(Trace::parse("checkmate-trace v0\nconfig: x\n").is_err());
+        let bad_idx = "checkmate-trace v1\nconfig: c\nverdict: pass\nmessage: \nschedule: 1 x\n";
+        assert!(Trace::parse(bad_idx).is_err());
+        let bad_verdict = "checkmate-trace v1\nconfig: c\nverdict: maybe\nmessage: \nschedule:\n";
+        assert!(Trace::parse(bad_verdict).is_err());
+    }
+}

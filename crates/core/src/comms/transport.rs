@@ -1,7 +1,7 @@
 //! In-memory multi-rank transport: CRC-framed mailboxes with deterministic
 //! fault injection, NACK/re-request retries, and dedup-by-sequence.
 //!
-//! Ranks exchange face buffers through `mpsc` channels, mirroring the
+//! Ranks exchange face buffers through `crossbeam` channels, mirroring the
 //! point-to-point structure of the MPI halo exchange: a message is addressed
 //! by (destination rank, direction `mu`, which ghost zone it fills). Two
 //! layers live here:
@@ -36,9 +36,12 @@ use super::fault::{CommError, CommFaultProfile, CommRetryPolicy, WireFault};
 use crate::lattice::ND;
 use crate::real::Real;
 use crate::spinor::Spinor;
+// The channel shim records send/recv happens-before edges for the race
+// detector when built with `race-detect`; otherwise it is a zero-cost
+// wrapper over `std::sync::mpsc`.
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Side index of a mailbox: which ghost zone of the destination the message
 /// fills.
@@ -71,8 +74,8 @@ impl<T> Mailboxes<T> {
             let mut pair: (Vec<TxBoxes<T>>, Vec<RxBoxes<T>>) =
                 (Vec::with_capacity(ND), Vec::with_capacity(ND));
             for _ in 0..ND {
-                let (t0, r0) = channel();
-                let (t1, r1) = channel();
+                let (t0, r0) = unbounded();
+                let (t1, r1) = unbounded();
                 pair.0.push([t0, t1]);
                 pair.1.push([Mutex::new(r0), Mutex::new(r1)]);
             }

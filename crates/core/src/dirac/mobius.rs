@@ -105,14 +105,13 @@ fn invert_real_matrix(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
         })
         .collect();
     for col in 0..n {
+        // `total_cmp` orders identically to `partial_cmp` on the
+        // non-negative magnitudes compared here, without a NaN panic
+        // path; `col..n` is nonempty (col < n), so the fallback pivot
+        // never actually fires.
         let pivot = (col..n)
-            .max_by(|&i, &j| {
-                aug[i][col]
-                    .abs()
-                    .partial_cmp(&aug[j][col].abs())
-                    .expect("no NaN")
-            })
-            .expect("nonempty");
+            .max_by(|&i, &j| aug[i][col].abs().total_cmp(&aug[j][col].abs()))
+            .unwrap_or(col);
         assert!(aug[pivot][col].abs() > 1e-300, "singular A-block");
         aug.swap(col, pivot);
         let inv = 1.0 / aug[col][col];

@@ -174,8 +174,8 @@ impl Cluster {
         if nodes.is_empty() {
             return true;
         }
-        let min = *nodes.iter().min().expect("nonempty");
-        let max = *nodes.iter().max().expect("nonempty");
+        let min = nodes.iter().copied().fold(usize::MAX, usize::min);
+        let max = nodes.iter().copied().fold(0, usize::max);
         max - min + 1 == nodes.len()
     }
 }

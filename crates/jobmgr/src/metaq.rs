@@ -272,11 +272,11 @@ impl MetaqScheduler {
             time = time.max(t_ev);
             match ev {
                 Event::TaskEnd { id, epoch: ep } => {
-                    let stale = running[id].as_ref().is_none_or(|ri| ri.epoch != ep);
-                    if stale {
+                    // Epoch mismatch (or an empty slot) marks the stale
+                    // tombstone of a killed attempt: leave it untouched.
+                    let Some(ri) = running[id].take_if(|ri| ri.epoch == ep) else {
                         continue;
-                    }
-                    let ri = running[id].take().expect("checked above");
+                    };
                     cluster.release(&ri.alloc);
                     let t = &workload.tasks[id];
                     if ri.fails {
@@ -353,13 +353,9 @@ impl MetaqScheduler {
                     sobs.node_crash(time, node);
                     // Kill every attempt whose allocation touches the node.
                     for id in 0..n {
-                        let hit = running[id]
-                            .as_ref()
-                            .is_some_and(|ri| ri.alloc.contains(&node));
-                        if !hit {
+                        let Some(ri) = running[id].take_if(|ri| ri.alloc.contains(&node)) else {
                             continue;
-                        }
-                        let ri = running[id].take().expect("checked above");
+                        };
                         cluster.release(&ri.alloc);
                         sobs.task_killed(time, id, ri.attempt, "node_crash");
                         stats.wasted_node_seconds +=

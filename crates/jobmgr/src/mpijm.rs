@@ -342,7 +342,12 @@ impl MpiJmScheduler {
                                 * injector.nic_speed(&alloc)
                         }
                         TaskKind::Contraction => {
-                            cluster.nodes[cpu_pin.expect("contraction pinned")].speed
+                            // Launch sites pin every contraction to a CPU
+                            // host before queuing it.
+                            let Some(host) = cpu_pin else {
+                                unreachable!("contraction launched without a cpu pin")
+                            };
+                            cluster.nodes[host].speed
                         }
                         TaskKind::Io => 1.0,
                     };
@@ -435,10 +440,9 @@ impl MpiJmScheduler {
             time = time.max(t_ev);
             match ev {
                 Event::TaskEnd { id, epoch: ep } => {
-                    if running[id].as_ref().is_none_or(|ri| ri.epoch != ep) {
+                    let Some(ri) = running[id].take_if(|ri| ri.epoch == ep) else {
                         continue; // tombstone of a killed attempt
-                    }
-                    let ri = running[id].take().expect("checked above");
+                    };
                     release_to_block(&mut blocks, &ri.alloc, &node_dead);
                     if let Some(host) = ri.cpu_pin {
                         cpu_free[host] = true;
@@ -524,13 +528,11 @@ impl MpiJmScheduler {
                     // Kill only the jobs bound to this node; the block
                     // re-spawns at the boundary with its survivors.
                     for id in 0..n {
-                        let hit = running[id]
-                            .as_ref()
-                            .is_some_and(|ri| ri.alloc.contains(&node) || ri.cpu_pin == Some(node));
-                        if !hit {
+                        let Some(ri) = running[id]
+                            .take_if(|ri| ri.alloc.contains(&node) || ri.cpu_pin == Some(node))
+                        else {
                             continue;
-                        }
-                        let ri = running[id].take().expect("checked above");
+                        };
                         release_to_block(&mut blocks, &ri.alloc, &node_dead);
                         if let Some(host) = ri.cpu_pin {
                             cpu_free[host] = true;

@@ -200,21 +200,20 @@ impl NaiveBundler {
             }
             sobs.nodes_busy(wave.iter().map(|w| w.alloc.len()).sum());
             if wave.is_empty() {
-                if faults.enabled() {
-                    // The machine is fully free here, so a ready task that
-                    // does not fit now never will: capacity shrank below its
-                    // footprint. Abandon those gracefully (tasks merely
-                    // backing off get another chance) instead of panicking.
-                    for &i in &pending {
-                        if ready_now(i, time, &recovery.ready_at) {
-                            recovery.failed[i] = true;
-                            stats.abandoned_tasks += 1;
-                            sobs.task_abandoned(time, i);
-                        }
+                // The machine is fully free here, so a ready task that
+                // does not fit now never will: either capacity shrank
+                // below its footprint or the workload was oversized from
+                // the start. Abandon those gracefully (tasks merely
+                // backing off get another chance) instead of panicking
+                // mid-campaign.
+                for &i in &pending {
+                    if ready_now(i, time, &recovery.ready_at) {
+                        recovery.failed[i] = true;
+                        stats.abandoned_tasks += 1;
+                        sobs.task_abandoned(time, i);
                     }
-                    continue;
                 }
-                panic!("deadlock: no ready task fits (workload larger than machine?)");
+                continue;
             }
 
             // The wave is one bundled launch: the first failure event —

@@ -73,6 +73,7 @@ pub struct WeakScalingPoint {
 
 /// Run one weak-scaling point: `n_groups` bundles of `nodes_per_group`
 /// nodes, each solving `solves_per_group` propagators on `dims`×`l5`.
+/// `None` when the group's GPU count cannot decompose the lattice.
 #[allow(clippy::too_many_arguments)]
 pub fn weak_scaling_point(
     machine: &MachineSpec,
@@ -83,13 +84,11 @@ pub fn weak_scaling_point(
     solves_per_group: usize,
     flavor: MpiFlavor,
     seed: u64,
-) -> WeakScalingPoint {
+) -> Option<WeakScalingPoint> {
     let gpus_per_group = nodes_per_group * machine.gpus_per_node;
     let tuner = Tuner::new();
     let model = SolverPerfModel::new(machine.clone(), dims, l5);
-    let point = model
-        .performance(&tuner, gpus_per_group)
-        .expect("group size must decompose the lattice");
+    let point = model.performance(&tuner, gpus_per_group)?;
 
     // A production light-quark MDWF solve: O(5k) preconditioned iterations.
     let iterations = 5000.0;
@@ -148,12 +147,12 @@ pub fn weak_scaling_point(
         MpiFlavor::SpectrumMetaq => MetaqScheduler::run(&mut cluster, &workload),
     };
 
-    WeakScalingPoint {
+    Some(WeakScalingPoint {
         n_gpus: n_groups * gpus_per_group,
         pflops: report.sustained_flops() / 1e15,
         utilization: report.utilization(),
         makespan: report.makespan,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +173,8 @@ mod tests {
             4,
             MpiFlavor::Mvapich2JmSingle,
             3,
-        );
+        )
+        .expect("group size decomposes the lattice");
         let p2 = weak_scaling_point(
             &sierra(),
             [48, 48, 48, 64],
@@ -184,7 +184,8 @@ mod tests {
             4,
             MpiFlavor::Mvapich2JmSingle,
             3,
-        );
+        )
+        .expect("group size decomposes the lattice");
         let ratio = p2.pflops / p1.pflops;
         assert!(
             (1.85..2.15).contains(&ratio),
@@ -205,7 +206,8 @@ mod tests {
             4,
             MpiFlavor::SpectrumIndividual,
             5,
-        );
+        )
+        .expect("group size decomposes the lattice");
         let m = weak_scaling_point(
             &sierra(),
             [48, 48, 48, 64],
@@ -215,7 +217,8 @@ mod tests {
             4,
             MpiFlavor::Mvapich2JmSingle,
             5,
-        );
+        )
+        .expect("group size decomposes the lattice");
         assert!(s.pflops > m.pflops, "{} vs {}", s.pflops, m.pflops);
         // But not by more than the MPI efficiency gap + overheads.
         assert!(s.pflops < m.pflops * 1.45);
@@ -233,7 +236,8 @@ mod tests {
             4,
             MpiFlavor::SpectrumMetaq,
             7,
-        );
+        )
+        .expect("group size decomposes the lattice");
         assert_eq!(p.n_gpus, 8 * 24);
         assert!(p.pflops > 0.0);
         assert!(

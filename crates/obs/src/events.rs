@@ -65,12 +65,22 @@ impl EventLog {
         Self::default()
     }
 
+    /// Lock the event vec, continuing through poison: the mutex only
+    /// guards short push/clone sections that cannot leave the vec in a
+    /// half-written state, and a panicking recorder thread must not take
+    /// observability down with it.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     pub fn record(&self, event: Event) {
-        self.events.lock().unwrap().push(event);
+        self.locked().push(event);
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.locked().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -78,41 +88,29 @@ impl EventLog {
     }
 
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        self.locked().clear();
     }
 
     /// Copy of all events in append order.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        self.locked().clone()
     }
 
     /// How many events of each kind were recorded.
     pub fn counts_by_kind(&self) -> BTreeMap<String, u64> {
         let mut counts = BTreeMap::new();
-        for e in self.events.lock().unwrap().iter() {
+        for e in self.locked().iter() {
             *counts.entry(e.kind.clone()).or_insert(0) += 1;
         }
         counts
     }
 
     pub fn count_kind(&self, kind: &str) -> u64 {
-        self.events
-            .lock()
-            .unwrap()
-            .iter()
-            .filter(|e| e.kind == kind)
-            .count() as u64
+        self.locked().iter().filter(|e| e.kind == kind).count() as u64
     }
 
     pub fn to_json(&self) -> Json {
-        Json::Arr(
-            self.events
-                .lock()
-                .unwrap()
-                .iter()
-                .map(Event::to_json)
-                .collect(),
-        )
+        Json::Arr(self.locked().iter().map(Event::to_json).collect())
     }
 
     /// Text timeline, one event per line in append order. This is the
@@ -120,7 +118,7 @@ impl EventLog {
     /// ordering and every field, and diffs legibly.
     pub fn render_timeline(&self) -> String {
         let mut out = String::new();
-        for e in self.events.lock().unwrap().iter() {
+        for e in self.locked().iter() {
             out.push_str(&e.render());
             out.push('\n');
         }
@@ -130,7 +128,7 @@ impl EventLog {
     /// CSV export: `t,kind,fields` with fields as `k=v` joined by `;`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t,kind,fields\n");
-        for e in self.events.lock().unwrap().iter() {
+        for e in self.locked().iter() {
             let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
             out.push_str(&format!("{},{},\"{}\"\n", e.t, e.kind, fields.join(";")));
         }

@@ -429,7 +429,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // ever advances by whole scalar widths (`len_utf8` below),
                 // so the suffix is valid UTF-8.
                 let s = unsafe { std::str::from_utf8_unchecked(&b[*pos..]) };
-                let c = s.chars().next().unwrap();
+                // The `Some(_)` arm guarantees at least one byte remains,
+                // so the suffix holds at least one scalar.
+                let Some(c) = s.chars().next() else {
+                    return Err(err(*pos, "unterminated string"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

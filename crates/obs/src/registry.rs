@@ -47,6 +47,21 @@ fn global_slot() -> &'static RwLock<Option<Registry>> {
     GLOBAL.get_or_init(|| RwLock::new(None))
 }
 
+/// Read-lock, continuing through poison: the registry maps hold only
+/// `Arc` handles and the metric cells themselves are monotone atomics, so
+/// a panicking holder cannot leave them inconsistent — and
+/// instrumentation must never take the process down with it.
+fn read_on<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-lock twin of [`read_on`], with the same poison-blind rationale.
+fn write_on<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Pops the scoped registry when dropped.
 pub struct ScopedInstall {
     _not_send: std::marker::PhantomData<*const ()>,
@@ -80,7 +95,7 @@ impl Registry {
         if let Some(r) = SCOPED.with(|s| s.borrow().last().cloned()) {
             return r;
         }
-        if let Some(r) = global_slot().read().unwrap().clone() {
+        if let Some(r) = read_on(global_slot()).clone() {
             return r;
         }
         DEFAULT.get_or_init(Registry::new).clone()
@@ -98,54 +113,45 @@ impl Registry {
 
     /// Install as the process-global fallback registry.
     pub fn install_global(&self) {
-        *global_slot().write().unwrap() = Some(self.clone());
+        *write_on(global_slot()) = Some(self.clone());
     }
 
     /// Replace the clock used to stamp events and spans.
     pub fn set_clock(&self, clock: Arc<dyn Clock>) {
-        *self.inner.clock.write().unwrap() = clock;
+        *write_on(&self.inner.clock) = clock;
     }
 
     pub fn now(&self) -> f64 {
-        self.inner.clock.read().unwrap().now()
+        read_on(&self.inner.clock).now()
     }
 
     // ---- metric handles (get-or-create) --------------------------------
 
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(c) = self.inner.counters.read().unwrap().get(name) {
+        if let Some(c) = read_on(&self.inner.counters).get(name) {
             return c.clone();
         }
-        self.inner
-            .counters
-            .write()
-            .unwrap()
+        write_on(&self.inner.counters)
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Counter::new()))
             .clone()
     }
 
     pub fn float_counter(&self, name: &str) -> Arc<FloatCounter> {
-        if let Some(c) = self.inner.float_counters.read().unwrap().get(name) {
+        if let Some(c) = read_on(&self.inner.float_counters).get(name) {
             return c.clone();
         }
-        self.inner
-            .float_counters
-            .write()
-            .unwrap()
+        write_on(&self.inner.float_counters)
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(FloatCounter::new()))
             .clone()
     }
 
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(g) = self.inner.gauges.read().unwrap().get(name) {
+        if let Some(g) = read_on(&self.inner.gauges).get(name) {
             return g.clone();
         }
-        self.inner
-            .gauges
-            .write()
-            .unwrap()
+        write_on(&self.inner.gauges)
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Gauge::new()))
             .clone()
@@ -154,13 +160,10 @@ impl Registry {
     /// Get-or-create a histogram. `bounds` applies only on first creation;
     /// later callers get the existing histogram whatever its bounds.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        if let Some(h) = self.inner.histograms.read().unwrap().get(name) {
+        if let Some(h) = read_on(&self.inner.histograms).get(name) {
             return h.clone();
         }
-        self.inner
-            .histograms
-            .write()
-            .unwrap()
+        write_on(&self.inner.histograms)
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Histogram::new(bounds)))
             .clone()
@@ -168,7 +171,7 @@ impl Registry {
 
     /// Fetch an existing histogram without creating it.
     pub fn try_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
-        self.inner.histograms.read().unwrap().get(name).cloned()
+        read_on(&self.inner.histograms).get(name).cloned()
     }
 
     // ---- events --------------------------------------------------------
@@ -196,37 +199,25 @@ impl Registry {
     /// output for golden diffs.
     pub fn to_json(&self) -> Json {
         let counters = Json::Obj(
-            self.inner
-                .counters
-                .read()
-                .unwrap()
+            read_on(&self.inner.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), Json::from(v.get())))
                 .collect(),
         );
         let float_counters = Json::Obj(
-            self.inner
-                .float_counters
-                .read()
-                .unwrap()
+            read_on(&self.inner.float_counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), Json::from(v.get())))
                 .collect(),
         );
         let gauges = Json::Obj(
-            self.inner
-                .gauges
-                .read()
-                .unwrap()
+            read_on(&self.inner.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), Json::from(v.get())))
                 .collect(),
         );
         let histograms = Json::Obj(
-            self.inner
-                .histograms
-                .read()
-                .unwrap()
+            read_on(&self.inner.histograms)
                 .iter()
                 .map(|(k, h)| {
                     let s = h.snapshot();
@@ -284,16 +275,16 @@ impl Registry {
     /// Flat CSV of all scalar metrics: `kind,name,value`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,name,value\n");
-        for (k, v) in self.inner.counters.read().unwrap().iter() {
+        for (k, v) in read_on(&self.inner.counters).iter() {
             out.push_str(&format!("counter,{k},{}\n", v.get()));
         }
-        for (k, v) in self.inner.float_counters.read().unwrap().iter() {
+        for (k, v) in read_on(&self.inner.float_counters).iter() {
             out.push_str(&format!("float_counter,{k},{}\n", v.get()));
         }
-        for (k, v) in self.inner.gauges.read().unwrap().iter() {
+        for (k, v) in read_on(&self.inner.gauges).iter() {
             out.push_str(&format!("gauge,{k},{}\n", v.get()));
         }
-        for (k, h) in self.inner.histograms.read().unwrap().iter() {
+        for (k, h) in read_on(&self.inner.histograms).iter() {
             let s = h.snapshot();
             out.push_str(&format!("histogram_count,{k},{}\n", s.count));
             out.push_str(&format!("histogram_sum,{k},{}\n", s.sum));

@@ -25,6 +25,14 @@
 //!   `blas`/`contract` reducers: order-dependent float accumulation must
 //!   go through the fixed-shape chunk reducers that make results
 //!   bit-identical at any width.
+//! - **R6 `atomic-ordering`** — `Ordering::Relaxed` on shared atomics is
+//!   banned outside an audited allowlist (the pool's chunk cursor and
+//!   stats, the obs delta counters, the transport fault counters): relaxed
+//!   accesses carry no happens-before edge, so the checkmate race detector
+//!   and TSan both treat them as unsynchronized. Every allowlisted file
+//!   holds only monotone counters whose readers tolerate staleness; any
+//!   new relaxed site must either justify itself into the allowlist or use
+//!   acquire/release.
 //!
 //! Pre-existing violations live in a committed `lint-baseline.json` of
 //! `(rule, path, content-hash)` suppressions: moved-but-unfixed code stays
@@ -47,13 +55,15 @@ pub mod rule_ids {
     pub const PANIC_SITE: &str = "R3-panic-site";
     pub const LAYERING: &str = "R4-layering";
     pub const FLOAT_REDUCE: &str = "R5-unordered-float-reduce";
+    pub const ATOMIC_ORDERING: &str = "R6-atomic-ordering";
     /// All rules, in report order.
-    pub const ALL: [&str; 5] = [
+    pub const ALL: [&str; 6] = [
         UNSAFE_NO_SAFETY,
         NONDETERMINISM,
         PANIC_SITE,
         LAYERING,
         FLOAT_REDUCE,
+        ATOMIC_ORDERING,
     ];
 }
 
@@ -110,6 +120,11 @@ pub struct Config {
     /// Files exempt from R5 — the deterministic reducers themselves, plus
     /// the vendored pool/iterator internals they are built on.
     pub float_reduce_exempt: Vec<String>,
+    /// Files where R6's `Ordering::Relaxed` is audited and allowed: every
+    /// relaxed atomic there is a monotone stats counter (or the pool's
+    /// claim-by-fetch_add chunk cursor) whose readers tolerate staleness
+    /// and never derive ordering from the value.
+    pub atomic_relaxed_allow: Vec<String>,
     /// Layer policy: (package, forbidden dependency packages).
     pub forbidden_deps: Vec<(String, Vec<String>)>,
     /// Packages that must not depend on anything in-workspace.
@@ -138,6 +153,18 @@ impl Default for Config {
                 "crates/core/src/blas.rs".into(),
                 "crates/core/src/contract.rs".into(),
                 "vendor/".into(),
+            ],
+            atomic_relaxed_allow: vec![
+                // Pool chunk cursor (claim via fetch_add: the returned index
+                // is the claim, no ordering needed) and per-worker stats.
+                "vendor/rayon/src/pool.rs".into(),
+                // Delta counters/gauges/histograms: monotone, snapshot reads.
+                "crates/obs/src/metrics.rs".into(),
+                // Busy-time publication counter (swap, monotone).
+                "crates/core/src/threads.rs".into(),
+                // Fault-injection and pack/unpack stats counters.
+                "crates/core/src/comms/transport.rs".into(),
+                "crates/core/src/comms/kernel.rs".into(),
             ],
             forbidden_deps: vec![
                 (

@@ -1,6 +1,7 @@
 //! The token-level rules: R1 (unsafe without SAFETY), R2 (nondeterminism),
-//! R3 (panic sites), R5 (unordered float reductions). R4 (layering) works
-//! on manifests and lives in [`crate::layering`].
+//! R3 (panic sites), R5 (unordered float reductions), R6 (relaxed atomic
+//! orderings). R4 (layering) works on manifests and lives in
+//! [`crate::layering`].
 
 use crate::lexer::{lex, test_spans, TokKind, Token};
 use crate::{is_test_path, rule_ids, Config, Finding};
@@ -27,6 +28,9 @@ pub fn check_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         .any(|p| path.starts_with(p.as_str()))
     {
         r5_float_reduce(path, &tokens, &lines, &in_test_code, &mut out);
+    }
+    if !cfg.atomic_relaxed_allow.iter().any(|p| p == path) {
+        r6_atomic_ordering(path, &tokens, &lines, &in_test_code, &mut out);
     }
     out
 }
@@ -285,6 +289,42 @@ fn r5_float_reduce(
     }
 }
 
+/// R6: `Ordering::Relaxed` outside the audited allowlist. A relaxed
+/// access carries no happens-before edge, so any cross-thread protocol
+/// built on it is invisible to the checkmate race detector and to TSan —
+/// code either proves it only needs a monotone counter (and joins the
+/// allowlist with that justification) or uses acquire/release.
+fn r6_atomic_ordering(
+    path: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    in_test_code: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment(_)))
+        .collect();
+    for i in 0..code.len() {
+        if !matches_path(&code, i, &["Ordering", "Relaxed"]) {
+            continue;
+        }
+        let line = code[i].line;
+        if in_test_code(line) {
+            continue;
+        }
+        out.push(Finding::new(
+            rule_ids::ATOMIC_ORDERING,
+            path,
+            line,
+            "`Ordering::Relaxed` on a shared atomic — no happens-before edge; \
+             use acquire/release or justify the file into the audited allowlist"
+                .to_string(),
+            &line_content(lines, line),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +433,43 @@ mod tests {
     fn r5_chain_ends_at_statement_boundary() {
         let src = "fn f(v: &[f64]) -> f64 {\n    let w: Vec<f64> = v.par_iter().cloned().collect();\n    w.iter().sum()\n}\n";
         assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_relaxed_outside_allowlist() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let f = run("crates/x/src/lib.rs", src);
+        let r6: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == rule_ids::ATOMIC_ORDERING)
+            .collect();
+        assert_eq!(r6.len(), 1);
+        assert_eq!(r6[0].line, 1);
+    }
+
+    #[test]
+    fn r6_matches_fully_qualified_paths_and_skips_other_orderings() {
+        let src = "fn f(c: &AtomicU64) {\n    c.load(std::sync::atomic::Ordering::Relaxed);\n    c.load(Ordering::Acquire);\n    c.store(1, Ordering::SeqCst);\n}\n";
+        let f = run("crates/x/src/lib.rs", src);
+        let r6: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == rule_ids::ATOMIC_ORDERING)
+            .collect();
+        assert_eq!(r6.len(), 1, "only the Relaxed line: {f:?}");
+        assert_eq!(r6[0].line, 2);
+    }
+
+    #[test]
+    fn r6_exempts_allowlisted_files_and_test_code() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(run("vendor/rayon/src/pool.rs", src)
+            .iter()
+            .all(|f| f.rule != rule_ids::ATOMIC_ORDERING));
+        assert!(run("crates/obs/src/metrics.rs", src).is_empty());
+        assert!(run("tests/threading.rs", src).is_empty());
+        let in_mod =
+            "#[cfg(test)]\nmod tests {\n fn g(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(run("crates/x/src/lib.rs", in_mod).is_empty());
     }
 
     #[test]

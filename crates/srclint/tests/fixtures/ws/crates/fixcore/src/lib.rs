@@ -1,6 +1,6 @@
 //! Fixture crate carrying exactly one violation of every file-scoped rule
-//! (R1, R2, R3, R5) plus a justified `unsafe` and a test module that must
-//! both stay clean. Never compiled — the lint lexes it as text.
+//! (R1, R2, R3, R5, R6) plus a justified `unsafe` and a test module that
+//! must both stay clean. Never compiled — the lint lexes it as text.
 
 pub use fixio::read_all;
 
@@ -35,6 +35,11 @@ pub fn norm2(v: &[f64]) -> f64 {
             y
         })
         .sum::<f64>()
+}
+
+/// R6: relaxed atomic outside the audited allowlist.
+pub fn bump(c: &std::sync::atomic::AtomicU64) {
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ fn fixture_config() -> Config {
         sanctioned_nondet: vec!["crates/fixobs/src/clock.rs".into()],
         panic_scope: vec!["crates/fixcore/src/".into()],
         float_reduce_exempt: vec![],
+        atomic_relaxed_allow: vec!["crates/fixobs/src/metrics.rs".into()],
         forbidden_deps: vec![("fixcore".into(), vec!["fixio".into()])],
         isolated_packages: vec!["fixobs".into()],
         skip_dirs: vec![".git".into(), "target".into()],
@@ -63,7 +64,8 @@ fn fixture_scan_fires_every_rule_exactly_as_planted() {
     // breach (fixobs -> fixio).
     assert_eq!(count(rule_ids::LAYERING), 3, "{findings:#?}");
     assert_eq!(count(rule_ids::FLOAT_REDUCE), 1, "{findings:#?}");
-    assert_eq!(findings.len(), 7);
+    assert_eq!(count(rule_ids::ATOMIC_ORDERING), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 8);
     // The justified unsafe, the sanctioned clock module, and the test
     // module must all stay clean: nothing outside fixcore's lib and the
     // three manifests.
@@ -98,7 +100,7 @@ fn fixture_baseline_suppresses_everything_then_goes_stale() {
     let applied = base.apply(scan_workspace(&root, &cfg).unwrap());
     assert!(applied.fresh.is_empty(), "{:#?}", applied.fresh);
     assert!(applied.stale.is_empty());
-    assert_eq!(applied.suppressed.len(), 7);
+    assert_eq!(applied.suppressed.len(), 8);
 
     // Dropping a finding from the scan (as if it were fixed) leaves its
     // suppression stale — the signal --check uses to demand a baseline

@@ -68,7 +68,8 @@ fn main() {
                 3,
                 flavor,
                 groups as u64,
-            );
+            )
+            .expect("16-GPU groups decompose 48^3x64");
             print!("  {:5} GPUs -> {:6.2} PF", p.n_gpus, p.pflops);
         }
         println!();

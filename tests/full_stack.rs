@@ -65,7 +65,8 @@ fn sierra_at_scale_sustains_paper_efficiency_band() {
         4,
         MpiFlavor::Mvapich2JmSingle,
         9,
-    );
+    )
+    .expect("group size decomposes the lattice");
     // Peak of the engaged partition, with the paper's 1.675 accounting.
     let peak_tflops = 256.0 * 4.0 * machine.fp32_tflops_per_node;
     let pct = 100.0 * p.pflops * 1e3 * 1.675 / peak_tflops;
@@ -93,7 +94,8 @@ fn weak_scaling_decomposes_into_rate_times_utilization() {
         4,
         MpiFlavor::SpectrumIndividual,
         5,
-    );
+    )
+    .expect("group size decomposes the lattice");
     let ideal_pflops = 64.0 * group.tflops / 1000.0;
     assert!(
         p.pflops < ideal_pflops,

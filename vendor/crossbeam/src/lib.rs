@@ -1,1 +1,121 @@
-//! Offline typecheck stub: declared in the workspace, unused in code.
+//! Offline shim for the `crossbeam` channel surface the workspace uses,
+//! backed by `std::sync::mpsc`.
+//!
+//! Beyond the API mapping, the shim is the transport's race-detector tap:
+//! with the `race-detect` feature every [`channel::Sender::send`] records
+//! a release edge and every successful receive records the matching
+//! acquire edge on a per-channel key, so payload handoffs through
+//! `Mailboxes` establish happens-before order in `checkmate::race`'s
+//! vector clocks exactly like the real crossbeam channel's
+//! release/acquire semantics do in hardware.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    #[cfg(feature = "race-detect")]
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Error returned by [`Sender::send`] on a disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Per-channel race-detector key, unique for the process lifetime.
+    #[cfg(feature = "race-detect")]
+    fn next_key() -> u64 {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        checkmate::race::keyed("crossbeam.channel", NEXT.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Unbounded MPSC channel (the crossbeam `unbounded` constructor).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        #[cfg(feature = "race-detect")]
+        let key = next_key();
+        (
+            Sender {
+                tx,
+                #[cfg(feature = "race-detect")]
+                key,
+            },
+            Receiver {
+                rx,
+                #[cfg(feature = "race-detect")]
+                key,
+            },
+        )
+    }
+
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        #[cfg(feature = "race-detect")]
+        key: u64,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                #[cfg(feature = "race-detect")]
+                key: self.key,
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Publish before the payload becomes visible to the receiver.
+            #[cfg(feature = "race-detect")]
+            checkmate::race::release(self.key);
+            self.tx
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        #[cfg(feature = "race-detect")]
+        key: u64,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.rx.try_recv() {
+                Ok(value) => {
+                    #[cfg(feature = "race-detect")]
+                    checkmate::race::acquire(self.key);
+                    Ok(value)
+                }
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_is_fifo_and_maps_errors() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+    }
+}

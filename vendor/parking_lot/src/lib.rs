@@ -1,5 +1,24 @@
 //! Offline typecheck stub: parking_lot's no-poisoning lock API backed by
 //! `std::sync` primitives.
+//!
+//! With the `race-detect` feature the guards double as race-detector
+//! instrumentation: taking a lock records an acquire edge on a key derived
+//! from the lock's address, and dropping the guard records the matching
+//! release edge, so any two accesses bracketed by the same lock are
+//! happens-before ordered in `checkmate::race`'s vector clocks. Read
+//! guards record the same edges as write guards — over-synchronizing is
+//! sound for a detector (it can only hide races, never invent them), and
+//! it keeps write-after-read ordering visible.
+
+use std::ops::{Deref, DerefMut};
+
+/// Race-detector key for a lock instance: its address. Addresses can be
+/// recycled after a lock is dropped, which at worst merges clock history
+/// into a fresh lock — extra ordering, never a false race.
+#[cfg(feature = "race-detect")]
+fn lock_key<T: ?Sized>(lock: &T) -> u64 {
+    checkmate::race::keyed("parking_lot.lock", lock as *const T as *const u8 as u64)
+}
 
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
@@ -13,11 +32,35 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = self.0.read().unwrap_or_else(|e| e.into_inner());
+        // The acquire edge is recorded only once the lock is actually
+        // held, so it observes every prior holder's release publication.
+        #[cfg(feature = "race-detect")]
+        let key = {
+            let key = lock_key(self);
+            checkmate::race::acquire(key);
+            key
+        };
+        RwLockReadGuard {
+            inner,
+            #[cfg(feature = "race-detect")]
+            key,
+        }
     }
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = self.0.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "race-detect")]
+        let key = {
+            let key = lock_key(self);
+            checkmate::race::acquire(key);
+            key
+        };
+        RwLockWriteGuard {
+            inner,
+            #[cfg(feature = "race-detect")]
+            key,
+        }
     }
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -30,6 +73,52 @@ impl<T: Default> Default for RwLock<T> {
     }
 }
 
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "race-detect")]
+    key: u64,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "race-detect")]
+        checkmate::race::release(self.key);
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "race-detect")]
+    key: u64,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "race-detect")]
+        checkmate::race::release(self.key);
+    }
+}
+
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 impl<T> Mutex<T> {
@@ -39,7 +128,44 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "race-detect")]
+        let key = {
+            let key = lock_key(self);
+            checkmate::race::acquire(key);
+            key
+        };
+        MutexGuard {
+            inner,
+            #[cfg(feature = "race-detect")]
+            key,
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(feature = "race-detect")]
+    key: u64,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "race-detect")]
+        checkmate::race::release(self.key);
     }
 }

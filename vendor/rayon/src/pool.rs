@@ -21,6 +21,36 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
+/// Race-detector tap (`race-detect` feature): the pool's happens-before
+/// edges, mirrored into `checkmate::race` vector clocks. The caller
+/// releases a per-job *publish* key before queueing (workers acquire it
+/// before touching the closure), every chunk releases a per-job *join* key
+/// the caller acquires after the done-wait (ordering chunk writes before
+/// result reads), and each chunk marks a per-(job, chunk) location so a
+/// broken exactly-once contract surfaces as a write-write race.
+#[cfg(feature = "race-detect")]
+mod race_tap {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique id per pooled job, never reused for the process lifetime.
+    pub fn next_job_id() -> u64 {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn pub_key(job: u64) -> u64 {
+        checkmate::race::keyed("rayon.job.pub", job)
+    }
+
+    pub fn join_key(job: u64) -> u64 {
+        checkmate::race::keyed("rayon.job.join", job)
+    }
+
+    pub fn chunk_key(job: u64, chunk: usize) -> u64 {
+        checkmate::race::keyed("rayon.chunk", (job << 32) | chunk as u64)
+    }
+}
+
 /// Snapshot of cumulative pool activity, for observability exports.
 #[derive(Clone, Debug, Default)]
 pub struct PoolStats {
@@ -69,6 +99,9 @@ struct Job {
     panicked: AtomicBool,
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// Race-detector job id (see [`race_tap`]).
+    #[cfg(feature = "race-detect")]
+    race_id: u64,
 }
 
 impl Job {
@@ -233,7 +266,19 @@ fn work_on(job: &Job, sh: &Shared, worker_busy: Option<&AtomicU64>) {
         // `&(dyn Fn(usize) + Sync)` and is blocked in `run` until the job's
         // `remaining` count drains, so the pointee is valid for this borrow.
         let func = unsafe { &*job.func.0 };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(i)));
+        // Everything the tap records stays inside catch_unwind: a
+        // panic-on-race report must unwind into the job's panic channel,
+        // not kill the worker thread.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "race-detect")]
+            {
+                checkmate::race::acquire(race_tap::pub_key(job.race_id));
+                checkmate::race::on_write(race_tap::chunk_key(job.race_id, i));
+            }
+            func(i);
+            #[cfg(feature = "race-detect")]
+            checkmate::race::release(race_tap::join_key(job.race_id));
+        }));
         IN_CHUNK.with(|c| c.set(false));
         let ns = t0.elapsed().as_nanos() as u64;
         if result.is_err() {
@@ -289,6 +334,14 @@ pub(crate) fn run(n_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
     let func = FuncPtr(unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(f)
     });
+    // Publish edge: the caller's writes (the captured closure state) must
+    // be ordered before any worker's first chunk.
+    #[cfg(feature = "race-detect")]
+    let race_id = {
+        let id = race_tap::next_job_id();
+        checkmate::race::release(race_tap::pub_key(id));
+        id
+    };
     let job = Arc::new(Job {
         func,
         n_chunks,
@@ -298,6 +351,8 @@ pub(crate) fn run(n_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         panicked: AtomicBool::new(false),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
+        #[cfg(feature = "race-detect")]
+        race_id,
     });
     sh.queue.lock().unwrap().push_back(Arc::clone(&job));
     sh.work_cv.notify_all();
@@ -311,6 +366,10 @@ pub(crate) fn run(n_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         d = job.done_cv.wait(d).unwrap();
     }
     drop(d);
+    // Join edge: every chunk's writes are ordered before the caller reads
+    // the results.
+    #[cfg(feature = "race-detect")]
+    checkmate::race::acquire(race_tap::join_key(job.race_id));
     if job.panicked.load(Ordering::Acquire) {
         panic!("rayon: a parallel chunk panicked");
     }
