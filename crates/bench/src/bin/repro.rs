@@ -37,12 +37,18 @@
 //!             block path bit-identical to sequential CG
 //!             (--quick for CI smoke, --check-schema FILE to verify a
 //!             committed deflation.csv still has this build's columns)
+//!   serve     solve-service gateway under deterministic Zipf load:
+//!             batching, content-addressed cache with LRU spill, admission
+//!             control, fault injection under the service; writes
+//!             serve.{json,md} (--quick for CI smoke, --check-schema FILE
+//!             to verify a committed serve.json against this build)
 //!   lint      workspace static analysis (determinism/safety/layering
 //!             rules R1-R6; --check gates on the committed
 //!             lint-baseline.json, --update-baseline regenerates it)
 //!   verify    concurrency verification: exhaustive schedule exploration
 //!             of the bounded protocol models (mailbox dedup, NACK
-//!             retransmit, checkpoint rotation) plus seeded-defect twins;
+//!             retransmit, checkpoint rotation, cache get-or-compute)
+//!             plus seeded-defect twins;
 //!             --check gates on results/verify.{json,md} and the
 //!             committed traces, --trace FILE replays one schedule
 //!   all       everything above except bench, comms, chaos, and deflation
@@ -51,7 +57,7 @@
 
 use bench::experiments::{
     ablation, chaos, comms, deflation, faults, fig1, fig3, fig5, jobs, kernels, lint, metrics,
-    pipeline, tables, verify,
+    pipeline, serve, tables, verify,
 };
 use bench::output::ExperimentOutput;
 
@@ -98,7 +104,7 @@ fn main() {
     }
     let Some(experiment) = experiment else {
         eprintln!(
-            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|chaos|deflation|all> [--results DIR] [--quick] [--check-schema FILE]"
+            "usage: repro <table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|backfill|faults|startup|budget|speedup|memory|ablation|pipeline|metrics|bench|comms|chaos|deflation|serve|all> [--results DIR] [--quick] [--check-schema FILE]"
         );
         std::process::exit(2);
     };
@@ -190,6 +196,15 @@ fn main() {
             }
             if let Some(file) = &check_schema {
                 deflation::check_schema(file);
+            }
+        }
+        "serve" => {
+            if let Err(e) = serve::run_serve(out, &serve::ServeOpts { quick }) {
+                eprintln!("repro serve: cannot write results: {e}");
+                std::process::exit(1);
+            }
+            if let Some(file) = &check_schema {
+                serve::check_schema(out, file);
             }
         }
         other => {

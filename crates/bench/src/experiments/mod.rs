@@ -13,5 +13,6 @@ pub mod kernels;
 pub mod lint;
 pub mod metrics;
 pub mod pipeline;
+pub mod serve;
 pub mod tables;
 pub mod verify;

@@ -8,8 +8,9 @@
 //!
 //! Exhaustively explores the bounded protocol models in
 //! `checkmate::protocols` and checks each against its expectation:
-//! the three faithful ports (mailbox dedup, NACK/retransmit, two-slot
-//! checkpoint rotation) must verify clean over the full sleep-set-reduced
+//! the faithful ports (mailbox dedup, NACK/retransmit, two-slot
+//! checkpoint rotation, cache get-or-compute single-flight and
+//! evict-vs-hit) must verify clean over the full sleep-set-reduced
 //! interleaving space, and each seeded-defect twin must produce a
 //! violation — that is how CI notices the checker losing its teeth.
 //!
@@ -23,6 +24,7 @@
 //! Exit status mirrors `repro lint`: 0 clean, 1 verification findings or
 //! drifted artifacts, 2 usage or I/O errors.
 
+use checkmate::protocols::cache::{CacheSpec, CacheSystem};
 use checkmate::protocols::checkpoint::{CheckpointSpec, CheckpointSystem};
 use checkmate::protocols::counter::{CounterSpec, CounterSystem};
 use checkmate::protocols::mailbox::{MailboxSpec, MailboxSystem};
@@ -59,6 +61,17 @@ const CONFIGS: &[ConfigRow] = &[
         what: "2 writers, torn writes, crash anywhere: restore picks the newest intact slot",
     },
     ConfigRow {
+        name: "cache-single-flight",
+        expect_violation: false,
+        what: "2 getters racing a cold key: exactly one solve, bit-identical responses",
+    },
+    ConfigRow {
+        name: "cache-evict-vs-hit",
+        expect_violation: false,
+        what: "LRU eviction racing hits on a warm key: never a torn entry, \
+               computes bounded by 1 + evictions",
+    },
+    ConfigRow {
         name: "defect-mailbox-no-dedup",
         expect_violation: true,
         what: "seeded defect: receiver seq gate removed; a duplicated frame must double-apply",
@@ -77,6 +90,18 @@ const CONFIGS: &[ConfigRow] = &[
         name: "defect-racy-counter",
         expect_violation: true,
         what: "seeded defect: split load/store increments; an interleaving must lose an update",
+    },
+    ConfigRow {
+        name: "defect-cache-no-claim",
+        expect_violation: true,
+        what: "seeded defect: miss computes without the in-flight claim; \
+               racing misses must double-solve",
+    },
+    ConfigRow {
+        name: "defect-cache-torn-read",
+        expect_violation: true,
+        what: "seeded defect: hit copies the payload across two locked sections; \
+               an eviction between them must tear the response",
     },
 ];
 
@@ -115,6 +140,28 @@ fn explore_config(name: &str, explorer: &Explorer) -> Option<Exploration> {
         "defect-racy-counter" => {
             explorer.explore(name, || CounterSystem::new(CounterSpec::default()))
         }
+        "cache-single-flight" => explorer.explore(name, || CacheSystem::new(CacheSpec::default())),
+        "cache-evict-vs-hit" => explorer.explore(name, || {
+            CacheSystem::new(CacheSpec {
+                prepopulate: true,
+                evict: true,
+                ..CacheSpec::default()
+            })
+        }),
+        "defect-cache-no-claim" => explorer.explore(name, || {
+            CacheSystem::new(CacheSpec {
+                skip_claim: true,
+                ..CacheSpec::default()
+            })
+        }),
+        "defect-cache-torn-read" => explorer.explore(name, || {
+            CacheSystem::new(CacheSpec {
+                prepopulate: true,
+                evict: true,
+                torn_read: true,
+                ..CacheSpec::default()
+            })
+        }),
         _ => return None,
     })
 }
@@ -157,6 +204,33 @@ fn replay_config(name: &str, schedule: &[usize]) -> Option<Result<(), Violation>
         "defect-racy-counter" => {
             explore::replay(&mut CounterSystem::new(CounterSpec::default()), schedule)
         }
+        "cache-single-flight" => {
+            explore::replay(&mut CacheSystem::new(CacheSpec::default()), schedule)
+        }
+        "cache-evict-vs-hit" => explore::replay(
+            &mut CacheSystem::new(CacheSpec {
+                prepopulate: true,
+                evict: true,
+                ..CacheSpec::default()
+            }),
+            schedule,
+        ),
+        "defect-cache-no-claim" => explore::replay(
+            &mut CacheSystem::new(CacheSpec {
+                skip_claim: true,
+                ..CacheSpec::default()
+            }),
+            schedule,
+        ),
+        "defect-cache-torn-read" => explore::replay(
+            &mut CacheSystem::new(CacheSpec {
+                prepopulate: true,
+                evict: true,
+                torn_read: true,
+                ..CacheSpec::default()
+            }),
+            schedule,
+        ),
         _ => return None,
     })
 }

@@ -62,6 +62,7 @@ fn missing_experiment_prints_usage() {
         stderr.contains("deflation"),
         "usage must list deflation: {stderr}"
     );
+    assert!(stderr.contains("serve"), "usage must list serve: {stderr}");
 }
 
 /// `repro deflation --check-schema` against a stale header must run the
@@ -75,6 +76,61 @@ fn deflation_schema_mismatch_is_a_clean_error() {
     std::fs::write(&stale, "mass_id,not_the_real_columns\n").unwrap();
     let out = repro()
         .args(["deflation", "--quick", "--results"])
+        .arg(&results)
+        .arg("--check-schema")
+        .arg(&stale)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema mismatch"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&results).ok();
+}
+
+/// `repro serve` must refuse an unwritable results directory with exit
+/// code 1 and a clear message *before* generating a million requests.
+#[test]
+fn serve_unwritable_results_dir_is_a_clean_error() {
+    let results =
+        std::env::temp_dir().join(format!("repro-cli-serve-unwritable-{}", std::process::id()));
+    std::fs::create_dir_all(results.join(".write-probe")).unwrap();
+    let out = repro()
+        .args(["serve", "--quick", "--results"])
+        .arg(&results)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not writable"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&results).ok();
+}
+
+/// `repro serve --check-schema` against the committed golden passes (the
+/// quick run's *values* differ from the committed full run, but the JSON
+/// shape must match), and fails cleanly against a stale schema.
+#[test]
+fn serve_check_schema_gates_on_shape_not_values() {
+    let results = std::env::temp_dir().join(format!("repro-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&results).unwrap();
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/serve.json");
+    let out = repro()
+        .args(["serve", "--quick", "--results"])
+        .arg(&results)
+        .args(["--check-schema", committed])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("schema check OK"), "stdout: {stdout}");
+
+    // A stale committed schema must fail with exit 1, not a panic.
+    let stale = results.join("stale-serve.json");
+    std::fs::write(&stale, "{\"schema\": \"serve-v0\", \"gone\": 1}\n").unwrap();
+    let out = repro()
+        .args(["serve", "--quick", "--results"])
         .arg(&results)
         .arg("--check-schema")
         .arg(&stale)

@@ -1,0 +1,415 @@
+//! Model of the solve-service result cache's get-or-compute protocol.
+//!
+//! Mirrors `crates/service/src/cache.rs`: one mutex guards the slot map; a
+//! getter that misses claims the key with an `InFlight` marker, computes
+//! *unlocked*, then relocks to publish `Ready` and wake waiters; a getter
+//! that finds `InFlight` waits on the condvar and re-inspects after
+//! relocking; a hit copies the value out in a single locked section
+//! (`Arc::clone` under the lock in the real code). LRU eviction — modeled
+//! as an adversary task standing in for capacity pressure from other keys —
+//! clears a `Ready` slot back to `Empty`, which may only force a
+//! *recompute*, never a torn or stale response.
+//!
+//! The modeled configurations are the issue's two bounded races:
+//!
+//! - two threads racing a miss on the same key → exactly one solve (the
+//!   single-flight invariant: computes never exceed `1 + evictions`) and
+//!   both callers observe the bit-identical payload;
+//! - LRU eviction racing a hit → never a torn entry: every observed
+//!   payload is exactly the computed one, both words.
+//!
+//! Two seeded-defect switches keep the checker honest. `skip_claim`
+//! removes the `InFlight` claim (the real bug class single-flight exists
+//! for): both racers must be seen solving the same key. `torn_read` splits
+//! the hit's copy-out into two locked sections (modeling a returned
+//! reference outliving the lock): an eviction between them must produce a
+//! payload whose halves disagree.
+
+use crate::explore::{Footprint, System};
+use crate::model::obj_id;
+
+/// The payload both halves of which every response must carry. Word 1 is
+/// derived from word 0 so a torn read (one word fresh, one stale/zero) is
+/// detectable bit-exactly.
+fn expected() -> [u64; 2] {
+    let f = crate::fnv1a_64(b"cache.key0");
+    [f, f.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15]
+}
+
+/// Bounded cache configuration: `getters` callers race on one key.
+#[derive(Debug, Clone)]
+pub struct CacheSpec {
+    /// Concurrent callers of get-or-compute on the same key.
+    pub getters: usize,
+    /// Start with the slot already `Ready` (so the hit path races the
+    /// evictor from step one).
+    pub prepopulate: bool,
+    /// Add an LRU-pressure adversary that evicts a `Ready` slot (budget 1).
+    pub evict: bool,
+    /// Seeded defect: a miss computes without claiming `InFlight` first.
+    pub skip_claim: bool,
+    /// Seeded defect: the hit copies the payload in two separately locked
+    /// sections instead of one.
+    pub torn_read: bool,
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        Self {
+            getters: 2,
+            prepopulate: false,
+            evict: false,
+            skip_claim: false,
+            torn_read: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    InFlight(usize),
+    Ready([u64; 2]),
+}
+
+/// Getter program counter; each variant is one atomic step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// Wants the cache lock.
+    Acquire,
+    /// Holds the lock; inspects the slot and branches.
+    Inspect,
+    /// Released the lock, parked on the condvar until the slot leaves
+    /// `InFlight`; the wake relocks and re-inspects.
+    Wait,
+    /// Solving, unlocked.
+    Compute,
+    /// Wants the lock back to publish.
+    PubAcquire,
+    /// Holds the lock; publishes `Ready` and notifies.
+    Publish,
+    /// Defect twin only: holds half the payload, wants the lock back for
+    /// the other half.
+    TornRelock,
+    /// Defect twin only: holds the lock; reads the second word.
+    TornRead,
+    Done,
+}
+
+/// Task layout: `0..getters` callers; `getters` (optional) the evictor.
+pub struct CacheSystem {
+    spec: CacheSpec,
+    lock_holder: Option<usize>,
+    slot: Slot,
+    pc: Vec<Pc>,
+    /// Response each getter returned, for the bit-identity checks.
+    observed: Vec<Option<[u64; 2]>>,
+    /// First word stashed by a torn reader between its locked sections.
+    torn_lo: Vec<u64>,
+    computes: u64,
+    evictions: u64,
+    evict_budget: u64,
+    /// Evictor holds the lock between its two steps.
+    evictor_locked: bool,
+    /// Lock misuse surfaced by `check` (a model bug, not a schedule).
+    protocol_error: Option<String>,
+}
+
+impl CacheSystem {
+    pub fn new(spec: CacheSpec) -> Self {
+        Self {
+            lock_holder: None,
+            slot: if spec.prepopulate {
+                Slot::Ready(expected())
+            } else {
+                Slot::Empty
+            },
+            pc: vec![Pc::Acquire; spec.getters],
+            observed: vec![None; spec.getters],
+            torn_lo: vec![0; spec.getters],
+            computes: 0,
+            evictions: 0,
+            evict_budget: u64::from(spec.evict),
+            evictor_locked: false,
+            protocol_error: None,
+            spec,
+        }
+    }
+
+    fn lock(&mut self, task: usize) {
+        if let Some(h) = self.lock_holder {
+            self.protocol_error = Some(format!("task {task} locked a mutex held by task {h}"));
+            return;
+        }
+        self.lock_holder = Some(task);
+    }
+
+    fn unlock(&mut self, task: usize) {
+        if self.lock_holder != Some(task) {
+            self.protocol_error = Some(format!(
+                "task {task} unlocked a mutex it does not hold (holder: {:?})",
+                self.lock_holder
+            ));
+            return;
+        }
+        self.lock_holder = None;
+    }
+
+    fn lock_free(&self) -> bool {
+        self.lock_holder.is_none()
+    }
+}
+
+impl System for CacheSystem {
+    fn n_tasks(&self) -> usize {
+        self.spec.getters + usize::from(self.spec.evict)
+    }
+
+    fn task_name(&self, task: usize) -> String {
+        if task < self.spec.getters {
+            format!("getter{task}")
+        } else {
+            "evictor".into()
+        }
+    }
+
+    fn done(&self, task: usize) -> bool {
+        if task < self.spec.getters {
+            self.pc[task] == Pc::Done
+        } else {
+            self.evict_budget == 0 && !self.evictor_locked
+        }
+    }
+
+    fn enabled(&self, task: usize) -> bool {
+        if task < self.spec.getters {
+            match self.pc[task] {
+                Pc::Acquire | Pc::PubAcquire | Pc::TornRelock => self.lock_free(),
+                // Condvar wake: runnable once notified (slot left
+                // `InFlight`) and the relock can succeed.
+                Pc::Wait => self.lock_free() && !matches!(self.slot, Slot::InFlight(_)),
+                Pc::Inspect | Pc::Compute | Pc::Publish | Pc::TornRead => true,
+                Pc::Done => false,
+            }
+        } else if self.evictor_locked {
+            true
+        } else {
+            self.evict_budget > 0 && self.lock_free()
+        }
+    }
+
+    fn peek(&self, _task: usize) -> Footprint {
+        // Every step of every task synchronizes on the one cache mutex, so
+        // all steps are mutually dependent; the coarse footprint is exact
+        // here, not just a sound over-approximation.
+        Footprint::new()
+            .read(obj_id("cache.lock"))
+            .write(obj_id("cache.lock"))
+            .read(obj_id("cache.slot"))
+            .write(obj_id("cache.slot"))
+    }
+
+    fn step(&mut self, task: usize) {
+        if task >= self.spec.getters {
+            if self.evictor_locked {
+                // Capacity pressure: only a `Ready` entry is an LRU victim.
+                if matches!(self.slot, Slot::Ready(_)) {
+                    self.slot = Slot::Empty;
+                    self.evictions += 1;
+                }
+                self.unlock(task);
+                self.evictor_locked = false;
+                self.evict_budget = 0;
+            } else {
+                self.lock(task);
+                self.evictor_locked = true;
+            }
+            return;
+        }
+        match self.pc[task] {
+            Pc::Acquire | Pc::Wait => {
+                self.lock(task);
+                self.pc[task] = Pc::Inspect;
+            }
+            Pc::Inspect => match self.slot {
+                Slot::Ready(p) => {
+                    if self.spec.torn_read {
+                        // Seeded defect: the copy-out spans two locked
+                        // sections, as if a borrowed reference outlived
+                        // the first one.
+                        self.torn_lo[task] = p[0];
+                        self.unlock(task);
+                        self.pc[task] = Pc::TornRelock;
+                    } else {
+                        self.observed[task] = Some(p);
+                        self.unlock(task);
+                        self.pc[task] = Pc::Done;
+                    }
+                }
+                Slot::InFlight(_) => {
+                    self.unlock(task);
+                    self.pc[task] = Pc::Wait;
+                }
+                Slot::Empty => {
+                    if !self.spec.skip_claim {
+                        self.slot = Slot::InFlight(task);
+                    }
+                    self.unlock(task);
+                    self.pc[task] = Pc::Compute;
+                }
+            },
+            Pc::Compute => {
+                self.computes += 1;
+                self.pc[task] = Pc::PubAcquire;
+            }
+            Pc::PubAcquire => {
+                self.lock(task);
+                self.pc[task] = Pc::Publish;
+            }
+            Pc::Publish => {
+                self.slot = Slot::Ready(expected());
+                self.observed[task] = Some(expected());
+                self.unlock(task);
+                self.pc[task] = Pc::Done;
+            }
+            Pc::TornRelock => {
+                self.lock(task);
+                self.pc[task] = Pc::TornRead;
+            }
+            Pc::TornRead => {
+                let hi = match self.slot {
+                    Slot::Ready(p) => p[1],
+                    // The entry is gone (or mid-flight): the stale borrow
+                    // reads whatever is there now.
+                    Slot::Empty | Slot::InFlight(_) => 0,
+                };
+                self.observed[task] = Some([self.torn_lo[task], hi]);
+                self.unlock(task);
+                self.pc[task] = Pc::Done;
+            }
+            Pc::Done => {}
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(err) = &self.protocol_error {
+            return Err(err.clone());
+        }
+        // Single-flight modulo eviction: each eviction licenses at most one
+        // recompute; racing misses must coalesce onto one solve.
+        if self.computes > 1 + self.evictions {
+            return Err(format!(
+                "{} computes for one key with {} evictions (single-flight violated)",
+                self.computes, self.evictions
+            ));
+        }
+        for (t, obs) in self.observed.iter().enumerate() {
+            if let Some(p) = obs {
+                if *p != expected() {
+                    return Err(format!(
+                        "getter{t} returned a torn payload {p:016x?} (want {:016x?})",
+                        expected()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        self.check()?;
+        for (t, obs) in self.observed.iter().enumerate() {
+            if obs.is_none() {
+                return Err(format!("getter{t} finished without a response"));
+            }
+        }
+        if !self.spec.evict && self.computes != 1 && !self.spec.prepopulate {
+            return Err(format!(
+                "{} computes for one cold key (want exactly 1)",
+                self.computes
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer};
+
+    #[test]
+    fn racing_misses_coalesce_onto_one_solve() {
+        let run = Explorer::default().explore("cache", || CacheSystem::new(CacheSpec::default()));
+        assert!(
+            run.verified(),
+            "exhaustive pass expected, got {:?}",
+            run.violation
+        );
+        assert!(run.schedules > 1, "space should be non-trivial");
+    }
+
+    #[test]
+    fn eviction_racing_a_hit_never_tears() {
+        let run = Explorer::default().explore("cache-evict", || {
+            CacheSystem::new(CacheSpec {
+                prepopulate: true,
+                evict: true,
+                ..CacheSpec::default()
+            })
+        });
+        assert!(
+            run.verified(),
+            "exhaustive pass expected, got {:?}",
+            run.violation
+        );
+    }
+
+    #[test]
+    fn missing_claim_is_caught_and_replayable() {
+        let spec = CacheSpec {
+            skip_claim: true,
+            ..CacheSpec::default()
+        };
+        let run = Explorer::default().explore("cache-defect", || CacheSystem::new(spec.clone()));
+        let v = run.violation.expect("skip_claim must double-solve");
+        assert!(v.message.contains("single-flight"), "{}", v.message);
+        let mut sys = CacheSystem::new(spec);
+        let replayed = replay(&mut sys, &v.schedule).expect_err("replay must reproduce");
+        assert_eq!(replayed.message, v.message);
+    }
+
+    #[test]
+    fn torn_copy_out_is_caught_and_replayable() {
+        let spec = CacheSpec {
+            prepopulate: true,
+            evict: true,
+            torn_read: true,
+            ..CacheSpec::default()
+        };
+        let run =
+            Explorer::default().explore("cache-torn-defect", || CacheSystem::new(spec.clone()));
+        let v = run
+            .violation
+            .expect("split copy-out must tear under eviction");
+        assert!(v.message.contains("torn"), "{}", v.message);
+        let mut sys = CacheSystem::new(spec);
+        let replayed = replay(&mut sys, &v.schedule).expect_err("replay must reproduce");
+        assert_eq!(replayed.message, v.message);
+    }
+
+    #[test]
+    fn correct_hit_path_survives_the_evictor_without_recompute_waste() {
+        // With claim and single-section copy-out, computes never exceed
+        // 1 + evictions on any explored schedule (asserted by `check`), and
+        // the clean run completes.
+        let run = Explorer::default().explore("cache-clean", || {
+            CacheSystem::new(CacheSpec {
+                prepopulate: true,
+                evict: false,
+                ..CacheSpec::default()
+            })
+        });
+        assert!(run.verified());
+    }
+}

@@ -12,6 +12,7 @@
 //! Fidelity notes for each adapter live in its module docs; the summary of
 //! what is and is not modeled is in DESIGN.md ("Concurrency verification").
 
+pub mod cache;
 pub mod checkpoint;
 pub mod counter;
 pub mod mailbox;

@@ -98,10 +98,7 @@ impl<R: Real> GaugeField<R> {
 
     /// Largest unitarity violation across all links (drift monitor).
     pub fn max_unitarity_error(&self) -> f64 {
-        self.links
-            .par_iter()
-            .map(|u| u.unitarity_error())
-            .reduce(|| 0.0, f64::max)
+        crate::reduce::max_sites(self.links.len(), |l| self.links[l].unitarity_error())
     }
 
     /// Project every link back onto SU(3).

@@ -64,25 +64,22 @@ use crate::field::GaugeLinks;
 
 /// Average plaquette `⟨Re Tr U_{μν}⟩ / 3` over all sites and planes.
 pub fn average_plaquette(lat: &Lattice, gauge: &GaugeField<f64>) -> f64 {
-    let total: f64 = (0..lat.volume())
-        .into_par_iter()
-        .map(|x| {
-            let nb = lat.neighbors(x);
-            let mut acc = 0.0;
-            for mu in 0..ND {
-                for nu in (mu + 1)..ND {
-                    let x_mu = nb.fwd[mu] as usize;
-                    let x_nu = nb.fwd[nu] as usize;
-                    let p = gauge.link(x, mu)
-                        * gauge.link(x_mu, nu)
-                        * gauge.link(x_nu, mu).dagger()
-                        * gauge.link(x, nu).dagger();
-                    acc += p.re_trace() / NC as f64;
-                }
+    let total = crate::reduce::sum_sites(lat.volume(), |x| {
+        let nb = lat.neighbors(x);
+        let mut acc = 0.0;
+        for mu in 0..ND {
+            for nu in (mu + 1)..ND {
+                let x_mu = nb.fwd[mu] as usize;
+                let x_nu = nb.fwd[nu] as usize;
+                let p = gauge.link(x, mu)
+                    * gauge.link(x_mu, nu)
+                    * gauge.link(x_nu, mu).dagger()
+                    * gauge.link(x, nu).dagger();
+                acc += p.re_trace() / NC as f64;
             }
-            acc
-        })
-        .sum();
+        }
+        acc
+    });
     total / (lat.volume() as f64 * 6.0)
 }
 

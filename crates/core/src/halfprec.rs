@@ -100,21 +100,18 @@ impl HalfGaugeField {
 
     /// Maximum element-wise decode error against a reference field.
     pub fn max_abs_error<R: Real>(&self, reference: &GaugeField<R>) -> f64 {
-        (0..self.volume * ND)
-            .into_par_iter()
-            .map(|l| {
-                let u = self.decode_link(l);
-                let r = reference.links()[l];
-                let mut err = 0.0f64;
-                for i in 0..NC {
-                    for j in 0..NC {
-                        let d = (u.m[i][j].to_c64() - r.m[i][j].to_c64()).abs();
-                        err = err.max(d);
-                    }
+        crate::reduce::max_sites(self.volume * ND, |l| {
+            let u = self.decode_link(l);
+            let r = reference.links()[l];
+            let mut err = 0.0f64;
+            for i in 0..NC {
+                for j in 0..NC {
+                    let d = (u.m[i][j].to_c64() - r.m[i][j].to_c64()).abs();
+                    err = err.max(d);
                 }
-                err
-            })
-            .reduce(|| 0.0, f64::max)
+            }
+            err
+        })
     }
 
     #[inline]

@@ -109,7 +109,7 @@ fn sample_momenta(lat: &Lattice, rng: &mut SmallRng) -> Momenta {
 
 /// Kinetic energy `Σ ‖P‖²_F`.
 fn kinetic(momenta: &Momenta) -> f64 {
-    momenta.par_iter().map(algebra_norm_sqr).sum()
+    crate::reduce::sum_sites(momenta.len(), |l| algebra_norm_sqr(&momenta[l]))
 }
 
 /// Wilson gauge action `S = −β/Nc Σ_x Σ_{μ<ν} Re Tr U_{μν}` (up to the

@@ -50,6 +50,7 @@ pub mod observables;
 pub mod prop;
 pub mod real;
 pub mod recon;
+pub mod reduce;
 pub mod simd;
 pub mod smear;
 pub mod solver;

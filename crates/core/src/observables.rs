@@ -8,7 +8,6 @@
 use crate::field::{GaugeField, GaugeLinks};
 use crate::lattice::Lattice;
 use crate::su3::{Su3, NC};
-use rayon::prelude::*;
 
 /// Product of links along `len` steps in direction `mu` starting at `x`.
 fn line(lat: &Lattice, gauge: &GaugeField<f64>, x: usize, mu: usize, len: usize) -> Su3<f64> {
@@ -34,24 +33,21 @@ fn hop(lat: &Lattice, x: usize, mu: usize, len: usize) -> usize {
 /// over the three spatial directions paired with time.
 pub fn wilson_loop(lat: &Lattice, gauge: &GaugeField<f64>, r: usize, t: usize) -> f64 {
     assert!(r >= 1 && t >= 1);
-    let total: f64 = (0..lat.volume())
-        .into_par_iter()
-        .map(|x| {
-            let mut acc = 0.0;
-            for mu in 0..3 {
-                // Bottom spatial line, right temporal line, then back.
-                let bottom = line(lat, gauge, x, mu, r);
-                let x_r = hop(lat, x, mu, r);
-                let right = line(lat, gauge, x_r, 3, t);
-                let x_t = hop(lat, x, 3, t);
-                let top = line(lat, gauge, x_t, mu, r);
-                let left = line(lat, gauge, x, 3, t);
-                let loop_ = bottom * right * top.dagger() * left.dagger();
-                acc += loop_.re_trace() / NC as f64;
-            }
-            acc
-        })
-        .sum();
+    let total = crate::reduce::sum_sites(lat.volume(), |x| {
+        let mut acc = 0.0;
+        for mu in 0..3 {
+            // Bottom spatial line, right temporal line, then back.
+            let bottom = line(lat, gauge, x, mu, r);
+            let x_r = hop(lat, x, mu, r);
+            let right = line(lat, gauge, x_r, 3, t);
+            let x_t = hop(lat, x, 3, t);
+            let top = line(lat, gauge, x_t, mu, r);
+            let left = line(lat, gauge, x, 3, t);
+            let loop_ = bottom * right * top.dagger() * left.dagger();
+            acc += loop_.re_trace() / NC as f64;
+        }
+        acc
+    });
     total / (lat.volume() as f64 * 3.0)
 }
 
@@ -73,19 +69,16 @@ pub fn polyakov_loop(lat: &Lattice, gauge: &GaugeField<f64>) -> crate::complex::
     let dims = lat.dims();
     let nt = dims[3];
     let spatial = lat.spatial_volume();
-    let sum = (0..spatial)
-        .into_par_iter()
-        .map(|s| {
-            // Spatial index -> full coords at t = 0.
-            let x = s % dims[0];
-            let y = (s / dims[0]) % dims[1];
-            let z = s / (dims[0] * dims[1]);
-            let site0 = lat.index([x, y, z, 0]);
-            let lp = line(lat, gauge, site0, 3, nt);
-            let tr = lp.trace();
-            (tr.re / NC as f64, tr.im / NC as f64)
-        })
-        .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+    let sum = crate::reduce::sum2_sites(spatial, |s| {
+        // Spatial index -> full coords at t = 0.
+        let x = s % dims[0];
+        let y = (s / dims[0]) % dims[1];
+        let z = s / (dims[0] * dims[1]);
+        let site0 = lat.index([x, y, z, 0]);
+        let lp = line(lat, gauge, site0, 3, nt);
+        let tr = lp.trace();
+        (tr.re / NC as f64, tr.im / NC as f64)
+    });
     crate::complex::C64::new(sum.0 / spatial as f64, sum.1 / spatial as f64)
 }
 

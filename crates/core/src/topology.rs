@@ -6,7 +6,6 @@ use crate::complex::Complex;
 use crate::field::{GaugeField, GaugeLinks};
 use crate::lattice::Lattice;
 use crate::su3::{Su3, NC};
-use rayon::prelude::*;
 
 /// The four plaquette "leaves" around `x` in the `(μ,ν)` plane, summed.
 fn clover_leaves(lat: &Lattice, g: &GaugeField<f64>, x: usize, mu: usize, nu: usize) -> Su3<f64> {
@@ -84,28 +83,22 @@ pub fn topological_charge_density(lat: &Lattice, g: &GaugeField<f64>, x: usize) 
 
 /// Total topological charge `Q = Σ_x q(x)`; near-integer on smooth fields.
 pub fn topological_charge(lat: &Lattice, g: &GaugeField<f64>) -> f64 {
-    (0..lat.volume())
-        .into_par_iter()
-        .map(|x| topological_charge_density(lat, g, x))
-        .sum()
+    crate::reduce::sum_sites(lat.volume(), |x| topological_charge_density(lat, g, x))
 }
 
 /// Clover action density `Σ_{μ<ν} −½ Tr[F_{μν}²] / V` — positive, vanishing
 /// on a pure gauge.
 pub fn action_density(lat: &Lattice, g: &GaugeField<f64>) -> f64 {
-    let total: f64 = (0..lat.volume())
-        .into_par_iter()
-        .map(|x| {
-            let mut acc = 0.0;
-            for mu in 0..4 {
-                for nu in (mu + 1)..4 {
-                    let f = clover_field_strength(lat, g, x, mu, nu);
-                    acc -= (f * f).re_trace() * 0.5;
-                }
+    let total = crate::reduce::sum_sites(lat.volume(), |x| {
+        let mut acc = 0.0;
+        for mu in 0..4 {
+            for nu in (mu + 1)..4 {
+                let f = clover_field_strength(lat, g, x, mu, nu);
+                acc -= (f * f).re_trace() * 0.5;
             }
-            acc
-        })
-        .sum();
+        }
+        acc
+    });
     total / lat.volume() as f64
 }
 

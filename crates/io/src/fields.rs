@@ -80,6 +80,18 @@ pub fn write_fermion(
 
 /// Read a fermion field written by [`write_fermion`].
 pub fn read_fermion(path: &Path) -> Result<FermionField<f64>, IoError> {
+    read_fermion_with_meta(path).map(|(f, _)| f)
+}
+
+/// Read a fermion field together with the container's metadata map.
+///
+/// The solve service's spill cache stores the canonical cache key (and the
+/// solve provenance) in the metadata and verifies every field of it on
+/// load, so a spill file can never be served against the wrong request
+/// even if two keys were to share a file name.
+pub fn read_fermion_with_meta(
+    path: &Path,
+) -> Result<(FermionField<f64>, BTreeMap<String, String>), IoError> {
     let c = read_container(path)?;
     if c.header.shape.len() != 4 || c.header.shape[1..] != [4, NC, 2] {
         return Err(IoError::ShapeMismatch(format!(
@@ -99,7 +111,7 @@ pub fn read_fermion(path: &Path) -> Result<FermionField<f64>, IoError> {
             }
         }
     }
-    Ok(field)
+    Ok((field, c.header.metadata))
 }
 
 /// Write a (complex) correlator as `[nt, 2]`.

@@ -38,7 +38,8 @@ pub use container::{
     SalvagedContainer,
 };
 pub use fields::{
-    read_correlator, read_fermion, read_gauge, write_correlator, write_fermion, write_gauge,
+    read_correlator, read_fermion, read_fermion_with_meta, read_gauge, write_correlator,
+    write_fermion, write_gauge,
 };
 
 /// Errors produced by this crate.

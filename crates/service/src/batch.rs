@@ -1,0 +1,130 @@
+//! Grouping of queued requests into multi-RHS solve batches.
+//!
+//! Two requests are batch-compatible when they solve the *same linear
+//! system family* — same gauge configuration, same quark mass (bit
+//! pattern), same tolerance tier — through the dense pipeline; then their
+//! sources are just extra right-hand-side columns of one [`cg_block`]
+//! call and the batch amortizes every gauge-link load across all of them.
+//! Sharded requests never batch: the fault-tolerant pipeline is
+//! single-RHS.
+//!
+//! [`cg_block`]: lqcd_core::solver::cg_block
+
+use crate::request::{CacheKey, Policy, Precision, SolveRequest};
+use std::collections::VecDeque;
+
+/// The compatibility class of a dense request: everything that selects
+/// the operator, but not the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BatchClass {
+    pub config_id: u32,
+    pub mass_bits: u64,
+    pub precision: Precision,
+}
+
+impl BatchClass {
+    /// The class of `req`, or `None` when it cannot batch (sharded).
+    pub fn of(req: &SolveRequest) -> Option<BatchClass> {
+        match req.policy {
+            Policy::Dense => Some(BatchClass {
+                config_id: req.config_id,
+                mass_bits: req.mass.to_bits(),
+                precision: req.precision,
+            }),
+            Policy::Sharded => None,
+        }
+    }
+}
+
+/// A request sitting in a tenant queue, with its canonical key already
+/// derived.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedRequest {
+    pub req: SolveRequest,
+    pub key: CacheKey,
+    /// Admission sequence number, for deterministic tie-breaking.
+    pub seq: u64,
+}
+
+/// Pull every request of `class` out of the tenant queues, scanning
+/// tenants in index order and each queue front-to-back, until `max_nrhs`
+/// members are collected. The scan order is a pure function of queue
+/// contents, so batch composition is deterministic.
+pub fn drain_compatible(
+    queues: &mut [VecDeque<QueuedRequest>],
+    class: BatchClass,
+    max_nrhs: usize,
+) -> Vec<QueuedRequest> {
+    let mut members = Vec::new();
+    for q in queues.iter_mut() {
+        if members.len() >= max_nrhs {
+            break;
+        }
+        let mut kept = VecDeque::with_capacity(q.len());
+        while let Some(c) = q.pop_front() {
+            if members.len() < max_nrhs && BatchClass::of(&c.req) == Some(class) {
+                members.push(c);
+            } else {
+                kept.push_back(c);
+            }
+        }
+        *q = kept;
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Precision;
+
+    fn qr(tenant: u32, config: u32, mass: f64, seed: u64, seq: u64) -> QueuedRequest {
+        let req = SolveRequest {
+            tenant,
+            config_id: config,
+            source_seed: seed,
+            mass,
+            precision: Precision::Sloppy,
+            policy: Policy::Dense,
+            arrival: seq,
+        };
+        QueuedRequest {
+            req,
+            key: CacheKey::canonical(&req, config as u64),
+            seq,
+        }
+    }
+
+    #[test]
+    fn drains_across_tenants_in_order_and_respects_cap() {
+        let mut queues = vec![VecDeque::new(), VecDeque::new()];
+        queues[0].push_back(qr(0, 1, 0.2, 10, 0));
+        queues[0].push_back(qr(0, 2, 0.2, 11, 1)); // different config: stays
+        queues[1].push_back(qr(1, 1, 0.2, 12, 2));
+        queues[1].push_back(qr(1, 1, 0.2, 13, 3));
+        let class = BatchClass {
+            config_id: 1,
+            mass_bits: 0.2f64.to_bits(),
+            precision: Precision::Sloppy,
+        };
+        let got = drain_compatible(&mut queues, class, 3);
+        assert_eq!(got.iter().map(|c| c.seq).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(queues[0].len(), 1);
+        assert!(queues[1].is_empty());
+
+        // Cap respected: only the head request fits.
+        let mut queues = vec![VecDeque::new()];
+        queues[0].push_back(qr(0, 1, 0.2, 10, 0));
+        queues[0].push_back(qr(0, 1, 0.2, 11, 1));
+        let got = drain_compatible(&mut queues, class, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(queues[0].len(), 1);
+    }
+
+    #[test]
+    fn one_ulp_of_mass_splits_the_class() {
+        let a = qr(0, 1, 0.2, 10, 0);
+        let b = qr(0, 1, f64::from_bits(0.2f64.to_bits() + 1), 11, 1);
+        assert_ne!(BatchClass::of(&a.req), BatchClass::of(&b.req));
+    }
+}

@@ -1,0 +1,462 @@
+//! Content-addressed result cache: LRU in memory, CRC-gated spill to the
+//! container format on disk, and in-flight deduplication so two requests
+//! racing the same cold key trigger exactly one solve.
+//!
+//! The concurrency protocol of [`ResultCache::get_or_compute`] (miss →
+//! claim in-flight → compute unlocked → publish → wake waiters; waiters
+//! loop on the condvar and re-check) is modeled and exhaustively schedule-
+//! checked in `checkmate::protocols::cache`; the implementation here keeps
+//! the same state machine shape deliberately.
+
+use crate::backend::SolveResult;
+use crate::error::ServiceError;
+use crate::request::CacheKey;
+use lqcd_core::field::FermionField;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// How a request was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from memory.
+    Hit,
+    /// Served from a spilled entry on disk (CRC verified, key verified).
+    SpillHit,
+    /// Arrived while another caller was computing the same key and waited
+    /// for that solve instead of duplicating it.
+    Coalesced,
+    /// Cold miss: this caller ran the solve.
+    Computed,
+}
+
+/// Monotone counters describing cache behaviour so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub spill_hits: u64,
+    pub coalesced: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub spills: u64,
+    /// Spill files rejected on load (CRC failure, shape mismatch, or
+    /// metadata that does not match the requested key bit-for-bit). Each
+    /// rejection degrades to a recompute, never to wrong data.
+    pub spill_rejects: u64,
+}
+
+enum Slot {
+    /// Value present; `stamp` indexes into the recency map.
+    Ready { stamp: u64, value: Arc<SolveResult> },
+    /// A caller is computing this key; waiters sleep on the condvar.
+    InFlight,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Slot>,
+    /// recency stamp → key, oldest first; evictions pop the first entry.
+    recency: BTreeMap<u64, CacheKey>,
+    next_stamp: u64,
+    ready: usize,
+    stats: CacheStats,
+}
+
+/// The cache. Clone-free; share it by reference (or `Arc`) across the
+/// pool.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+    spill_dir: Option<PathBuf>,
+}
+
+fn relock<T>(r: Result<T, PoisonError<T>>) -> T {
+    // A poisoned lock means a *test* thread panicked mid-critical-section;
+    // the state itself is a plain map and stays structurally sound.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries in memory.
+    /// Evicted entries spill to `spill_dir` when one is given.
+    pub fn new(capacity: usize, spill_dir: Option<PathBuf>) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                next_stamp: 0,
+                ready: 0,
+                stats: CacheStats::default(),
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            spill_dir,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        relock(self.inner.lock()).stats
+    }
+
+    /// Ready entries currently held in memory.
+    pub fn len(&self) -> usize {
+        relock(self.inner.lock()).ready
+    }
+
+    /// Whether no ready entries are held in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory lookup + spill probe, bumping recency on a hit. Does not
+    /// wait on in-flight computations (the gateway tracks those itself
+    /// against its virtual clock). The `bool` is true when the value was
+    /// revived from disk.
+    pub fn lookup(&self, key: &CacheKey) -> Option<(Arc<SolveResult>, bool)> {
+        let mut inner = relock(self.inner.lock());
+        if let Some(v) = touch_ready(&mut inner, key) {
+            inner.stats.hits += 1;
+            return Some((v, false));
+        }
+        if matches!(inner.map.get(key), Some(Slot::InFlight)) {
+            return None;
+        }
+        let revived = self.try_revive(&mut inner, key)?;
+        inner.stats.spill_hits += 1;
+        Some((revived, true))
+    }
+
+    /// Publish a computed value (gateway path — the solve already ran).
+    pub fn insert(&self, key: CacheKey, value: Arc<SolveResult>) {
+        let mut inner = relock(self.inner.lock());
+        self.insert_ready(&mut inner, key, value);
+        self.cv.notify_all();
+    }
+
+    /// Get `key`, running `compute` exactly once per cold key even under
+    /// concurrent callers: the first caller claims the key and computes
+    /// with the lock released; latecomers sleep on the condvar and receive
+    /// the published `Arc`. If the computing caller fails, its claim is
+    /// withdrawn and exactly one waiter retries.
+    pub fn get_or_compute<F>(
+        &self,
+        key: CacheKey,
+        compute: F,
+    ) -> Result<(Arc<SolveResult>, CacheOutcome), ServiceError>
+    where
+        F: FnOnce() -> Result<SolveResult, ServiceError>,
+    {
+        let mut waited = false;
+        let mut inner = relock(self.inner.lock());
+        loop {
+            if let Some(v) = touch_ready(&mut inner, &key) {
+                if waited {
+                    inner.stats.coalesced += 1;
+                    return Ok((v, CacheOutcome::Coalesced));
+                }
+                inner.stats.hits += 1;
+                return Ok((v, CacheOutcome::Hit));
+            }
+            if matches!(inner.map.get(&key), Some(Slot::InFlight)) {
+                waited = true;
+                inner = relock(self.cv.wait(inner));
+                continue;
+            }
+            if let Some(revived) = self.try_revive(&mut inner, &key) {
+                inner.stats.spill_hits += 1;
+                return Ok((revived, CacheOutcome::SpillHit));
+            }
+            break;
+        }
+        // Claim the key and solve with the lock released.
+        inner.map.insert(key, Slot::InFlight);
+        drop(inner);
+        let computed = compute();
+        let mut inner = relock(self.inner.lock());
+        // Withdraw the claim whatever happened; on success it is replaced
+        // by the published value below.
+        inner.map.remove(&key);
+        match computed {
+            Ok(v) => {
+                let v = Arc::new(v);
+                self.insert_ready(&mut inner, key, v.clone());
+                inner.stats.misses += 1;
+                self.cv.notify_all();
+                Ok((v, CacheOutcome::Computed))
+            }
+            Err(e) => {
+                // Wake everyone: one of the waiters will find the key
+                // absent and become the new computer.
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_ready(&self, inner: &mut Inner, key: CacheKey, value: Arc<SolveResult>) {
+        if let Some(Slot::Ready { stamp, .. }) = inner.map.get(&key) {
+            let stamp = *stamp;
+            inner.recency.remove(&stamp);
+            inner.ready -= 1;
+        }
+        while inner.ready >= self.capacity {
+            let Some((&oldest, &victim)) = inner.recency.iter().next() else {
+                break;
+            };
+            inner.recency.remove(&oldest);
+            if let Some(Slot::Ready { value, .. }) = inner.map.remove(&victim) {
+                inner.ready -= 1;
+                inner.stats.evictions += 1;
+                if self.spill(&victim, &value).is_some() {
+                    inner.stats.spills += 1;
+                }
+            }
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.recency.insert(stamp, key);
+        inner.map.insert(key, Slot::Ready { stamp, value });
+        inner.ready += 1;
+    }
+
+    fn spill_path(&self, key: &CacheKey) -> Option<PathBuf> {
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.lqio", key.file_stem())))
+    }
+
+    /// Best-effort spill of an evicted entry. IO errors degrade the entry
+    /// to recompute-on-next-miss rather than failing the insert.
+    fn spill(&self, key: &CacheKey, value: &SolveResult) -> Option<()> {
+        let path = self.spill_path(key)?;
+        let field = FermionField {
+            data: value.solution.clone(),
+        };
+        let meta = spill_metadata(key, value);
+        lattice_io::write_fermion(&path, &field, meta).ok()
+    }
+
+    /// Try to revive `key` from its spill file. The container layer gates
+    /// the payload on CRC-32C; on top of that every key field recorded in
+    /// the metadata must match the requested key exactly, so a corrupted
+    /// or foreign file can only ever degrade to a miss.
+    fn try_revive(&self, inner: &mut Inner, key: &CacheKey) -> Option<Arc<SolveResult>> {
+        let path = self.spill_path(key)?;
+        if !path.exists() {
+            return None;
+        }
+        match load_spill(&path, key) {
+            Some(v) => {
+                let v = Arc::new(v);
+                self.insert_ready(inner, *key, v.clone());
+                Some(v)
+            }
+            None => {
+                inner.stats.spill_rejects += 1;
+                None
+            }
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        relock(self.inner.lock())
+    }
+
+    /// Keys of the ready entries, oldest first (tests and diagnostics).
+    pub fn resident_keys(&self) -> Vec<CacheKey> {
+        let inner = self.lock();
+        inner.recency.values().copied().collect()
+    }
+}
+
+fn touch_ready(inner: &mut Inner, key: &CacheKey) -> Option<Arc<SolveResult>> {
+    let Some(Slot::Ready { stamp, value }) = inner.map.get(key) else {
+        return None;
+    };
+    let (old, value) = (*stamp, value.clone());
+    inner.recency.remove(&old);
+    let stamp = inner.next_stamp;
+    inner.next_stamp += 1;
+    inner.recency.insert(stamp, *key);
+    inner.map.insert(
+        *key,
+        Slot::Ready {
+            stamp,
+            value: value.clone(),
+        },
+    );
+    Some(value)
+}
+
+fn spill_metadata(key: &CacheKey, value: &SolveResult) -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "service.config_hash".into(),
+        format!("{:016x}", key.config_hash),
+    );
+    m.insert(
+        "service.source_seed".into(),
+        format!("{:016x}", key.source_seed),
+    );
+    m.insert(
+        "service.mass_bits".into(),
+        format!("{:016x}", key.mass_bits),
+    );
+    m.insert("service.precision".into(), key.precision.to_string());
+    m.insert("service.policy".into(), key.policy.to_string());
+    m.insert("service.iterations".into(), value.iterations.to_string());
+    m.insert(
+        "service.residual_bits".into(),
+        format!("{:016x}", value.final_rel_residual.to_bits()),
+    );
+    m.insert("service.converged".into(), value.converged.to_string());
+    m.insert("service.recovered".into(), value.recovered.to_string());
+    m
+}
+
+fn load_spill(path: &Path, key: &CacheKey) -> Option<SolveResult> {
+    let (field, meta) = lattice_io::read_fermion_with_meta(path).ok()?;
+    let get = |k: &str| meta.get(k).map(String::as_str);
+    if get("service.config_hash") != Some(format!("{:016x}", key.config_hash).as_str())
+        || get("service.source_seed") != Some(format!("{:016x}", key.source_seed).as_str())
+        || get("service.mass_bits") != Some(format!("{:016x}", key.mass_bits).as_str())
+        || get("service.precision") != Some(key.precision.to_string().as_str())
+        || get("service.policy") != Some(key.policy.to_string().as_str())
+    {
+        return None;
+    }
+    let iterations: usize = get("service.iterations")?.parse().ok()?;
+    let residual_bits = u64::from_str_radix(get("service.residual_bits")?, 16).ok()?;
+    let converged: bool = get("service.converged")?.parse().ok()?;
+    let recovered: bool = get("service.recovered")?.parse().ok()?;
+    Some(SolveResult {
+        solution: field.data,
+        iterations,
+        final_rel_residual: f64::from_bits(residual_bits),
+        converged,
+        recovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_core::spinor::Spinor;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            config_hash: 0xabcd,
+            source_seed: seed,
+            mass_bits: 0.2f64.to_bits(),
+            precision: 1,
+            policy: 0,
+        }
+    }
+
+    fn result(tag: f64) -> SolveResult {
+        let mut sp = Spinor::zero();
+        sp.s[0].c[0] = lqcd_core::complex::Complex::new(tag, -tag);
+        SolveResult {
+            solution: vec![sp; 4],
+            iterations: 7,
+            final_rel_residual: 1e-6,
+            converged: true,
+            recovered: false,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_hits_refresh_recency() {
+        let cache = ResultCache::new(2, None);
+        cache.insert(key(1), Arc::new(result(1.0)));
+        cache.insert(key(2), Arc::new(result(2.0)));
+        // Touch key 1 so key 2 is now the LRU victim.
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(3), Arc::new(result(3.0)));
+        assert_eq!(cache.resident_keys(), vec![key(1), key(3)]);
+        assert!(cache.lookup(&key(2)).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn racing_misses_run_exactly_one_compute() {
+        let cache = ResultCache::new(8, None);
+        let computes = AtomicUsize::new(0);
+        let outcomes: Vec<CacheOutcome> = {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(4)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                use rayon::prelude::*;
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|_| {
+                        let (v, outcome) = cache
+                            .get_or_compute(key(9), || {
+                                computes.fetch_add(1, Ordering::SeqCst);
+                                Ok(result(9.0))
+                            })
+                            .expect("get_or_compute");
+                        assert_eq!(v.solution, result(9.0).solution);
+                        outcome
+                    })
+                    .collect()
+            })
+        };
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one solve");
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| **o == CacheOutcome::Computed)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn failed_compute_releases_the_claim() {
+        let cache = ResultCache::new(8, None);
+        let r = cache.get_or_compute(key(5), || Err(ServiceError::Config("injected".into())));
+        assert!(r.is_err());
+        // The key is free again: a retry computes.
+        let (_, outcome) = cache
+            .get_or_compute(key(5), || Ok(result(5.0)))
+            .expect("retry");
+        assert_eq!(outcome, CacheOutcome::Computed);
+    }
+
+    #[test]
+    fn spill_round_trips_and_rejects_foreign_metadata() {
+        let dir = std::env::temp_dir().join(format!("svc-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("spill dir");
+        let cache = ResultCache::new(1, Some(dir.clone()));
+        cache.insert(key(1), Arc::new(result(1.0)));
+        cache.insert(key(2), Arc::new(result(2.0))); // evicts + spills key 1
+        assert_eq!(cache.stats().spills, 1);
+        let (revived, from_disk) = cache.lookup(&key(1)).expect("revive from spill");
+        assert!(from_disk);
+        assert_eq!(revived.solution, result(1.0).solution);
+        assert_eq!(revived.iterations, 7);
+        assert_eq!(cache.stats().spill_hits, 1);
+
+        // A file whose metadata names a different key must be rejected
+        // even when it sits at the probed path.
+        let k_a = key(100);
+        let k_b = key(101);
+        let pa = dir.join(format!("{}.lqio", k_a.file_stem()));
+        let field = FermionField {
+            data: result(7.0).solution,
+        };
+        lattice_io::write_fermion(&pa, &field, spill_metadata(&k_b, &result(7.0)))
+            .expect("write foreign spill");
+        assert!(
+            cache.lookup(&k_a).is_none(),
+            "foreign metadata must not serve"
+        );
+        assert_eq!(cache.stats().spill_rejects, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

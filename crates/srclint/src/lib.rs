@@ -148,6 +148,7 @@ impl Default for Config {
                 "crates/io/src/".into(),
                 "crates/jobmgr/src/".into(),
                 "crates/obs/src/".into(),
+                "crates/service/src/".into(),
             ],
             float_reduce_exempt: vec![
                 "crates/core/src/blas.rs".into(),

@@ -1,0 +1,122 @@
+//! Width-invariance regression suite for the observables and monitors
+//! that used to reduce floats through unordered `par_iter().sum()` /
+//! `.reduce()` chains (the eight `R5-unordered-float-reduce` baseline
+//! suppressions burned down alongside the solve service).
+//!
+//! Every fixed site now routes through the fixed-shape
+//! `lqcd_core::reduce` helpers, so each value here must be bit-identical
+//! at pool widths 1 and 8. These are exactly the quantities a
+//! content-addressed result cache compares bit-for-bit: a width-dependent
+//! plaquette or charge would silently fork the cache key space.
+
+use lqcd::core::prelude::*;
+use lqcd::core::topology;
+
+fn at_width<R: Send>(w: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(w)
+        .build()
+        .expect("width handle")
+        .install(op)
+}
+
+/// Run `op` at widths 1 and 8 and require bitwise-equal results.
+fn widths_agree<R, F>(what: &str, op: F) -> R
+where
+    R: PartialEq + std::fmt::Debug + Send,
+    F: Fn() -> R + Send + Sync,
+{
+    let r1 = at_width(1, &op);
+    let r8 = at_width(8, &op);
+    assert_eq!(r1, r8, "{what}: width 1 vs 8 disagree");
+    r1
+}
+
+/// A lattice big enough that every reduction splits into multiple chunks
+/// at width 8 (the single-chunk shortcut would make the test vacuous).
+fn test_gauge() -> (Lattice, GaugeField<f64>) {
+    let lat = Lattice::new([8, 8, 8, 8]);
+    let gauge = GaugeField::<f64>::hot(&lat, 2024);
+    (lat, gauge)
+}
+
+#[test]
+fn plaquette_bits_stable_across_widths() {
+    let (lat, gauge) = test_gauge();
+    let p = widths_agree("average_plaquette", || {
+        average_plaquette(&lat, &gauge).to_bits()
+    });
+    assert!(f64::from_bits(p).is_finite());
+}
+
+#[test]
+fn max_unitarity_error_bits_stable_across_widths() {
+    let (_, mut gauge) = test_gauge();
+    // Perturb the links so the max is a nontrivial float, not ~1e-16 noise.
+    for u in gauge.links_mut().iter_mut().step_by(7) {
+        *u = u.scale(1.0 + 1e-6);
+    }
+    widths_agree("max_unitarity_error", || {
+        gauge.max_unitarity_error().to_bits()
+    });
+}
+
+#[test]
+fn halfprec_decode_error_bits_stable_across_widths() {
+    let (_, gauge) = test_gauge();
+    let half = HalfGaugeField::from_gauge(&gauge);
+    let e = widths_agree("HalfGaugeField::max_abs_error", || {
+        half.max_abs_error(&gauge).to_bits()
+    });
+    assert!(f64::from_bits(e) > 0.0, "16-bit codes must lose something");
+}
+
+#[test]
+fn wilson_loop_bits_stable_across_widths() {
+    let (lat, gauge) = test_gauge();
+    widths_agree("wilson_loop(2,2)", || {
+        wilson_loop(&lat, &gauge, 2, 2).to_bits()
+    });
+}
+
+#[test]
+fn polyakov_loop_bits_stable_across_widths() {
+    let (lat, gauge) = test_gauge();
+    widths_agree("polyakov_loop", || {
+        let p = polyakov_loop(&lat, &gauge);
+        (p.re.to_bits(), p.im.to_bits())
+    });
+}
+
+#[test]
+fn topological_charge_and_action_density_bits_stable_across_widths() {
+    let (lat, gauge) = test_gauge();
+    widths_agree("topological_charge / action_density", || {
+        (
+            topological_charge(&lat, &gauge).to_bits(),
+            topology::action_density(&lat, &gauge).to_bits(),
+        )
+    });
+}
+
+#[test]
+fn hmc_trajectory_bits_stable_across_widths() {
+    // The kinetic-energy reduction feeds the Metropolis ΔH; a
+    // width-dependent sum would fork accept/reject decisions between
+    // machines. One full trajectory (two kinetic evaluations, one action
+    // difference) must produce the same bits at any width.
+    let lat = Lattice::new([4, 4, 4, 4]);
+    widths_agree("hmc trajectory ΔH", || {
+        let mut hmc = HmcSampler::cold_start(
+            &lat,
+            HmcParams {
+                beta: 5.7,
+                trajectory_length: 0.5,
+                n_steps: 5,
+            },
+            99,
+        );
+        let t = hmc.trajectory();
+        (t.delta_h.to_bits(), t.accepted, t.plaquette.to_bits())
+    });
+}
